@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the verified sort/merge kernels that
+//! every DSM-Sort pass leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lmas_core::kernels::{block_sort, bucket_of, merge_runs, select_splitters};
+use lmas_core::{generate_rec8, KeyDist, Rec8};
+
+fn bench_block_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_sort");
+    for &n in &[1usize << 10, 1 << 13, 1 << 16] {
+        let data = generate_rec8(n as u64, KeyDist::Uniform, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut v = data.clone();
+                block_sort(&mut v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_runs");
+    for &k in &[2usize, 8, 64] {
+        let n = 1usize << 14;
+        let data = generate_rec8(n as u64, KeyDist::Uniform, 2);
+        let mut runs: Vec<Vec<Rec8>> = data.chunks(n / k).map(|c| c.to_vec()).collect();
+        for r in &mut runs {
+            r.sort_by_key(|x| x.key);
+        }
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("fanin", k), &runs, |b, runs| {
+            b.iter(|| merge_runs(runs.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_splitters(c: &mut Criterion) {
+    let sample = generate_rec8(1 << 14, KeyDist::Uniform, 3);
+    c.bench_function("select_splitters_256", |b| {
+        b.iter(|| select_splitters(sample.clone(), 256))
+    });
+    let splitters = select_splitters(sample.clone(), 256);
+    let keys: Vec<u32> = sample.iter().map(|r| r.key).collect();
+    c.bench_function("bucket_of_256", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &k in &keys {
+                acc = acc.wrapping_add(bucket_of(k, &splitters));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_block_sort, bench_merge_runs, bench_splitters);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **T2** — sensitivity to the host/ASU CPU ratio `c`.
+//!
+//! The paper simulates ASUs "with performance scaled to give c = 4, 8".
+//! This sweep reruns the Figure 9 grid at both ratios for a fixed large
+//! α: faster ASUs (c = 4) shift every crossover left and raise speedups
+//! wherever the ASUs were the bottleneck.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::{generate_rec128, KeyDist};
+use lmas_emulator::ClusterConfig;
+use lmas_sort::{choose_splitters, pass1_speedup, split_across_asus, DsmConfig, LoadMode};
+use rayon::prelude::*;
+
+const ASU_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+fn main() {
+    let n = scaled_n(1 << 18, 1 << 14);
+    let beta = 4096;
+    let alpha = 64usize;
+    let data = generate_rec128(n, KeyDist::Uniform, 3);
+    let splitters = choose_splitters(&data, alpha);
+    let dsm = DsmConfig::new(alpha, beta, 8, 4096);
+
+    println!("T2: pass-1 speedup at c = 4 vs c = 8 (α={alpha}, β={beta}, n={n}, H=1)");
+    let widths = [6usize, 7, 7, 7, 7, 7, 7];
+    let mut header = vec!["c".to_string()];
+    header.extend(ASU_COUNTS.iter().map(|d| format!("D={d}")));
+    println!("{}", row(&header, &widths));
+
+    let mut csv = String::from("c");
+    for d in ASU_COUNTS {
+        csv.push_str(&format!(",D{d}"));
+    }
+    csv.push('\n');
+
+    let mut by_c = Vec::new();
+    for c in [4.0f64, 8.0] {
+        // Independent emulations: sweep in parallel on the bench host.
+        let series: Vec<f64> = ASU_COUNTS
+            .par_iter()
+            .map(|&d| {
+                let cluster = ClusterConfig::era_2002(1, d, c);
+                let per_asu = split_across_asus(&data, d);
+                let (s, _, _) =
+                    pass1_speedup(&cluster, per_asu, splitters.clone(), &dsm, LoadMode::Static)
+                        .expect("c-sensitivity run");
+                s
+            })
+            .collect();
+        let mut cells = vec![format!("{c}")];
+        cells.extend(series.iter().map(|s| format!("{s:.3}")));
+        println!("{}", row(&cells, &widths));
+        csv.push_str(&format!(
+            "{c},{}\n",
+            series.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",")
+        ));
+        by_c.push(series);
+    }
+    // Sanity: c=4 dominates c=8 wherever the ASUs bind (small D).
+    let gain = by_c[0][0] / by_c[1][0];
+    println!("c=4 over c=8 at D=2: {gain:.2}× (ASU-bound region)");
+    write_results("c_sensitivity.csv", &csv);
+}

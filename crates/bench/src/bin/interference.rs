@@ -1,0 +1,83 @@
+//! **T5** — shared-ASU interference and adaptation.
+//!
+//! Section 1: "network storage is a shared resource, and storage-based
+//! computation should not occur if it interferes with storage access for
+//! other applications"; Section 8 flags performance isolation as future
+//! work. This experiment dials up background tenants on the ASUs
+//! (consuming a fraction of ASU CPU) and measures DSM-Sort pass-1
+//! speedup for fixed α values versus the model-adaptive pick, which sees
+//! the *effective* host/ASU ratio and backs off the distribute order as
+//! the ASUs get busier.
+//!
+//! Expected shape: fixed large α degrades steeply (the offloaded
+//! distribute now contends with tenants); the adaptive configuration
+//! degrades gracefully toward the passive baseline (speedup → 1) and
+//! never falls far below it.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::{generate_rec128, KeyDist, Rec128};
+use lmas_emulator::ClusterConfig;
+use lmas_sort::{
+    adaptive_alpha, choose_splitters, pass1_speedup, split_across_asus, DsmConfig, LoadMode,
+};
+
+fn main() {
+    let n = scaled_n(1 << 17, 1 << 14);
+    let beta = 4096;
+    let d = 16usize;
+    let data = generate_rec128(n, KeyDist::Uniform, 5);
+    let backgrounds = [0.0f64, 0.25, 0.5, 0.75, 0.9];
+
+    println!("T5: DSM-Sort pass-1 speedup vs background ASU load (n={n}, H=1, D={d}, c=8)");
+    let widths = [10usize, 8, 8, 8, 8, 8];
+    let mut header = vec!["series".to_string()];
+    header.extend(backgrounds.iter().map(|b| format!("bg={b}")));
+    println!("{}", row(&header, &widths));
+    let mut csv = String::from("series");
+    for b in backgrounds {
+        csv.push_str(&format!(",bg{b}"));
+    }
+    csv.push('\n');
+
+    let measure = |alpha: usize, bg: f64| -> f64 {
+        let cluster = ClusterConfig::era_2002(1, d, 8.0).with_background(bg, 0.0);
+        let splitters = choose_splitters(&data, alpha);
+        let dsm = DsmConfig::new(alpha, beta, 8, 4096);
+        let per_asu = split_across_asus(&data, d);
+        let (s, _, _) =
+            pass1_speedup(&cluster, per_asu, splitters, &dsm, LoadMode::Static).expect("run");
+        s
+    };
+
+    for alpha in [16usize, 256] {
+        let series: Vec<f64> = backgrounds.iter().map(|&b| measure(alpha, b)).collect();
+        let mut cells = vec![format!("α={alpha}")];
+        cells.extend(series.iter().map(|s| format!("{s:.3}")));
+        println!("{}", row(&cells, &widths));
+        csv.push_str(&format!(
+            "alpha{alpha},{}\n",
+            series.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",")
+        ));
+    }
+
+    let mut adaptive = Vec::new();
+    let mut picks = Vec::new();
+    for &b in &backgrounds {
+        let cluster = ClusterConfig::era_2002(1, d, 8.0).with_background(b, 0.0);
+        let pick = adaptive_alpha::<Rec128>(&cluster, beta) as usize;
+        picks.push(pick);
+        adaptive.push(measure(pick, b));
+    }
+    let mut cells = vec!["adaptive".to_string()];
+    cells.extend(adaptive.iter().map(|s| format!("{s:.3}")));
+    println!("{}", row(&cells, &widths));
+    println!(
+        "  (adaptive α picks per load: {})",
+        picks.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    csv.push_str(&format!(
+        "adaptive,{}\n",
+        adaptive.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",")
+    ));
+    write_results("interference.csv", &csv);
+}

@@ -1,0 +1,67 @@
+//! **T4** — routing-policy ablation under skew (Section 3.3).
+//!
+//! "The routing of records across functor instances may be responsive to
+//! dynamic load conditions visible to the system. In some cases,
+//! randomized routing techniques like simple randomization (SR) may
+//! reduce data dependencies…" This ablation runs the Figure 10 workload
+//! under every load-managed routing policy plus the static baseline and
+//! reports makespan and the host-utilization gap.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::RoutingPolicy;
+use lmas_emulator::ClusterConfig;
+use lmas_sort::skew::{fig10_data_per_asu, uniform_assuming_splitters};
+use lmas_sort::{run_pass1, DsmConfig, LoadMode};
+
+fn main() {
+    let n = scaled_n(1 << 19, 1 << 15);
+    let d = 16usize;
+    let h = 2usize;
+    let alpha = 16usize;
+    let cluster = ClusterConfig::era_2002(h, d, 8.0);
+    let dsm = DsmConfig::new(alpha, 4096, 8, 4096);
+    let splitters = uniform_assuming_splitters(alpha);
+
+    println!("T4: routing policies on the skewed Figure-10 workload (n={n}, H={h}, D={d})");
+    let widths = [22usize, 12, 10, 10, 9];
+    println!(
+        "{}",
+        row(
+            &["policy", "makespan", "host0", "host1", "gap"].map(String::from),
+            &widths
+        )
+    );
+    let mut csv = String::from("policy,makespan_s,host0_util,host1_util,gap\n");
+
+    let modes: [(&str, LoadMode); 4] = [
+        ("static (no control)", LoadMode::Static),
+        ("round-robin", LoadMode::Managed(RoutingPolicy::RoundRobin)),
+        ("simple randomization", LoadMode::Managed(RoutingPolicy::SimpleRandomization)),
+        ("load-aware", LoadMode::Managed(RoutingPolicy::LoadAware)),
+    ];
+    for (name, mode) in modes {
+        let data = fig10_data_per_asu(n, d, 42);
+        let run = run_pass1(&cluster, data, splitters.clone(), &dsm, mode).expect("run");
+        let m0 = run.report.nodes[0].mean_cpu_util;
+        let m1 = run.report.nodes[1].mean_cpu_util;
+        let gap = (m0 - m1).abs();
+        let t = run.report.makespan.as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &[
+                    name.to_string(),
+                    format!("{t:.4}s"),
+                    format!("{:.1}%", m0 * 100.0),
+                    format!("{:.1}%", m1 * 100.0),
+                    format!("{:.3}", gap),
+                ],
+                &widths
+            )
+        );
+        csv.push_str(&format!(
+            "{name},{t:.6},{m0:.4},{m1:.4},{gap:.4}\n"
+        ));
+    }
+    write_results("routing_ablation.csv", &csv);
+}

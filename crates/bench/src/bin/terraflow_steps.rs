@@ -1,0 +1,67 @@
+//! **F-TF** — per-step TerraFlow scaling (Section 4.1).
+//!
+//! "Thus data parallelism in ASUs may improve the first two steps of the
+//! watershed computation considerably while offering limited improvement
+//! of the final step." This experiment grows the ASU pool and times each
+//! step: restructure (step 1) and the elevation sort (step 2) speed up;
+//! the time-forward color propagation (step 3) stays flat — Amdahl's law
+//! in a terrain pipeline.
+
+use lmas_bench::{row, write_results};
+use lmas_emulator::ClusterConfig;
+use lmas_gis::{fractal_terrain, matches_oracle, run_terraflow};
+use lmas_sort::{DsmConfig, LoadMode};
+
+fn main() {
+    let side = if lmas_bench::scale() < 1.0 { 65 } else { 257 };
+    let grid = fractal_terrain(side, side, 0.55, 13);
+    println!(
+        "F-TF: TerraFlow per-step times vs #ASUs ({side}×{side} grid, {} cells, H=1, c=8)",
+        side * side
+    );
+    let widths = [4usize, 12, 12, 12, 12, 11];
+    println!(
+        "{}",
+        row(
+            &["D", "step1", "step2(sort)", "step3", "total", "watersheds"].map(String::from),
+            &widths
+        )
+    );
+    let mut csv = String::from("d,step1_s,step2_s,step3_s,total_s,watersheds\n");
+
+    let mut dsm = DsmConfig::new(8, 1024, 8, 4096);
+    dsm.input_packet_records = 512;
+    let mut oracle_checked = false;
+    for d in [2usize, 4, 8, 16] {
+        let cluster = ClusterConfig::era_2002(1, d, 8.0);
+        let out = run_terraflow(&cluster, &grid, &dsm, LoadMode::Static).expect("terraflow");
+        if !oracle_checked {
+            assert!(matches_oracle(&grid, &out), "labels differ from oracle");
+            oracle_checked = true;
+        }
+        let (t1, t2, t3) = out.times;
+        println!(
+            "{}",
+            row(
+                &[
+                    d.to_string(),
+                    t1.to_string(),
+                    t2.to_string(),
+                    t3.to_string(),
+                    out.total().to_string(),
+                    out.watersheds.to_string(),
+                ],
+                &widths
+            )
+        );
+        csv.push_str(&format!(
+            "{d},{:.6},{:.6},{:.6},{:.6},{}\n",
+            t1.as_secs_f64(),
+            t2.as_secs_f64(),
+            t3.as_secs_f64(),
+            out.total().as_secs_f64(),
+            out.watersheds
+        ));
+    }
+    write_results("terraflow_steps.csv", &csv);
+}

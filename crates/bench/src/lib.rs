@@ -1,0 +1,77 @@
+//! # lmas-bench — the experiment harness
+//!
+//! One binary per figure/table of the paper (plus the extension
+//! experiments registered in `DESIGN.md` §4):
+//!
+//! | target | artifact |
+//! |--------|----------|
+//! | `fig9` | Figure 9 — DSM-Sort pass-1 speedup vs #ASUs per α |
+//! | `fig10` | Figure 10 — host utilization under skew ± load management |
+//! | `work_table` | T1 — the `n·log(αβγ)` work identity |
+//! | `c_sensitivity` | T2 — Figure 9 at c = 4 vs c = 8 |
+//! | `gamma_split` | T3 — merge-pass time vs (γ₁, γ₂) split |
+//! | `routing_ablation` | T4 — routing policies under skew |
+//! | `rtree_layouts` | F5 — partition vs stripe query latency/throughput |
+//! | `terraflow_steps` | F-TF — per-step TerraFlow scaling |
+//!
+//! Each binary prints the paper-style series and writes a CSV next to the
+//! workspace root under `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("LMAS_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Write `contents` to `results/<name>` and echo the path.
+pub fn write_results(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write results file");
+    println!("[wrote {}]", path.display());
+    path
+}
+
+/// Render one aligned table row from cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Quick scale helper: read `LMAS_SCALE` (float, default 1.0) to shrink
+/// or grow experiment sizes without editing code.
+pub fn scale() -> f64 {
+    std::env::var("LMAS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scale a record count by `LMAS_SCALE`, keeping at least `min`.
+pub fn scaled_n(base: u64, min: u64) -> u64 {
+    ((base as f64 * scale()) as u64).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_aligns_right() {
+        let r = row(&["a".into(), "42".into()], &[3, 5]);
+        assert_eq!(r, "  a     42");
+    }
+
+    #[test]
+    fn scaled_n_respects_min() {
+        assert!(scaled_n(100, 10) >= 10);
+    }
+}

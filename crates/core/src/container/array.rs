@@ -1,0 +1,126 @@
+//! Arrays: random-access record collections.
+//!
+//! Section 3.2: "Arrays allow arbitrary accesses to structured collections
+//! of records. This model is useful for supporting external indexes over
+//! collections of records, such as the spatial indexes outlined in
+//! Section 4.1." Accesses are application-ordered and opaque to the
+//! system, so an array exposes indexed reads/writes plus access counters
+//! the emulator charges I/O for.
+
+use crate::record::Record;
+
+/// A random-access record container.
+#[derive(Debug, Clone)]
+pub struct ArrayC<R> {
+    records: Vec<R>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<R: Record> ArrayC<R> {
+    /// An array over `records`.
+    pub fn new(records: Vec<R>) -> ArrayC<R> {
+        ArrayC {
+            records,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read the record at `idx`.
+    pub fn get(&mut self, idx: usize) -> Option<R> {
+        let r = self.records.get(idx).cloned();
+        if r.is_some() {
+            self.reads += 1;
+        }
+        r
+    }
+
+    /// Overwrite the record at `idx`. Returns false when out of range.
+    pub fn put(&mut self, idx: usize, r: R) -> bool {
+        if let Some(slot) = self.records.get_mut(idx) {
+            *slot = r;
+            self.writes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Binary-search a sorted array for the first record with key >= `key`.
+    /// Behaviour on unsorted arrays is unspecified (like `slice::partition_point`).
+    pub fn lower_bound(&mut self, key: R::Key) -> usize {
+        self.reads += (self.records.len().max(1)).ilog2() as u64 + 1;
+        self.records.partition_point(|r| r.key() < key)
+    }
+
+    /// Access counters `(reads, writes)` for I/O charging.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Immutable view of all records (no read charge; for audits).
+    pub fn as_slice(&self) -> &[R] {
+        &self.records
+    }
+}
+
+impl<R: Record> FromIterator<R> for ArrayC<R> {
+    fn from_iter<I: IntoIterator<Item = R>>(iter: I) -> Self {
+        ArrayC::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rec8;
+
+    fn arr(keys: &[u32]) -> ArrayC<Rec8> {
+        keys.iter().map(|&k| Rec8 { key: k, tag: k }).collect()
+    }
+
+    #[test]
+    fn get_put_roundtrip() {
+        let mut a = arr(&[1, 2, 3]);
+        assert_eq!(a.get(1).unwrap().key, 2);
+        assert!(a.put(1, Rec8 { key: 9, tag: 9 }));
+        assert_eq!(a.get(1).unwrap().key, 9);
+        assert_eq!(a.access_counts(), (2, 1));
+    }
+
+    #[test]
+    fn out_of_range_access() {
+        let mut a = arr(&[1]);
+        assert!(a.get(5).is_none());
+        assert!(!a.put(5, Rec8 { key: 0, tag: 0 }));
+        assert_eq!(a.access_counts(), (0, 0), "failed accesses uncharged");
+    }
+
+    #[test]
+    fn lower_bound_on_sorted_data() {
+        let mut a = arr(&[10, 20, 20, 30]);
+        assert_eq!(a.lower_bound(20), 1);
+        assert_eq!(a.lower_bound(25), 3);
+        assert_eq!(a.lower_bound(99), 4);
+        assert_eq!(a.lower_bound(0), 0);
+        let (reads, _) = a.access_counts();
+        assert!(reads > 0, "index probes are charged");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(ArrayC::<Rec8>::new(vec![]).is_empty());
+        assert_eq!(arr(&[1, 2]).len(), 2);
+    }
+}

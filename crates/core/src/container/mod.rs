@@ -1,0 +1,20 @@
+//! Data containers of the LMAS model: streams, sets, arrays, packets.
+//!
+//! Figure 3 of the paper: *sets* have no defined order (the system may
+//! deliver any pending record group, enabling load-balanced routing);
+//! *streams* deliver records strictly in sequence; *arrays* allow
+//! random access. *Packets* group records that must travel together.
+//!
+//! Sets and streams are processed in their entirety per scan, with
+//! pending/completed marking; destructive scans release completed storage
+//! (Section 3.2).
+
+pub mod array;
+pub mod packet;
+pub mod set;
+pub mod stream;
+
+pub use array::ArrayC;
+pub use packet::{packetize, Packet};
+pub use set::{PacketTicket, SetC};
+pub use stream::StreamC;

@@ -1,0 +1,250 @@
+//! Sets: unordered collections the system may deliver in any order.
+//!
+//! Section 3.2: "Sets are data containers that do not define the order of
+//! records returned in satisfying read operations. This allows the system
+//! to provide records in any order that is convenient, and spread them
+//! arbitrarily across replicated functors." A set holds *packets* (loose
+//! records are singleton-packet equivalents via [`SetC::insert_records`]);
+//! packets impose the only ordering constraint: their records stay
+//! together.
+//!
+//! Each scan marks packets pending → completed; destructive scans release
+//! completed packets' storage.
+
+use crate::container::packet::Packet;
+use crate::record::Record;
+
+/// Handle to a packet within a set scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketTicket(usize);
+
+/// An unordered packet container with pending/completed scan state.
+#[derive(Debug, Clone)]
+pub struct SetC<R> {
+    packets: Vec<Option<Packet<R>>>, // None = released (destructive)
+    state: Vec<ScanState>,
+    destructive: bool,
+    pending: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanState {
+    Pending,
+    Completed,
+}
+
+impl<R: Record> Default for SetC<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Record> SetC<R> {
+    /// An empty set.
+    pub fn new() -> SetC<R> {
+        SetC {
+            packets: Vec::new(),
+            state: Vec::new(),
+            destructive: false,
+            pending: 0,
+        }
+    }
+
+    /// Make completed packets release their storage.
+    pub fn destructive(mut self) -> SetC<R> {
+        self.destructive = true;
+        self
+    }
+
+    /// Insert a packet (initially pending).
+    pub fn insert(&mut self, p: Packet<R>) -> PacketTicket {
+        let t = PacketTicket(self.packets.len());
+        self.packets.push(Some(p));
+        self.state.push(ScanState::Pending);
+        self.pending += 1;
+        t
+    }
+
+    /// Insert loose records as one packet each would be wasteful; they
+    /// arrive as one unordered packet, which places no constraint beyond
+    /// staying whole. For per-record freedom use several small packets.
+    pub fn insert_records(&mut self, records: Vec<R>) -> PacketTicket {
+        self.insert(Packet::new(records))
+    }
+
+    /// Number of pending packets in the current scan.
+    pub fn pending_len(&self) -> usize {
+        self.pending
+    }
+
+    /// Total packets ever inserted (including released).
+    pub fn total_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Total records currently stored.
+    pub fn stored_records(&self) -> usize {
+        self.packets
+            .iter()
+            .flatten()
+            .map(|p| p.len())
+            .sum()
+    }
+
+    /// True when no packets are pending.
+    pub fn scan_done(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Take *some* pending packet, at the system's convenience. `hint`
+    /// biases the choice (e.g. a router's pick); any pending packet may be
+    /// returned. Marks it completed.
+    pub fn take_any(&mut self, hint: usize) -> Option<(PacketTicket, Packet<R>)> {
+        if self.pending == 0 {
+            return None;
+        }
+        let n = self.packets.len();
+        let start = hint % n;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if self.state[i] == ScanState::Pending {
+                return Some(self.complete(i));
+            }
+        }
+        unreachable!("pending count positive but no pending packet found");
+    }
+
+    /// Take the specific packet named by `ticket` if still pending.
+    pub fn take(&mut self, ticket: PacketTicket) -> Option<Packet<R>> {
+        let i = ticket.0;
+        if self.state.get(i) != Some(&ScanState::Pending) {
+            return None;
+        }
+        Some(self.complete(i).1)
+    }
+
+    fn complete(&mut self, i: usize) -> (PacketTicket, Packet<R>) {
+        self.state[i] = ScanState::Completed;
+        self.pending -= 1;
+        let p = if self.destructive {
+            self.packets[i].take().expect("pending packet present")
+        } else {
+            self.packets[i].clone().expect("pending packet present")
+        };
+        (PacketTicket(i), p)
+    }
+
+    /// Restart the scan: all retained packets become pending again.
+    /// Panics if a destructive scan already released packets.
+    pub fn rescan(&mut self) {
+        assert!(
+            !self.destructive || self.packets.iter().all(|p| p.is_some()),
+            "cannot rescan a destructive set after release"
+        );
+        self.pending = 0;
+        for (i, s) in self.state.iter_mut().enumerate() {
+            if self.packets[i].is_some() {
+                *s = ScanState::Pending;
+                self.pending += 1;
+            }
+        }
+    }
+
+    /// Iterate all stored packets (pending and completed), for audits.
+    pub fn iter_stored(&self) -> impl Iterator<Item = &Packet<R>> {
+        self.packets.iter().flatten()
+    }
+}
+
+impl<R: Record> FromIterator<Packet<R>> for SetC<R> {
+    fn from_iter<I: IntoIterator<Item = Packet<R>>>(iter: I) -> Self {
+        let mut s = SetC::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rec8;
+
+    fn pkt(keys: &[u32]) -> Packet<Rec8> {
+        Packet::new(keys.iter().map(|&k| Rec8 { key: k, tag: k }).collect())
+    }
+
+    #[test]
+    fn take_any_drains_all_packets_exactly_once() {
+        let mut s: SetC<Rec8> = [pkt(&[1]), pkt(&[2]), pkt(&[3])].into_iter().collect();
+        let mut got = vec![];
+        let mut hint = 7;
+        while let Some((_, p)) = s.take_any(hint) {
+            got.push(p.records()[0].key);
+            hint += 13;
+        }
+        got.sort_unstable();
+        assert_eq!(got, [1, 2, 3]);
+        assert!(s.scan_done());
+    }
+
+    #[test]
+    fn hint_biases_but_never_blocks() {
+        let mut s: SetC<Rec8> = [pkt(&[10]), pkt(&[20])].into_iter().collect();
+        // Hint far out of range still works (mod).
+        let (_, p) = s.take_any(usize::MAX - 3).unwrap();
+        assert!(p.records()[0].key == 10 || p.records()[0].key == 20);
+    }
+
+    #[test]
+    fn take_specific_ticket() {
+        let mut s = SetC::new();
+        let t1 = s.insert(pkt(&[1]));
+        let t2 = s.insert(pkt(&[2]));
+        assert_eq!(s.take(t2).unwrap().records()[0].key, 2);
+        assert!(s.take(t2).is_none(), "double take returns None");
+        assert_eq!(s.take(t1).unwrap().records()[0].key, 1);
+    }
+
+    #[test]
+    fn destructive_scan_releases_storage() {
+        let mut s: SetC<Rec8> =
+            SetC::from_iter([pkt(&[1, 2]), pkt(&[3, 4])]).destructive();
+        assert_eq!(s.stored_records(), 4);
+        s.take_any(0);
+        assert_eq!(s.stored_records(), 2);
+        s.take_any(0);
+        assert_eq!(s.stored_records(), 0);
+        assert_eq!(s.total_packets(), 2);
+    }
+
+    #[test]
+    fn rescan_restores_pending_for_nondestructive() {
+        let mut s: SetC<Rec8> = [pkt(&[1]), pkt(&[2])].into_iter().collect();
+        while s.take_any(0).is_some() {}
+        assert!(s.scan_done());
+        s.rescan();
+        assert_eq!(s.pending_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rescan")]
+    fn rescan_after_destructive_release_panics() {
+        let mut s: SetC<Rec8> = SetC::from_iter([pkt(&[1])]).destructive();
+        s.take_any(0);
+        s.rescan();
+    }
+
+    #[test]
+    fn multiset_of_records_is_preserved_across_scan() {
+        let mut s: SetC<Rec8> =
+            [pkt(&[5, 1]), pkt(&[2]), pkt(&[9, 9, 3])].into_iter().collect();
+        let mut keys = vec![];
+        while let Some((_, p)) = s.take_any(3) {
+            keys.extend(p.records().iter().map(|r| r.key));
+        }
+        keys.sort_unstable();
+        assert_eq!(keys, [1, 2, 3, 5, 9, 9]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Streams: ordered record collections with sequential scans.
+//!
+//! Section 3.2: "a read on stream always delivers the next unconsumed
+//! record in a defined sequence, even if this is less efficient." Records
+//! in a scan are *pending* until consumed and *completed* afterwards;
+//! a **destructive** scan releases storage for completed records so only
+//! pending records remain — the right mode for intermediate data consumed
+//! exactly once by the next phase.
+
+use crate::record::Record;
+
+/// An ordered collection scanned front to back.
+#[derive(Debug, Clone)]
+pub struct StreamC<R> {
+    records: Vec<R>,
+    cursor: usize,
+    destructive: bool,
+    /// Offset of `records[0]` in the logical sequence (nonzero after a
+    /// destructive scan has released a prefix).
+    base: usize,
+}
+
+impl<R: Record> StreamC<R> {
+    /// A stream over `records` in their given order.
+    pub fn new(records: Vec<R>) -> StreamC<R> {
+        StreamC {
+            records,
+            cursor: 0,
+            destructive: false,
+            base: 0,
+        }
+    }
+
+    /// Make subsequent scans destructive: consumed records are released.
+    pub fn destructive(mut self) -> StreamC<R> {
+        self.destructive = true;
+        self
+    }
+
+    /// Total records still stored (pending + retained completed).
+    pub fn stored_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records not yet consumed in the current scan.
+    pub fn pending_len(&self) -> usize {
+        self.records.len() - self.cursor
+    }
+
+    /// True when the current scan has consumed everything.
+    pub fn scan_done(&self) -> bool {
+        self.pending_len() == 0
+    }
+
+    /// Read the next unconsumed record, in sequence order.
+    pub fn read(&mut self) -> Option<R> {
+        if self.cursor >= self.records.len() {
+            return None;
+        }
+        let r = self.records[self.cursor].clone();
+        self.cursor += 1;
+        self.maybe_release();
+        Some(r)
+    }
+
+    /// Read up to `max` records as one batch, preserving order.
+    pub fn read_batch(&mut self, max: usize) -> Vec<R> {
+        let take = max.min(self.pending_len());
+        let out: Vec<R> = self.records[self.cursor..self.cursor + take].to_vec();
+        self.cursor += take;
+        self.maybe_release();
+        out
+    }
+
+    fn maybe_release(&mut self) {
+        // Release in chunks to keep drain cost amortized.
+        if self.destructive && self.cursor >= 1024 {
+            self.records.drain(..self.cursor);
+            self.base += self.cursor;
+            self.cursor = 0;
+        }
+    }
+
+    /// Append a record at the tail (streams are append-only producers).
+    pub fn append(&mut self, r: R) {
+        self.records.push(r);
+    }
+
+    /// Append many records.
+    pub fn append_all(&mut self, rs: impl IntoIterator<Item = R>) {
+        self.records.extend(rs);
+    }
+
+    /// Restart the scan from the beginning. Panics on destructive streams
+    /// whose prefix has been released (the data is gone).
+    pub fn rewind(&mut self) {
+        assert!(
+            self.base == 0,
+            "cannot rewind a destructive stream after release"
+        );
+        self.cursor = 0;
+    }
+
+    /// Position of the next read in the logical sequence.
+    pub fn position(&self) -> usize {
+        self.base + self.cursor
+    }
+
+    /// Whether records are in non-decreasing key order (whole stored part).
+    pub fn is_sorted(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].key() <= w[1].key())
+    }
+}
+
+impl<R: Record> FromIterator<R> for StreamC<R> {
+    fn from_iter<I: IntoIterator<Item = R>>(iter: I) -> Self {
+        StreamC::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rec8;
+
+    fn recs(n: u32) -> Vec<Rec8> {
+        (0..n).map(|k| Rec8 { key: k, tag: k }).collect()
+    }
+
+    #[test]
+    fn reads_deliver_in_sequence() {
+        let mut s = StreamC::new(recs(5));
+        let keys: Vec<u32> = std::iter::from_fn(|| s.read()).map(|r| r.key).collect();
+        assert_eq!(keys, [0, 1, 2, 3, 4]);
+        assert!(s.scan_done());
+        assert_eq!(s.read(), None);
+    }
+
+    #[test]
+    fn batch_reads_preserve_order_and_bound() {
+        let mut s = StreamC::new(recs(10));
+        let b1 = s.read_batch(4);
+        let b2 = s.read_batch(100);
+        assert_eq!(b1.iter().map(|r| r.key).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert_eq!(b2.len(), 6);
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn rewind_restarts_nondestructive_scan() {
+        let mut s = StreamC::new(recs(3));
+        s.read_batch(3);
+        s.rewind();
+        assert_eq!(s.pending_len(), 3);
+        assert_eq!(s.read().unwrap().key, 0);
+    }
+
+    #[test]
+    fn destructive_scan_releases_storage() {
+        let mut s = StreamC::new(recs(5000)).destructive();
+        s.read_batch(2000);
+        assert!(
+            s.stored_len() < 5000,
+            "released prefix should shrink storage: {}",
+            s.stored_len()
+        );
+        assert_eq!(s.pending_len(), 3000);
+        // Sequence is unbroken.
+        assert_eq!(s.read().unwrap().key, 2000);
+        assert_eq!(s.position(), 2001);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn destructive_rewind_after_release_panics() {
+        let mut s = StreamC::new(recs(5000)).destructive();
+        s.read_batch(4096);
+        s.rewind();
+    }
+
+    #[test]
+    fn append_grows_the_tail() {
+        let mut s: StreamC<Rec8> = StreamC::new(vec![]);
+        s.append(Rec8 { key: 1, tag: 0 });
+        s.append_all(recs(2));
+        assert_eq!(s.stored_len(), 3);
+        assert_eq!(s.read().unwrap().key, 1);
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let s: StreamC<Rec8> = recs(4).into_iter().collect();
+        assert!(s.is_sorted());
+        let mut v = recs(4);
+        v.swap(0, 3);
+        assert!(!StreamC::new(v).is_sorted());
+    }
+}

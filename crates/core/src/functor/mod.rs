@@ -1,0 +1,210 @@
+//! Functors: the primitive computation units of the model.
+//!
+//! Section 3.1: programs are composed of functors, "primitive processing
+//! steps … which apply specific functions to streams of records passing
+//! through them." A subset executes directly on ASUs as a side effect of
+//! I/O; those must perform **bounded per-record processing with bounded
+//! internal state**, or be prepackaged, verified computation kernels
+//! (e.g. sort, merge). The [`FunctorKind`] of each functor encodes which
+//! contract it satisfies, and [`Functor::cost`] exposes the declared
+//! per-input cost bound that load management relies on.
+
+pub mod lib;
+
+use crate::container::Packet;
+use crate::cost::Work;
+use crate::record::Record;
+
+/// Which execution contract a functor satisfies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctorKind {
+    /// Short, statically analyzable per-record code with bounded state:
+    /// may be stacked on ASU-resident containers.
+    AsuEligible {
+        /// Upper bound on internal state, enforced against ASU memory.
+        max_state_bytes: usize,
+    },
+    /// A prepackaged, pre-validated kernel primitive (sort, merge):
+    /// ASU-eligible despite read/modify/write behaviour.
+    VerifiedKernel {
+        /// Upper bound on internal state, enforced against ASU memory.
+        max_state_bytes: usize,
+    },
+    /// Unbounded computation: hosts only.
+    HostOnly,
+}
+
+impl FunctorKind {
+    /// Whether this functor may be placed on an ASU with `mem` bytes.
+    ///
+    /// `AsuEligible` code is "statically determinable": its declared
+    /// bound is checked against the ASU memory up front. A
+    /// `VerifiedKernel` is prepackaged and pre-validated — placement
+    /// trusts it, and the runtime monitors its live `state_bytes()`
+    /// against the node budget instead (violations are reported).
+    pub fn asu_placeable(&self, mem: usize) -> bool {
+        match *self {
+            FunctorKind::AsuEligible { max_state_bytes } => max_state_bytes <= mem,
+            FunctorKind::VerifiedKernel { .. } => true,
+            FunctorKind::HostOnly => false,
+        }
+    }
+}
+
+/// Collects a functor's outputs during one `process`/`flush` call.
+/// Outputs are addressed by port: a distribute functor with fan-out α has
+/// α ports, one per subset.
+#[derive(Debug)]
+pub struct Emit<R> {
+    outputs: Vec<(usize, Packet<R>)>,
+    ports: usize,
+}
+
+impl<R: Record> Emit<R> {
+    /// An emitter for a functor with `ports` output ports.
+    pub fn new(ports: usize) -> Emit<R> {
+        assert!(ports > 0, "functors have at least one output port");
+        Emit {
+            outputs: Vec::new(),
+            ports,
+        }
+    }
+
+    /// Emit `packet` on `port`. Empty packets are dropped silently.
+    pub fn push(&mut self, port: usize, packet: Packet<R>) {
+        assert!(port < self.ports, "port {port} out of range ({})", self.ports);
+        if !packet.is_empty() {
+            self.outputs.push((port, packet));
+        }
+    }
+
+    /// Emit on port 0 (the common single-output case).
+    pub fn push0(&mut self, packet: Packet<R>) {
+        self.push(0, packet);
+    }
+
+    /// Drain the collected outputs.
+    pub fn take(&mut self) -> Vec<(usize, Packet<R>)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Outputs collected so far.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+/// A primitive streaming computation over packets of records.
+pub trait Functor<R: Record>: Send {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Number of output ports (1 unless distributing).
+    fn out_ports(&self) -> usize {
+        1
+    }
+
+    /// Which execution contract this functor satisfies.
+    fn kind(&self) -> FunctorKind;
+
+    /// Process one input packet, emitting zero or more outputs.
+    fn process(&mut self, input: Packet<R>, out: &mut Emit<R>);
+
+    /// End of input: flush any buffered state.
+    fn flush(&mut self, out: &mut Emit<R>);
+
+    /// Declared cost bound for processing `input` (drives load management
+    /// and emulated CPU charging).
+    fn cost(&self, input: &Packet<R>) -> Work;
+
+    /// Declared cost bound for `flush`.
+    fn flush_cost(&self) -> Work {
+        Work::ZERO
+    }
+
+    /// Current internal state footprint in bytes (must respect the bound
+    /// declared in [`Functor::kind`]).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rec8;
+
+    struct Echo;
+    impl Functor<Rec8> for Echo {
+        fn name(&self) -> String {
+            "echo".into()
+        }
+        fn kind(&self) -> FunctorKind {
+            FunctorKind::AsuEligible { max_state_bytes: 0 }
+        }
+        fn process(&mut self, input: Packet<Rec8>, out: &mut Emit<Rec8>) {
+            out.push0(input);
+        }
+        fn flush(&mut self, _out: &mut Emit<Rec8>) {}
+        fn cost(&self, input: &Packet<Rec8>) -> Work {
+            Work::moves(input.len() as u64)
+        }
+    }
+
+    fn pkt(keys: &[u32]) -> Packet<Rec8> {
+        Packet::new(keys.iter().map(|&k| Rec8 { key: k, tag: 0 }).collect())
+    }
+
+    #[test]
+    fn emit_routes_by_port_and_drops_empties() {
+        let mut e: Emit<Rec8> = Emit::new(2);
+        e.push(0, pkt(&[1]));
+        e.push(1, pkt(&[2]));
+        e.push(1, Packet::new(vec![]));
+        assert_eq!(e.len(), 2);
+        let got = e.take();
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[1].0, 1);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn emit_rejects_bad_port() {
+        let mut e: Emit<Rec8> = Emit::new(1);
+        e.push(1, pkt(&[1]));
+    }
+
+    #[test]
+    fn echo_functor_contract() {
+        let mut f = Echo;
+        let mut e = Emit::new(f.out_ports());
+        let p = pkt(&[3, 1]);
+        assert_eq!(f.cost(&p), Work::moves(2));
+        f.process(p.clone(), &mut e);
+        let got = e.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, p);
+        assert_eq!(f.state_bytes(), 0);
+    }
+
+    #[test]
+    fn kind_placement_rules() {
+        let small = FunctorKind::AsuEligible { max_state_bytes: 1024 };
+        let kernel = FunctorKind::VerifiedKernel { max_state_bytes: 4096 };
+        let host = FunctorKind::HostOnly;
+        assert!(small.asu_placeable(2048));
+        assert!(!small.asu_placeable(512));
+        assert!(kernel.asu_placeable(4096));
+        assert!(
+            kernel.asu_placeable(16),
+            "verified kernels are trusted statically, monitored dynamically"
+        );
+        assert!(!host.asu_placeable(usize::MAX));
+    }
+}

@@ -1,0 +1,241 @@
+//! Verified in-memory kernels: block sort and k-way merge.
+//!
+//! The paper permits "more complex read/modify/write operations … in
+//! common, verified computation kernels, e.g., for useful primitives such
+//! as sorting" (Section 3.1). These are those kernels. Each reports the
+//! comparison count it actually performed so the work identity
+//! `Total Work = n·log(αβγ)` (Section 4.3) can be audited, not assumed.
+
+use crate::record::Record;
+
+/// Sort `records` by key in place; returns the number of comparisons a
+/// binary-insertion-counted mergesort would charge, `n·ceil(log2 n)`,
+/// which is the paper's accounting unit for a β-record block sort.
+pub fn block_sort<R: Record>(records: &mut [R]) -> u64 {
+    let n = records.len() as u64;
+    records.sort_by_key(|r| r.key());
+    n * crate::cost::log2_ceil(n)
+}
+
+/// One entry in the loser-tree: which run, and the next element index.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    run: usize,
+    idx: usize,
+}
+
+/// Merge `runs` (each sorted by key) into one sorted vector using a
+/// tournament (loser) tree; returns `(merged, compares)` where `compares`
+/// counts actual tree comparisons (~`m·ceil(log2 k)`).
+pub fn merge_runs<R: Record>(runs: Vec<Vec<R>>) -> (Vec<R>, u64) {
+    let runs: Vec<Vec<R>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let k = runs.len();
+    if k == 0 {
+        return (Vec::new(), 0);
+    }
+    if k == 1 {
+        return (runs.into_iter().next().expect("k==1"), 0);
+    }
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut compares = 0u64;
+
+    // Simple binary-heap tournament keyed on (key, run) for stability
+    // across runs; each pop/push costs ~log2 k compares.
+    let mut heap: Vec<Cursor> = (0..k).map(|run| Cursor { run, idx: 0 }).collect();
+    let key_of = |runs: &Vec<Vec<R>>, c: Cursor| runs[c.run][c.idx].key();
+    // Build heap (sift-down from the middle).
+    let mut build = heap.clone();
+    let less = |a: Cursor, b: Cursor, runs: &Vec<Vec<R>>| {
+        (key_of(runs, a), a.run) < (key_of(runs, b), b.run)
+    };
+    for i in (0..k / 2).rev() {
+        // sift down i
+        let mut j = i;
+        loop {
+            let l = 2 * j + 1;
+            let r = 2 * j + 2;
+            let mut m = j;
+            if l < k && less(build[l], build[m], &runs) {
+                m = l;
+            }
+            if r < k && less(build[r], build[m], &runs) {
+                m = r;
+            }
+            compares += 2;
+            if m == j {
+                break;
+            }
+            build.swap(j, m);
+            j = m;
+        }
+    }
+    heap = build;
+    let mut live = k;
+    while live > 0 {
+        let top = heap[0];
+        out.push(runs[top.run][top.idx].clone());
+        let next = Cursor {
+            run: top.run,
+            idx: top.idx + 1,
+        };
+        if next.idx < runs[next.run].len() {
+            heap[0] = next;
+        } else {
+            live -= 1;
+            heap[0] = heap[live];
+        }
+        // Sift down the root over the live prefix.
+        let mut j = 0;
+        loop {
+            let l = 2 * j + 1;
+            let r = 2 * j + 2;
+            let mut m = j;
+            if l < live && less(heap[l], heap[m], &runs) {
+                m = l;
+            }
+            if r < live && less(heap[r], heap[m], &runs) {
+                m = r;
+            }
+            compares += 2;
+            if m == j {
+                break;
+            }
+            heap.swap(j, m);
+            j = m;
+        }
+    }
+    (out, compares)
+}
+
+/// Check that `records` is sorted by key (non-decreasing).
+pub fn is_sorted_by_key<R: Record>(records: &[R]) -> bool {
+    records.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+/// Choose `k - 1` splitter keys that partition `sample` into `k` roughly
+/// equal buckets (the classic sampled-quantile splitter selection used by
+/// distribution sorts). `sample` need not be sorted; it is sorted here.
+/// Returns an ascending splitter vector of length `k - 1` (may contain
+/// duplicates when the sample is highly skewed).
+pub fn select_splitters<R: Record>(mut sample: Vec<R>, k: usize) -> Vec<R::Key> {
+    assert!(k >= 1, "need at least one bucket");
+    if k == 1 || sample.is_empty() {
+        return Vec::new();
+    }
+    sample.sort_by_key(|r| r.key());
+    let n = sample.len();
+    (1..k)
+        .map(|i| sample[(i * n / k).min(n - 1)].key())
+        .collect()
+}
+
+/// Bucket index of `key` given ascending `splitters` (`len = k-1`):
+/// bucket `i` holds keys in `[splitters[i-1], splitters[i])`.
+pub fn bucket_of<K: Ord + Copy>(key: K, splitters: &[K]) -> usize {
+    splitters.partition_point(|&s| s <= key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{generate_rec8, KeyDist, Rec8};
+
+    fn recs(keys: &[u32]) -> Vec<Rec8> {
+        keys.iter().map(|&k| Rec8 { key: k, tag: k }).collect()
+    }
+
+    #[test]
+    fn block_sort_sorts_and_charges() {
+        let mut v = recs(&[5, 3, 9, 1]);
+        let compares = block_sort(&mut v);
+        assert!(is_sorted_by_key(&v));
+        assert_eq!(compares, 4 * 2); // n·ceil(log2 4)
+    }
+
+    #[test]
+    fn merge_runs_produces_global_order() {
+        let runs = vec![
+            recs(&[1, 4, 7]),
+            recs(&[2, 5, 8]),
+            recs(&[0, 3, 6, 9]),
+        ];
+        let (merged, compares) = merge_runs(runs);
+        assert_eq!(
+            merged.iter().map(|r| r.key).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<u32>>()
+        );
+        assert!(compares > 0);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single() {
+        let (m, c) = merge_runs::<Rec8>(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(c, 0);
+        let (m, c) = merge_runs(vec![recs(&[1, 2])]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(c, 0, "single run needs no compares");
+        let (m, _) = merge_runs(vec![recs(&[]), recs(&[1])]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_duplicates() {
+        let (m, _) = merge_runs(vec![recs(&[2, 2]), recs(&[2, 2, 2])]);
+        assert_eq!(m.len(), 5);
+        assert!(m.iter().all(|r| r.key == 2));
+    }
+
+    #[test]
+    fn merge_many_runs_randomized() {
+        let data = generate_rec8(5_000, KeyDist::Uniform, 77);
+        let mut runs: Vec<Vec<Rec8>> = data.chunks(250).map(|c| c.to_vec()).collect();
+        for r in &mut runs {
+            r.sort_by_key(|x| x.key);
+        }
+        let (merged, _) = merge_runs(runs);
+        assert_eq!(merged.len(), 5_000);
+        assert!(is_sorted_by_key(&merged));
+        // Permutation check via tags.
+        let mut tags: Vec<u32> = merged.iter().map(|r| r.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..5_000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn splitters_balance_uniform_data() {
+        let data = generate_rec8(10_000, KeyDist::Uniform, 3);
+        let splitters = select_splitters(data.clone(), 8);
+        assert_eq!(splitters.len(), 7);
+        assert!(splitters.windows(2).all(|w| w[0] <= w[1]));
+        let mut counts = [0usize; 8];
+        for r in &data {
+            counts[bucket_of(r.key, &splitters)] += 1;
+        }
+        for c in counts {
+            assert!((900..1600).contains(&c), "bucket sizes {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        let sp = vec![10u32, 20, 30];
+        assert_eq!(bucket_of(5, &sp), 0);
+        assert_eq!(bucket_of(10, &sp), 1, "splitter key goes right");
+        assert_eq!(bucket_of(19, &sp), 1);
+        assert_eq!(bucket_of(30, &sp), 3);
+        assert_eq!(bucket_of(99, &sp), 3);
+        assert_eq!(bucket_of(5u32, &[]), 0, "k=1 has a single bucket");
+    }
+
+    #[test]
+    fn splitters_degenerate_cases() {
+        assert!(select_splitters::<Rec8>(vec![], 4).is_empty());
+        assert!(select_splitters(recs(&[1, 2, 3]), 1).is_empty());
+        // Constant data: all splitters equal; everything lands rightmost.
+        let sp = select_splitters(recs(&[7, 7, 7, 7]), 4);
+        assert!(sp.iter().all(|&s| s == 7));
+        assert_eq!(bucket_of(7, &sp), 3);
+    }
+}

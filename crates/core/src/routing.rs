@@ -1,0 +1,166 @@
+//! Routing policies: how records flow across replicated functor instances.
+//!
+//! Section 3.3: "sets and replicated functors allow ASUs and host nodes to
+//! perform dataflow routing between functors intelligently. The routing of
+//! records across functor instances may be responsive to dynamic load
+//! conditions visible to the system. In some cases, randomized routing
+//! techniques like simple randomization (SR) may reduce data dependencies
+//! and interference…"
+//!
+//! - [`RoutingPolicy::Static`] pins each source port (e.g. each distribute
+//!   subset) to a fixed instance — the *no load control* baseline of
+//!   Figure 10.
+//! - [`RoutingPolicy::RoundRobin`] cycles instances.
+//! - [`RoutingPolicy::SimpleRandomization`] picks uniformly at random —
+//!   the SR policy of Vitter–Hutchinson the paper cites, and the
+//!   *load-managed* configuration of Figure 10.
+//! - [`RoutingPolicy::LoadAware`] picks the least-loaded instance by
+//!   observed backlog, breaking ties by static capacity weight.
+
+use lmas_sim::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Which routing rule an edge uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Port `p` always goes to instance `p mod n`.
+    Static,
+    /// Cycle through instances.
+    RoundRobin,
+    /// Uniformly random instance (SR).
+    SimpleRandomization,
+    /// Least backlog wins; ties to the higher-capacity, then lower index.
+    LoadAware,
+}
+
+/// Stateful router for one edge.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    rr_next: usize,
+    rng: DetRng,
+}
+
+impl Router {
+    /// A router applying `policy`, with a deterministic RNG stream for
+    /// randomized policies. Round-robin starts at an offset derived from
+    /// `stream` so that many single-emission senders sharing an edge
+    /// (e.g. one run per block-sort instance) stripe across destinations
+    /// instead of all hitting instance 0.
+    pub fn new(policy: RoutingPolicy, seed: u64, stream: u64) -> Router {
+        Router {
+            policy,
+            rr_next: stream as usize,
+            rng: DetRng::stream(seed, stream),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Choose a destination among `n` instances.
+    ///
+    /// * `port` — the source port the packet left on (static hint);
+    /// * `backlog` — per-instance observed load (e.g. queued work in ns);
+    ///   empty when unknown;
+    /// * `capacity` — per-instance static capacity weights; empty when
+    ///   homogeneous.
+    pub fn pick(&mut self, n: usize, port: usize, backlog: &[u64], capacity: &[f64]) -> usize {
+        assert!(n > 0, "cannot route to zero instances");
+        match self.policy {
+            RoutingPolicy::Static => port % n,
+            RoutingPolicy::RoundRobin => {
+                let i = self.rr_next % n;
+                self.rr_next = self.rr_next.wrapping_add(1);
+                i
+            }
+            RoutingPolicy::SimpleRandomization => self.rng.gen_index(n),
+            RoutingPolicy::LoadAware => {
+                let cap = |i: usize| capacity.get(i).copied().unwrap_or(1.0);
+                let load = |i: usize| backlog.get(i).copied().unwrap_or(0);
+                // Least backlog normalized by capacity; ties to larger
+                // capacity, then lower index for determinism.
+                (0..n)
+                    .min_by(|&a, &b| {
+                        let la = load(a) as f64 / cap(a);
+                        let lb = load(b) as f64 / cap(b);
+                        la.partial_cmp(&lb)
+                            .expect("finite loads")
+                            .then(
+                                cap(b)
+                                    .partial_cmp(&cap(a))
+                                    .expect("finite capacities"),
+                            )
+                            .then(a.cmp(&b))
+                    })
+                    .expect("n > 0")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_pins_port_to_instance() {
+        let mut r = Router::new(RoutingPolicy::Static, 0, 0);
+        assert_eq!(r.pick(2, 0, &[], &[]), 0);
+        assert_eq!(r.pick(2, 1, &[], &[]), 1);
+        assert_eq!(r.pick(2, 5, &[], &[]), 1);
+        // Repeated picks are stable.
+        assert_eq!(r.pick(2, 5, &[], &[]), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 0, 0);
+        let picks: Vec<usize> = (0..6).map(|_| r.pick(3, 0, &[], &[])).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sr_is_uniformish_and_deterministic() {
+        let mut r1 = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
+        let mut r2 = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
+        let picks1: Vec<usize> = (0..3000).map(|_| r1.pick(3, 0, &[], &[])).collect();
+        let picks2: Vec<usize> = (0..3000).map(|_| r2.pick(3, 0, &[], &[])).collect();
+        assert_eq!(picks1, picks2, "same seed, same stream");
+        let mut counts = [0usize; 3];
+        for p in picks1 {
+            counts[p] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed SR: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn load_aware_prefers_least_backlog() {
+        let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
+        assert_eq!(r.pick(3, 0, &[50, 10, 90], &[]), 1);
+        // Tie on backlog → lower index.
+        assert_eq!(r.pick(3, 0, &[10, 10, 90], &[]), 0);
+        // Missing backlog info defaults to 0 → picks index 0.
+        assert_eq!(r.pick(3, 0, &[], &[]), 0);
+    }
+
+    #[test]
+    fn load_aware_normalizes_by_capacity() {
+        let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
+        // Instance 1 is 4× faster; backlog 30 on it is "shorter" than 10
+        // on the slow one.
+        assert_eq!(r.pick(2, 0, &[10, 30], &[1.0, 4.0]), 1);
+        // Equal normalized load → higher capacity wins.
+        assert_eq!(r.pick(2, 0, &[10, 40], &[1.0, 4.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero instances")]
+    fn zero_instances_rejected() {
+        Router::new(RoutingPolicy::Static, 0, 0).pick(0, 0, &[], &[]);
+    }
+}

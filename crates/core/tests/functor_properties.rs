@@ -1,0 +1,143 @@
+//! Property tests for the functor library's behavioural contracts.
+
+use lmas_core::functor::lib::{BlockSortFunctor, DistributeFunctor, FilterFunctor, MergeFunctor};
+use lmas_core::functor::{Emit, Functor};
+use lmas_core::kernels::{bucket_of, select_splitters};
+use lmas_core::{Packet, Rec8};
+use proptest::prelude::*;
+
+fn recs(keys: &[u32]) -> Vec<Rec8> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &key)| Rec8 { key, tag: i as u32 })
+        .collect()
+}
+
+fn drive<F: Functor<Rec8>>(
+    f: &mut F,
+    inputs: Vec<Packet<Rec8>>,
+) -> Vec<(usize, Packet<Rec8>)> {
+    let mut e = Emit::new(f.out_ports());
+    for p in inputs {
+        // Contract: cost is evaluated against pre-process state.
+        let _ = f.cost(&p);
+        f.process(p, &mut e);
+    }
+    f.flush(&mut e);
+    e.take()
+}
+
+proptest! {
+    /// Distribute: every record lands on the port of its bucket, and the
+    /// multiset of tags is preserved.
+    #[test]
+    fn distribute_routes_and_preserves(
+        keys in prop::collection::vec(any::<u32>(), 0..400),
+        k in 1usize..32,
+        chunk in 1usize..64,
+    ) {
+        let data = recs(&keys);
+        let splitters = select_splitters(data.clone(), k);
+        let mut f = DistributeFunctor::<Rec8>::new(splitters.clone());
+        let inputs: Vec<Packet<Rec8>> = data.chunks(chunk).map(|c| Packet::new(c.to_vec())).collect();
+        let out = drive(&mut f, inputs);
+        let mut tags = Vec::new();
+        for (port, p) in &out {
+            for r in p.records() {
+                prop_assert_eq!(bucket_of(r.key, &splitters), *port, "record on wrong port");
+                tags.push(r.tag);
+            }
+        }
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..keys.len() as u32).collect::<Vec<u32>>());
+    }
+
+    /// Block sort: every emitted packet is a sorted run of ≤ β records;
+    /// all full-size runs come before the flush tail; nothing is lost.
+    #[test]
+    fn block_sort_emits_bounded_sorted_runs(
+        keys in prop::collection::vec(any::<u32>(), 0..500),
+        beta in 1usize..128,
+        chunk in 1usize..64,
+    ) {
+        let data = recs(&keys);
+        let mut f = BlockSortFunctor::<Rec8>::new(beta);
+        let inputs: Vec<Packet<Rec8>> = data.chunks(chunk).map(|c| Packet::new(c.to_vec())).collect();
+        let out = drive(&mut f, inputs);
+        let mut total = 0usize;
+        for (i, (_, p)) in out.iter().enumerate() {
+            prop_assert!(p.is_sorted(), "run {i} unsorted");
+            prop_assert!(p.len() <= beta, "run {i} exceeds β");
+            total += p.len();
+        }
+        prop_assert_eq!(total, keys.len());
+        // Only the last run may be short.
+        for (_, p) in out.iter().rev().skip(1) {
+            prop_assert_eq!(p.len(), beta);
+        }
+    }
+
+    /// Merge: feeding sorted runs in any grouping yields packets whose
+    /// union is the sorted multiset (each output packet itself sorted).
+    #[test]
+    fn merge_outputs_sorted_packets_preserving_records(
+        keys in prop::collection::vec(any::<u32>(), 0..400),
+        gamma in 2usize..16,
+        run_len in 1usize..50,
+    ) {
+        let mut data = recs(&keys);
+        let mut f = MergeFunctor::<Rec8>::new(gamma);
+        let inputs: Vec<Packet<Rec8>> = data
+            .chunks(run_len)
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_by_key(|r| r.key);
+                Packet::new(v)
+            })
+            .collect();
+        let out = drive(&mut f, inputs);
+        let mut all: Vec<Rec8> = Vec::new();
+        for (_, p) in &out {
+            prop_assert!(p.is_sorted());
+            all.extend(p.records().iter().copied());
+        }
+        prop_assert_eq!(all.len(), keys.len());
+        let mut tags: Vec<u32> = all.iter().map(|r| r.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..keys.len() as u32).collect::<Vec<u32>>());
+        data.sort_by_key(|r| r.key);
+        let mut merged_keys: Vec<u32> = all.iter().map(|r| r.key).collect();
+        merged_keys.sort_unstable();
+        prop_assert_eq!(merged_keys, data.iter().map(|r| r.key).collect::<Vec<u32>>());
+    }
+
+    /// Filter: kept + dropped = seen, and kept records all satisfy the
+    /// predicate.
+    #[test]
+    fn filter_partitions_exactly(
+        keys in prop::collection::vec(any::<u32>(), 0..400),
+        threshold in any::<u32>(),
+    ) {
+        let data = recs(&keys);
+        let mut f = FilterFunctor::new("ge", move |r: &Rec8| r.key >= threshold);
+        let out = drive(&mut f, vec![Packet::new(data)]);
+        let kept: usize = out.iter().map(|(_, p)| p.len()).sum();
+        let (k, d) = f.counts();
+        prop_assert_eq!(k as usize, kept);
+        prop_assert_eq!((k + d) as usize, keys.len());
+        for (_, p) in &out {
+            prop_assert!(p.records().iter().all(|r| r.key >= threshold));
+        }
+    }
+
+    /// Declared distribute cost matches the log₂α law for any packet.
+    #[test]
+    fn distribute_cost_law(nrec in 0usize..200, k in 1usize..300) {
+        let data = recs(&vec![7u32; nrec]);
+        let splitters: Vec<u32> = (1..k as u32).collect();
+        let f = DistributeFunctor::<Rec8>::new(splitters);
+        let w = f.cost(&Packet::new(data));
+        prop_assert_eq!(w.compares, nrec as u64 * lmas_core::log2_ceil(k as u64));
+        prop_assert_eq!(w.record_moves, nrec as u64);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for flow-graph validation and placement helpers.
+
+use lmas_core::functor::lib::RelayFunctor;
+use lmas_core::{
+    EdgeKind, FlowGraph, Functor, FunctorKind, NodeId, Placement, Rec8, RoutingPolicy, StageId,
+};
+use proptest::prelude::*;
+
+fn relay() -> impl Fn(usize) -> Box<dyn Functor<Rec8>> + Send + 'static {
+    |_| Box::new(RelayFunctor::new("relay")) as Box<dyn Functor<Rec8>>
+}
+
+proptest! {
+    /// Any linear chain of stages validates, and its topological order is
+    /// exactly the chain order.
+    #[test]
+    fn linear_chains_validate(reps in prop::collection::vec(1usize..8, 1..10)) {
+        let mut g: FlowGraph<Rec8> = FlowGraph::new();
+        let ids: Vec<StageId> = reps
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                if i == 0 {
+                    g.add_source_stage(r, relay())
+                } else {
+                    g.add_stage(r, relay())
+                }
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.connect(w[0], w[1], RoutingPolicy::RoundRobin, EdgeKind::Set).unwrap();
+        }
+        let order = g.validate().expect("chains are valid");
+        prop_assert_eq!(order, ids.clone());
+        // Every non-terminal stage has exactly one out edge; the last has none.
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(g.out_edge(*id).is_some(), i + 1 < ids.len());
+        }
+    }
+
+    /// Any back edge added to a chain produces a cycle error.
+    #[test]
+    fn back_edges_are_cycles(len in 2usize..8, from in 1usize..8, to in 0usize..8) {
+        let from = from.min(len - 1);
+        let to = to.min(from.saturating_sub(1));
+        let mut g: FlowGraph<Rec8> = FlowGraph::new();
+        let ids: Vec<StageId> = (0..len)
+            .map(|i| if i == 0 { g.add_source_stage(1, relay()) } else { g.add_stage(1, relay()) })
+            .collect();
+        for w in ids.windows(2) {
+            g.connect(w[0], w[1], RoutingPolicy::Static, EdgeKind::Set).unwrap();
+        }
+        // The last stage gets a back edge to an earlier stage.
+        g.connect(ids[len - 1], ids[to], RoutingPolicy::Static, EdgeKind::Set).unwrap();
+        prop_assert!(matches!(
+            g.validate(),
+            Err(lmas_core::GraphError::Cycle)
+        ), "back edge {} → {} must cycle", len - 1, to);
+    }
+
+    /// spread_over_hosts/asus covers every instance, round-robin.
+    #[test]
+    fn spread_helpers_cover_all_instances(n in 1usize..64, hosts in 1usize..8, asus in 1usize..8) {
+        let s0 = StageId(0);
+        let s1 = StageId(1);
+        let mut p = Placement::new();
+        p.spread_over_hosts(s0, n, hosts);
+        p.spread_over_asus(s1, n, asus);
+        for i in 0..n {
+            prop_assert_eq!(p.node_of(s0, i), Some(NodeId::Host(i % hosts)));
+            prop_assert_eq!(p.node_of(s1, i), Some(NodeId::Asu(i % asus)));
+        }
+        prop_assert_eq!(p.len(), 2 * n);
+        prop_assert_eq!(p.asu_instances(s1).len(), n);
+    }
+
+    /// Placement validation accepts exactly the ASU-eligible placements.
+    #[test]
+    fn placement_validation_is_sound(
+        mem in 0usize..10_000,
+        bound in 0usize..10_000,
+        on_asu in any::<bool>(),
+        host_only in any::<bool>(),
+    ) {
+        let s = StageId(0);
+        let mut p = Placement::new();
+        p.assign(s, 0, if on_asu { NodeId::Asu(0) } else { NodeId::Host(0) });
+        let kind = if host_only {
+            FunctorKind::HostOnly
+        } else {
+            FunctorKind::AsuEligible { max_state_bytes: bound }
+        };
+        let ok = p.validate(&[(s, 1, kind)], mem).is_ok();
+        let expect = !on_asu || (!host_only && bound <= mem);
+        prop_assert_eq!(ok, expect);
+    }
+}

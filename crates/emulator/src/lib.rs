@@ -1,0 +1,26 @@
+//! # lmas-emulator — timing-accurate emulation of active storage clusters
+//!
+//! Implements the paper's Section 5 methodology: application functors run
+//! for real while an embedded discrete-event simulator (from `lmas-sim`)
+//! determines the delays their computation, disk I/O, and communication
+//! would impose on an emulated cluster of `H` hosts and `D` ASUs with CPU
+//! ratio `c`.
+//!
+//! - [`config`]: cluster parameters with 2002-era defaults;
+//! - [`node`]: per-node CPU/NIC/disk resources;
+//! - [`runtime`]: compiles a (`FlowGraph`, `Placement`) pair into
+//!   simulation actors and runs it ([`run_job`]);
+//! - [`metrics`], [`report`]: instrumentation and rendering.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod node;
+pub mod report;
+pub mod runtime;
+
+pub use config::ClusterConfig;
+pub use node::NodeRes;
+pub use report::{render_summary, render_utilization_csv};
+pub use runtime::{run_job, EmulationReport, Job, JobError, NodeReport};

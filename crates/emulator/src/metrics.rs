@@ -1,0 +1,113 @@
+//! Run-wide metrics collected while a job executes.
+//!
+//! Section 5: "The emulator is instrumented to report application
+//! progress, overall runtime, and resource utilization for each host and
+//! ASU in the target (emulated) system as the application executes."
+//! Per-node utilization lives in the node resources; this module holds
+//! the job-level counters: per-stage declared work, sink outputs,
+//! progress, and contract violations.
+
+use lmas_core::{Packet, Record, Work};
+use std::collections::BTreeMap;
+
+/// Maximum memory-violation notes retained (they repeat).
+const MAX_VIOLATION_NOTES: usize = 16;
+
+/// Mutable metrics shared by all instance actors of a job.
+#[derive(Debug)]
+pub struct Metrics<R: Record> {
+    /// Declared [`Work`] charged per stage (indexed by stage id).
+    pub stage_work: Vec<Work>,
+    /// Records entering each stage.
+    pub stage_records_in: Vec<u64>,
+    /// Outputs of sink stages (stages with no outgoing edge), keyed by
+    /// `(stage, instance)`; each entry is `(port, packet)` in emission
+    /// order.
+    pub sink_outputs: BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>,
+    /// Total records processed across all stages (progress).
+    pub records_processed: u64,
+    /// Functor-state memory contract violations observed (bounded list).
+    pub mem_violations: Vec<String>,
+    violations_total: u64,
+}
+
+impl<R: Record> Metrics<R> {
+    /// Metrics for a job of `stages` stages.
+    pub fn new(stages: usize) -> Metrics<R> {
+        Metrics {
+            stage_work: vec![Work::ZERO; stages],
+            stage_records_in: vec![0; stages],
+            sink_outputs: BTreeMap::new(),
+            records_processed: 0,
+            mem_violations: Vec::new(),
+            violations_total: 0,
+        }
+    }
+
+    /// Note a memory violation (bounded retention).
+    pub fn note_violation(&mut self, msg: String) {
+        self.violations_total += 1;
+        if self.mem_violations.len() < MAX_VIOLATION_NOTES {
+            self.mem_violations.push(msg);
+        }
+    }
+
+    /// Total violations seen (including ones not retained).
+    pub fn violations_total(&self) -> u64 {
+        self.violations_total
+    }
+
+    /// Total declared work across stages.
+    pub fn total_work(&self) -> Work {
+        self.stage_work
+            .iter()
+            .fold(Work::ZERO, |acc, &w| acc + w)
+    }
+
+    /// All records captured at sinks, flattened in `(stage, instance)`
+    /// then emission order.
+    pub fn sink_records(&self) -> Vec<R> {
+        self.sink_outputs
+            .values()
+            .flatten()
+            .flat_map(|(_, p)| p.records().iter().cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmas_core::Rec8;
+
+    #[test]
+    fn work_accumulates_per_stage() {
+        let mut m: Metrics<Rec8> = Metrics::new(2);
+        m.stage_work[0] += Work::compares(5);
+        m.stage_work[1] += Work::moves(3);
+        let t = m.total_work();
+        assert_eq!(t.compares, 5);
+        assert_eq!(t.record_moves, 3);
+    }
+
+    #[test]
+    fn violation_list_is_bounded() {
+        let mut m: Metrics<Rec8> = Metrics::new(1);
+        for i in 0..100 {
+            m.note_violation(format!("v{i}"));
+        }
+        assert_eq!(m.mem_violations.len(), MAX_VIOLATION_NOTES);
+        assert_eq!(m.violations_total(), 100);
+    }
+
+    #[test]
+    fn sink_records_flatten_in_order() {
+        let mut m: Metrics<Rec8> = Metrics::new(1);
+        let p1 = Packet::new(vec![Rec8 { key: 1, tag: 0 }]);
+        let p2 = Packet::new(vec![Rec8 { key: 2, tag: 1 }, Rec8 { key: 3, tag: 2 }]);
+        m.sink_outputs.insert((0, 0), vec![(0, p1)]);
+        m.sink_outputs.insert((0, 1), vec![(0, p2)]);
+        let recs = m.sink_records();
+        assert_eq!(recs.iter().map(|r| r.key).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Emulated nodes: a CPU, a NIC, a disk, and a memory budget.
+//!
+//! Hosts and ASUs share this shape; they differ in CPU speed (`1` vs
+//! `1/c`), memory budget, and role. Each device is an FCFS resource from
+//! `lmas-sim`, so contention between functor instances co-located on one
+//! node emerges from the resource queues rather than from bespoke logic.
+
+use crate::config::ClusterConfig;
+use lmas_core::{CostModel, NodeId, Work};
+use lmas_sim::{Grant, Resource, SimDuration, SimTime};
+use lmas_storage::DiskSim;
+
+/// The simulated devices of one node.
+#[derive(Debug)]
+pub struct NodeRes {
+    /// Which node this is.
+    pub id: NodeId,
+    /// Relative CPU speed (host = 1.0, ASU = 1/c).
+    pub speed: f64,
+    /// Memory budget for functor state and buffers.
+    pub mem_bytes: usize,
+    cpu: Resource,
+    nic: Resource,
+    disk: DiskSim,
+    cost: CostModel,
+    records_processed: u64,
+    peak_state_bytes: usize,
+}
+
+impl NodeRes {
+    /// Build the node `id` described by `cfg`.
+    pub fn new(id: NodeId, cfg: &ClusterConfig) -> NodeRes {
+        // Competing tenants steal a fraction of each ASU's CPU and disk
+        // (hosts are dedicated, Section 2.2): model as derated devices.
+        let (speed, mem, disk) = match id {
+            NodeId::Host(_) => (cfg.host_speed(), cfg.host_mem_bytes, cfg.disk),
+            NodeId::Asu(_) => {
+                let mut disk = cfg.disk;
+                disk.rate_bytes_per_sec *= 1.0 - cfg.background_asu_disk;
+                (
+                    cfg.asu_speed() * (1.0 - cfg.background_asu_cpu),
+                    cfg.asu_mem_bytes,
+                    disk,
+                )
+            }
+        };
+        NodeRes {
+            id,
+            speed,
+            mem_bytes: mem,
+            cpu: Resource::new(format!("{id}.cpu"), cfg.util_bin),
+            nic: Resource::new(format!("{id}.nic"), cfg.util_bin),
+            disk: DiskSim::new(disk, cfg.util_bin),
+            cost: cfg.cost,
+            records_processed: 0,
+            peak_state_bytes: 0,
+        }
+    }
+
+    /// Book CPU time for `work` at `now`; returns the service window.
+    pub fn charge_cpu(&mut self, now: SimTime, work: Work) -> Grant {
+        let service = self.cost.charge(work, self.speed);
+        self.cpu.acquire(now, service)
+    }
+
+    /// Book NIC serialization for `bytes` at `now`.
+    pub fn charge_nic(&mut self, now: SimTime, bytes: u64, link_rate: f64) -> Grant {
+        let service = SimDuration::from_secs_f64(bytes as f64 / link_rate);
+        self.nic.acquire(now, service)
+    }
+
+    /// Sequential disk read of `bytes`; returns data-ready time.
+    pub fn disk_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.disk.read(now, bytes)
+    }
+
+    /// Sequential disk write of `bytes`; returns caller-proceed time.
+    pub fn disk_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.disk.write(now, bytes)
+    }
+
+    /// Record that `n` records were processed here (progress metric).
+    pub fn note_records(&mut self, n: u64) {
+        self.records_processed += n;
+    }
+
+    /// Track the largest functor-state footprint observed on this node.
+    pub fn note_state_bytes(&mut self, bytes: usize) {
+        self.peak_state_bytes = self.peak_state_bytes.max(bytes);
+    }
+
+    /// Records processed on this node.
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
+    }
+
+    /// Peak observed functor state.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.peak_state_bytes
+    }
+
+    /// CPU utilization series over `[0, horizon]`.
+    pub fn cpu_utilization(&self, horizon: SimTime) -> Vec<f64> {
+        self.cpu.utilization_series(horizon)
+    }
+
+    /// Mean CPU utilization over `[0, horizon]`.
+    pub fn mean_cpu_utilization(&self, horizon: SimTime) -> f64 {
+        self.cpu.mean_utilization(horizon)
+    }
+
+    /// Total CPU busy time.
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.cpu.total_busy()
+    }
+
+    /// When the CPU queue drains.
+    pub fn cpu_free_at(&self) -> SimTime {
+        self.cpu.next_free()
+    }
+
+    /// When the disk media quiesces.
+    pub fn disk_quiesce(&self) -> SimTime {
+        self.disk.quiesce_time()
+    }
+
+    /// Disk counters: (reads, writes, bytes_read, bytes_written).
+    pub fn disk_counters(&self) -> (u64, u64, u64, u64) {
+        self.disk.counters()
+    }
+
+    /// NIC busy time.
+    pub fn nic_busy(&self) -> SimDuration {
+        self.nic.total_busy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::era_2002(1, 2, 8.0)
+    }
+
+    #[test]
+    fn host_and_asu_speeds_differ_by_c() {
+        let h = NodeRes::new(NodeId::Host(0), &cfg());
+        let a = NodeRes::new(NodeId::Asu(0), &cfg());
+        assert_eq!(h.speed, 1.0);
+        assert!((a.speed - 0.125).abs() < 1e-12);
+        assert!(h.mem_bytes > a.mem_bytes);
+    }
+
+    #[test]
+    fn cpu_charge_is_c_times_slower_on_asu() {
+        let c = cfg();
+        let mut h = NodeRes::new(NodeId::Host(0), &c);
+        let mut a = NodeRes::new(NodeId::Asu(0), &c);
+        let w = Work::compares(1000);
+        let gh = h.charge_cpu(SimTime::ZERO, w);
+        let ga = a.charge_cpu(SimTime::ZERO, w);
+        let th = gh.end.as_nanos() as f64;
+        let ta = ga.end.as_nanos() as f64;
+        assert!((ta / th - 8.0).abs() < 1e-9, "ratio {}", ta / th);
+    }
+
+    #[test]
+    fn cpu_serializes_colocated_work() {
+        let mut h = NodeRes::new(NodeId::Host(0), &cfg());
+        let g1 = h.charge_cpu(SimTime::ZERO, Work::compares(100));
+        let g2 = h.charge_cpu(SimTime::ZERO, Work::compares(100));
+        assert_eq!(g2.start, g1.end);
+        assert!(h.cpu_busy() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nic_charge_scales_with_bytes() {
+        let mut h = NodeRes::new(NodeId::Host(0), &cfg());
+        let g = h.charge_nic(SimTime::ZERO, 1_000_000, 1.0e9);
+        assert_eq!(g.end.since(g.start), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn background_load_slows_asu_devices() {
+        let quiet = ClusterConfig::era_2002(1, 1, 8.0);
+        let busy = quiet.with_background(0.5, 0.5);
+        let mut aq = NodeRes::new(NodeId::Asu(0), &quiet);
+        let mut ab = NodeRes::new(NodeId::Asu(0), &busy);
+        let w = Work::compares(1000);
+        let tq = aq.charge_cpu(SimTime::ZERO, w).end.as_nanos() as f64;
+        let tb = ab.charge_cpu(SimTime::ZERO, w).end.as_nanos() as f64;
+        assert!((tb / tq - 2.0).abs() < 1e-9, "half the CPU → twice the time");
+        let rq = aq.disk_read(SimTime::ZERO, 1_000_000).as_nanos() as f64;
+        let rb = ab.disk_read(SimTime::ZERO, 1_000_000).as_nanos() as f64;
+        assert!((rb / rq - 2.0).abs() < 1e-6, "half the disk → twice the time");
+        // Hosts unaffected.
+        let mut hq = NodeRes::new(NodeId::Host(0), &quiet);
+        let mut hb = NodeRes::new(NodeId::Host(0), &busy);
+        assert_eq!(
+            hq.charge_cpu(SimTime::ZERO, w).end,
+            hb.charge_cpu(SimTime::ZERO, w).end
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = NodeRes::new(NodeId::Asu(0), &cfg());
+        a.note_records(10);
+        a.note_records(5);
+        a.note_state_bytes(100);
+        a.note_state_bytes(50);
+        assert_eq!(a.records_processed(), 15);
+        assert_eq!(a.peak_state_bytes(), 100);
+        a.disk_write(SimTime::ZERO, 4096);
+        let (_, w, _, bw) = a.disk_counters();
+        assert_eq!((w, bw), (1, 4096));
+    }
+}

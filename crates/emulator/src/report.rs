@@ -1,0 +1,65 @@
+//! Plain-text rendering of emulation reports.
+
+use crate::runtime::EmulationReport;
+use lmas_core::Record;
+use std::fmt::Write as _;
+
+/// Render a one-screen summary of a run: makespan, per-node utilization,
+/// per-stage work.
+pub fn render_summary<R: Record>(r: &EmulationReport<R>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "makespan: {}", r.makespan);
+    let _ = writeln!(out, "records processed: {}", r.records_processed);
+    let _ = writeln!(out, "-- nodes --");
+    for n in &r.nodes {
+        let (dr, dw, dbr, dbw) = n.disk;
+        let _ = writeln!(
+            out,
+            "{:>7}  cpu {:>5.1}%  busy {:>12}  recs {:>10}  disk r/w {}/{} ({}/{} B)  nic {}",
+            n.id.to_string(),
+            n.mean_cpu_util * 100.0,
+            n.cpu_busy.to_string(),
+            n.records,
+            dr,
+            dw,
+            dbr,
+            dbw,
+            n.nic_busy
+        );
+    }
+    let _ = writeln!(out, "-- stages --");
+    for (i, (name, w)) in r.stage_work.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>2} {:<24} in {:>10} recs  work: {} cmp, {} mov, {} B",
+            i, name, r.stage_records_in[i], w.compares, w.record_moves, w.bytes
+        );
+    }
+    if !r.mem_violations.is_empty() {
+        let _ = writeln!(out, "-- memory violations --");
+        for v in &r.mem_violations {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
+    out
+}
+
+/// Render utilization series as CSV: `t_seconds,node0,node1,...`.
+pub fn render_utilization_csv<R: Record>(r: &EmulationReport<R>, bin_secs: f64) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "t");
+    for n in &r.nodes {
+        let _ = write!(out, ",{}", n.id);
+    }
+    let _ = writeln!(out);
+    let len = r.nodes.iter().map(|n| n.cpu_series.len()).max().unwrap_or(0);
+    for bin in 0..len {
+        let _ = write!(out, "{:.3}", bin as f64 * bin_secs);
+        for n in &r.nodes {
+            let v = n.cpu_series.get(bin).copied().unwrap_or(0.0);
+            let _ = write!(out, ",{v:.4}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

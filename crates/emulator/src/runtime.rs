@@ -1,0 +1,551 @@
+//! The dataflow runtime: compiles a (graph, placement) pair onto the
+//! emulated cluster and executes it.
+//!
+//! Every functor instance becomes a simulation actor on its assigned
+//! node. Functor code runs *for real* (records are genuinely
+//! transformed); virtual time is charged per the declared cost bounds
+//! through the node's FCFS CPU resource, so co-located instances contend
+//! naturally. Packets crossing nodes serialize on the sender's NIC and
+//! arrive one link latency later; source instances stream their input
+//! from the local disk model; sink outputs are written back to the local
+//! disk and captured for the caller.
+//!
+//! End-of-stream follows the classic dataflow protocol: an instance that
+//! has consumed its input and all upstream EOS marks flushes its functor,
+//! forwards the flush outputs, then broadcasts EOS downstream. Because
+//! EOS rides the same FCFS NIC as data, it can never overtake packets
+//! from the same sender.
+
+use crate::config::ClusterConfig;
+use crate::metrics::Metrics;
+use crate::node::NodeRes;
+use lmas_core::{
+    Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
+    Router, StageId,
+};
+use lmas_sim::{ActorId, Ctx, RunOutcome, SimDuration, SimTime, Simulation};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// A complete job: what to run, where, and on which data.
+pub struct Job<R: Record> {
+    /// The dataflow program.
+    pub graph: FlowGraph<R>,
+    /// Instance → node assignment.
+    pub placement: Placement,
+    /// External input per **source** stage instance: the packets stored
+    /// on that instance's node, streamed in through the disk model.
+    pub inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
+}
+
+/// Why a job could not run.
+#[derive(Debug)]
+pub enum JobError {
+    /// The graph failed validation.
+    Graph(GraphError),
+    /// The placement failed validation.
+    Placement(PlacementError),
+    /// Input supplied for an instance that is not a source.
+    InputForNonSource {
+        /// Stage index.
+        stage: usize,
+        /// Instance index.
+        instance: usize,
+    },
+    /// A non-source stage has no incoming edge (it would never start).
+    DisconnectedStage(StageId),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Graph(e) => write!(f, "graph error: {e}"),
+            JobError::Placement(e) => write!(f, "placement error: {e}"),
+            JobError::InputForNonSource { stage, instance } => {
+                write!(f, "input supplied for non-source stage {stage} instance {instance}")
+            }
+            JobError::DisconnectedStage(s) => {
+                write!(f, "non-source stage {s:?} has no incoming edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<GraphError> for JobError {
+    fn from(e: GraphError) -> Self {
+        JobError::Graph(e)
+    }
+}
+
+impl From<PlacementError> for JobError {
+    fn from(e: PlacementError) -> Self {
+        JobError::Placement(e)
+    }
+}
+
+/// Summary of one node after a run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Which node.
+    pub id: NodeId,
+    /// Mean CPU utilization over the run.
+    pub mean_cpu_util: f64,
+    /// Total CPU busy time.
+    pub cpu_busy: SimDuration,
+    /// CPU utilization per [`ClusterConfig::util_bin`] bin.
+    pub cpu_series: Vec<f64>,
+    /// Records processed on this node.
+    pub records: u64,
+    /// Disk counters: (reads, writes, bytes read, bytes written).
+    pub disk: (u64, u64, u64, u64),
+    /// NIC busy time.
+    pub nic_busy: SimDuration,
+    /// Peak functor-state bytes observed.
+    pub peak_state_bytes: usize,
+}
+
+/// The result of running a [`Job`].
+#[derive(Debug)]
+pub struct EmulationReport<R: Record> {
+    /// Job completion time (all CPUs drained, disks quiesced).
+    pub makespan: SimDuration,
+    /// Per-node summaries: hosts first, then ASUs.
+    pub nodes: Vec<NodeReport>,
+    /// Declared work per stage, with stage names.
+    pub stage_work: Vec<(String, lmas_core::Work)>,
+    /// Records entering each stage.
+    pub stage_records_in: Vec<u64>,
+    /// Sink outputs keyed by `(stage, instance)`, `(port, packet)` pairs.
+    pub sink_outputs: BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>,
+    /// Total records processed.
+    pub records_processed: u64,
+    /// Memory-contract violations (empty on a clean run).
+    pub mem_violations: Vec<String>,
+}
+
+impl<R: Record> EmulationReport<R> {
+    /// All records captured at sinks, in `(stage, instance)` then
+    /// emission order.
+    pub fn sink_records(&self) -> Vec<R> {
+        self.sink_outputs
+            .values()
+            .flatten()
+            .flat_map(|(_, p)| p.records().iter().cloned())
+            .collect()
+    }
+
+    /// CPU utilization series of host `i`.
+    pub fn host_cpu_series(&self, i: usize) -> &[f64] {
+        let n = self
+            .nodes
+            .iter()
+            .position(|nr| nr.id == NodeId::Host(i))
+            .expect("host exists");
+        &self.nodes[n].cpu_series
+    }
+}
+
+enum Msg<R: Record> {
+    Arrive(Packet<R>),
+    Eos,
+    Work,
+    SourceNext,
+}
+
+enum Unit<R: Record> {
+    Process(Packet<R>),
+    Flush,
+}
+
+struct Downstream<R: Record> {
+    actors: Vec<ActorId>,
+    nodes: Vec<Rc<RefCell<NodeRes>>>,
+    capacities: Vec<f64>,
+    router: Router,
+    gauge: Rc<RefCell<Vec<u64>>>,
+    /// Instances per port group (= replication for global scope).
+    group_size: usize,
+    _marker: std::marker::PhantomData<fn(R)>,
+}
+
+struct InstanceActor<R: Record> {
+    stage: usize,
+    instance: usize,
+    functor: Box<dyn Functor<R>>,
+    node: Rc<RefCell<NodeRes>>,
+    queue: VecDeque<Packet<R>>,
+    pending: Option<Unit<R>>,
+    eos_expected: usize,
+    eos_seen: usize,
+    flushed: bool,
+    down: Option<Downstream<R>>,
+    source_data: VecDeque<Packet<R>>,
+    is_source: bool,
+    my_gauge: Option<(Rc<RefCell<Vec<u64>>>, usize)>,
+    metrics: Rc<RefCell<Metrics<R>>>,
+    link_rate: f64,
+    latency: SimDuration,
+}
+
+impl<R: Record> InstanceActor<R> {
+    fn try_start(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if self.pending.is_some() {
+            return;
+        }
+        if let Some(p) = self.queue.pop_front() {
+            if let Some((gauge, idx)) = &self.my_gauge {
+                let mut g = gauge.borrow_mut();
+                g[*idx] = g[*idx].saturating_sub(p.len() as u64);
+            }
+            let cost = self.functor.cost(&p);
+            {
+                let mut m = self.metrics.borrow_mut();
+                m.stage_work[self.stage] += cost;
+                m.stage_records_in[self.stage] += p.len() as u64;
+            }
+            let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
+            self.pending = Some(Unit::Process(p));
+            ctx.send_at(ctx.me(), grant.end, Msg::Work);
+        } else if self.eos_seen >= self.eos_expected && !self.flushed {
+            let cost = self.functor.flush_cost();
+            self.metrics.borrow_mut().stage_work[self.stage] += cost;
+            let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
+            self.pending = Some(Unit::Flush);
+            ctx.send_at(ctx.me(), grant.end, Msg::Work);
+        }
+    }
+
+    fn complete_unit(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        let unit = self.pending.take().expect("Work without a pending unit");
+        let mut emit = Emit::new(self.functor.out_ports());
+        let mut just_flushed = false;
+        match unit {
+            Unit::Process(p) => {
+                let n = p.len() as u64;
+                self.node.borrow_mut().note_records(n);
+                self.metrics.borrow_mut().records_processed += n;
+                self.functor.process(p, &mut emit);
+            }
+            Unit::Flush => {
+                self.functor.flush(&mut emit);
+                self.flushed = true;
+                just_flushed = true;
+            }
+        }
+        let state = self.functor.state_bytes();
+        {
+            let mut node = self.node.borrow_mut();
+            node.note_state_bytes(state);
+            if state > node.mem_bytes {
+                let id = node.id;
+                drop(node);
+                self.metrics.borrow_mut().note_violation(format!(
+                    "stage {} instance {} exceeds {} memory: {} bytes of functor state",
+                    self.stage, self.instance, id, state
+                ));
+            }
+        }
+        self.route_outputs(ctx, emit.take());
+        if just_flushed {
+            self.broadcast_eos(ctx);
+        }
+        self.try_start(ctx);
+    }
+
+    fn route_outputs(&mut self, ctx: &mut Ctx<'_, Msg<R>>, outputs: Vec<(usize, Packet<R>)>) {
+        match &mut self.down {
+            Some(d) => {
+                for (port, p) in outputs {
+                    // A port is confined to its instance group; the policy
+                    // picks within it (group == whole stage for Global).
+                    let groups = d.actors.len() / d.group_size;
+                    let base = (port % groups) * d.group_size;
+                    let dest = base + {
+                        let backlog = d.gauge.borrow();
+                        d.router.pick(
+                            d.group_size,
+                            port / groups,
+                            &backlog[base..base + d.group_size],
+                            &d.capacities[base..base + d.group_size],
+                        )
+                    };
+                    d.gauge.borrow_mut()[dest] += p.len() as u64;
+                    let deliver_at = delivery_time(
+                        ctx.now(),
+                        &self.node,
+                        &d.nodes[dest],
+                        p.bytes() as u64,
+                        self.link_rate,
+                        self.latency,
+                    );
+                    ctx.send_at(d.actors[dest], deliver_at, Msg::Arrive(p));
+                }
+            }
+            None => {
+                // Sink: write results to the local disk and capture them.
+                let now = ctx.now();
+                let mut node = self.node.borrow_mut();
+                let mut m = self.metrics.borrow_mut();
+                for (port, p) in outputs {
+                    node.disk_write(now, p.bytes() as u64);
+                    m.sink_outputs
+                        .entry((self.stage, self.instance))
+                        .or_default()
+                        .push((port, p));
+                }
+            }
+        }
+    }
+
+    fn broadcast_eos(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if let Some(d) = &mut self.down {
+            // EOS rides the NIC (zero payload) so it stays behind data.
+            for i in 0..d.actors.len() {
+                let deliver_at = delivery_time(
+                    ctx.now(),
+                    &self.node,
+                    &d.nodes[i],
+                    0,
+                    self.link_rate,
+                    self.latency,
+                );
+                ctx.send_at(d.actors[i], deliver_at, Msg::Eos);
+            }
+        }
+    }
+
+    fn source_next(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if let Some(p) = self.source_data.pop_front() {
+            let ready = self
+                .node
+                .borrow_mut()
+                .disk_read(ctx.now(), p.bytes() as u64);
+            ctx.send_at(ctx.me(), ready, Msg::Arrive(p));
+            ctx.send_at(ctx.me(), ready, Msg::SourceNext);
+        } else {
+            ctx.send_at(ctx.me(), ctx.now(), Msg::Eos);
+        }
+    }
+}
+
+fn delivery_time(
+    now: SimTime,
+    from: &Rc<RefCell<NodeRes>>,
+    to: &Rc<RefCell<NodeRes>>,
+    bytes: u64,
+    link_rate: f64,
+    latency: SimDuration,
+) -> SimTime {
+    let same_node = from.borrow().id == to.borrow().id;
+    if same_node {
+        now
+    } else {
+        let grant = from.borrow_mut().charge_nic(now, bytes, link_rate);
+        grant.end + latency
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::Arrive(p) => {
+                self.queue.push_back(p);
+                self.try_start(ctx);
+            }
+            Msg::Eos => {
+                self.eos_seen += 1;
+                debug_assert!(
+                    self.eos_seen <= self.eos_expected,
+                    "stage {} instance {} saw too many EOS",
+                    self.stage,
+                    self.instance
+                );
+                self.try_start(ctx);
+            }
+            Msg::Work => self.complete_unit(ctx),
+            Msg::SourceNext => {
+                debug_assert!(self.is_source);
+                self.source_next(ctx);
+            }
+        }
+    }
+}
+
+/// Run `job` on the cluster described by `cfg`.
+pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationReport<R>, JobError> {
+    let Job {
+        graph,
+        placement,
+        mut inputs,
+    } = job;
+    graph.validate()?;
+    placement.validate(&graph.placement_rows(), cfg.asu_mem_bytes)?;
+    for (s, stage) in graph.stages().iter().enumerate() {
+        if !stage.is_source && graph.in_degree(StageId(s)) == 0 {
+            return Err(JobError::DisconnectedStage(StageId(s)));
+        }
+    }
+    for &(s, i) in inputs.keys() {
+        if !graph.stages()[s].is_source {
+            return Err(JobError::InputForNonSource { stage: s, instance: i });
+        }
+    }
+
+    // Nodes: hosts 0..H, then ASUs.
+    let nodes: Vec<Rc<RefCell<NodeRes>>> = (0..cfg.hosts)
+        .map(|i| NodeId::Host(i))
+        .chain((0..cfg.asus).map(NodeId::Asu))
+        .map(|id| Rc::new(RefCell::new(NodeRes::new(id, cfg))))
+        .collect();
+    let node_rc = |id: NodeId| -> Rc<RefCell<NodeRes>> {
+        match id {
+            NodeId::Host(i) => nodes[i].clone(),
+            NodeId::Asu(i) => nodes[cfg.hosts + i].clone(),
+        }
+    };
+
+    let mut sim: Simulation<Msg<R>> = Simulation::new(cfg.seed);
+    let actor_ids: Vec<Vec<ActorId>> = graph
+        .stages()
+        .iter()
+        .map(|s| (0..s.replication).map(|_| sim.reserve_actor()).collect())
+        .collect();
+    let gauges: Vec<Rc<RefCell<Vec<u64>>>> = graph
+        .stages()
+        .iter()
+        .map(|s| Rc::new(RefCell::new(vec![0u64; s.replication])))
+        .collect();
+    let metrics = Rc::new(RefCell::new(Metrics::<R>::new(graph.stages().len())));
+
+    // Upstream EOS expectations.
+    let eos_expected: Vec<usize> = (0..graph.stages().len())
+        .map(|s| {
+            let stage = &graph.stages()[s];
+            let from_edges: usize = graph
+                .edges()
+                .iter()
+                .filter(|e| e.to == StageId(s))
+                .map(|e| graph.stages()[e.from.0].replication)
+                .sum();
+            from_edges + usize::from(stage.is_source)
+        })
+        .collect();
+
+    let mut global_idx = 0u64;
+    for (s, stage) in graph.stages().iter().enumerate() {
+        for i in 0..stage.replication {
+            let node_id = placement
+                .node_of(StageId(s), i)
+                .expect("validated placement");
+            let down = graph.out_edge(StageId(s)).map(|e| {
+                let to = e.to.0;
+                let to_stage = &graph.stages()[to];
+                let dnodes: Vec<Rc<RefCell<NodeRes>>> = (0..to_stage.replication)
+                    .map(|j| {
+                        node_rc(
+                            placement
+                                .node_of(e.to, j)
+                                .expect("validated placement"),
+                        )
+                    })
+                    .collect();
+                let capacities = dnodes.iter().map(|n| n.borrow().speed).collect();
+                let group_size = match e.scope {
+                    lmas_core::RouteScope::Global => to_stage.replication,
+                    lmas_core::RouteScope::PortGroups { group_size } => group_size,
+                };
+                Downstream {
+                    actors: actor_ids[to].clone(),
+                    nodes: dnodes,
+                    capacities,
+                    router: Router::new(e.routing, cfg.seed, global_idx),
+                    gauge: gauges[to].clone(),
+                    group_size,
+                    _marker: std::marker::PhantomData,
+                }
+            });
+            let source_data: VecDeque<Packet<R>> = inputs
+                .remove(&(s, i))
+                .map(Into::into)
+                .unwrap_or_default();
+            let actor = InstanceActor {
+                stage: s,
+                instance: i,
+                functor: stage.instantiate(i),
+                node: node_rc(node_id),
+                queue: VecDeque::new(),
+                pending: None,
+                eos_expected: eos_expected[s],
+                eos_seen: 0,
+                flushed: false,
+                down,
+                source_data,
+                is_source: stage.is_source,
+                my_gauge: (!stage.is_source).then(|| (gauges[s].clone(), i)),
+                metrics: metrics.clone(),
+                link_rate: cfg.link_bytes_per_sec,
+                latency: cfg.link_latency,
+            };
+            sim.install(actor_ids[s][i], Box::new(actor));
+            if stage.is_source {
+                sim.seed_message(actor_ids[s][i], SimTime::ZERO, Msg::SourceNext);
+            }
+            global_idx += 1;
+        }
+    }
+
+    let outcome = sim.run();
+    debug_assert_eq!(outcome, RunOutcome::Drained, "job should drain");
+
+    // Makespan: last event, all CPU queues drained, all disks quiesced.
+    let mut end = sim.now();
+    for n in &nodes {
+        let n = n.borrow();
+        end = end.max(n.cpu_free_at()).max(n.disk_quiesce());
+    }
+    let makespan = end.since(SimTime::ZERO);
+    // Release the actors (and with them their Rc clones of the metrics).
+    drop(sim);
+
+    let node_reports = nodes
+        .iter()
+        .map(|n| {
+            let n = n.borrow();
+            NodeReport {
+                id: n.id,
+                mean_cpu_util: n.mean_cpu_utilization(end),
+                cpu_busy: n.cpu_busy(),
+                cpu_series: n.cpu_utilization(end),
+                records: n.records_processed(),
+                disk: n.disk_counters(),
+                nic_busy: n.nic_busy(),
+                peak_state_bytes: n.peak_state_bytes(),
+            }
+        })
+        .collect();
+
+    let m = Rc::try_unwrap(metrics)
+        .map_err(|_| ())
+        .expect("actors dropped with the simulation")
+        .into_inner();
+    let stage_work = graph
+        .stages()
+        .iter()
+        .zip(&m.stage_work)
+        .map(|(s, &w)| (s.name.clone(), w))
+        .collect();
+
+    Ok(EmulationReport {
+        makespan,
+        nodes: node_reports,
+        stage_work,
+        stage_records_in: m.stage_records_in,
+        sink_outputs: m.sink_outputs,
+        records_processed: m.records_processed,
+        mem_violations: m.mem_violations,
+    })
+}

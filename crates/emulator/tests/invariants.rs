@@ -1,0 +1,108 @@
+//! Emulator invariants under randomized pipelines: conservation of
+//! records, causal makespans, and reproducibility.
+
+use lmas_core::functor::lib::{MapFunctor, RelayFunctor};
+use lmas_core::{
+    generate_rec8, packetize, EdgeKind, FlowGraph, Functor, KeyDist, Placement, Rec8,
+    RoutingPolicy, Work,
+};
+use lmas_emulator::{run_job, ClusterConfig, Job};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn burn(cost: u64) -> impl Fn(usize) -> Box<dyn Functor<Rec8>> + Send + 'static {
+    move |_| {
+        Box::new(MapFunctor::new("burn", Work::compares(cost), |r: Rec8| r))
+            as Box<dyn Functor<Rec8>>
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the topology parameters, every record injected at the
+    /// sources arrives at the sinks exactly once, and the makespan is at
+    /// least each node's busy time.
+    #[test]
+    fn records_are_conserved(
+        n in 100u64..3_000,
+        hosts in 1usize..3,
+        asus in 1usize..5,
+        mid_repl in 1usize..5,
+        cost in 0u64..64,
+        packet in 1usize..256,
+        policy_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ClusterConfig::era_2002(hosts, asus, 8.0);
+        cfg.seed = seed;
+        let policy = [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::SimpleRandomization,
+            RoutingPolicy::LoadAware,
+        ][policy_idx];
+        let data = generate_rec8(n, KeyDist::Uniform, seed);
+
+        let mut g: FlowGraph<Rec8> = FlowGraph::new();
+        let src = g.add_source_stage(asus, |_| {
+            Box::new(RelayFunctor::new("scan")) as Box<dyn Functor<Rec8>>
+        });
+        let mid = g.add_stage(mid_repl, burn(cost));
+        let sink = g.add_stage(1, |_| {
+            Box::new(RelayFunctor::new("collect")) as Box<dyn Functor<Rec8>>
+        });
+        g.connect(src, mid, policy, EdgeKind::Set).unwrap();
+        g.connect(mid, sink, RoutingPolicy::RoundRobin, EdgeKind::Set).unwrap();
+
+        let mut placement = Placement::new();
+        placement.spread_over_asus(src, asus, asus);
+        placement.spread_over_hosts(mid, mid_repl, hosts);
+        placement.spread_over_hosts(sink, 1, hosts);
+
+        let mut inputs = BTreeMap::new();
+        let share = (n as usize).div_ceil(asus);
+        for (i, chunk) in data.chunks(share).enumerate() {
+            inputs.insert((src.0, i), packetize(chunk.to_vec(), packet));
+        }
+
+        let report = run_job(&cfg, Job { graph: g, placement, inputs }).expect("runs");
+        // Conservation: all n records reach the sink, each exactly once.
+        let mut tags: Vec<u32> = report.sink_records().iter().map(|r| r.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..n as u32).collect::<Vec<u32>>());
+        // Every stage saw all records exactly once.
+        prop_assert_eq!(&report.stage_records_in, &vec![n, n, n]);
+        // Causality: no node can be busy longer than the run.
+        for node in &report.nodes {
+            prop_assert!(node.cpu_busy.as_nanos() <= report.makespan.as_nanos());
+            prop_assert!(node.mean_cpu_util <= 1.0 + 1e-9);
+        }
+        // Work accounting: the mid stage declared exactly n·cost compares.
+        prop_assert_eq!(report.stage_work[1].1.compares, n * cost);
+    }
+
+    /// Doubling the per-record cost of the bottleneck stage cannot make
+    /// the run faster.
+    #[test]
+    fn monotone_in_work(n in 200u64..2_000, cost in 1u64..64, seed in any::<u64>()) {
+        let run = |c: u64| {
+            let cfg = ClusterConfig::era_2002(1, 1, 8.0);
+            let data = generate_rec8(n, KeyDist::Uniform, seed);
+            let mut g: FlowGraph<Rec8> = FlowGraph::new();
+            let src = g.add_source_stage(1, |_| {
+                Box::new(RelayFunctor::new("scan")) as Box<dyn Functor<Rec8>>
+            });
+            let mid = g.add_stage(1, burn(c));
+            g.connect(src, mid, RoutingPolicy::Static, EdgeKind::Set).unwrap();
+            let mut placement = Placement::new();
+            placement.spread_over_asus(src, 1, 1);
+            placement.spread_over_hosts(mid, 1, 1);
+            let mut inputs = BTreeMap::new();
+            inputs.insert((src.0, 0usize), packetize(data, 128));
+            run_job(&cfg, Job { graph: g, placement, inputs })
+                .expect("runs")
+                .makespan
+        };
+        prop_assert!(run(2 * cost) >= run(cost));
+    }
+}

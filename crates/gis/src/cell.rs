@@ -1,0 +1,222 @@
+//! Cell records: the restructured grid of TerraFlow step 1.
+//!
+//! "Step 1 restructures the grid to include neighbor and position
+//! information in each grid cell, allowing cells to be processed
+//! independently and effectively converting the grid from a stream into
+//! a set" (Section 4.1). A [`CellRec`] carries its position, its own
+//! quantized elevation, and the elevations of its eight D8 neighbours;
+//! its sort key totally orders cells by `(elevation, position)` so the
+//! elevation sort of step 2 is deterministic.
+
+use crate::grid::{Grid, NEIGHBOR_OFFSETS};
+use lmas_core::Record;
+
+/// Sentinel for a neighbour outside the grid.
+pub const NO_NEIGHBOR: u16 = u16::MAX;
+
+/// A restructured grid cell (fixed-size record, 28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRec {
+    /// Cell x coordinate.
+    pub x: u16,
+    /// Cell y coordinate.
+    pub y: u16,
+    /// Quantized elevation (0..65535; `NO_NEIGHBOR`-safe: own elevation
+    /// is capped at 65534 by the restructure).
+    pub elev: u16,
+    /// Quantized elevations of the D8 neighbours in
+    /// [`NEIGHBOR_OFFSETS`] order; `NO_NEIGHBOR` when off-grid.
+    pub neighbors: [u16; 8],
+    /// Watershed color (assigned in step 3; 0 = unassigned).
+    pub color: u32,
+}
+
+impl CellRec {
+    /// The total-order sort key `(elev, y, x)` packed into a `u64`.
+    pub fn sort_key(elev: u16, x: u16, y: u16) -> u64 {
+        ((elev as u64) << 32) | ((y as u64) << 16) | x as u64
+    }
+
+    /// The sort key of the neighbour at offset index `i`, if on-grid.
+    pub fn neighbor_key(&self, i: usize) -> Option<u64> {
+        if self.neighbors[i] == NO_NEIGHBOR {
+            return None;
+        }
+        let (dx, dy) = NEIGHBOR_OFFSETS[i];
+        let nx = (self.x as isize + dx) as u16;
+        let ny = (self.y as isize + dy) as u16;
+        Some(CellRec::sort_key(self.neighbors[i], nx, ny))
+    }
+
+    /// Index (into [`NEIGHBOR_OFFSETS`]) of the steepest strictly lower
+    /// neighbour under the total order, if any: the D8 flow direction.
+    /// "Lower" means smaller `(elev, y, x)` key; among those, the one
+    /// with the smallest elevation (ties by offset order) receives flow.
+    pub fn flow_direction(&self) -> Option<usize> {
+        let me = CellRec::sort_key(self.elev, self.x, self.y);
+        let mut best: Option<(u16, usize)> = None;
+        for i in 0..8 {
+            if let Some(nk) = self.neighbor_key(i) {
+                if nk < me {
+                    let e = self.neighbors[i];
+                    if best.map_or(true, |(be, _)| e < be) {
+                        best = Some((e, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+impl Record for CellRec {
+    const SIZE: usize = 28;
+    type Key = u64;
+
+    #[inline]
+    fn key(&self) -> u64 {
+        CellRec::sort_key(self.elev, self.x, self.y)
+    }
+
+    fn to_bytes(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.x.to_le_bytes());
+        out[2..4].copy_from_slice(&self.y.to_le_bytes());
+        out[4..6].copy_from_slice(&self.elev.to_le_bytes());
+        for (i, n) in self.neighbors.iter().enumerate() {
+            out[6 + 2 * i..8 + 2 * i].copy_from_slice(&n.to_le_bytes());
+        }
+        out[22..26].copy_from_slice(&self.color.to_le_bytes());
+        out[26..28].copy_from_slice(&[0, 0]);
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        let mut neighbors = [0u16; 8];
+        for (i, n) in neighbors.iter_mut().enumerate() {
+            *n = u16::from_le_bytes(b[6 + 2 * i..8 + 2 * i].try_into().expect("2 bytes"));
+        }
+        CellRec {
+            x: u16::from_le_bytes(b[0..2].try_into().expect("2 bytes")),
+            y: u16::from_le_bytes(b[2..4].try_into().expect("2 bytes")),
+            elev: u16::from_le_bytes(b[4..6].try_into().expect("2 bytes")),
+            neighbors,
+            color: u32::from_le_bytes(b[22..26].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Step 1: restructure a grid into cell records, row-major order.
+/// Elevations are quantized to 16 bits, capped at 65534 so the
+/// `NO_NEIGHBOR` sentinel stays unambiguous.
+pub fn restructure(grid: &Grid) -> Vec<CellRec> {
+    let q: Vec<u16> = grid
+        .quantized()
+        .into_iter()
+        .map(|e| e.min(u16::MAX - 1))
+        .collect();
+    let w = grid.width();
+    let h = grid.height();
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut neighbors = [NO_NEIGHBOR; 8];
+            for (i, &(dx, dy)) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let nx = x as isize + dx;
+                let ny = y as isize + dy;
+                if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                    neighbors[i] = q[ny as usize * w + nx as usize];
+                }
+            }
+            out.push(CellRec {
+                x: x as u16,
+                y: y as u16,
+                elev: q[y * w + x],
+                neighbors,
+                color: 0,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::cone_terrain;
+
+    #[test]
+    fn record_roundtrip() {
+        let c = CellRec {
+            x: 3,
+            y: 7,
+            elev: 1000,
+            neighbors: [1, 2, 3, 4, 5, 6, 7, NO_NEIGHBOR],
+            color: 42,
+        };
+        let mut buf = [0u8; 28];
+        c.to_bytes(&mut buf);
+        assert_eq!(CellRec::from_bytes(&buf), c);
+    }
+
+    #[test]
+    fn sort_key_orders_by_elev_then_position() {
+        let a = CellRec::sort_key(5, 9, 9);
+        let b = CellRec::sort_key(6, 0, 0);
+        assert!(a < b, "elevation dominates");
+        let c = CellRec::sort_key(5, 1, 0); // x=1, y=0
+        let d = CellRec::sort_key(5, 0, 1); // x=0, y=1
+        assert!(c < d, "y breaks elevation ties before x");
+    }
+
+    #[test]
+    fn restructure_captures_neighbors() {
+        let g = cone_terrain(5, 5);
+        let cells = restructure(&g);
+        assert_eq!(cells.len(), 25);
+        // Corner cell has exactly 3 on-grid neighbours.
+        let corner = &cells[0];
+        assert_eq!((corner.x, corner.y), (0, 0));
+        let on_grid = corner.neighbors.iter().filter(|&&n| n != NO_NEIGHBOR).count();
+        assert_eq!(on_grid, 3);
+        // Interior cell has 8.
+        let interior = &cells[2 * 5 + 2];
+        assert!(interior.neighbors.iter().all(|&n| n != NO_NEIGHBOR));
+    }
+
+    #[test]
+    fn cone_centre_is_global_minimum_with_no_flow_direction() {
+        let g = cone_terrain(9, 9);
+        let cells = restructure(&g);
+        let centre = cells.iter().find(|c| c.x == 4 && c.y == 4).unwrap();
+        assert_eq!(centre.flow_direction(), None, "minimum flows nowhere");
+        // A rim cell flows somewhere.
+        let rim = cells.iter().find(|c| c.x == 0 && c.y == 0).unwrap();
+        assert!(rim.flow_direction().is_some());
+    }
+
+    #[test]
+    fn neighbor_key_reconstructs_position() {
+        let g = cone_terrain(5, 5);
+        let cells = restructure(&g);
+        let c = cells.iter().find(|c| c.x == 2 && c.y == 2).unwrap();
+        // Neighbour 0 is (0, -1): position (2, 1).
+        let nk = c.neighbor_key(0).unwrap();
+        assert_eq!(nk & 0xFFFF, 2, "x");
+        assert_eq!((nk >> 16) & 0xFFFF, 1, "y");
+        // Off-grid neighbour of a corner yields None.
+        let corner = &cells[0];
+        assert!(corner.neighbor_key(0).is_none(), "N of (0,0) is off-grid");
+    }
+
+    #[test]
+    fn flow_direction_picks_steepest() {
+        let c = CellRec {
+            x: 1,
+            y: 1,
+            elev: 100,
+            neighbors: [90, 50, 95, NO_NEIGHBOR, 100, 101, 99, 98],
+            color: 0,
+        };
+        // Lowest lower neighbour is index 1 (elev 50).
+        assert_eq!(c.flow_direction(), Some(1));
+    }
+}

@@ -1,0 +1,32 @@
+//! # lmas-gis — GIS workloads on load-managed active storage
+//!
+//! The paper's Section 4 example applications, built on the LMAS
+//! programming model and emulator:
+//!
+//! - [`grid`], [`cell`]: raster terrains and the restructured cell
+//!   records of TerraFlow step 1;
+//! - [`pqueue`]: the external-memory priority queue behind time-forward
+//!   processing;
+//! - [`flow`]: watershed color propagation (step 3) with a sequential
+//!   oracle;
+//! - [`terraflow`]: the full three-step pipeline with per-step timing —
+//!   steps 1–2 scale with ASUs, step 3 does not (Section 4.1);
+//! - [`rtree`]: STR-bulk-loaded R-trees and the *partition* vs *stripe*
+//!   distributed organizations of Figure 5.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod flow;
+pub mod grid;
+pub mod pqueue;
+pub mod rtree;
+pub mod terraflow;
+
+pub use cell::{restructure, CellRec, NO_NEIGHBOR};
+pub use flow::{watershed_oracle, WatershedFunctor, WatershedLabeler};
+pub use grid::{cone_terrain, fractal_terrain, twin_valley_terrain, Grid};
+pub use pqueue::ExternalPq;
+pub use rtree::dist::{run_queries, DistRTree, Layout, QRec, QueryRun};
+pub use rtree::{linear_scan, random_points, PointRec, QueryResult, RTree, Rect};
+pub use terraflow::{matches_oracle, run_terraflow, RestructureFunctor, TerraFlowOutcome};

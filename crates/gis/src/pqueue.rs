@@ -1,0 +1,258 @@
+//! External-memory priority queue.
+//!
+//! TerraFlow's step 3 uses *time-forward processing* [Chiang et al.,
+//! SODA'95]: cells processed in elevation order send messages "forward"
+//! to cells processed later, buffered in an external priority queue.
+//! This is the classic sorted-run implementation: inserts accumulate in a
+//! bounded in-memory buffer; on overflow the buffer is sorted and spilled
+//! as a run; `pop_min` draws from the buffer and all run heads. Spilled
+//! bytes are counted so the emulator can charge I/O for them.
+
+/// A min-priority queue with bounded memory and sorted-run spills.
+#[derive(Debug)]
+pub struct ExternalPq<K: Ord + Copy, V: Clone> {
+    buffer: Vec<(K, V)>,
+    buffer_sorted: bool,
+    buffer_limit: usize,
+    runs: Vec<Run<K, V>>,
+    len: usize,
+    spilled_items: u64,
+}
+
+#[derive(Debug)]
+struct Run<K, V> {
+    items: Vec<(K, V)>, // ascending by key
+    cursor: usize,
+}
+
+impl<K: Ord + Copy, V: Clone> Run<K, V> {
+    fn head(&self) -> Option<&(K, V)> {
+        self.items.get(self.cursor)
+    }
+}
+
+impl<K: Ord + Copy, V: Clone> ExternalPq<K, V> {
+    /// A queue spilling once more than `buffer_limit` items are buffered.
+    pub fn new(buffer_limit: usize) -> Self {
+        assert!(buffer_limit > 0, "buffer must hold at least one item");
+        ExternalPq {
+            buffer: Vec::new(),
+            buffer_sorted: true,
+            buffer_limit,
+            runs: Vec::new(),
+            len: 0,
+            spilled_items: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items spilled to runs over the queue's lifetime (I/O accounting).
+    pub fn spilled_items(&self) -> u64 {
+        self.spilled_items
+    }
+
+    /// Live in-memory footprint in items (buffer only; runs are
+    /// conceptually external).
+    pub fn in_memory_items(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Insert an item.
+    pub fn push(&mut self, key: K, value: V) {
+        self.buffer.push((key, value));
+        self.buffer_sorted = false;
+        self.len += 1;
+        if self.buffer.len() > self.buffer_limit {
+            self.spill();
+        }
+    }
+
+    fn spill(&mut self) {
+        let mut items = std::mem::take(&mut self.buffer);
+        items.sort_by_key(|&(k, _)| k);
+        self.spilled_items += items.len() as u64;
+        self.runs.push(Run { items, cursor: 0 });
+        self.buffer_sorted = true;
+        // Keep the run count bounded: merge all runs once there are more
+        // than a handful (a miniature multiway merge pass).
+        if self.runs.len() > 8 {
+            self.merge_runs();
+        }
+    }
+
+    fn merge_runs(&mut self) {
+        let runs = std::mem::take(&mut self.runs);
+        let mut merged: Vec<(K, V)> = Vec::with_capacity(
+            runs.iter().map(|r| r.items.len() - r.cursor).sum(),
+        );
+        for r in runs {
+            merged.extend(r.items.into_iter().skip(r.cursor));
+        }
+        merged.sort_by_key(|&(k, _)| k);
+        self.runs.push(Run { items: merged, cursor: 0 });
+    }
+
+    fn ensure_buffer_sorted(&mut self) {
+        if !self.buffer_sorted {
+            // Descending, so the minimum is at the tail (O(1) pop).
+            self.buffer.sort_by(|a, b| b.0.cmp(&a.0));
+            self.buffer_sorted = true;
+        }
+    }
+
+    /// The minimum key currently queued.
+    pub fn peek_min_key(&mut self) -> Option<K> {
+        self.ensure_buffer_sorted();
+        let buf_min = self.buffer.last().map(|&(k, _)| k);
+        let run_min = self
+            .runs
+            .iter()
+            .filter_map(|r| r.head().map(|&(k, _)| k))
+            .min();
+        match (buf_min, run_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Remove and return the minimum item.
+    pub fn pop_min(&mut self) -> Option<(K, V)> {
+        self.ensure_buffer_sorted();
+        let buf_min = self.buffer.last().map(|&(k, _)| k);
+        let run_idx = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.head().map(|&(k, _)| (k, i)))
+            .min_by_key(|&(k, i)| (k, i))
+            .map(|(_, i)| i);
+        let take_buffer = match (buf_min, run_idx) {
+            (Some(b), Some(i)) => b <= self.runs[i].head().expect("head").0,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if take_buffer {
+            self.buffer.pop()
+        } else {
+            let i = run_idx.expect("run index");
+            let r = &mut self.runs[i];
+            let item = r.items[r.cursor].clone();
+            r.cursor += 1;
+            Some(item)
+        }
+    }
+
+    /// Pop every item whose key equals `key` (in insertion-independent
+    /// order). Used to collect all messages addressed to one cell.
+    pub fn pop_all_eq(&mut self, key: K) -> Vec<V> {
+        let mut out = Vec::new();
+        while self.peek_min_key() == Some(key) {
+            out.push(self.pop_min().expect("peeked").1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order_across_spills() {
+        let mut pq = ExternalPq::new(4);
+        let keys = [9u32, 3, 7, 1, 8, 2, 6, 0, 5, 4];
+        for &k in &keys {
+            pq.push(k, k * 10);
+        }
+        assert_eq!(pq.len(), 10);
+        assert!(pq.spilled_items() > 0, "small buffer must spill");
+        let mut got = Vec::new();
+        while let Some((k, v)) = pq.pop_min() {
+            assert_eq!(v, k * 10);
+            got.push(k);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u32>>());
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut pq = ExternalPq::new(2);
+        pq.push(5u32, ());
+        pq.push(1, ());
+        assert_eq!(pq.pop_min().unwrap().0, 1);
+        pq.push(3, ());
+        pq.push(0, ());
+        assert_eq!(pq.pop_min().unwrap().0, 0);
+        assert_eq!(pq.pop_min().unwrap().0, 3);
+        assert_eq!(pq.pop_min().unwrap().0, 5);
+        assert!(pq.pop_min().is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_all_pop() {
+        let mut pq = ExternalPq::new(3);
+        for i in 0..7u32 {
+            pq.push(42u32, i);
+        }
+        pq.push(7, 99);
+        let below = pq.pop_min().unwrap();
+        assert_eq!(below.0, 7);
+        let all = pq.pop_all_eq(42);
+        assert_eq!(all.len(), 7);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<u32>>());
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn pop_all_eq_on_absent_key_is_empty() {
+        let mut pq: ExternalPq<u32, ()> = ExternalPq::new(4);
+        pq.push(5, ());
+        assert!(pq.pop_all_eq(3).is_empty());
+        assert_eq!(pq.len(), 1);
+    }
+
+    #[test]
+    fn many_spills_merge_runs() {
+        let mut pq = ExternalPq::new(1);
+        for k in (0..100u32).rev() {
+            pq.push(k, ());
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| pq.pop_min().map(|(k, _)| k)).collect();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn matches_binary_heap_on_random_ops() {
+        use lmas_sim::DetRng;
+        use std::collections::BinaryHeap;
+        let mut rng = DetRng::new(77);
+        let mut pq = ExternalPq::new(8);
+        let mut oracle: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+        for _ in 0..2_000 {
+            if rng.gen_f64() < 0.6 || oracle.is_empty() {
+                let k = rng.gen_range(1000);
+                pq.push(k, ());
+                oracle.push(std::cmp::Reverse(k));
+            } else {
+                let got = pq.pop_min().map(|(k, _)| k);
+                let want = oracle.pop().map(|r| r.0);
+                assert_eq!(got, want);
+            }
+            assert_eq!(pq.len(), oracle.len());
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Distributed R-trees over ASUs: the two organizations of Figure 5.
+//!
+//! "For an R-tree with multiple ASUs, the upper portion of the original
+//! tree is unchanged and placed on one host … The lower part of the tree
+//! is replaced with subtrees on the disk nodes."
+//!
+//! - [`Layout::Partition`]: "build a tree over all the data at each ASU,
+//!   and treat each as a leaf of the host tree" — a query visits only
+//!   the ASUs whose partition it intersects, so concurrent queries
+//!   spread across ASUs (throughput).
+//! - [`Layout::Stripe`]: "stripe a host leaf across all of the ASUs …
+//!   every query executes in parallel on all of the ASUs, which is
+//!   useful to bound search latency."
+//!
+//! The query workload runs on the emulator as a dataflow: a host-side
+//! dispatch functor routes query records to ASU-resident search functors
+//! (each holding its subtree), whose per-query result records return to a
+//! host collector.
+
+use crate::rtree::{PointRec, RTree, Rect};
+use lmas_core::functor::lib::RelayFunctor;
+use lmas_core::functor::{Emit, Functor, FunctorKind};
+use lmas_core::{
+    packetize, EdgeKind, FlowGraph, NodeId, Packet, Placement, Record, RoutingPolicy, Work,
+};
+use lmas_emulator::{run_job, ClusterConfig, EmulationReport, Job, JobError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the lower tree levels map onto ASUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Spatial partition: subtree per ASU, queries visit intersecting
+    /// partitions only.
+    Partition,
+    /// Round-robin stripe: every query visits every ASU.
+    Stripe,
+    /// The paper's hybrid: spatial partitions, each subtree *replicated*
+    /// on `copies` ASUs; a query picks the least-loaded replica, so hot
+    /// regions spread across replicas ("Hybrid solutions using a subset
+    /// of the ASUs or replicating subtrees on multiple ASUs are also
+    /// possible").
+    Replicated {
+        /// Replicas per partition; must divide the ASU count.
+        copies: usize,
+    },
+}
+
+/// A query/result record (24 bytes): a rectangle on the way out, a match
+/// count on the way back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QRec {
+    /// Query id.
+    pub qid: u32,
+    /// Query rectangle.
+    pub rect: [f32; 4],
+    /// Matches found (filled by the search functor).
+    pub count: u32,
+}
+
+impl QRec {
+    /// A fresh query.
+    pub fn query(qid: u32, r: Rect) -> QRec {
+        QRec {
+            qid,
+            rect: [r.x0, r.y0, r.x1, r.y1],
+            count: 0,
+        }
+    }
+
+    /// The rectangle.
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.rect[0], self.rect[1], self.rect[2], self.rect[3])
+    }
+}
+
+impl Record for QRec {
+    const SIZE: usize = 24;
+    type Key = u32;
+
+    fn key(&self) -> u32 {
+        self.qid
+    }
+
+    fn to_bytes(&self, out: &mut [u8]) {
+        out[0..4].copy_from_slice(&self.qid.to_le_bytes());
+        for (i, v) in self.rect.iter().enumerate() {
+            out[4 + 4 * i..8 + 4 * i].copy_from_slice(&v.to_le_bytes());
+        }
+        out[20..24].copy_from_slice(&self.count.to_le_bytes());
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        let mut rect = [0f32; 4];
+        for (i, v) in rect.iter_mut().enumerate() {
+            *v = f32::from_le_bytes(b[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes"));
+        }
+        QRec {
+            qid: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
+            rect,
+            count: u32::from_le_bytes(b[20..24].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// A distributed R-tree: one subtree per ASU plus the host-side routing
+/// metadata (partition MBRs).
+pub struct DistRTree {
+    /// The layout in force.
+    pub layout: Layout,
+    /// Subtree per ASU.
+    pub trees: Vec<Arc<RTree>>,
+    /// Partition MBRs (the host tree's bottom level).
+    pub mbrs: Vec<Rect>,
+    total_points: usize,
+}
+
+impl DistRTree {
+    /// Distribute `points` over `d` ASUs under `layout` with the given
+    /// leaf fanout.
+    pub fn build(mut points: Vec<PointRec>, d: usize, fanout: usize, layout: Layout) -> DistRTree {
+        assert!(d > 0, "need at least one ASU");
+        let total_points = points.len();
+        let slabs = |points: &mut Vec<PointRec>, k: usize| -> Vec<Vec<PointRec>> {
+            // Spatial slabs by x (the top of an STR split).
+            points.sort_by(|a, b| a.x.total_cmp(&b.x));
+            let n = points.len();
+            (0..k)
+                .map(|i| points[i * n / k..(i + 1) * n / k].to_vec())
+                .collect()
+        };
+        let (trees, mbrs): (Vec<Arc<RTree>>, Vec<Rect>) = match layout {
+            Layout::Partition => {
+                let trees: Vec<Arc<RTree>> = slabs(&mut points, d)
+                    .into_iter()
+                    .map(|c| Arc::new(RTree::bulk_load(c, fanout)))
+                    .collect();
+                let mbrs = trees.iter().map(|t| t.mbr().unwrap_or(Rect::EMPTY)).collect();
+                (trees, mbrs)
+            }
+            Layout::Stripe => {
+                let mut out: Vec<Vec<PointRec>> = (0..d).map(|_| Vec::new()).collect();
+                for (i, p) in points.into_iter().enumerate() {
+                    out[i % d].push(p);
+                }
+                let trees: Vec<Arc<RTree>> = out
+                    .into_iter()
+                    .map(|c| Arc::new(RTree::bulk_load(c, fanout)))
+                    .collect();
+                let mbrs = trees.iter().map(|t| t.mbr().unwrap_or(Rect::EMPTY)).collect();
+                (trees, mbrs)
+            }
+            Layout::Replicated { copies } => {
+                assert!(copies >= 1 && d % copies == 0, "copies must divide the ASU count");
+                let parts = d / copies;
+                let part_trees: Vec<Arc<RTree>> = slabs(&mut points, parts)
+                    .into_iter()
+                    .map(|c| Arc::new(RTree::bulk_load(c, fanout)))
+                    .collect();
+                // ASU j holds a replica of partition j / copies.
+                let trees = (0..d).map(|j| part_trees[j / copies].clone()).collect();
+                // One routing MBR per partition (dispatch port group).
+                let mbrs = part_trees
+                    .iter()
+                    .map(|t| t.mbr().unwrap_or(Rect::EMPTY))
+                    .collect();
+                (trees, mbrs)
+            }
+        };
+        DistRTree {
+            layout,
+            trees,
+            mbrs,
+            total_points,
+        }
+    }
+
+    /// Total indexed points.
+    pub fn len(&self) -> usize {
+        self.total_points
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.total_points == 0
+    }
+
+    /// Which ASUs *could* serve a query under this layout (for
+    /// replicated layouts, all replicas of each intersecting partition).
+    pub fn targets(&self, rect: &Rect) -> Vec<usize> {
+        match self.layout {
+            Layout::Stripe => (0..self.trees.len()).collect(),
+            Layout::Partition => self
+                .mbrs
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.intersects(rect))
+                .map(|(i, _)| i)
+                .collect(),
+            Layout::Replicated { copies } => self
+                .mbrs
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.intersects(rect))
+                .flat_map(|(p, _)| p * copies..(p + 1) * copies)
+                .collect(),
+        }
+    }
+}
+
+/// Host-side dispatch: routes each query to the ASUs its layout demands
+/// (one output port per ASU).
+struct DispatchFunctor {
+    mbrs: Vec<Rect>,
+    stripe: bool,
+}
+
+impl Functor<QRec> for DispatchFunctor {
+    fn name(&self) -> String {
+        format!("dispatch({})", if self.stripe { "stripe" } else { "partition" })
+    }
+    fn out_ports(&self) -> usize {
+        self.mbrs.len()
+    }
+    fn kind(&self) -> FunctorKind {
+        FunctorKind::AsuEligible { max_state_bytes: 4096 }
+    }
+    fn process(&mut self, input: Packet<QRec>, out: &mut Emit<QRec>) {
+        let d = self.mbrs.len();
+        let mut per_port: Vec<Vec<QRec>> = (0..d).map(|_| Vec::new()).collect();
+        for q in input.into_records() {
+            for p in 0..d {
+                if self.stripe || self.mbrs[p].intersects(&q.rect()) {
+                    per_port[p].push(q);
+                }
+            }
+        }
+        for (p, qs) in per_port.into_iter().enumerate() {
+            out.push(p, Packet::new(qs));
+        }
+    }
+    fn flush(&mut self, _out: &mut Emit<QRec>) {}
+    fn cost(&self, input: &Packet<QRec>) -> Work {
+        // MBR tests against each partition, plus handling.
+        let n = input.len() as u64;
+        Work::compares(n * self.mbrs.len() as u64) + Work::moves(n)
+    }
+}
+
+/// ASU-resident search: runs each query against the local subtree and
+/// emits a count record.
+struct SearchFunctor {
+    tree: Arc<RTree>,
+}
+
+impl Functor<QRec> for SearchFunctor {
+    fn name(&self) -> String {
+        "rtree-search".into()
+    }
+    fn kind(&self) -> FunctorKind {
+        // Prevalidated index-search kernel resident on the ASU.
+        FunctorKind::VerifiedKernel { max_state_bytes: usize::MAX }
+    }
+    fn process(&mut self, input: Packet<QRec>, out: &mut Emit<QRec>) {
+        let results: Packet<QRec> = input
+            .into_records()
+            .into_iter()
+            .map(|mut q| {
+                q.count = self.tree.query(&q.rect()).ids.len() as u32;
+                q
+            })
+            .collect();
+        out.push0(results);
+    }
+    fn flush(&mut self, _out: &mut Emit<QRec>) {}
+    fn cost(&self, input: &Packet<QRec>) -> Work {
+        let mut w = Work::ZERO;
+        for q in input.records() {
+            let (nodes, scanned) = self.tree.query_cost(&q.rect());
+            w += Work::compares(nodes * self.tree.fanout() as u64 + scanned)
+                + Work::moves(1)
+                + Work::bytes(scanned * PointRec::SIZE as u64);
+        }
+        w
+    }
+}
+
+/// Outcome of a query batch on the emulator.
+pub struct QueryRun {
+    /// Emulation report (timing, utilization).
+    pub report: EmulationReport<QRec>,
+    /// Total matches per query id.
+    pub counts: BTreeMap<u32, u64>,
+}
+
+/// Execute `queries` against a distributed R-tree on the emulated
+/// cluster. Queries are injected at host 0, searched on the ASUs, and
+/// collected at host 0.
+pub fn run_queries(
+    cluster: &ClusterConfig,
+    index: &DistRTree,
+    queries: &[Rect],
+    queries_per_packet: usize,
+) -> Result<QueryRun, JobError> {
+    assert_eq!(
+        index.trees.len(),
+        cluster.asus,
+        "index was built for a different ASU count"
+    );
+    let d = cluster.asus;
+    let mut g: FlowGraph<QRec> = FlowGraph::new();
+    let mbrs = index.mbrs.clone();
+    let stripe = index.layout == Layout::Stripe;
+    let dispatch = g.add_source_stage(1, move |_| {
+        Box::new(DispatchFunctor { mbrs: mbrs.clone(), stripe }) as Box<dyn Functor<QRec>>
+    });
+    let trees = index.trees.clone();
+    let search = g.add_stage(d, move |i| {
+        Box::new(SearchFunctor { tree: trees[i].clone() }) as Box<dyn Functor<QRec>>
+    });
+    let collect = g.add_stage(1, |_| {
+        Box::new(RelayFunctor::new("collect-results")) as Box<dyn Functor<QRec>>
+    });
+    match index.layout {
+        // Port p → ASU p (static).
+        Layout::Partition | Layout::Stripe => {
+            g.connect(dispatch, search, RoutingPolicy::Static, EdgeKind::Set)?;
+        }
+        // Port p → the least-loaded replica within partition p's group:
+        // the system load-balances across replicas (Section 3.3).
+        Layout::Replicated { copies } => {
+            g.connect_scoped(
+                dispatch,
+                search,
+                RoutingPolicy::LoadAware,
+                EdgeKind::Set,
+                lmas_core::RouteScope::PortGroups { group_size: copies },
+            )?;
+        }
+    }
+    g.connect(search, collect, RoutingPolicy::Static, EdgeKind::Set)?;
+    let mut placement = Placement::new();
+    placement.assign(dispatch, 0, NodeId::Host(0));
+    placement.spread_over_asus(search, d, d);
+    placement.assign(collect, 0, NodeId::Host(0));
+
+    let qrecs: Vec<QRec> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, r)| QRec::query(i as u32, *r))
+        .collect();
+    let mut inputs = BTreeMap::new();
+    inputs.insert((dispatch.0, 0usize), packetize(qrecs, queries_per_packet));
+
+    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let mut counts = BTreeMap::new();
+    for q in report.sink_records() {
+        *counts.entry(q.qid).or_insert(0u64) += q.count as u64;
+    }
+    Ok(QueryRun { report, counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtree::{linear_scan, random_points};
+
+    fn queries() -> Vec<Rect> {
+        vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.1, 0.1, 0.3, 0.3),
+            Rect::new(0.45, 0.0, 0.55, 1.0), // spans partitions
+            Rect::new(0.9, 0.9, 0.95, 0.95),
+            Rect::new(-1.0, -1.0, -0.5, -0.5), // empty
+        ]
+    }
+
+    #[test]
+    fn both_layouts_count_correctly() {
+        let cluster = ClusterConfig::era_2002(1, 4, 8.0);
+        let points = random_points(3_000, 7);
+        for layout in [Layout::Partition, Layout::Stripe] {
+            let index = DistRTree::build(points.clone(), 4, 16, layout);
+            let run = run_queries(&cluster, &index, &queries(), 4).unwrap();
+            for (i, rect) in queries().iter().enumerate() {
+                let want = linear_scan(&points, rect).len() as u64;
+                let got = run.counts.get(&(i as u32)).copied().unwrap_or(0);
+                assert_eq!(got, want, "{layout:?} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_targets_subset_stripe_targets_all() {
+        let points = random_points(1_000, 3);
+        let part = DistRTree::build(points.clone(), 8, 16, Layout::Partition);
+        let stripe = DistRTree::build(points, 8, 16, Layout::Stripe);
+        // A narrow slab query touches few partitions…
+        let narrow = Rect::new(0.01, 0.0, 0.05, 1.0);
+        assert!(part.targets(&narrow).len() <= 2, "{:?}", part.targets(&narrow));
+        // …but every stripe.
+        assert_eq!(stripe.targets(&narrow).len(), 8);
+    }
+
+    #[test]
+    fn partition_spreads_points_spatially() {
+        let points = random_points(1_000, 5);
+        let part = DistRTree::build(points, 4, 16, Layout::Partition);
+        // Slab MBRs are (nearly) disjoint in x: each ends before the
+        // next one's upper edge.
+        for w in part.mbrs.windows(2) {
+            assert!(w[0].x0 <= w[1].x0);
+        }
+        assert_eq!(part.len(), 1_000);
+    }
+
+    #[test]
+    fn query_record_roundtrip() {
+        let q = QRec { qid: 9, rect: [0.1, 0.2, 0.3, 0.4], count: 17 };
+        let mut buf = [0u8; 24];
+        q.to_bytes(&mut buf);
+        assert_eq!(QRec::from_bytes(&buf), q);
+    }
+
+    #[test]
+    fn stripe_single_query_is_faster_than_partition() {
+        // One big query: stripe parallelizes the leaf scans over all
+        // ASUs; partition concentrates them on the intersecting slabs.
+        let cluster = ClusterConfig::era_2002(1, 8, 8.0);
+        let points = random_points(40_000, 11);
+        let q = vec![Rect::new(0.4, 0.0, 0.6, 1.0)]; // 20% slab
+        let part = DistRTree::build(points.clone(), 8, 16, Layout::Partition);
+        let stripe = DistRTree::build(points, 8, 16, Layout::Stripe);
+        let tp = run_queries(&cluster, &part, &q, 1).unwrap();
+        let ts = run_queries(&cluster, &stripe, &q, 1).unwrap();
+        assert!(
+            ts.report.makespan < tp.report.makespan,
+            "stripe {} should beat partition {} on one query",
+            ts.report.makespan,
+            tp.report.makespan
+        );
+    }
+}
+
+#[cfg(test)]
+mod replicated_tests {
+    use super::*;
+    use crate::rtree::{linear_scan, random_points};
+
+    #[test]
+    fn replicated_layout_counts_correctly() {
+        let cluster = ClusterConfig::era_2002(1, 8, 8.0);
+        let points = random_points(4_000, 13);
+        let index = DistRTree::build(points.clone(), 8, 16, Layout::Replicated { copies: 2 });
+        let queries = vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.3, 0.3, 0.6, 0.6),
+            Rect::new(0.95, 0.95, 1.0, 1.0),
+        ];
+        let run = run_queries(&cluster, &index, &queries, 2).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                run.counts.get(&(i as u32)).copied().unwrap_or(0),
+                linear_scan(&points, q).len() as u64,
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_targets_cover_all_replicas() {
+        let points = random_points(1_000, 3);
+        let index = DistRTree::build(points, 8, 16, Layout::Replicated { copies: 4 });
+        assert_eq!(index.mbrs.len(), 2, "two partitions");
+        let everywhere = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(index.targets(&everywhere).len(), 8);
+    }
+
+    #[test]
+    fn replication_spreads_a_hot_region_across_replicas() {
+        // All queries hammer one spatial region: a plain partition layout
+        // serializes them on one ASU; replication load-balances replicas.
+        let d = 8;
+        let cluster = ClusterConfig::era_2002(1, d, 8.0);
+        let points = random_points(40_000, 21);
+        let hot: Vec<Rect> = (0..48)
+            .map(|i| {
+                let off = (i % 8) as f32 * 0.004;
+                Rect::new(0.05 + off, 0.1, 0.09 + off, 0.9)
+            })
+            .collect();
+        let part = DistRTree::build(points.clone(), d, 16, Layout::Partition);
+        let repl = DistRTree::build(points, d, 16, Layout::Replicated { copies: 4 });
+        let tp = run_queries(&cluster, &part, &hot, 1).unwrap().report.makespan;
+        let tr = run_queries(&cluster, &repl, &hot, 1).unwrap().report.makespan;
+        assert!(
+            tr.as_secs_f64() < tp.as_secs_f64() * 0.8,
+            "replicas should absorb the hot region: partition {tp}, replicated {tr}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn replication_must_divide_asu_count() {
+        DistRTree::build(random_points(100, 1), 8, 16, Layout::Replicated { copies: 3 });
+    }
+}

@@ -1,0 +1,405 @@
+//! R-trees: multi-dimensional spatial indexes (Section 4.2).
+//!
+//! "An R-tree is a general structure used to build multi-dimensional
+//! indexes by splitting a space into a hierarchy of nested and possibly
+//! overlapping regions." This module implements an STR (sort-tile-
+//! recursive) bulk-loaded R-tree over 2-D points, with node-visit
+//! accounting so the emulator can charge search cost; [`dist`] builds
+//! the paper's two distributed organizations (Figure 5).
+
+pub mod dist;
+
+use lmas_core::Record;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f32,
+    /// Bottom edge.
+    pub y0: f32,
+    /// Right edge.
+    pub x1: f32,
+    /// Top edge.
+    pub y1: f32,
+}
+
+impl Rect {
+    /// The empty rectangle (inverted bounds; unions fix it up).
+    pub const EMPTY: Rect = Rect {
+        x0: f32::INFINITY,
+        y0: f32::INFINITY,
+        x1: f32::NEG_INFINITY,
+        y1: f32::NEG_INFINITY,
+    };
+
+    /// A rectangle from corner coordinates (normalizing order).
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Rect {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Whether the point `(x, y)` lies inside (inclusive).
+    pub fn contains(&self, x: f32, y: f32) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Whether two rectangles overlap (inclusive).
+    pub fn intersects(&self, o: &Rect) -> bool {
+        self.x0 <= o.x1 && o.x0 <= self.x1 && self.y0 <= o.y1 && o.y0 <= self.y1
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, o: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(o.x0),
+            y0: self.y0.min(o.y0),
+            x1: self.x1.max(o.x1),
+            y1: self.y1.max(o.y1),
+        }
+    }
+
+    /// Grow to include a point.
+    pub fn expand(&mut self, x: f32, y: f32) {
+        self.x0 = self.x0.min(x);
+        self.y0 = self.y0.min(y);
+        self.x1 = self.x1.max(x);
+        self.y1 = self.y1.max(y);
+    }
+}
+
+/// An indexed point (fixed-size record: 16 bytes, id is the key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointRec {
+    /// Unique id.
+    pub id: u64,
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Record for PointRec {
+    const SIZE: usize = 16;
+    type Key = u64;
+
+    fn key(&self) -> u64 {
+        self.id
+    }
+
+    fn to_bytes(&self, out: &mut [u8]) {
+        out[0..8].copy_from_slice(&self.id.to_le_bytes());
+        out[8..12].copy_from_slice(&self.x.to_le_bytes());
+        out[12..16].copy_from_slice(&self.y.to_le_bytes());
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        PointRec {
+            id: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            x: f32::from_le_bytes(b[8..12].try_into().expect("4 bytes")),
+            y: f32::from_le_bytes(b[12..16].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mbr: Rect,
+        points: Vec<PointRec>,
+    },
+    Inner {
+        mbr: Rect,
+        children: Vec<usize>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => *mbr,
+        }
+    }
+}
+
+/// An STR bulk-loaded R-tree over points.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    fanout: usize,
+    len: usize,
+}
+
+/// Result of a range query: matches plus traversal accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Ids of matching points.
+    pub ids: Vec<u64>,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Leaf points scanned.
+    pub points_scanned: u64,
+}
+
+impl RTree {
+    /// Bulk load with sort-tile-recursive packing at the given fanout.
+    pub fn bulk_load(mut points: Vec<PointRec>, fanout: usize) -> RTree {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let len = points.len();
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: None,
+            fanout,
+            len,
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        // STR: sort by x, cut into vertical slabs of √(n/B) leaves' worth,
+        // sort each slab by y, pack leaves.
+        let b = fanout;
+        let nleaves = len.div_ceil(b);
+        let slabs = (nleaves as f64).sqrt().ceil() as usize;
+        let per_slab = len.div_ceil(slabs);
+        points.sort_by(|a, b| a.x.total_cmp(&b.x));
+        let mut leaf_ids = Vec::with_capacity(nleaves);
+        for slab in points.chunks_mut(per_slab.max(1)) {
+            slab.sort_by(|a, b| a.y.total_cmp(&b.y));
+            for chunk in slab.chunks(b) {
+                let mut mbr = Rect::EMPTY;
+                for p in chunk {
+                    mbr.expand(p.x, p.y);
+                }
+                leaf_ids.push(tree.push(Node::Leaf {
+                    mbr,
+                    points: chunk.to_vec(),
+                }));
+            }
+        }
+        // Pack upward.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(b));
+            for chunk in level.chunks(b) {
+                let mut mbr = Rect::EMPTY;
+                for &c in chunk {
+                    mbr = mbr.union(&tree.nodes[c].mbr());
+                }
+                next.push(tree.push(Node::Inner {
+                    mbr,
+                    children: chunk.to_vec(),
+                }));
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    fn push(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of everything, if non-empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        self.root.map(|r| self.nodes[r].mbr())
+    }
+
+    /// Tree height (leaf = 1), 0 when empty.
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            h += 1;
+            cur = match &self.nodes[i] {
+                Node::Inner { children, .. } => children.first().copied(),
+                Node::Leaf { .. } => None,
+            };
+        }
+        h
+    }
+
+    /// Range query: all points inside `rect`, with traversal accounting.
+    pub fn query(&self, rect: &Rect) -> QueryResult {
+        let mut result = QueryResult {
+            ids: Vec::new(),
+            nodes_visited: 0,
+            points_scanned: 0,
+        };
+        let Some(root) = self.root else {
+            return result;
+        };
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            result.nodes_visited += 1;
+            match &self.nodes[i] {
+                Node::Leaf { points, .. } => {
+                    for p in points {
+                        result.points_scanned += 1;
+                        if rect.contains(p.x, p.y) {
+                            result.ids.push(p.id);
+                        }
+                    }
+                }
+                Node::Inner { children, .. } => {
+                    for &c in children {
+                        if self.nodes[c].mbr().intersects(rect) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Traversal cost of a query without materializing matches (for
+    /// declared functor cost bounds).
+    pub fn query_cost(&self, rect: &Rect) -> (u64, u64) {
+        let r = self.query(rect);
+        (r.nodes_visited, r.points_scanned)
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+}
+
+/// Brute-force oracle for tests.
+pub fn linear_scan(points: &[PointRec], rect: &Rect) -> Vec<u64> {
+    points
+        .iter()
+        .filter(|p| rect.contains(p.x, p.y))
+        .map(|p| p.id)
+        .collect()
+}
+
+/// Uniformly random points in the unit square.
+pub fn random_points(n: usize, seed: u64) -> Vec<PointRec> {
+    let mut rng = lmas_sim::DetRng::stream(seed, 0x907);
+    (0..n)
+        .map(|i| PointRec {
+            id: i as u64,
+            x: rng.gen_f64() as f32,
+            y: rng.gen_f64() as f32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(1.0, 1.0, 0.0, 0.0); // normalized
+        assert!(r.contains(0.5, 0.5));
+        assert!(r.contains(0.0, 1.0), "inclusive edges");
+        assert!(!r.contains(1.1, 0.5));
+        let o = Rect::new(0.9, 0.9, 2.0, 2.0);
+        assert!(r.intersects(&o));
+        assert!(!r.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+        let u = r.union(&o);
+        assert_eq!((u.x0, u.y0, u.x1, u.y1), (0.0, 0.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn point_record_roundtrip() {
+        let p = PointRec { id: 7, x: 0.25, y: 0.75 };
+        let mut buf = [0u8; 16];
+        p.to_bytes(&mut buf);
+        assert_eq!(PointRec::from_bytes(&buf), p);
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let pts = random_points(2_000, 3);
+        let tree = RTree::bulk_load(pts.clone(), 16);
+        assert_eq!(tree.len(), 2_000);
+        for (i, rect) in [
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.2, 0.2, 0.4, 0.9),
+            Rect::new(0.5, 0.5, 0.5001, 0.5001),
+            Rect::new(-1.0, -1.0, -0.5, -0.5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let got = sorted(tree.query(rect).ids);
+            let want = sorted(linear_scan(&pts, rect));
+            assert_eq!(got, want, "query {i}");
+        }
+    }
+
+    #[test]
+    fn full_query_returns_everything() {
+        let pts = random_points(500, 1);
+        let tree = RTree::bulk_load(pts, 8);
+        let all = tree.query(&Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(all.ids.len(), 500);
+        assert!(all.nodes_visited > 1);
+    }
+
+    #[test]
+    fn small_query_prunes_subtrees() {
+        let pts = random_points(10_000, 5);
+        let tree = RTree::bulk_load(pts, 16);
+        let tiny = tree.query(&Rect::new(0.1, 0.1, 0.12, 0.12));
+        assert!(
+            tiny.points_scanned < 2_000,
+            "pruning should avoid most leaves: scanned {}",
+            tiny.points_scanned
+        );
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::bulk_load(vec![], 8);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.mbr().is_none());
+        assert!(tree.query(&Rect::new(0.0, 0.0, 1.0, 1.0)).ids.is_empty());
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let small = RTree::bulk_load(random_points(16, 1), 16);
+        let big = RTree::bulk_load(random_points(10_000, 1), 16);
+        assert_eq!(small.height(), 1);
+        assert!(big.height() >= 3);
+        assert!(big.height() <= 5);
+    }
+
+    #[test]
+    fn mbr_covers_all_points() {
+        let pts = random_points(300, 9);
+        let tree = RTree::bulk_load(pts.clone(), 8);
+        let mbr = tree.mbr().unwrap();
+        for p in &pts {
+            assert!(mbr.contains(p.x, p.y));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The TerraFlow watershed pipeline on the emulated cluster.
+//!
+//! Section 4.1's three steps, each timed separately so the asymmetric-
+//! parallelism story is visible:
+//!
+//! 1. **Restructure** (data-parallel, ASU-resident): each ASU converts
+//!    its block of grid rows into neighbour-annotated [`CellRec`]s —
+//!    "easily distributed … because it has minimal data dependencies".
+//! 2. **Sort by elevation**: DSM-Sort over the cell records (Section
+//!    4.3), ASUs + hosts.
+//! 3. **Color propagation** (order-dependent, host-only): time-forward
+//!    processing through one [`WatershedFunctor`] — "difficult to
+//!    parallelize because it … relies on ordering for correctness".
+//!
+//! Steps 1–2 scale with the number of ASUs; step 3 does not. That is the
+//! paper's claim, and the per-step report makes it measurable.
+//!
+//! *Modeling note*: step 3 streams the sorted cells through a single
+//! relay on ASU 0 so the stream edge preserves global order; in a full
+//! system the D ASUs would merge-stream to the host, but step 3's time is
+//! host-CPU-bound either way.
+
+use crate::cell::CellRec;
+use crate::flow::{watershed_oracle, WatershedFunctor};
+use crate::grid::Grid;
+use lmas_core::functor::lib::RelayFunctor;
+use lmas_core::functor::{Emit, Functor, FunctorKind};
+use lmas_core::{
+    packetize, EdgeKind, FlowGraph, NodeId, Packet, Placement, Record, RoutingPolicy, Work,
+};
+use lmas_emulator::{run_job, ClusterConfig, EmulationReport, Job};
+use lmas_sim::SimDuration;
+use lmas_sort::{run_dsm_sort, DsmConfig, DsmError, LoadMode};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Quantized grid shared by restructure functor instances.
+#[derive(Debug)]
+pub struct QuantGrid {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Row-major quantized elevations.
+    pub q: Vec<u16>,
+}
+
+impl QuantGrid {
+    /// Quantize a grid (elevations capped at 65534, like `restructure`).
+    pub fn from_grid(g: &Grid) -> QuantGrid {
+        QuantGrid {
+            width: g.width(),
+            height: g.height(),
+            q: g.quantized().into_iter().map(|e| e.min(u16::MAX - 1)).collect(),
+        }
+    }
+}
+
+/// Step-1 functor: fills a cell's neighbour elevations from the grid.
+/// Bounded per-record work and constant state: ASU-eligible.
+pub struct RestructureFunctor {
+    grid: Arc<QuantGrid>,
+}
+
+impl RestructureFunctor {
+    /// A restructure functor over the shared quantized grid.
+    pub fn new(grid: Arc<QuantGrid>) -> Self {
+        RestructureFunctor { grid }
+    }
+}
+
+impl Functor<CellRec> for RestructureFunctor {
+    fn name(&self) -> String {
+        "restructure".into()
+    }
+    fn kind(&self) -> FunctorKind {
+        FunctorKind::AsuEligible { max_state_bytes: 64 }
+    }
+    fn process(&mut self, input: Packet<CellRec>, out: &mut Emit<CellRec>) {
+        let g = &self.grid;
+        let filled: Packet<CellRec> = input
+            .into_records()
+            .into_iter()
+            .map(|mut c| {
+                for (i, &(dx, dy)) in crate::grid::NEIGHBOR_OFFSETS.iter().enumerate() {
+                    let nx = c.x as isize + dx;
+                    let ny = c.y as isize + dy;
+                    c.neighbors[i] = if nx >= 0
+                        && ny >= 0
+                        && (nx as usize) < g.width
+                        && (ny as usize) < g.height
+                    {
+                        g.q[ny as usize * g.width + nx as usize]
+                    } else {
+                        crate::cell::NO_NEIGHBOR
+                    };
+                }
+                c
+            })
+            .collect();
+        out.push0(filled);
+    }
+    fn flush(&mut self, _out: &mut Emit<CellRec>) {}
+    fn cost(&self, input: &Packet<CellRec>) -> Work {
+        let n = input.len() as u64;
+        // Eight neighbour probes plus record handling.
+        Work::compares(8 * n) + Work::moves(n) + Work::bytes(n * CellRec::SIZE as u64)
+    }
+}
+
+/// Per-step timing and results of a TerraFlow run.
+pub struct TerraFlowOutcome {
+    /// Step-1 (restructure) report.
+    pub step1: EmulationReport<CellRec>,
+    /// Step-2 (sort) pass-1 + pass-2 reports, via DSM-Sort.
+    pub sort: lmas_sort::DsmOutcome<CellRec>,
+    /// Step-3 (color propagation) report.
+    pub step3: EmulationReport<CellRec>,
+    /// Step durations (t1, t2, t3).
+    pub times: (SimDuration, SimDuration, SimDuration),
+    /// Row-major watershed colors.
+    pub colors: Vec<u32>,
+    /// Number of distinct watersheds.
+    pub watersheds: u32,
+}
+
+impl TerraFlowOutcome {
+    /// Total pipeline time.
+    pub fn total(&self) -> SimDuration {
+        self.times.0 + self.times.1 + self.times.2
+    }
+}
+
+/// Unfilled cell records for the grid, split into row blocks per ASU.
+fn raw_cells_per_asu(g: &QuantGrid, d: usize) -> Vec<Vec<CellRec>> {
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let y0 = i * g.height / d;
+        let y1 = (i + 1) * g.height / d;
+        let mut block = Vec::with_capacity((y1 - y0) * g.width);
+        for y in y0..y1 {
+            for x in 0..g.width {
+                block.push(CellRec {
+                    x: x as u16,
+                    y: y as u16,
+                    elev: g.q[y * g.width + x],
+                    neighbors: [crate::cell::NO_NEIGHBOR; 8],
+                    color: 0,
+                });
+            }
+        }
+        out.push(block);
+    }
+    out
+}
+
+/// Run the full TerraFlow watershed pipeline.
+pub fn run_terraflow(
+    cluster: &ClusterConfig,
+    grid: &Grid,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<TerraFlowOutcome, DsmError> {
+    let qg = Arc::new(QuantGrid::from_grid(grid));
+    let d = cluster.asus;
+
+    // ---- Step 1: restructure on the ASUs (source == sink: the cell set
+    // is produced and stored at the ASUs).
+    let mut g1: FlowGraph<CellRec> = FlowGraph::new();
+    let qg1 = qg.clone();
+    let s1 = g1.add_source_stage(d, move |_| {
+        Box::new(RestructureFunctor::new(qg1.clone())) as Box<dyn Functor<CellRec>>
+    });
+    let mut p1 = Placement::new();
+    p1.spread_over_asus(s1, d, d);
+    let mut inputs = BTreeMap::new();
+    for (asu, block) in raw_cells_per_asu(&qg, d).into_iter().enumerate() {
+        inputs.insert((s1.0, asu), packetize(block, dsm.input_packet_records));
+    }
+    let step1 = run_job(cluster, Job { graph: g1, placement: p1, inputs })?;
+    let cells: Vec<CellRec> = step1.sink_records();
+
+    // ---- Step 2: sort by (elevation, position) via DSM-Sort.
+    let sort = run_dsm_sort(cluster, cells, dsm, mode)?;
+    let sorted = lmas_sort::reconstruct_sorted(&sort.output)
+        .map_err(|e| DsmError::InputShape(format!("sort output invalid: {e}")))?;
+
+    // ---- Step 3: time-forward color propagation on one host.
+    let mut g3: FlowGraph<CellRec> = FlowGraph::new();
+    let src = g3.add_source_stage(1, |_| {
+        Box::new(RelayFunctor::new("stream-sorted")) as Box<dyn Functor<CellRec>>
+    });
+    let shed = g3.add_stage(1, |_| {
+        Box::new(WatershedFunctor::new(1 << 16)) as Box<dyn Functor<CellRec>>
+    });
+    g3.connect(src, shed, RoutingPolicy::Static, EdgeKind::Stream)
+        .map_err(lmas_emulator::JobError::Graph)?;
+    let mut p3 = Placement::new();
+    p3.assign(src, 0, NodeId::Asu(0));
+    p3.assign(shed, 0, NodeId::Host(0));
+    let mut inputs3 = BTreeMap::new();
+    inputs3.insert(
+        (src.0, 0usize),
+        packetize(sorted, dsm.input_packet_records),
+    );
+    let step3 = run_job(cluster, Job { graph: g3, placement: p3, inputs: inputs3 })?;
+
+    // Harvest colors.
+    let w = grid.width();
+    let mut colors = vec![0u32; grid.len()];
+    let mut watersheds = 0;
+    for c in step3.sink_records() {
+        colors[c.y as usize * w + c.x as usize] = c.color;
+        watersheds = watersheds.max(c.color + 1);
+    }
+    let times = (step1.makespan, sort.total, step3.makespan);
+    Ok(TerraFlowOutcome {
+        step1,
+        sort,
+        step3,
+        times,
+        colors,
+        watersheds,
+    })
+}
+
+/// Convenience check: does an emulated run agree with the sequential
+/// oracle on every cell?
+pub fn matches_oracle(grid: &Grid, outcome: &TerraFlowOutcome) -> bool {
+    watershed_oracle(grid) == outcome.colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{fractal_terrain, twin_valley_terrain};
+
+    fn small_dsm() -> DsmConfig {
+        let mut c = DsmConfig::new(4, 128, 4, 64);
+        c.input_packet_records = 128;
+        c
+    }
+
+    #[test]
+    fn terraflow_matches_oracle_on_fractal_terrain() {
+        let cluster = ClusterConfig::era_2002(1, 2, 8.0);
+        let grid = fractal_terrain(33, 33, 0.55, 4);
+        let out = run_terraflow(&cluster, &grid, &small_dsm(), LoadMode::Static).unwrap();
+        assert!(matches_oracle(&grid, &out), "emulated labels differ from oracle");
+        assert!(out.watersheds >= 1);
+        assert!(out.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn terraflow_two_valleys_two_watersheds() {
+        let cluster = ClusterConfig::era_2002(1, 2, 8.0);
+        let grid = twin_valley_terrain(16, 8);
+        let out = run_terraflow(&cluster, &grid, &small_dsm(), LoadMode::Static).unwrap();
+        assert_eq!(out.watersheds, 2);
+        assert!(matches_oracle(&grid, &out));
+    }
+
+    #[test]
+    fn steps_one_and_two_scale_with_asus_step_three_does_not() {
+        let grid = fractal_terrain(65, 65, 0.55, 6);
+        let run = |d: usize| {
+            let cluster = ClusterConfig::era_2002(1, d, 8.0);
+            run_terraflow(&cluster, &grid, &small_dsm(), LoadMode::Static).unwrap()
+        };
+        let small = run(2);
+        let big = run(8);
+        let (t1s, _, t3s) = small.times;
+        let (t1b, _, t3b) = big.times;
+        assert!(
+            t1b.as_secs_f64() < t1s.as_secs_f64() * 0.7,
+            "restructure should speed up with ASUs: {t1s} → {t1b}"
+        );
+        let ratio = t3b.as_secs_f64() / t3s.as_secs_f64();
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "step 3 should be insensitive to ASU count: {t3s} → {t3b}"
+        );
+    }
+
+    #[test]
+    fn raw_cells_cover_grid_exactly_once() {
+        let g = QuantGrid::from_grid(&fractal_terrain(20, 15, 0.5, 1));
+        let blocks = raw_cells_per_asu(&g, 4);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 300);
+        let mut seen = vec![false; 300];
+        for c in blocks.iter().flatten() {
+            let idx = c.y as usize * 20 + c.x as usize;
+            assert!(!seen[idx], "duplicate cell");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,375 @@
+//! The simulation engine: an actor loop over the event calendar.
+//!
+//! The engine owns a set of actors and an [`EventQueue`] of addressed
+//! messages. `run` repeatedly pops the earliest message, advances virtual
+//! time, and dispatches to the destination actor, which may send further
+//! messages (to itself or others, now or later) through the [`Ctx`] handle.
+//!
+//! The paper's emulator stores per-node execution context in OS threads and
+//! lets the event queue drive context switches. We keep the same semantics
+//! — nodes make progress only when the calendar says so, in causal order —
+//! but express each node as an explicit state machine, which needs no
+//! threads and is deterministic by construction.
+
+use crate::event::{EventQueue, EventToken};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor registered with a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// A simulation participant. Actors are state machines: all behaviour
+/// happens in response to a delivered message.
+pub trait Actor<M> {
+    /// Handle a message delivered at the current virtual time.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
+}
+
+/// Blanket impl so closures can serve as simple actors in tests.
+impl<M, F: FnMut(&mut Ctx<'_, M>, M)> Actor<M> for F {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        self(ctx, msg)
+    }
+}
+
+struct Envelope<M> {
+    to: ActorId,
+    msg: M,
+}
+
+/// Handle through which an actor interacts with the engine during dispatch.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: ActorId,
+    queue: &'a mut EventQueue<Envelope<M>>,
+    rng: &'a mut DetRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor being dispatched.
+    #[inline]
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Send `msg` to `to` after `delay`.
+    pub fn send(&mut self, to: ActorId, delay: SimDuration, msg: M) -> EventToken {
+        self.queue.schedule(self.now + delay, Envelope { to, msg })
+    }
+
+    /// Send `msg` to `to` at the current instant (fires after all messages
+    /// already scheduled for this instant — scheduling order is preserved).
+    pub fn send_now(&mut self, to: ActorId, msg: M) -> EventToken {
+        self.send(to, SimDuration::ZERO, msg)
+    }
+
+    /// Send `msg` to `to` at absolute time `at` (must be >= now).
+    pub fn send_at(&mut self, to: ActorId, at: SimTime, msg: M) -> EventToken {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, Envelope { to, msg })
+    }
+
+    /// Schedule a message to self.
+    pub fn timer(&mut self, delay: SimDuration, msg: M) -> EventToken {
+        self.send(self.me, delay, msg)
+    }
+
+    /// Cancel a previously scheduled message.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.queue.cancel(token);
+    }
+
+    /// Engine-level RNG stream (distinct from per-component streams an
+    /// actor may own). Deterministic across runs.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Ask the engine to stop after this dispatch completes; pending
+    /// events stay in the calendar.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// Outcome of [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The calendar drained: no live events remain.
+    Drained,
+    /// An actor called [`Ctx::request_stop`].
+    Stopped,
+    /// The time horizon passed before the calendar drained.
+    HorizonReached,
+}
+
+/// A deterministic discrete-event simulation over actors exchanging
+/// messages of type `M`.
+pub struct Simulation<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: EventQueue<Envelope<M>>,
+    now: SimTime,
+    rng: DetRng,
+    dispatched: u64,
+}
+
+impl<M> Simulation<M> {
+    /// New simulation at `t=0` with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            actors: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: DetRng::stream(seed, u64::MAX),
+            dispatched: 0,
+        }
+    }
+
+    /// Register an actor; returns its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Pre-allocate an actor slot to obtain its id before construction
+    /// (for mutually referencing actors). The slot must be filled with
+    /// [`Simulation::install`] before any message reaches it.
+    pub fn reserve_actor(&mut self) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(None);
+        id
+    }
+
+    /// Fill a slot created by [`Simulation::reserve_actor`].
+    pub fn install(&mut self, id: ActorId, actor: Box<dyn Actor<M>>) {
+        assert!(
+            self.actors[id.0].is_none(),
+            "actor slot {id:?} already installed"
+        );
+        self.actors[id.0] = Some(actor);
+    }
+
+    /// Schedule an initial message before the run starts.
+    pub fn seed_message(&mut self, to: ActorId, at: SimTime, msg: M) -> EventToken {
+        self.queue.schedule(at, Envelope { to, msg })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Run until the calendar drains, an actor requests a stop, or virtual
+    /// time would exceed `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                return RunOutcome::Drained;
+            };
+            if t > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            let (t, env) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatched += 1;
+            let mut actor = self.actors[env.to.0]
+                .take()
+                .unwrap_or_else(|| panic!("message to uninstalled actor {:?}", env.to));
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: env.to,
+                    queue: &mut self.queue,
+                    rng: &mut self.rng,
+                    stop: &mut stop,
+                };
+                actor.on_message(&mut ctx, env.msg);
+            }
+            self.actors[env.to.0] = Some(actor);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Run until the calendar drains or an actor requests a stop.
+    pub fn run(&mut self) -> RunOutcome {
+        // NEVER-1 keeps the horizon comparison strict but unreachable.
+        self.run_until(SimTime(u64::MAX - 1))
+    }
+
+    /// Mutable access to a registered actor between runs (e.g. to harvest
+    /// results). Panics if the actor is mid-dispatch (impossible between
+    /// runs) or uninstalled.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut dyn Actor<M> {
+        self.actors[id.0]
+            .as_deref_mut()
+            .expect("actor uninstalled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn ping_pong_alternates_in_time() {
+        #[derive(Debug, PartialEq)]
+        enum Msg {
+            Ping(u32),
+            Pong(u32),
+        }
+        let log: Rc<RefCell<Vec<(u64, String)>>> = Rc::default();
+        let mut sim: Simulation<Msg> = Simulation::new(0);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+
+        let log_a = log.clone();
+        sim.install(
+            a,
+            Box::new(move |ctx: &mut Ctx<'_, Msg>, msg: Msg| {
+                if let Msg::Pong(n) = msg {
+                    log_a.borrow_mut().push((ctx.now().as_nanos(), format!("pong{n}")));
+                    if n < 3 {
+                        ctx.send(b, SimDuration::from_nanos(10), Msg::Ping(n + 1));
+                    }
+                }
+            }),
+        );
+        let log_b = log.clone();
+        sim.install(
+            b,
+            Box::new(move |ctx: &mut Ctx<'_, Msg>, msg: Msg| {
+                if let Msg::Ping(n) = msg {
+                    log_b.borrow_mut().push((ctx.now().as_nanos(), format!("ping{n}")));
+                    ctx.send(a, SimDuration::from_nanos(5), Msg::Pong(n));
+                }
+            }),
+        );
+        sim.seed_message(b, SimTime(0), Msg::Ping(1));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        let got = log.borrow().clone();
+        assert_eq!(
+            got,
+            vec![
+                (0, "ping1".into()),
+                (5, "pong1".into()),
+                (15, "ping2".into()),
+                (20, "pong2".into()),
+                (30, "ping3".into()),
+                (35, "pong3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_before_late_events() {
+        let fired: Rc<RefCell<u32>> = Rc::default();
+        let mut sim: Simulation<()> = Simulation::new(0);
+        let f = fired.clone();
+        let a = sim.add_actor(Box::new(move |_: &mut Ctx<'_, ()>, ()| {
+            *f.borrow_mut() += 1;
+        }));
+        sim.seed_message(a, SimTime(10), ());
+        sim.seed_message(a, SimTime(1000), ());
+        assert_eq!(sim.run_until(SimTime(100)), RunOutcome::HorizonReached);
+        assert_eq!(*fired.borrow(), 1);
+        // The late event is still pending; a later run picks it up.
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*fired.borrow(), 2);
+    }
+
+    #[test]
+    fn request_stop_halts_immediately() {
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        let count: Rc<RefCell<u32>> = Rc::default();
+        let c = count.clone();
+        let a = sim.add_actor(Box::new(move |ctx: &mut Ctx<'_, u32>, n: u32| {
+            *c.borrow_mut() += 1;
+            if n == 2 {
+                ctx.request_stop();
+            }
+        }));
+        for i in 1..=5 {
+            sim.seed_message(a, SimTime(i), i as u32);
+        }
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(sim.now(), SimTime(2));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_dispatch_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            let trace: Rc<RefCell<Vec<u64>>> = Rc::default();
+            let mut sim: Simulation<u32> = Simulation::new(seed);
+            let t = trace.clone();
+            let a = sim.add_actor(Box::new(move |ctx: &mut Ctx<'_, u32>, hops: u32| {
+                t.borrow_mut().push(ctx.now().as_nanos());
+                if hops > 0 {
+                    let d = SimDuration::from_nanos(ctx.rng().gen_range(100) + 1);
+                    let me = ctx.me();
+                    ctx.send(me, d, hops - 1);
+                }
+            }));
+            sim.seed_message(a, SimTime(0), 50);
+            sim.run();
+            let out = trace.borrow().clone();
+            out
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn send_at_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new(0);
+        let a = sim.add_actor(Box::new(|ctx: &mut Ctx<'_, ()>, ()| {
+            let me = ctx.me();
+            ctx.send_at(me, SimTime(0), ());
+        }));
+        sim.seed_message(a, SimTime(10), ());
+        sim.run();
+    }
+
+    #[test]
+    fn timer_cancellation_suppresses_delivery() {
+        let fired: Rc<RefCell<u32>> = Rc::default();
+        let mut sim: Simulation<&'static str> = Simulation::new(0);
+        let f = fired.clone();
+        let a = sim.add_actor(Box::new(move |ctx: &mut Ctx<'_, &'static str>, m| {
+            match m {
+                "start" => {
+                    let tok = ctx.timer(SimDuration::from_nanos(100), "late");
+                    ctx.cancel(tok);
+                    ctx.timer(SimDuration::from_nanos(50), "kept");
+                }
+                "kept" => *f.borrow_mut() += 1,
+                "late" => panic!("cancelled timer fired"),
+                _ => unreachable!(),
+            }
+        }));
+        sim.seed_message(a, SimTime(0), "start");
+        sim.run();
+        assert_eq!(*fired.borrow(), 1);
+    }
+}

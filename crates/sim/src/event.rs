@@ -1,0 +1,220 @@
+//! The event queue: a totally ordered calendar of future work.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at scheduling time. Two events at the same instant therefore
+//! fire in the order they were scheduled — a total order that makes runs
+//! deterministic regardless of hash-map iteration or heap tie-breaking.
+//!
+//! Events can be cancelled via the [`EventToken`] returned at scheduling
+//! time; cancellation is O(1) (lazy removal at pop). This supports the
+//! paper's blocking-synchronization idiom of posting a wakeup at `t = ∞`
+//! and revising it on signal — in our engine the equivalent is cancelling
+//! the stale timer and scheduling a fresh one.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifies a scheduled event so it can later be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(pub(crate) u64);
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    payload: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event calendar.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    scheduled: u64,
+    fired: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            scheduled: 0,
+            fired: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. `time` must be finite
+    /// (not [`SimTime::NEVER`]) — model indefinite blocking by simply not
+    /// scheduling, and waking via an explicit message instead.
+    pub fn schedule(&mut self, time: SimTime, payload: M) -> EventToken {
+        assert!(
+            time != SimTime::NEVER,
+            "cannot schedule at t=∞; wake blocked parties with a message"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventToken(seq)
+    }
+
+    /// Cancel a previously scheduled event. Idempotent; cancelling an
+    /// already-fired event has no effect.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Remove and return the earliest live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, M)> {
+        while let Some(e) = self.heap.pop() {
+            if self.cancelled.remove(&e.seq) {
+                continue;
+            }
+            self.fired += 1;
+            return Some((e.time, e.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.heap.peek() {
+            if self.cancelled.contains(&e.seq) {
+                let seq = e.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(e.time);
+        }
+        None
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of live (scheduled, not yet fired or cancelled) events.
+    /// Linear in pending cancellations; intended for tests and reports.
+    pub fn live_len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    /// Lifetime counters: (scheduled, fired).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.scheduled, self.fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(SimTime(1), "a");
+        let b = q.schedule(SimTime(2), "b");
+        let _c = q.schedule(SimTime(3), "c");
+        q.cancel(b);
+        assert_eq!(q.pop(), Some((SimTime(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_safe_after_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.pop(), None);
+        let b = q.schedule(SimTime(2), "b");
+        assert_eq!(q.pop(), Some((SimTime(2), "b")));
+        q.cancel(b); // already fired: no effect
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        assert_eq!(q.live_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "t=∞")]
+    fn scheduling_at_never_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::NEVER, ());
+    }
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), ());
+        q.schedule(SimTime(2), ());
+        q.pop();
+        assert_eq!(q.counters(), (2, 1));
+    }
+}

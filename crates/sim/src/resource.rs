@@ -1,0 +1,262 @@
+//! FCFS service resources: the CPUs, disks, and network links of the
+//! emulated cluster.
+//!
+//! A [`Resource`] is a non-preemptive first-come-first-served server.
+//! `acquire(now, service)` books the next available slot and returns the
+//! `(start, end)` of service; the caller schedules its own completion event
+//! at `end`. This models the paper's emulator, where each execution segment
+//! or I/O occupies its device exclusively and the event queue enforces
+//! causal order.
+//!
+//! Multi-server variants (e.g. a RAID group or multi-core host) are
+//! provided by [`MultiResource`].
+
+use crate::stats::UtilizationLedger;
+use crate::time::{SimDuration, SimTime};
+
+/// The booked service window returned by an acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service begins (>= request time).
+    pub start: SimTime,
+    /// When service completes.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time spent queueing before service started.
+    pub fn queue_delay(&self, requested_at: SimTime) -> SimDuration {
+        self.start.since(requested_at)
+    }
+}
+
+/// A single FCFS server with utilization accounting.
+#[derive(Debug)]
+pub struct Resource {
+    name: String,
+    free_at: SimTime,
+    ledger: UtilizationLedger,
+    grants: u64,
+}
+
+impl Resource {
+    /// A new idle resource. `bin_width` sets the resolution of the
+    /// utilization series this resource records.
+    pub fn new(name: impl Into<String>, bin_width: SimDuration) -> Self {
+        Resource {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            ledger: UtilizationLedger::new(bin_width),
+            grants: 0,
+        }
+    }
+
+    /// Book `service` time starting no earlier than `now`, behind any work
+    /// already booked. Zero-length service is permitted and returns an
+    /// empty window at the queue tail without occupying the server.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let start = now.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.ledger.add_busy(start, end);
+        self.grants += 1;
+        Grant { start, end }
+    }
+
+    /// The earliest time a new request would begin service.
+    pub fn next_free(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Whether the server is idle at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Backlog from `now` until the last booked work finishes.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.free_at.saturating_since(now)
+    }
+
+    /// Resource name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total busy time booked.
+    pub fn total_busy(&self) -> SimDuration {
+        self.ledger.total_busy()
+    }
+
+    /// Utilization series over `[0, horizon]` (see [`UtilizationLedger`]).
+    pub fn utilization_series(&self, horizon: SimTime) -> Vec<f64> {
+        self.ledger.series(horizon)
+    }
+
+    /// Mean utilization over `[0, horizon]`.
+    pub fn mean_utilization(&self, horizon: SimTime) -> f64 {
+        self.ledger.mean_utilization(horizon)
+    }
+
+    /// The ledger's bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.ledger.bin_width()
+    }
+}
+
+/// `k` identical FCFS servers fed from one queue (join-shortest-backlog,
+/// which for identical servers equals FCFS-to-first-free).
+#[derive(Debug)]
+pub struct MultiResource {
+    name: String,
+    free_at: Vec<SimTime>,
+    ledger: UtilizationLedger,
+    grants: u64,
+}
+
+impl MultiResource {
+    /// `k` idle servers. Panics if `k == 0`.
+    pub fn new(name: impl Into<String>, k: usize, bin_width: SimDuration) -> Self {
+        assert!(k > 0, "MultiResource needs at least one server");
+        MultiResource {
+            name: name.into(),
+            free_at: vec![SimTime::ZERO; k],
+            ledger: UtilizationLedger::new(bin_width),
+            grants: 0,
+        }
+    }
+
+    /// Book `service` on the server that frees first.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .expect("at least one server");
+        let start = now.max(self.free_at[idx]);
+        let end = start + service;
+        self.free_at[idx] = end;
+        self.ledger.add_busy(start, end);
+        self.grants += 1;
+        Grant { start, end }
+    }
+
+    /// Earliest time any server frees.
+    pub fn next_free(&self) -> SimTime {
+        *self.free_at.iter().min().expect("at least one server")
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Resource name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total busy time across all servers.
+    pub fn total_busy(&self) -> SimDuration {
+        self.ledger.total_busy()
+    }
+
+    /// Aggregate utilization series; values range over `[0, k]`.
+    pub fn utilization_series(&self, horizon: SimTime) -> Vec<f64> {
+        self.ledger.series(horizon)
+    }
+
+    /// Grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIN: SimDuration = SimDuration(1_000);
+
+    #[test]
+    fn fcfs_serializes_overlapping_requests() {
+        let mut r = Resource::new("cpu", BIN);
+        let a = r.acquire(SimTime(0), SimDuration(100));
+        let b = r.acquire(SimTime(10), SimDuration(50));
+        assert_eq!(a, Grant { start: SimTime(0), end: SimTime(100) });
+        assert_eq!(b, Grant { start: SimTime(100), end: SimTime(150) });
+        assert_eq!(b.queue_delay(SimTime(10)), SimDuration(90));
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new("disk", BIN);
+        r.acquire(SimTime(0), SimDuration(10));
+        let g = r.acquire(SimTime(500), SimDuration(10));
+        assert_eq!(g.start, SimTime(500));
+        assert!(r.is_idle(SimTime(600)));
+        assert!(!r.is_idle(SimTime(505)));
+    }
+
+    #[test]
+    fn backlog_reflects_booked_work() {
+        let mut r = Resource::new("cpu", BIN);
+        r.acquire(SimTime(0), SimDuration(100));
+        assert_eq!(r.backlog(SimTime(30)), SimDuration(70));
+        assert_eq!(r.backlog(SimTime(200)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_service_does_not_occupy() {
+        let mut r = Resource::new("cpu", BIN);
+        let g = r.acquire(SimTime(5), SimDuration::ZERO);
+        assert_eq!(g.start, g.end);
+        assert_eq!(r.total_busy(), SimDuration::ZERO);
+        assert!(r.is_idle(SimTime(5)));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut r = Resource::new("cpu", BIN);
+        r.acquire(SimTime(0), SimDuration(500));
+        let s = r.utilization_series(SimTime(999));
+        assert_eq!(s.len(), 1);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((r.mean_utilization(SimTime(1000)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.grants(), 1);
+    }
+
+    #[test]
+    fn multi_resource_runs_k_in_parallel() {
+        let mut m = MultiResource::new("raid", 2, BIN);
+        let a = m.acquire(SimTime(0), SimDuration(100));
+        let b = m.acquire(SimTime(0), SimDuration(100));
+        let c = m.acquire(SimTime(0), SimDuration(100));
+        assert_eq!(a.start, SimTime(0));
+        assert_eq!(b.start, SimTime(0));
+        assert_eq!(c.start, SimTime(100), "third waits for a server");
+        assert_eq!(m.servers(), 2);
+        assert_eq!(m.next_free(), SimTime(100));
+    }
+
+    #[test]
+    fn multi_resource_aggregate_utilization_can_exceed_one() {
+        let mut m = MultiResource::new("raid", 2, BIN);
+        m.acquire(SimTime(0), SimDuration(1_000));
+        m.acquire(SimTime(0), SimDuration(1_000));
+        let s = m.utilization_series(SimTime(999));
+        assert!((s[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_multi_resource_panics() {
+        MultiResource::new("bad", 0, BIN);
+    }
+}

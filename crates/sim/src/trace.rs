@@ -1,0 +1,147 @@
+//! Structured event tracing for debugging and reports.
+//!
+//! A [`Trace`] is a bounded ring buffer of `(time, subject, detail)`
+//! entries. Tracing is cheap enough to leave on in tests but is entirely
+//! optional: production runs construct a disabled trace and pay only a
+//! branch per record.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which component reported it (e.g. `"host0.cpu"`).
+    pub subject: String,
+    /// Free-form description.
+    pub detail: String,
+}
+
+/// A bounded in-memory event trace.
+#[derive(Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An enabled trace holding up to `capacity` most-recent entries.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace: `record` is a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            entries: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Whether entries are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry (no-op when disabled). Oldest entries are evicted
+    /// once capacity is reached.
+    pub fn record(&mut self, at: SimTime, subject: impl Into<String>, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            subject: subject.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render retained entries, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{} [{}] {}\n", e.at, e.subject, e.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::enabled(8);
+        t.record(SimTime(1), "a", "x");
+        t.record(SimTime(2), "b", "y");
+        let subjects: Vec<&str> = t.entries().map(|e| e.subject.as_str()).collect();
+        assert_eq!(subjects, ["a", "b"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::enabled(2);
+        t.record(SimTime(1), "a", "");
+        t.record(SimTime(2), "b", "");
+        t.record(SimTime(3), "c", "");
+        let subjects: Vec<&str> = t.entries().map(|e| e.subject.as_str()).collect();
+        assert_eq!(subjects, ["b", "c"]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut t = Trace::disabled();
+        t.record(SimTime(1), "a", "");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut t = Trace::enabled(4);
+        t.record(SimTime(1_000_000_000), "host0.cpu", "segment done");
+        let s = t.render();
+        assert!(s.contains("host0.cpu"));
+        assert!(s.contains("segment done"));
+    }
+}

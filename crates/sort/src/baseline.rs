@@ -1,0 +1,115 @@
+//! The passive-storage baseline: conventional storage units with no
+//! integrated processing.
+//!
+//! Figure 9's speedups are "relative to a baseline using conventional
+//! storage units with no integrated processing; all computation occurs on
+//! the host." Here the ASUs only stream raw blocks (a zero-cost relay —
+//! the disk and NIC still charge their time) while the hosts run a fused
+//! distribute+sort ([`crate::functors::DistributeSortFunctor`]): the same
+//! `log α + log β` comparison work as the active configuration, paid in a
+//! single streaming pass per record, as a real single-host external sort
+//! would.
+
+use crate::config::{DsmConfig, LoadMode};
+use crate::dsm::{DsmError, Pass1Result};
+use crate::functors::DistributeSortFunctor;
+use lmas_core::functor::lib::RelayFunctor;
+use lmas_core::{
+    packetize, EdgeKind, FlowGraph, Functor, Packet, Placement, Record, RoutingPolicy,
+};
+use lmas_emulator::{run_job, ClusterConfig, Job, JobError};
+use std::collections::BTreeMap;
+
+/// Run pass 1 of the sort on **passive** storage: ASUs stream, hosts
+/// compute everything. Interface mirrors [`crate::dsm::run_pass1`].
+pub fn run_pass1_baseline<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+) -> Result<Pass1Result<R>, DsmError> {
+    // Pass 1 is γ-independent: validate parameter shape only. The
+    // two-pass capacity rule (α·β·γ ≥ n) is enforced by run_dsm_sort.
+    dsm.validate_for(1)?;
+    if data_per_asu.len() != cluster.asus {
+        return Err(DsmError::InputShape(format!(
+            "data_per_asu has {} entries for {} ASUs",
+            data_per_asu.len(),
+            cluster.asus
+        )));
+    }
+    if splitters.len() + 1 != dsm.alpha {
+        return Err(DsmError::InputShape(format!(
+            "{} splitters do not make α = {} subsets",
+            splitters.len(),
+            dsm.alpha
+        )));
+    }
+
+    let d = cluster.asus;
+    let h = cluster.hosts;
+    let beta = dsm.beta;
+
+    let mut g: FlowGraph<R> = FlowGraph::new();
+    // Passive scan: raw blocks leave the storage unit uninspected.
+    let scan = g.add_source_stage(d, |_| {
+        Box::new(RelayFunctor::new("passive-scan")) as Box<dyn Functor<R>>
+    });
+    // Hosts run a fused distribute+sort, one instance per host, fed
+    // round-robin from the passive scans.
+    let sp = splitters.clone();
+    let dist_sort = g.add_stage(h, move |_| {
+        Box::new(DistributeSortFunctor::<R>::new(sp.clone(), beta)) as Box<dyn Functor<R>>
+    });
+    let collect = g.add_stage(d, |_| {
+        Box::new(RelayFunctor::new("collect-runs")) as Box<dyn Functor<R>>
+    });
+    g.connect(scan, dist_sort, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .map_err(JobError::Graph)?;
+    g.connect(dist_sort, collect, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .map_err(JobError::Graph)?;
+
+    let mut placement = Placement::new();
+    placement.spread_over_asus(scan, d, d);
+    placement.spread_over_hosts(dist_sort, h, h);
+    placement.spread_over_asus(collect, d, d);
+
+    let mut inputs = BTreeMap::new();
+    for (asu, data) in data_per_asu.into_iter().enumerate() {
+        inputs.insert((scan.0, asu), packetize(data, dsm.input_packet_records));
+    }
+
+    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let runs_per_asu = (0..d)
+        .map(|asu| {
+            report
+                .sink_outputs
+                .get(&(collect.0, asu))
+                .map(|v| v.iter().map(|(_, p)| p.clone()).collect::<Vec<Packet<R>>>())
+                .unwrap_or_default()
+        })
+        .collect();
+    Ok(Pass1Result { report, runs_per_asu })
+}
+
+/// Convenience: pass-1 makespans of the active configuration and the
+/// passive baseline on identical inputs; `speedup = baseline / active`.
+pub fn pass1_speedup<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<(f64, f64, f64), DsmError> {
+    let active = crate::dsm::run_pass1(
+        cluster,
+        data_per_asu.clone(),
+        splitters.clone(),
+        dsm,
+        mode,
+    )?;
+    let base = run_pass1_baseline(cluster, data_per_asu, splitters, dsm)?;
+    let ta = active.report.makespan.as_secs_f64();
+    let tb = base.report.makespan.as_secs_f64();
+    Ok((tb / ta, ta, tb))
+}

@@ -1,0 +1,182 @@
+//! DSM-Sort configuration: the (α, β, γ₁, γ₂) knobs.
+//!
+//! Section 4.3: an α-way distribute partitions the data into α subsets;
+//! blocks of β records are sorted into runs ("the available memory size
+//! limits the run length"); a γ-way merge with γ = γ₁·γ₂ split between
+//! ASUs (γ₁) and hosts (γ₂) produces the sorted result, striped across
+//! the ASUs. Choosing the parameters "allows us to balance computation at
+//! ASUs and hosts, as well as conform to memory constraints on the ASUs",
+//! with the work identity `Total Work = n·log(αβγ)`.
+
+use lmas_core::log2_ceil;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of one DSM-Sort run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsmConfig {
+    /// Distribute order: number of subsets.
+    pub alpha: usize,
+    /// Run length: records per sorted block.
+    pub beta: usize,
+    /// ASU-side merge fan-in.
+    pub gamma1: usize,
+    /// Host-side merge fan-in.
+    pub gamma2: usize,
+    /// Records per input packet streamed off the ASU disks.
+    pub input_packet_records: usize,
+    /// Records per output stripe written back to the ASUs.
+    pub stripe_records: usize,
+}
+
+/// Configuration validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmConfigError {
+    /// A parameter is zero.
+    ZeroParameter(&'static str),
+    /// `α·β·γ < n`: two passes cannot sort this input.
+    InsufficientCapacity {
+        /// Input size.
+        n: u64,
+        /// `α·β·γ₁·γ₂`.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for DsmConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmConfigError::ZeroParameter(p) => write!(f, "parameter {p} must be positive"),
+            DsmConfigError::InsufficientCapacity { n, capacity } => write!(
+                f,
+                "α·β·γ = {capacity} < n = {n}: two passes cannot sort this input"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DsmConfigError {}
+
+impl DsmConfig {
+    /// A configuration with default packet/stripe granularity.
+    pub fn new(alpha: usize, beta: usize, gamma1: usize, gamma2: usize) -> DsmConfig {
+        DsmConfig {
+            alpha,
+            beta,
+            gamma1,
+            gamma2,
+            input_packet_records: 1024,
+            stripe_records: 1024,
+        }
+    }
+
+    /// Total merge fan-in γ = γ₁·γ₂.
+    pub fn gamma(&self) -> usize {
+        self.gamma1 * self.gamma2
+    }
+
+    /// Validate against an input of `n` records.
+    pub fn validate_for(&self, n: u64) -> Result<(), DsmConfigError> {
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma1", self.gamma1),
+            ("gamma2", self.gamma2),
+            ("input_packet_records", self.input_packet_records),
+            ("stripe_records", self.stripe_records),
+        ] {
+            if v == 0 {
+                return Err(DsmConfigError::ZeroParameter(name));
+            }
+        }
+        let capacity = (self.alpha as u64)
+            .saturating_mul(self.beta as u64)
+            .saturating_mul(self.gamma() as u64);
+        if capacity < n {
+            return Err(DsmConfigError::InsufficientCapacity { n, capacity });
+        }
+        Ok(())
+    }
+
+    /// The paper's accounting bound: `n·(log α + log β + log γ)` compares.
+    pub fn work_bound_compares(&self, n: u64) -> u64 {
+        n * (log2_ceil(self.alpha as u64)
+            + log2_ceil(self.beta as u64)
+            + log2_ceil(self.gamma() as u64))
+    }
+}
+
+/// How pass-1 block-sort load is distributed across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// No load control: subset `i` is pinned to one host (Figure 10's
+    /// baseline: "assigns half of the α distribute subsets to one host,
+    /// and the other half to the second host").
+    Static,
+    /// Load-managed: every subset is spread across all hosts, routed by
+    /// the given policy ("each of the α subsets is spread across both
+    /// hosts … A simple randomization (SR) policy assigns the records").
+    Managed(lmas_core::RoutingPolicy),
+}
+
+impl LoadMode {
+    /// The Figure 10 load-managed default: simple randomization.
+    pub fn managed_sr() -> LoadMode {
+        LoadMode::Managed(lmas_core::RoutingPolicy::SimpleRandomization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_is_product() {
+        let c = DsmConfig::new(16, 1024, 4, 8);
+        assert_eq!(c.gamma(), 32);
+    }
+
+    #[test]
+    fn validate_accepts_sufficient_capacity() {
+        let c = DsmConfig::new(16, 1024, 4, 8);
+        // capacity = 16·1024·32 = 524288
+        assert!(c.validate_for(524_288).is_ok());
+        assert_eq!(
+            c.validate_for(524_289),
+            Err(DsmConfigError::InsufficientCapacity {
+                n: 524_289,
+                capacity: 524_288
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_parameters() {
+        assert_eq!(
+            DsmConfig::new(0, 1, 1, 1).validate_for(1),
+            Err(DsmConfigError::ZeroParameter("alpha"))
+        );
+        let mut c = DsmConfig::new(1, 1, 1, 1);
+        c.stripe_records = 0;
+        assert_eq!(
+            c.validate_for(1),
+            Err(DsmConfigError::ZeroParameter("stripe_records"))
+        );
+    }
+
+    #[test]
+    fn work_bound_matches_paper_identity() {
+        // αβγ = n ⇒ bound = n·log2(n) when all are powers of two.
+        let c = DsmConfig::new(16, 1024, 4, 16); // αβγ = 2^4·2^10·2^6 = 2^20
+        let n = 1u64 << 20;
+        assert_eq!(c.work_bound_compares(n), n * 20);
+    }
+
+    #[test]
+    fn load_mode_default_is_sr() {
+        assert_eq!(
+            LoadMode::managed_sr(),
+            LoadMode::Managed(lmas_core::RoutingPolicy::SimpleRandomization)
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! DSM-Sort orchestration: the two passes of Figure 7 on the emulator.
+//!
+//! **Pass 1 (run formation).** The input, initially distributed across
+//! the ASUs, streams through α-way distribute functors *on the ASUs*;
+//! records travel to block-sort functors on the hosts that form sorted
+//! runs of β records per subset; the runs return to the ASUs and are
+//! stored (striped round-robin).
+//!
+//! **Pass 2 (merge).** Each ASU merges its locally stored runs γ₁ at a
+//! time per subset; the merged runs of subset `b` flow to host-merge
+//! instance `b`, which performs the final γ₂-way merge and stripes the
+//! sorted subset back across the ASUs.
+//!
+//! The first pass is what Figure 9 times ("We report timings from the
+//! first pass of sorting (run formation), omitting the final merge
+//! phases"); [`run_dsm_sort`] runs both and verifies the output.
+
+use crate::config::{DsmConfig, DsmConfigError, LoadMode};
+use crate::functors::{FullMergeFunctor, SubsetMergeFunctor};
+use lmas_core::functor::lib::{BlockSortFunctor, DistributeFunctor, RelayFunctor};
+use lmas_core::kernels::select_splitters;
+use lmas_core::{
+    packetize, EdgeKind, FlowGraph, Functor, NodeId, Packet, Placement, Record, RouteScope,
+    RoutingPolicy,
+};
+use lmas_emulator::{run_job, ClusterConfig, EmulationReport, Job, JobError};
+use lmas_sim::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// DSM-Sort failure.
+#[derive(Debug)]
+pub enum DsmError {
+    /// Bad configuration.
+    Config(DsmConfigError),
+    /// The emulator rejected a pass.
+    Job(JobError),
+    /// Input shape mismatch.
+    InputShape(String),
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Config(e) => write!(f, "configuration: {e}"),
+            DsmError::Job(e) => write!(f, "job: {e}"),
+            DsmError::InputShape(s) => write!(f, "input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+impl From<DsmConfigError> for DsmError {
+    fn from(e: DsmConfigError) -> Self {
+        DsmError::Config(e)
+    }
+}
+
+impl From<JobError> for DsmError {
+    fn from(e: JobError) -> Self {
+        DsmError::Job(e)
+    }
+}
+
+/// Result of pass 1: the emulation report and the sorted runs now stored
+/// on each ASU.
+pub struct Pass1Result<R: Record> {
+    /// Timing and utilization of the pass.
+    pub report: EmulationReport<R>,
+    /// Runs stored per ASU (striped round-robin by the collector stage).
+    pub runs_per_asu: Vec<Vec<Packet<R>>>,
+}
+
+/// Result of pass 2: the report and the final sorted stripes.
+pub struct Pass2Result<R: Record> {
+    /// Timing and utilization of the pass.
+    pub report: EmulationReport<R>,
+    /// Sorted output stripes as stored across the ASUs.
+    pub output: Vec<Packet<R>>,
+}
+
+/// Outcome of a full two-pass DSM-Sort.
+pub struct DsmOutcome<R: Record> {
+    /// Pass-1 report (the quantity Figure 9 measures).
+    pub pass1: EmulationReport<R>,
+    /// Pass-2 report.
+    pub pass2: EmulationReport<R>,
+    /// Total emulated time (pass 1 + pass 2).
+    pub total: SimDuration,
+    /// Final sorted stripes.
+    pub output: Vec<Packet<R>>,
+    /// The splitters used by the distribute.
+    pub splitters: Vec<<R as Record>::Key>,
+}
+
+/// Host index for static subset assignment: subset `i` of α pinned to a
+/// contiguous block of hosts ("assigns half of the α distribute subsets
+/// to one host, and the other half to the second host").
+pub fn static_host_of(subset: usize, alpha: usize, hosts: usize) -> usize {
+    (subset * hosts / alpha).min(hosts - 1)
+}
+
+/// Run pass 1 (distribute on ASUs → block-sort on hosts → runs back to
+/// ASUs). `data_per_asu[d]` is ASU `d`'s initially resident input.
+pub fn run_pass1<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<Pass1Result<R>, DsmError> {
+    // Pass 1 is γ-independent: validate parameter shape only. The
+    // two-pass capacity rule (α·β·γ ≥ n) is enforced by run_dsm_sort.
+    dsm.validate_for(1)?;
+    if data_per_asu.len() != cluster.asus {
+        return Err(DsmError::InputShape(format!(
+            "data_per_asu has {} entries for {} ASUs",
+            data_per_asu.len(),
+            cluster.asus
+        )));
+    }
+    if splitters.len() + 1 != dsm.alpha {
+        return Err(DsmError::InputShape(format!(
+            "{} splitters do not make α = {} subsets",
+            splitters.len(),
+            dsm.alpha
+        )));
+    }
+
+    let d = cluster.asus;
+    let h = cluster.hosts;
+    let alpha = dsm.alpha;
+    let beta = dsm.beta;
+
+    let mut g: FlowGraph<R> = FlowGraph::new();
+    let sp = splitters.clone();
+    let distribute = g.add_source_stage(d, move |_| {
+        Box::new(DistributeFunctor::<R>::new(sp.clone())) as Box<dyn Functor<R>>
+    });
+    let (sort_repl, scope, routing) = match mode {
+        LoadMode::Static => (alpha, RouteScope::Global, RoutingPolicy::Static),
+        LoadMode::Managed(policy) => (
+            alpha * h,
+            RouteScope::PortGroups { group_size: h },
+            policy,
+        ),
+    };
+    let block_sort = g.add_stage(sort_repl, move |_| {
+        Box::new(BlockSortFunctor::<R>::new(beta)) as Box<dyn Functor<R>>
+    });
+    let collect = g.add_stage(d, |_| {
+        Box::new(RelayFunctor::new("collect-runs")) as Box<dyn Functor<R>>
+    });
+    g.connect_scoped(distribute, block_sort, routing, EdgeKind::Set, scope)
+        .map_err(JobError::Graph)?;
+    // Striped writeback of runs across the ASUs.
+    g.connect(block_sort, collect, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .map_err(JobError::Graph)?;
+
+    let mut placement = Placement::new();
+    placement.spread_over_asus(distribute, d, d);
+    match mode {
+        LoadMode::Static => {
+            for i in 0..alpha {
+                placement.assign(block_sort, i, NodeId::Host(static_host_of(i, alpha, h)));
+            }
+        }
+        LoadMode::Managed(_) => {
+            // Instance b·H + j runs on host j: every subset has one
+            // sorter per host.
+            for i in 0..sort_repl {
+                placement.assign(block_sort, i, NodeId::Host(i % h));
+            }
+        }
+    }
+    placement.spread_over_asus(collect, d, d);
+
+    let mut inputs = BTreeMap::new();
+    for (asu, data) in data_per_asu.into_iter().enumerate() {
+        inputs.insert(
+            (distribute.0, asu),
+            packetize(data, dsm.input_packet_records),
+        );
+    }
+
+    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let runs_per_asu = (0..d)
+        .map(|asu| {
+            report
+                .sink_outputs
+                .get(&(collect.0, asu))
+                .map(|v| v.iter().map(|(_, p)| p.clone()).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    Ok(Pass1Result { report, runs_per_asu })
+}
+
+/// Run pass 2 (γ₁-way subset merges on ASUs → γ₂-way final merge per
+/// subset on hosts → striped sorted output back to ASUs).
+pub fn run_pass2<R: Record>(
+    cluster: &ClusterConfig,
+    runs_per_asu: Vec<Vec<Packet<R>>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+) -> Result<Pass2Result<R>, DsmError> {
+    if runs_per_asu.len() != cluster.asus {
+        return Err(DsmError::InputShape(format!(
+            "runs_per_asu has {} entries for {} ASUs",
+            runs_per_asu.len(),
+            cluster.asus
+        )));
+    }
+    let d = cluster.asus;
+    let h = cluster.hosts;
+    let alpha = dsm.alpha;
+    let (gamma1, gamma2) = (dsm.gamma1, dsm.gamma2);
+    let stripe = dsm.stripe_records;
+
+    let mut g: FlowGraph<R> = FlowGraph::new();
+    let sp = splitters.clone();
+    let asu_merge = g.add_source_stage(d, move |_| {
+        Box::new(SubsetMergeFunctor::<R>::new(sp.clone(), gamma1)) as Box<dyn Functor<R>>
+    });
+    let host_merge = g.add_stage(alpha, move |_| {
+        Box::new(FullMergeFunctor::<R>::new(gamma2, stripe)) as Box<dyn Functor<R>>
+    });
+    let collect = g.add_stage(d, |_| {
+        Box::new(RelayFunctor::new("collect-sorted")) as Box<dyn Functor<R>>
+    });
+    // Subset port b → host-merge instance b.
+    g.connect(asu_merge, host_merge, RoutingPolicy::Static, EdgeKind::Set)
+        .map_err(JobError::Graph)?;
+    g.connect(host_merge, collect, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .map_err(JobError::Graph)?;
+
+    let mut placement = Placement::new();
+    placement.spread_over_asus(asu_merge, d, d);
+    placement.spread_over_hosts(host_merge, alpha, h);
+    placement.spread_over_asus(collect, d, d);
+
+    let mut inputs = BTreeMap::new();
+    for (asu, runs) in runs_per_asu.into_iter().enumerate() {
+        inputs.insert((asu_merge.0, asu), runs);
+    }
+
+    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let output = report
+        .sink_outputs
+        .values()
+        .flatten()
+        .map(|(_, p)| p.clone())
+        .collect();
+    Ok(Pass2Result { report, output })
+}
+
+/// Outcome of a multi-pass DSM-Sort (γ too small for two passes).
+pub struct DsmMultiOutcome<R: Record> {
+    /// Pass-1 (run formation) report.
+    pub pass1: EmulationReport<R>,
+    /// One report per intermediate ASU-local merge pass.
+    pub intermediate: Vec<EmulationReport<R>>,
+    /// The final (host-involving) merge pass report.
+    pub final_merge: EmulationReport<R>,
+    /// Total emulated time across all passes.
+    pub total: SimDuration,
+    /// Final sorted stripes.
+    pub output: Vec<Packet<R>>,
+    /// The splitters used.
+    pub splitters: Vec<<R as Record>::Key>,
+}
+
+/// One intermediate merge pass: every ASU merges its *local* runs γ₁ at
+/// a time, per subset, writing the longer runs back locally — no network
+/// traffic, matching the paper's host↔ASU-only communication model.
+pub fn run_intermediate_merge<R: Record>(
+    cluster: &ClusterConfig,
+    runs_per_asu: Vec<Vec<Packet<R>>>,
+    splitters: Vec<R::Key>,
+    gamma1: usize,
+    packet_records: usize,
+) -> Result<(EmulationReport<R>, Vec<Vec<Packet<R>>>), DsmError> {
+    let _ = packet_records;
+    let d = cluster.asus;
+    if runs_per_asu.len() != d {
+        return Err(DsmError::InputShape(format!(
+            "runs_per_asu has {} entries for {} ASUs",
+            runs_per_asu.len(),
+            d
+        )));
+    }
+    let mut g: FlowGraph<R> = FlowGraph::new();
+    let sp = splitters.clone();
+    // Source == sink: merged runs stay on their ASU.
+    let merge = g.add_source_stage(d, move |_| {
+        Box::new(SubsetMergeFunctor::<R>::new(sp.clone(), gamma1)) as Box<dyn Functor<R>>
+    });
+    let mut placement = Placement::new();
+    placement.spread_over_asus(merge, d, d);
+    let mut inputs = BTreeMap::new();
+    for (asu, runs) in runs_per_asu.into_iter().enumerate() {
+        inputs.insert((merge.0, asu), runs);
+    }
+    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let merged = (0..d)
+        .map(|asu| {
+            report
+                .sink_outputs
+                .get(&(merge.0, asu))
+                .map(|v| v.iter().map(|(_, p)| p.clone()).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    Ok((report, merged))
+}
+
+/// Largest number of runs any single subset contributes to the final
+/// host merge (after the pass-2 ASU-side γ₁ reduction).
+fn max_host_fanin<R: Record>(
+    runs_per_asu: &[Vec<Packet<R>>],
+    splitters: &[R::Key],
+    gamma1: usize,
+) -> usize {
+    let alpha = splitters.len() + 1;
+    let mut per_subset = vec![0usize; alpha];
+    for runs in runs_per_asu {
+        let mut local = vec![0usize; alpha];
+        for run in runs {
+            if let Some(k) = run.min_key() {
+                local[lmas_core::kernels::bucket_of(k, splitters)] += 1;
+            }
+        }
+        for (s, &c) in local.iter().enumerate() {
+            per_subset[s] += c.div_ceil(gamma1);
+        }
+    }
+    per_subset.into_iter().max().unwrap_or(0)
+}
+
+/// Full DSM-Sort that inserts intermediate ASU-local merge passes while
+/// the final host fan-in would exceed γ₂ — "more passes may
+/// theoretically be required if γ is small, but two passes are
+/// sufficient in practice" (Section 4.3). A safety valve errors out
+/// rather than looping if γ₁ = 1 can make no progress.
+pub fn run_dsm_sort_multipass<R: Record>(
+    cluster: &ClusterConfig,
+    data: Vec<R>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<DsmMultiOutcome<R>, DsmError> {
+    // Multi-pass relaxes the two-pass capacity rule: validate parameter
+    // shape only (nonzero knobs), not α·β·γ ≥ n.
+    dsm.validate_for(1)?;
+    if dsm.gamma1 < 2 {
+        return Err(DsmError::InputShape(
+            "multi-pass merging needs γ₁ ≥ 2 to make progress".into(),
+        ));
+    }
+    let splitters = choose_splitters(&data, dsm.alpha);
+    let per_asu = split_across_asus(&data, cluster.asus);
+    drop(data);
+    let p1 = run_pass1(cluster, per_asu, splitters.clone(), dsm, mode)?;
+    let mut total = p1.report.makespan;
+    let mut runs = p1.runs_per_asu;
+    let mut intermediate = Vec::new();
+    while max_host_fanin(&runs, &splitters, dsm.gamma1) > dsm.gamma2 {
+        let (report, merged) = run_intermediate_merge(
+            cluster,
+            runs,
+            splitters.clone(),
+            dsm.gamma1,
+            dsm.input_packet_records,
+        )?;
+        total += report.makespan;
+        intermediate.push(report);
+        runs = merged;
+        if intermediate.len() > 64 {
+            return Err(DsmError::InputShape(
+                "merge did not converge in 64 passes".into(),
+            ));
+        }
+    }
+    let p2 = run_pass2(cluster, runs, splitters.clone(), dsm)?;
+    total += p2.report.makespan;
+    Ok(DsmMultiOutcome {
+        pass1: p1.report,
+        intermediate,
+        final_merge: p2.report,
+        total,
+        output: p2.output,
+        splitters,
+    })
+}
+
+/// Sample-based splitter selection for an α-way distribute over `data`.
+pub fn choose_splitters<R: Record>(data: &[R], alpha: usize) -> Vec<R::Key> {
+    let sample_target = (alpha * 64).max(1024).min(data.len().max(1));
+    let stride = (data.len() / sample_target).max(1);
+    let sample: Vec<R> = data.iter().step_by(stride).cloned().collect();
+    select_splitters(sample, alpha)
+}
+
+/// Split `data` into `d` near-equal contiguous chunks (the "input data
+/// initially distributed across the ASUs" layout).
+pub fn split_across_asus<R: Clone>(data: &[R], d: usize) -> Vec<Vec<R>> {
+    assert!(d > 0, "need at least one ASU");
+    let n = data.len();
+    (0..d)
+        .map(|i| {
+            let lo = i * n / d;
+            let hi = (i + 1) * n / d;
+            data[lo..hi].to_vec()
+        })
+        .collect()
+}
+
+/// Run the full two-pass DSM-Sort on `data` (split contiguously across
+/// the ASUs), with sampled splitters.
+pub fn run_dsm_sort<R: Record>(
+    cluster: &ClusterConfig,
+    data: Vec<R>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<DsmOutcome<R>, DsmError> {
+    dsm.validate_for(data.len() as u64)?;
+    let splitters = choose_splitters(&data, dsm.alpha);
+    let per_asu = split_across_asus(&data, cluster.asus);
+    drop(data);
+    let p1 = run_pass1(cluster, per_asu, splitters.clone(), dsm, mode)?;
+    let p2 = run_pass2(cluster, p1.runs_per_asu, splitters.clone(), dsm)?;
+    let total = p1.report.makespan + p2.report.makespan;
+    Ok(DsmOutcome {
+        pass1: p1.report,
+        pass2: p2.report,
+        total,
+        output: p2.output,
+        splitters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_host_assignment_splits_contiguously() {
+        // 4 subsets over 2 hosts: halves.
+        assert_eq!(static_host_of(0, 4, 2), 0);
+        assert_eq!(static_host_of(1, 4, 2), 0);
+        assert_eq!(static_host_of(2, 4, 2), 1);
+        assert_eq!(static_host_of(3, 4, 2), 1);
+        // More hosts than subsets: spread, clamped.
+        assert_eq!(static_host_of(0, 2, 4), 0);
+        assert_eq!(static_host_of(1, 2, 4), 2);
+        // α = 1 on any host count stays in range.
+        assert_eq!(static_host_of(0, 1, 3), 0);
+    }
+
+    #[test]
+    fn split_across_asus_covers_everything() {
+        let data: Vec<u32> = (0..10).collect();
+        let chunks = split_across_asus(&data, 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<u32> = chunks.concat();
+        assert_eq!(flat, data);
+        assert!(chunks.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn choose_splitters_has_alpha_minus_one_keys() {
+        let data = lmas_core::generate_rec8(10_000, lmas_core::KeyDist::Uniform, 1);
+        let sp = choose_splitters(&data, 16);
+        assert_eq!(sp.len(), 15);
+        assert!(sp.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,38 @@
+//! # lmas-sort — DSM-Sort on load-managed active storage
+//!
+//! The paper's Section 4.3 application: a hybrid distribute/sort/merge
+//! external sort whose (α, β, γ₁, γ₂) knobs move comparison work between
+//! ASUs and hosts, built from the `lmas-core` functor library and run on
+//! the `lmas-emulator` cluster.
+//!
+//! - [`config`]: the knobs, their validation, and the load modes of
+//!   Figure 10 (static subset assignment vs SR spreading);
+//! - [`functors`]: the merge-phase kernels (ASU γ₁-merge, host γ₂-merge);
+//! - [`dsm`]: two-pass orchestration ([`run_dsm_sort`], [`run_pass1`],
+//!   [`run_pass2`]);
+//! - [`baseline`]: the passive-storage comparison of Figure 9;
+//! - [`adaptive`]: model-driven (α, γ₁, γ₂) selection;
+//! - [`skew`]: workload layouts, incl. Figure 10's half-uniform/half-
+//!   exponential input;
+//! - [`verify`]: output sortedness and permutation checks.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baseline;
+pub mod config;
+pub mod dsm;
+pub mod functors;
+pub mod skew;
+pub mod verify;
+
+pub use adaptive::{adaptive_alpha, adaptive_config, ALPHA_CANDIDATES};
+pub use baseline::{pass1_speedup, run_pass1_baseline};
+pub use config::{DsmConfig, DsmConfigError, LoadMode};
+pub use dsm::{
+    choose_splitters, run_dsm_sort, run_dsm_sort_multipass, run_intermediate_merge, run_pass1,
+    run_pass2, split_across_asus, DsmError, DsmMultiOutcome, DsmOutcome, Pass1Result,
+    Pass2Result,
+};
+pub use functors::{DistributeSortFunctor, FullMergeFunctor, SubsetMergeFunctor};
+pub use verify::{check_tag_permutation, reconstruct_sorted, verify_rec128_output, VerifyError};

@@ -1,0 +1,179 @@
+//! Output verification: sortedness and permutation checks.
+//!
+//! DSM-Sort's final output is a set of sorted stripes scattered across
+//! the ASUs. Because the stripes partition one globally sorted sequence
+//! into key intervals, ordering them by `(min, max)` and concatenating
+//! must reproduce a sorted sequence; any corruption (lost records,
+//! mis-bucketed keys, unsorted runs) breaks one of the checks here.
+
+use lmas_core::{Packet, Record};
+use std::fmt;
+
+/// Verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A stripe was internally unsorted.
+    UnsortedStripe {
+        /// Index of the stripe in input order.
+        index: usize,
+    },
+    /// Concatenation in (min, max) order is not globally sorted.
+    GlobalOrderBroken {
+        /// Position of the inversion in the reconstructed sequence.
+        position: usize,
+    },
+    /// Record count differs from expectation.
+    WrongCount {
+        /// Expected record count.
+        expected: u64,
+        /// Actual record count.
+        actual: u64,
+    },
+    /// The tag multiset is not the permutation `0..n`.
+    NotAPermutation {
+        /// First offending tag position.
+        position: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnsortedStripe { index } => write!(f, "stripe {index} is unsorted"),
+            VerifyError::GlobalOrderBroken { position } => {
+                write!(f, "global order broken at position {position}")
+            }
+            VerifyError::WrongCount { expected, actual } => {
+                write!(f, "expected {expected} records, found {actual}")
+            }
+            VerifyError::NotAPermutation { position } => {
+                write!(f, "tags are not a permutation (first mismatch at {position})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Reconstruct the globally sorted sequence from sorted stripes; checks
+/// each stripe and the reconstructed order.
+pub fn reconstruct_sorted<R: Record>(stripes: &[Packet<R>]) -> Result<Vec<R>, VerifyError> {
+    for (i, s) in stripes.iter().enumerate() {
+        if !s.is_sorted() {
+            return Err(VerifyError::UnsortedStripe { index: i });
+        }
+    }
+    let mut order: Vec<&Packet<R>> = stripes.iter().filter(|s| !s.is_empty()).collect();
+    order.sort_by_key(|s| (s.min_key().expect("non-empty"), s.max_key().expect("non-empty")));
+    let mut out = Vec::with_capacity(order.iter().map(|s| s.len()).sum());
+    for s in order {
+        out.extend(s.records().iter().cloned());
+    }
+    for (i, w) in out.windows(2).enumerate() {
+        if w[0].key() > w[1].key() {
+            return Err(VerifyError::GlobalOrderBroken { position: i + 1 });
+        }
+    }
+    Ok(out)
+}
+
+/// Check that `tags` (in any order) is exactly the multiset `0..n`.
+pub fn check_tag_permutation(
+    tags: impl IntoIterator<Item = u64>,
+    n: u64,
+) -> Result<(), VerifyError> {
+    let mut tags: Vec<u64> = tags.into_iter().collect();
+    if tags.len() as u64 != n {
+        return Err(VerifyError::WrongCount {
+            expected: n,
+            actual: tags.len() as u64,
+        });
+    }
+    tags.sort_unstable();
+    for (i, &t) in tags.iter().enumerate() {
+        if t != i as u64 {
+            return Err(VerifyError::NotAPermutation { position: i });
+        }
+    }
+    Ok(())
+}
+
+/// Full check for `Rec128` outputs: reconstruct, verify order, count, and
+/// the tag permutation. Returns the sorted records.
+pub fn verify_rec128_output(
+    stripes: &[Packet<lmas_core::Rec128>],
+    n: u64,
+) -> Result<Vec<lmas_core::Rec128>, VerifyError> {
+    let out = reconstruct_sorted(stripes)?;
+    check_tag_permutation(out.iter().map(|r| r.tag()), n)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmas_core::Rec8;
+
+    fn stripe(keys: &[u32]) -> Packet<Rec8> {
+        Packet::new(keys.iter().map(|&k| Rec8 { key: k, tag: k }).collect())
+    }
+
+    #[test]
+    fn reconstructs_interleaved_stripes() {
+        let stripes = vec![stripe(&[4, 5]), stripe(&[0, 1]), stripe(&[2, 3])];
+        let out = reconstruct_sorted(&stripes).unwrap();
+        assert_eq!(out.iter().map(|r| r.key).collect::<Vec<_>>(), [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn handles_duplicate_boundaries() {
+        // Stripes sharing boundary keys still reconstruct.
+        let stripes = vec![stripe(&[2, 2, 3]), stripe(&[1, 2, 2])];
+        let out = reconstruct_sorted(&stripes).unwrap();
+        assert_eq!(out.iter().map(|r| r.key).collect::<Vec<_>>(), [1, 2, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn detects_unsorted_stripe() {
+        let stripes = vec![stripe(&[3, 1])];
+        assert_eq!(
+            reconstruct_sorted(&stripes),
+            Err(VerifyError::UnsortedStripe { index: 0 })
+        );
+    }
+
+    #[test]
+    fn detects_overlapping_stripes() {
+        // [0, 5] and [1, 2]: true interleaving that no stripe order fixes.
+        let stripes = vec![stripe(&[0, 5]), stripe(&[1, 2])];
+        assert!(matches!(
+            reconstruct_sorted(&stripes),
+            Err(VerifyError::GlobalOrderBroken { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stripes_are_skipped() {
+        let stripes = vec![stripe(&[]), stripe(&[1]), stripe(&[])];
+        let out = reconstruct_sorted(&stripes).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn permutation_check_catches_everything() {
+        assert!(check_tag_permutation([0, 1, 2], 3).is_ok());
+        assert!(check_tag_permutation([2, 0, 1], 3).is_ok());
+        assert_eq!(
+            check_tag_permutation([0, 1], 3),
+            Err(VerifyError::WrongCount { expected: 3, actual: 2 })
+        );
+        assert_eq!(
+            check_tag_permutation([0, 1, 1], 3),
+            Err(VerifyError::NotAPermutation { position: 2 })
+        );
+        assert_eq!(
+            check_tag_permutation([0, 1, 5], 3),
+            Err(VerifyError::NotAPermutation { position: 2 })
+        );
+    }
+}

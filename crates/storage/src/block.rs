@@ -1,0 +1,214 @@
+//! Blocks and extents: the unit of transfer in the I/O complexity model.
+//!
+//! The paper's Figure 1 defines complexity in terms of logical block
+//! transfers of size `B`. A [`Block`] is a fixed-capacity byte buffer; a
+//! [`BlockId`] names a stored block within a block transfer engine; an
+//! [`Extent`] is a contiguous run of block ids used for sequential layout.
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Names a stored block within one [`crate::bte::BlockTransferEngine`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The id `offset` blocks after this one.
+    #[inline]
+    pub fn offset(self, n: u64) -> BlockId {
+        BlockId(self.0 + n)
+    }
+}
+
+/// A fixed-capacity data block. The buffer always holds exactly
+/// `capacity` bytes; writers fill a prefix and record the valid length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    data: BytesMut,
+    valid: usize,
+    capacity: usize,
+}
+
+impl Block {
+    /// A zeroed block of the given capacity.
+    pub fn zeroed(capacity: usize) -> Block {
+        assert!(capacity > 0, "block capacity must be positive");
+        Block {
+            data: BytesMut::zeroed(capacity),
+            valid: 0,
+            capacity,
+        }
+    }
+
+    /// Wrap existing bytes as a fully valid block.
+    pub fn from_bytes(bytes: &[u8]) -> Block {
+        assert!(!bytes.is_empty(), "block capacity must be positive");
+        Block {
+            data: BytesMut::from(bytes),
+            valid: bytes.len(),
+            capacity: bytes.len(),
+        }
+    }
+
+    /// Block capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of valid (written) bytes.
+    #[inline]
+    pub fn valid_len(&self) -> usize {
+        self.valid
+    }
+
+    /// Set the number of valid bytes. Panics beyond capacity.
+    pub fn set_valid_len(&mut self, n: usize) {
+        assert!(n <= self.capacity, "valid length exceeds capacity");
+        self.valid = n;
+    }
+
+    /// The valid prefix.
+    #[inline]
+    pub fn valid_bytes(&self) -> &[u8] {
+        &self.data[..self.valid]
+    }
+
+    /// The whole buffer, mutable.
+    #[inline]
+    pub fn buffer_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// The whole buffer.
+    #[inline]
+    pub fn buffer(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Freeze into an immutable byte view of the valid prefix.
+    pub fn freeze_valid(self) -> Bytes {
+        let mut data = self.data;
+        data.truncate(self.valid);
+        data.freeze()
+    }
+}
+
+/// A contiguous run of blocks `[first, first + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    /// First block id of the run.
+    pub first: BlockId,
+    /// Number of blocks.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Empty extent check.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the block ids of the extent.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.len).map(move |i| self.first.offset(i))
+    }
+
+    /// Whether `id` falls within the extent.
+    pub fn contains(&self, id: BlockId) -> bool {
+        id.0 >= self.first.0 && id.0 < self.first.0 + self.len
+    }
+}
+
+/// Hands out fresh block ids / extents; a trivial allocator for engines
+/// that never reuse ids (frees are tracked only for accounting).
+#[derive(Debug, Default, Clone)]
+pub struct ExtentAllocator {
+    next: u64,
+    allocated: u64,
+    freed: u64,
+}
+
+impl ExtentAllocator {
+    /// Fresh allocator starting at block 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a contiguous extent of `len` blocks.
+    pub fn allocate(&mut self, len: u64) -> Extent {
+        let first = BlockId(self.next);
+        self.next += len;
+        self.allocated += len;
+        Extent { first, len }
+    }
+
+    /// Record that an extent was released.
+    pub fn free(&mut self, extent: Extent) {
+        self.freed += extent.len;
+    }
+
+    /// Blocks currently live (allocated − freed).
+    pub fn live(&self) -> u64 {
+        self.allocated - self.freed
+    }
+
+    /// Total blocks ever allocated.
+    pub fn total_allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_valid_prefix_tracking() {
+        let mut b = Block::zeroed(16);
+        assert_eq!(b.capacity(), 16);
+        assert_eq!(b.valid_len(), 0);
+        b.buffer_mut()[..4].copy_from_slice(&[1, 2, 3, 4]);
+        b.set_valid_len(4);
+        assert_eq!(b.valid_bytes(), &[1, 2, 3, 4]);
+        assert_eq!(b.freeze_valid().as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn valid_len_bounded_by_capacity() {
+        Block::zeroed(4).set_valid_len(5);
+    }
+
+    #[test]
+    fn block_from_bytes_is_fully_valid() {
+        let b = Block::from_bytes(&[9, 8, 7]);
+        assert_eq!(b.valid_len(), 3);
+        assert_eq!(b.capacity(), 3);
+        assert_eq!(b.valid_bytes(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn extent_iteration_and_membership() {
+        let e = Extent { first: BlockId(10), len: 3 };
+        let ids: Vec<u64> = e.blocks().map(|b| b.0).collect();
+        assert_eq!(ids, [10, 11, 12]);
+        assert!(e.contains(BlockId(11)));
+        assert!(!e.contains(BlockId(13)));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn allocator_hands_out_disjoint_extents() {
+        let mut a = ExtentAllocator::new();
+        let e1 = a.allocate(4);
+        let e2 = a.allocate(2);
+        assert!(e1.blocks().all(|b| !e2.contains(b)));
+        assert_eq!(a.live(), 6);
+        a.free(e1);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.total_allocated(), 6);
+    }
+}

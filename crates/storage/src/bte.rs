@@ -1,0 +1,60 @@
+//! The Block Transfer Engine (BTE) abstraction.
+//!
+//! TPIE — the external-memory toolkit the paper extends — abstracts the
+//! underlying storage system behind a pluggable BTE. We keep the same
+//! seam: containers and the emulator speak [`BlockTransferEngine`], and an
+//! engine may live in memory (tests, emulation) or on the filesystem
+//! (examples exercising real I/O).
+
+use crate::block::{Block, BlockId, Extent};
+use std::io;
+
+/// Counters every engine maintains.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BteStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Bytes read (valid payload).
+    pub bytes_read: u64,
+    /// Bytes written (valid payload).
+    pub bytes_written: u64,
+}
+
+/// A pluggable block store: fixed block size, id-addressed reads/writes.
+pub trait BlockTransferEngine {
+    /// The engine's block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Allocate a contiguous extent of `len` blocks.
+    fn allocate(&mut self, len: u64) -> Extent;
+
+    /// Release an extent. Reading a freed block is an error.
+    fn free(&mut self, extent: Extent) -> io::Result<()>;
+
+    /// Write `block` at `id`. The block's capacity must equal the engine
+    /// block size; only the valid prefix is meaningful.
+    fn write_block(&mut self, id: BlockId, block: &Block) -> io::Result<()>;
+
+    /// Read the block at `id`.
+    fn read_block(&mut self, id: BlockId) -> io::Result<Block>;
+
+    /// Transfer counters.
+    fn stats(&self) -> BteStats;
+}
+
+/// Validate a block against an engine's block size; shared by engines.
+pub(crate) fn check_block_size(engine_bs: usize, block: &Block) -> io::Result<()> {
+    if block.capacity() != engine_bs {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "block capacity {} does not match engine block size {}",
+                block.capacity(),
+                engine_bs
+            ),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! File-backed block transfer engine.
+//!
+//! Stores blocks in a single flat file, one slot per block id (a slot is
+//! `4 + block_size` bytes: a little-endian valid-length header followed by
+//! the buffer). Used by examples and tests that want data to actually hit
+//! the filesystem; the emulator's timing model is independent of which
+//! engine holds the bytes.
+
+use crate::block::{Block, BlockId, Extent, ExtentAllocator};
+use crate::bte::{check_block_size, BlockTransferEngine, BteStats};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A flat-file BTE.
+#[derive(Debug)]
+pub struct FileBte {
+    file: File,
+    block_size: usize,
+    allocator: ExtentAllocator,
+    written: HashSet<BlockId>,
+    stats: BteStats,
+}
+
+impl FileBte {
+    /// Create (truncating) a backing file at `path`.
+    pub fn create(path: &Path, block_size: usize) -> io::Result<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBte {
+            file,
+            block_size,
+            allocator: ExtentAllocator::new(),
+            written: HashSet::new(),
+            stats: BteStats::default(),
+        })
+    }
+
+    fn slot_size(&self) -> u64 {
+        4 + self.block_size as u64
+    }
+
+    fn offset_of(&self, id: BlockId) -> u64 {
+        id.0 * self.slot_size()
+    }
+}
+
+impl BlockTransferEngine for FileBte {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn allocate(&mut self, len: u64) -> Extent {
+        self.allocator.allocate(len)
+    }
+
+    fn free(&mut self, extent: Extent) -> io::Result<()> {
+        for id in extent.blocks() {
+            self.written.remove(&id);
+        }
+        self.allocator.free(extent);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, block: &Block) -> io::Result<()> {
+        check_block_size(self.block_size, block)?;
+        self.file.seek(SeekFrom::Start(self.offset_of(id)))?;
+        self.file.write_all(&(block.valid_len() as u32).to_le_bytes())?;
+        self.file.write_all(block.buffer())?;
+        self.written.insert(id);
+        self.stats.writes += 1;
+        self.stats.bytes_written += block.valid_len() as u64;
+        Ok(())
+    }
+
+    fn read_block(&mut self, id: BlockId) -> io::Result<Block> {
+        if !self.written.contains(&id) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("block {id:?} was never written or has been freed"),
+            ));
+        }
+        self.file.seek(SeekFrom::Start(self.offset_of(id)))?;
+        let mut hdr = [0u8; 4];
+        self.file.read_exact(&mut hdr)?;
+        let valid = u32::from_le_bytes(hdr) as usize;
+        if valid > self.block_size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "corrupt slot header: valid length exceeds block size",
+            ));
+        }
+        let mut b = Block::zeroed(self.block_size);
+        self.file.read_exact(b.buffer_mut())?;
+        b.set_valid_len(valid);
+        self.stats.reads += 1;
+        self.stats.bytes_read += valid as u64;
+        Ok(b)
+    }
+
+    fn stats(&self) -> BteStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lmas-filebte-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_through_the_filesystem() {
+        let path = tmp("roundtrip");
+        let mut bte = FileBte::create(&path, 32).unwrap();
+        let e = bte.allocate(3);
+        for (i, id) in e.blocks().enumerate() {
+            let mut b = Block::zeroed(32);
+            b.buffer_mut()[0] = i as u8;
+            b.set_valid_len(1 + i);
+            bte.write_block(id, &b).unwrap();
+        }
+        for (i, id) in e.blocks().enumerate() {
+            let b = bte.read_block(id).unwrap();
+            assert_eq!(b.valid_len(), 1 + i);
+            assert_eq!(b.valid_bytes()[0], i as u8);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unwritten_read_is_not_found() {
+        let path = tmp("notfound");
+        let mut bte = FileBte::create(&path, 32).unwrap();
+        let e = bte.allocate(1);
+        assert_eq!(
+            bte.read_block(e.first).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn freed_block_unreadable() {
+        let path = tmp("freed");
+        let mut bte = FileBte::create(&path, 16).unwrap();
+        let e = bte.allocate(1);
+        let mut b = Block::zeroed(16);
+        b.set_valid_len(16);
+        bte.write_block(e.first, &b).unwrap();
+        bte.free(e).unwrap();
+        assert!(bte.read_block(e.first).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn stats_match_memory_engine_semantics() {
+        let path = tmp("stats");
+        let mut bte = FileBte::create(&path, 64).unwrap();
+        let e = bte.allocate(1);
+        let mut b = Block::zeroed(64);
+        b.set_valid_len(48);
+        bte.write_block(e.first, &b).unwrap();
+        bte.read_block(e.first).unwrap();
+        let s = bte.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+        assert_eq!((s.bytes_read, s.bytes_written), (48, 48));
+        std::fs::remove_file(path).unwrap();
+    }
+}

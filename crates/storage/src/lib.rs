@@ -1,0 +1,32 @@
+//! # lmas-storage — block transfer engines and disk timing models
+//!
+//! The storage substrate beneath the LMAS programming model, mirroring the
+//! pluggable Block Transfer Engine (BTE) seam of TPIE, the external-memory
+//! toolkit the paper extends:
+//!
+//! - [`block`]: blocks, ids, extents, a bump allocator;
+//! - [`bte`]: the [`BlockTransferEngine`] trait and transfer counters;
+//! - [`memory`]: heap-backed engine (default under emulation);
+//! - [`file`]: flat-file engine for examples that exercise real I/O;
+//! - [`disk_model`]: the paper's sequential-rate disk timing model with
+//!   read-ahead and write-behind;
+//! - [`record_io`]: packing fixed-size records into blocks.
+//!
+//! Timing and contents are deliberately separated: any engine can hold the
+//! bytes while [`DiskSim`] decides what the I/O *costs* in virtual time.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bte;
+pub mod disk_model;
+pub mod file;
+pub mod memory;
+pub mod record_io;
+
+pub use block::{Block, BlockId, Extent, ExtentAllocator};
+pub use bte::{BlockTransferEngine, BteStats};
+pub use disk_model::{DiskParams, DiskSim};
+pub use file::FileBte;
+pub use memory::MemoryBte;
+pub use record_io::RecordCodec;

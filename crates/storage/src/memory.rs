@@ -1,0 +1,169 @@
+//! In-memory block transfer engine.
+//!
+//! The default engine for emulation and tests: block contents live in a
+//! hash map, I/O *timing* is supplied separately by the emulator's disk
+//! model, so storing data in host memory does not distort measurements.
+
+use crate::block::{Block, BlockId, Extent, ExtentAllocator};
+use crate::bte::{check_block_size, BlockTransferEngine, BteStats};
+use std::collections::HashMap;
+use std::io;
+
+/// A heap-backed BTE.
+#[derive(Debug)]
+pub struct MemoryBte {
+    block_size: usize,
+    blocks: HashMap<BlockId, Vec<u8>>, // stored as (valid_len prefix) full buffers
+    valid: HashMap<BlockId, usize>,
+    allocator: ExtentAllocator,
+    stats: BteStats,
+}
+
+impl MemoryBte {
+    /// New engine with the given block size (bytes).
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        MemoryBte {
+            block_size,
+            blocks: HashMap::new(),
+            valid: HashMap::new(),
+            allocator: ExtentAllocator::new(),
+            stats: BteStats::default(),
+        }
+    }
+
+    /// Number of blocks currently stored.
+    pub fn stored_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks live per the allocator (allocated − freed).
+    pub fn live_blocks(&self) -> u64 {
+        self.allocator.live()
+    }
+}
+
+impl BlockTransferEngine for MemoryBte {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn allocate(&mut self, len: u64) -> Extent {
+        self.allocator.allocate(len)
+    }
+
+    fn free(&mut self, extent: Extent) -> io::Result<()> {
+        for id in extent.blocks() {
+            self.blocks.remove(&id);
+            self.valid.remove(&id);
+        }
+        self.allocator.free(extent);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, block: &Block) -> io::Result<()> {
+        check_block_size(self.block_size, block)?;
+        self.blocks.insert(id, block.buffer().to_vec());
+        self.valid.insert(id, block.valid_len());
+        self.stats.writes += 1;
+        self.stats.bytes_written += block.valid_len() as u64;
+        Ok(())
+    }
+
+    fn read_block(&mut self, id: BlockId) -> io::Result<Block> {
+        let data = self.blocks.get(&id).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("block {id:?} was never written or has been freed"),
+            )
+        })?;
+        let mut b = Block::zeroed(self.block_size);
+        b.buffer_mut().copy_from_slice(data);
+        b.set_valid_len(self.valid[&id]);
+        self.stats.reads += 1;
+        self.stats.bytes_read += b.valid_len() as u64;
+        Ok(b)
+    }
+
+    fn stats(&self) -> BteStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_block(bs: usize, byte: u8, valid: usize) -> Block {
+        let mut b = Block::zeroed(bs);
+        for x in &mut b.buffer_mut()[..valid] {
+            *x = byte;
+        }
+        b.set_valid_len(valid);
+        b
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut bte = MemoryBte::new(64);
+        let e = bte.allocate(2);
+        let b = filled_block(64, 0xAB, 10);
+        bte.write_block(e.first, &b).unwrap();
+        let back = bte.read_block(e.first).unwrap();
+        assert_eq!(back.valid_bytes(), b.valid_bytes());
+        assert_eq!(back.valid_len(), 10);
+    }
+
+    #[test]
+    fn reading_unwritten_block_errors() {
+        let mut bte = MemoryBte::new(64);
+        let e = bte.allocate(1);
+        let err = bte.read_block(e.first).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn free_releases_contents() {
+        let mut bte = MemoryBte::new(32);
+        let e = bte.allocate(1);
+        bte.write_block(e.first, &filled_block(32, 1, 32)).unwrap();
+        assert_eq!(bte.stored_blocks(), 1);
+        bte.free(e).unwrap();
+        assert_eq!(bte.stored_blocks(), 0);
+        assert_eq!(bte.live_blocks(), 0);
+        assert!(bte.read_block(e.first).is_err());
+    }
+
+    #[test]
+    fn wrong_block_size_rejected() {
+        let mut bte = MemoryBte::new(64);
+        let e = bte.allocate(1);
+        let err = bte.write_block(e.first, &filled_block(32, 0, 0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn stats_count_payload_bytes() {
+        let mut bte = MemoryBte::new(64);
+        let e = bte.allocate(2);
+        bte.write_block(e.first, &filled_block(64, 1, 40)).unwrap();
+        bte.write_block(e.first.offset(1), &filled_block(64, 2, 64)).unwrap();
+        bte.read_block(e.first).unwrap();
+        let s = bte.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 104);
+        assert_eq!(s.bytes_read, 40);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut bte = MemoryBte::new(16);
+        let e = bte.allocate(1);
+        bte.write_block(e.first, &filled_block(16, 1, 16)).unwrap();
+        bte.write_block(e.first, &filled_block(16, 2, 8)).unwrap();
+        let back = bte.read_block(e.first).unwrap();
+        assert_eq!(back.valid_len(), 8);
+        assert!(back.valid_bytes().iter().all(|&b| b == 2));
+    }
+}

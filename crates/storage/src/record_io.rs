@@ -1,0 +1,129 @@
+//! Packing fixed-size records into blocks.
+//!
+//! Containers store records; engines store blocks. [`RecordCodec`] is the
+//! bridge: it lays `record_size`-byte records densely into a block and
+//! recovers them, tracking how many fit per block.
+
+use crate::block::Block;
+
+/// Dense fixed-size record layout within fixed-size blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordCodec {
+    record_size: usize,
+    block_size: usize,
+}
+
+impl RecordCodec {
+    /// A codec for `record_size`-byte records in `block_size`-byte blocks.
+    /// Panics unless at least one record fits.
+    pub fn new(record_size: usize, block_size: usize) -> Self {
+        assert!(record_size > 0, "record size must be positive");
+        assert!(
+            block_size >= record_size,
+            "block size {block_size} cannot hold a {record_size}-byte record"
+        );
+        RecordCodec {
+            record_size,
+            block_size,
+        }
+    }
+
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Records that fit in one block.
+    pub fn records_per_block(&self) -> usize {
+        self.block_size / self.record_size
+    }
+
+    /// Blocks needed to store `n` records.
+    pub fn blocks_for(&self, n: u64) -> u64 {
+        n.div_ceil(self.records_per_block() as u64)
+    }
+
+    /// Pack up to `records_per_block` records (each exactly `record_size`
+    /// bytes, concatenated in `payload`) into a block. Returns the block
+    /// and the number of records packed.
+    pub fn pack(&self, payload: &[u8]) -> (Block, usize) {
+        assert!(
+            payload.len() % self.record_size == 0,
+            "payload is not a whole number of records"
+        );
+        let n = (payload.len() / self.record_size).min(self.records_per_block());
+        let bytes = n * self.record_size;
+        let mut b = Block::zeroed(self.block_size);
+        b.buffer_mut()[..bytes].copy_from_slice(&payload[..bytes]);
+        b.set_valid_len(bytes);
+        (b, n)
+    }
+
+    /// Number of records in a block's valid prefix.
+    pub fn unpack_count(&self, block: &Block) -> usize {
+        assert!(
+            block.valid_len() % self.record_size == 0,
+            "block holds a partial record"
+        );
+        block.valid_len() / self.record_size
+    }
+
+    /// Iterate the records stored in a block.
+    pub fn unpack<'a>(&self, block: &'a Block) -> impl Iterator<Item = &'a [u8]> + 'a {
+        let rs = self.record_size;
+        let n = self.unpack_count(block);
+        block.valid_bytes()[..n * rs].chunks_exact(rs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = RecordCodec::new(128, 4096);
+        assert_eq!(c.records_per_block(), 32);
+        assert_eq!(c.blocks_for(0), 0);
+        assert_eq!(c.blocks_for(1), 1);
+        assert_eq!(c.blocks_for(32), 1);
+        assert_eq!(c.blocks_for(33), 2);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = RecordCodec::new(4, 16);
+        let payload: Vec<u8> = (0..12).collect(); // 3 records
+        let (b, n) = c.pack(&payload);
+        assert_eq!(n, 3);
+        assert_eq!(c.unpack_count(&b), 3);
+        let recs: Vec<Vec<u8>> = c.unpack(&b).map(|r| r.to_vec()).collect();
+        assert_eq!(recs, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11]]);
+    }
+
+    #[test]
+    fn pack_caps_at_block_capacity() {
+        let c = RecordCodec::new(4, 8); // 2 records per block
+        let payload: Vec<u8> = (0..16).collect(); // 4 records offered
+        let (b, n) = c.pack(&payload);
+        assert_eq!(n, 2);
+        assert_eq!(c.unpack_count(&b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_payload_rejected() {
+        RecordCodec::new(4, 8).pack(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn block_must_fit_one_record() {
+        RecordCodec::new(64, 32);
+    }
+}

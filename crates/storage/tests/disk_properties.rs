@@ -1,0 +1,96 @@
+//! Property tests for the sequential-disk timing model.
+
+use lmas_sim::{SimDuration, SimTime};
+use lmas_storage::{DiskParams, DiskSim};
+use proptest::prelude::*;
+
+fn params(rate: f64, window: u64) -> DiskParams {
+    DiskParams {
+        rate_bytes_per_sec: rate,
+        per_request_overhead: SimDuration::ZERO,
+        readahead_window: window,
+    }
+}
+
+proptest! {
+    /// Ready times are monotone for monotone request times, and a read
+    /// never completes before its request.
+    #[test]
+    fn reads_are_monotone_and_causal(
+        gaps in prop::collection::vec(0u64..1_000_000, 1..50),
+        sizes in prop::collection::vec(1u64..1_000_000, 1..50),
+    ) {
+        let mut d = DiskSim::new(params(50.0e6, 1 << 20), SimDuration::from_millis(10));
+        let mut now = SimTime::ZERO;
+        let mut prev_ready = SimTime::ZERO;
+        for (g, s) in gaps.iter().zip(&sizes) {
+            now = now + SimDuration(*g);
+            let ready = d.read(now, *s);
+            prop_assert!(ready >= now, "data before request");
+            prop_assert!(ready >= prev_ready, "ready times must be monotone");
+            prev_ready = ready;
+            now = ready;
+        }
+    }
+
+    /// Throughput never exceeds the media rate: streaming B bytes takes
+    /// at least B/rate regardless of request slicing.
+    #[test]
+    fn rate_is_an_upper_bound(
+        sizes in prop::collection::vec(1u64..500_000, 1..40),
+        window in 1u64..(4u64 << 20),
+    ) {
+        let rate = 40.0e6;
+        let mut d = DiskSim::new(params(rate, window), SimDuration::from_millis(10));
+        let mut now = SimTime::ZERO;
+        for s in &sizes {
+            now = d.read(now, *s);
+        }
+        let total: u64 = sizes.iter().sum();
+        let floor = total as f64 / rate;
+        prop_assert!(
+            now.as_secs_f64() >= floor * (1.0 - 1e-9),
+            "streamed {total} bytes in {} < {floor}",
+            now.as_secs_f64()
+        );
+    }
+
+    /// Write-behind: the caller's proceed time never precedes the
+    /// previous write's completion, and the media quiesces after the sum
+    /// of service times.
+    #[test]
+    fn writes_conserve_media_time(sizes in prop::collection::vec(1u64..500_000, 1..40)) {
+        let rate = 25.0e6;
+        let mut d = DiskSim::new(params(rate, 1 << 20), SimDuration::from_millis(10));
+        let mut now = SimTime::ZERO;
+        for s in &sizes {
+            let proceed = d.write(now, *s);
+            prop_assert!(proceed >= now);
+            now = proceed;
+        }
+        let total: u64 = sizes.iter().sum();
+        let floor = total as f64 / rate;
+        prop_assert!(d.quiesce_time().as_secs_f64() >= floor * (1.0 - 1e-9));
+        let (_, w, _, bw) = d.counters();
+        prop_assert_eq!(w as usize, sizes.len());
+        prop_assert_eq!(bw, total);
+    }
+
+    /// Read-ahead never lets a later consumer do better than media rate
+    /// from a cold start plus the window.
+    #[test]
+    fn readahead_bounded_by_window(idle_ms in 1u64..10_000, window in 1u64..(1u64 << 20)) {
+        let rate = 10.0e6;
+        let mut d = DiskSim::new(params(rate, window), SimDuration::from_millis(10));
+        let first = d.read(SimTime::ZERO, 100_000);
+        let back = first + SimDuration::from_millis(idle_ms);
+        let big = 4u64 << 20; // far beyond any window
+        let ready = d.read(back, big);
+        // At least (big - window)/rate of media time remains.
+        let floor = (big.saturating_sub(window)) as f64 / rate;
+        prop_assert!(
+            ready.since(back).as_secs_f64() >= floor * (1.0 - 1e-9),
+            "window {window} cannot hide {big} bytes"
+        );
+    }
+}

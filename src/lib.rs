@@ -1,0 +1,11 @@
+//! # lmas — load-managed active storage (facade crate)
+//!
+//! Re-exports the whole LMAS workspace behind one dependency. See the
+//! repository `README.md` for a tour and `DESIGN.md` for the architecture.
+
+pub use lmas_core as core;
+pub use lmas_emulator as emulator;
+pub use lmas_gis as gis;
+pub use lmas_sim as sim;
+pub use lmas_sort as sort;
+pub use lmas_storage as storage;

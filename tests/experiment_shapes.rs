@@ -1,0 +1,154 @@
+//! Shape tests: small-scale versions of the paper's experiments whose
+//! qualitative outcomes (who wins, where crossovers fall) must hold on
+//! every build. These guard the reproduction itself, not just the code.
+
+use lmas::core::{generate_rec128, KeyDist};
+use lmas::emulator::ClusterConfig;
+use lmas::sort::skew::{fig10_data_per_asu, uniform_assuming_splitters};
+use lmas::sort::{
+    choose_splitters, pass1_speedup, run_pass1, split_across_asus, DsmConfig, LoadMode,
+};
+
+fn speedup(d: usize, alpha: usize, n: u64) -> f64 {
+    let cluster = ClusterConfig::era_2002(1, d, 8.0);
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let splitters = choose_splitters(&data, alpha);
+    let dsm = DsmConfig::new(alpha, 4096, 8, 4096);
+    let per_asu = split_across_asus(&data, d);
+    let (s, _, _) =
+        pass1_speedup(&cluster, per_asu, splitters, &dsm, LoadMode::Static).expect("run");
+    s
+}
+
+/// Figure 9, left edge: with few ASUs, shifting work to them *hurts* —
+/// higher α values "increase the load on the bottlenecked ASUs,
+/// resulting in a slowdown relative to a conventional system".
+#[test]
+fn fig9_shape_large_alpha_slows_down_with_few_asus() {
+    let n = 1 << 15;
+    let s = speedup(2, 256, n);
+    assert!(s < 0.8, "α=256 at D=2 should slow down, got {s:.3}");
+}
+
+/// Figure 9, right edge: with many ASUs, higher α wins, and α=1 hovers
+/// near 1.0.
+#[test]
+fn fig9_shape_large_alpha_wins_with_many_asus() {
+    let n = 1 << 15;
+    let s256 = speedup(32, 256, n);
+    let s1 = speedup(32, 1, n);
+    assert!(s256 > 1.15, "α=256 at D=32 should speed up, got {s256:.3}");
+    assert!(s256 > s1, "bigger α must win at D=32 ({s256:.3} vs {s1:.3})");
+    assert!((0.85..1.15).contains(&s1), "α=1 stays near 1.0, got {s1:.3}");
+}
+
+/// Figure 9, saturation: "This experiment uses one host, which saturates
+/// at 16 ASUs" — adding ASUs beyond saturation stops helping.
+#[test]
+fn fig9_shape_host_saturates() {
+    let n = 1 << 15;
+    let s16 = speedup(16, 64, n);
+    let s64 = speedup(64, 64, n);
+    assert!(
+        s64 <= s16 * 1.25,
+        "post-saturation gains should be marginal: D=16 {s16:.3} → D=64 {s64:.3}"
+    );
+}
+
+/// Figure 9, monotone rise before saturation.
+#[test]
+fn fig9_shape_speedup_rises_with_asus() {
+    let n = 1 << 15;
+    let s2 = speedup(2, 64, n);
+    let s8 = speedup(8, 64, n);
+    let s32 = speedup(32, 64, n);
+    assert!(s2 < s8 && s8 < s32, "rise: {s2:.3} < {s8:.3} < {s32:.3}");
+}
+
+/// Figure 10: under skew, load management equalizes host utilization and
+/// finishes earlier.
+#[test]
+fn fig10_shape_load_management_balances_and_wins() {
+    let n = 1 << 17;
+    let d = 16;
+    let cluster = ClusterConfig::era_2002(2, d, 8.0);
+    let dsm = DsmConfig::new(16, 4096, 8, 4096);
+    let splitters = uniform_assuming_splitters(16);
+
+    let run = |mode| {
+        let data = fig10_data_per_asu(n, d, 42);
+        let r = run_pass1(&cluster, data, splitters.clone(), &dsm, mode).expect("run");
+        let m0 = r.report.nodes[0].mean_cpu_util;
+        let m1 = r.report.nodes[1].mean_cpu_util;
+        (r.report.makespan, (m0 - m1).abs())
+    };
+    let (t_static, gap_static) = run(LoadMode::Static);
+    let (t_managed, gap_managed) = run(LoadMode::managed_sr());
+    assert!(
+        t_managed < t_static,
+        "load-managed must terminate earlier: {t_managed} vs {t_static}"
+    );
+    assert!(
+        gap_managed < gap_static / 3.0,
+        "SR must equalize the hosts: gap {gap_managed:.3} vs static {gap_static:.3}"
+    );
+    assert!(gap_static > 0.2, "static run must actually be imbalanced");
+}
+
+/// TerraFlow: steps 1–2 parallelize over ASUs, step 3 does not.
+#[test]
+fn terraflow_shape_amdahl() {
+    use lmas::gis::{fractal_terrain, run_terraflow};
+    let grid = fractal_terrain(49, 49, 0.55, 6);
+    let mut dsm = DsmConfig::new(4, 256, 4, 256);
+    dsm.input_packet_records = 256;
+    let run = |d: usize| {
+        let cluster = ClusterConfig::era_2002(1, d, 8.0);
+        run_terraflow(&cluster, &grid, &dsm, LoadMode::Static)
+            .expect("terraflow")
+            .times
+    };
+    let (a1, _, a3) = run(2);
+    let (b1, _, b3) = run(8);
+    assert!(
+        b1.as_secs_f64() < a1.as_secs_f64() * 0.6,
+        "step 1 scales: {a1} → {b1}"
+    );
+    let ratio = b3.as_secs_f64() / a3.as_secs_f64();
+    assert!((0.9..1.1).contains(&ratio), "step 3 flat: {a3} → {b3}");
+}
+
+/// R-trees: stripe bounds single-query latency; partition carries more
+/// concurrent throughput.
+#[test]
+fn rtree_shape_latency_throughput_trade() {
+    use lmas::gis::{random_points, run_queries, DistRTree, Layout, Rect};
+    let d = 8;
+    let cluster = ClusterConfig::era_2002(1, d, 8.0);
+    let points = random_points(40_000, 11);
+    let one = vec![Rect::new(0.4, 0.0, 0.6, 1.0)];
+    let flood: Vec<Rect> = (0..64)
+        .map(|i| {
+            let x = (i % 8) as f32 / 8.0;
+            let y = (i / 8) as f32 / 8.0;
+            Rect::new(x, y, x + 0.12, y + 0.12)
+        })
+        .collect();
+
+    let part = DistRTree::build(points.clone(), d, 16, Layout::Partition);
+    let stripe = DistRTree::build(points, d, 16, Layout::Stripe);
+
+    let lat_part = run_queries(&cluster, &part, &one, 1).unwrap().report.makespan;
+    let lat_stripe = run_queries(&cluster, &stripe, &one, 1).unwrap().report.makespan;
+    assert!(
+        lat_stripe < lat_part,
+        "stripe bounds latency: {lat_stripe} vs {lat_part}"
+    );
+
+    let thr_part = run_queries(&cluster, &part, &flood, 4).unwrap().report.makespan;
+    let thr_stripe = run_queries(&cluster, &stripe, &flood, 4).unwrap().report.makespan;
+    assert!(
+        thr_part < thr_stripe,
+        "partition wins concurrent throughput: {thr_part} vs {thr_stripe}"
+    );
+}
