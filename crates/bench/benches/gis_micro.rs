@@ -1,63 +1,45 @@
-//! Criterion microbenchmarks for the GIS substrates: R-tree construction
-//! and search, the external priority queue, and watershed labeling.
+//! Wall-clock microbenchmarks for the GIS substrates: R-tree
+//! construction and search, the external priority queue, and watershed
+//! labeling. Runs as a plain main under `cargo bench --bench gis_micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lmas_bench::timing::BenchReport;
 use lmas_gis::{fractal_terrain, random_points, ExternalPq, RTree, Rect, WatershedLabeler};
 
-fn bench_rtree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rtree");
+fn main() {
+    let mut report = BenchReport::new();
+
     let points = random_points(50_000, 1);
-    g.bench_function("bulk_load_50k", |b| {
-        b.iter(|| RTree::bulk_load(points.clone(), 32))
+    report.bench("rtree/bulk_load_50k", 50_000, || {
+        RTree::bulk_load(points.clone(), 32)
     });
     let tree = RTree::bulk_load(points, 32);
     for &side in &[0.01f32, 0.1, 0.5] {
-        g.bench_with_input(BenchmarkId::new("query_side", format!("{side}")), &side, |b, &side| {
-            let rect = Rect::new(0.3, 0.3, 0.3 + side, 0.3 + side);
-            b.iter(|| tree.query(&rect))
-        });
+        let rect = Rect::new(0.3, 0.3, 0.3 + side, 0.3 + side);
+        report.bench(&format!("rtree/query_side={side}"), 1, || tree.query(&rect));
     }
-    g.finish();
-}
 
-fn bench_pqueue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("external_pq");
     let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("push_pop_10k_spilling", |b| {
-        let mut rng = lmas_sim::DetRng::new(3);
-        b.iter(|| {
-            let mut pq = ExternalPq::new(256);
-            for _ in 0..n {
-                pq.push(rng.gen_range(1 << 20), 0u32);
-            }
-            let mut acc = 0u64;
-            while let Some((k, _)) = pq.pop_min() {
-                acc = acc.wrapping_add(k);
-            }
-            acc
-        })
+    let mut rng = lmas_sim::DetRng::new(3);
+    report.bench("external_pq/push_pop_10k_spilling", n, || {
+        let mut pq = ExternalPq::new(256);
+        for _ in 0..n {
+            pq.push(rng.gen_range(1 << 20), 0u32);
+        }
+        let mut acc = 0u64;
+        while let Some((k, _)) = pq.pop_min() {
+            acc = acc.wrapping_add(k);
+        }
+        acc
     });
-    g.finish();
-}
 
-fn bench_watershed(c: &mut Criterion) {
-    let mut g = c.benchmark_group("watershed");
     let grid = fractal_terrain(129, 129, 0.55, 5);
     let mut cells = lmas_gis::restructure(&grid);
-    cells.sort_by_key(|cell| lmas_core::Record::key(cell));
-    g.throughput(Throughput::Elements(cells.len() as u64));
-    g.bench_function("label_129x129", |b| {
-        b.iter(|| {
-            let mut labeler = WatershedLabeler::default();
-            for &cell in &cells {
-                labeler.label(cell);
-            }
-            labeler.colors()
-        })
+    cells.sort_by_key(lmas_core::Record::key);
+    report.bench("watershed/label_129x129", cells.len() as u64, || {
+        let mut labeler = WatershedLabeler::default();
+        for &cell in &cells {
+            labeler.label(cell);
+        }
+        labeler.colors()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_rtree, bench_pqueue, bench_watershed);
-criterion_main!(benches);

@@ -1,65 +1,44 @@
-//! Criterion microbenchmarks for the simulation kernel: the event
+//! Wall-clock microbenchmarks for the simulation kernel: the event
 //! calendar and FCFS resources pace every emulated run, so their
 //! per-operation cost bounds how large an experiment the harness can
-//! afford.
+//! afford. Runs as a plain main under `cargo bench --bench sim_micro`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lmas_bench::timing::BenchReport;
 use lmas_sim::{DetRng, EventQueue, Resource, SimDuration, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn main() {
+    let mut report = BenchReport::new();
     let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("schedule_pop_10k", |b| {
+
+    report.bench("event_queue/schedule_pop_10k", n, || {
         let mut rng = DetRng::new(1);
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..n {
-                q.schedule(SimTime(rng.gen_range(1_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            acc
-        })
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime(rng.gen_range(1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
-    g.finish();
-}
 
-fn bench_resource(c: &mut Criterion) {
-    let mut g = c.benchmark_group("resource");
-    let n = 10_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("acquire_10k", |b| {
-        b.iter(|| {
-            let mut r = Resource::new("cpu", SimDuration::from_millis(100));
-            let mut t = SimTime::ZERO;
-            for _ in 0..n {
-                let grant = r.acquire(t, SimDuration::from_micros(3));
-                t = grant.end;
-            }
-            t
-        })
+    report.bench("resource/acquire_10k", n, || {
+        let mut r = Resource::new("cpu", SimDuration::from_millis(100));
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            let grant = r.acquire(t, SimDuration::from_micros(3));
+            t = grant.end;
+        }
+        t
     });
-    g.finish();
-}
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("gen_range_1k", |b| {
-        let mut rng = DetRng::new(7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000 {
-                acc = acc.wrapping_add(rng.gen_range(1_000));
-            }
-            acc
-        })
+    let mut rng = DetRng::new(7);
+    report.bench("rng/gen_range_1k", 1_000, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc = acc.wrapping_add(rng.gen_range(1_000));
+        }
+        acc
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_event_queue, bench_resource, bench_rng);
-criterion_main!(benches);

@@ -13,6 +13,7 @@ use lmas_bench::{row, scaled_n, write_results};
 use lmas_core::{generate_rec128, KeyDist, Rec128};
 use lmas_emulator::ClusterConfig;
 use lmas_sort::{choose_splitters, run_pass1, run_pass2, split_across_asus, DsmConfig, LoadMode};
+use rayon::prelude::*;
 
 fn main() {
     // Geometry chosen so (a) each (subset, ASU) pair holds many runs —
@@ -39,19 +40,29 @@ fn main() {
         "T3: merge-pass makespan vs (γ1, γ2) split (n={n}, D={d}, α={alpha}, β={beta}, γ={gamma_total})"
     );
     let widths = [5usize, 6, 12];
-    println!("{}", row(&["γ1", "γ2", "merge time".into()].map(String::from), &widths));
+    println!("{}", row(&["γ1", "γ2", "merge time"].map(String::from), &widths));
     let mut csv = String::from("gamma1,gamma2,merge_seconds\n");
 
-    let mut g1 = 1usize;
+    // Every (γ1, γ2) split replays pass 2 independently over the same
+    // frozen pass-1 runs, so the whole sweep fans out across threads;
+    // results come back in input order, keeping output byte-identical to
+    // the serial sweep.
+    let g1s: Vec<usize> = (0..=8).map(|e| 1usize << e).collect();
+    let times: Vec<f64> = g1s
+        .par_iter()
+        .map(|&g1| {
+            let g2cap = gamma_total.div_ceil(g1) * d + d; // striping slack
+            let dsm = DsmConfig::new(alpha, beta, g1, g2cap);
+            let p2 = run_pass2(&cluster, p1.runs_per_asu.clone(), splitters.clone(), &dsm)
+                .expect("merge pass");
+            let sorted = lmas_sort::verify_rec128_output(&p2.output, n).expect("sorted");
+            assert_eq!(sorted.len() as u64, n);
+            p2.report.makespan.as_secs_f64()
+        })
+        .collect();
+
     let mut best = (0usize, 0usize, f64::INFINITY);
-    while g1 <= 256 {
-        let g2cap = gamma_total.div_ceil(g1) * d + d; // striping slack
-        let dsm = DsmConfig::new(alpha, beta, g1, g2cap);
-        let p2 = run_pass2(&cluster, p1.runs_per_asu.clone(), splitters.clone(), &dsm)
-            .expect("merge pass");
-        let sorted = lmas_sort::verify_rec128_output(&p2.output, n).expect("sorted");
-        assert_eq!(sorted.len() as u64, n);
-        let t = p2.report.makespan.as_secs_f64();
+    for (&g1, &t) in g1s.iter().zip(&times) {
         println!(
             "{}",
             row(
@@ -63,7 +74,6 @@ fn main() {
         if t < best.2 {
             best = (g1, gamma_total.div_ceil(g1), t);
         }
-        g1 *= 2;
     }
     println!("best split: γ1={} γ2={} ({:.4}s)", best.0, best.1, best.2);
 

@@ -20,6 +20,7 @@ use lmas_emulator::ClusterConfig;
 use lmas_sort::{
     adaptive_alpha, choose_splitters, pass1_speedup, split_across_asus, DsmConfig, LoadMode,
 };
+use rayon::prelude::*;
 
 fn main() {
     let n = scaled_n(1 << 17, 1 << 14);
@@ -49,8 +50,29 @@ fn main() {
         s
     };
 
+    // The adaptive α picks come from the closed-form model (no
+    // emulation), so they are computed up front; every (α, background)
+    // cell is then an independent emulation and the full grid — fixed
+    // series and adaptive — fans out across threads at once. Results
+    // return in input order, keeping output byte-identical to the serial
+    // sweep.
+    let picks: Vec<usize> = backgrounds
+        .iter()
+        .map(|&b| {
+            let cluster = ClusterConfig::era_2002(1, d, 8.0).with_background(b, 0.0);
+            adaptive_alpha::<Rec128>(&cluster, beta) as usize
+        })
+        .collect();
+    let mut jobs: Vec<(usize, f64)> = Vec::new();
     for alpha in [16usize, 256] {
-        let series: Vec<f64> = backgrounds.iter().map(|&b| measure(alpha, b)).collect();
+        jobs.extend(backgrounds.iter().map(|&b| (alpha, b)));
+    }
+    jobs.extend(picks.iter().zip(&backgrounds).map(|(&p, &b)| (p, b)));
+    let grid: Vec<f64> = jobs.par_iter().map(|&(a, b)| measure(a, b)).collect();
+
+    let nb = backgrounds.len();
+    for (i, alpha) in [16usize, 256].into_iter().enumerate() {
+        let series = &grid[i * nb..(i + 1) * nb];
         let mut cells = vec![format!("α={alpha}")];
         cells.extend(series.iter().map(|s| format!("{s:.3}")));
         println!("{}", row(&cells, &widths));
@@ -60,14 +82,7 @@ fn main() {
         ));
     }
 
-    let mut adaptive = Vec::new();
-    let mut picks = Vec::new();
-    for &b in &backgrounds {
-        let cluster = ClusterConfig::era_2002(1, d, 8.0).with_background(b, 0.0);
-        let pick = adaptive_alpha::<Rec128>(&cluster, beta) as usize;
-        picks.push(pick);
-        adaptive.push(measure(pick, b));
-    }
+    let adaptive = &grid[2 * nb..];
     let mut cells = vec!["adaptive".to_string()];
     cells.extend(adaptive.iter().map(|s| format!("{s:.3}")));
     println!("{}", row(&cells, &widths));

@@ -14,6 +14,7 @@ use lmas_bench::{row, scaled_n, write_results};
 use lmas_emulator::ClusterConfig;
 use lmas_gis::{random_points, DistRTree, Layout, Rect};
 use lmas_sim::DetRng;
+use rayon::prelude::*;
 
 fn random_queries(q: usize, side: f32, seed: u64) -> Vec<Rect> {
     let mut rng = DetRng::stream(seed, 0xF5);
@@ -43,11 +44,20 @@ fn main() {
     );
     let mut csv = String::from("d,layout,latency_s,throughput_qps\n");
 
-    for d in [4usize, 16] {
-        let cluster = ClusterConfig::era_2002(1, d, 8.0);
-        let points = random_points(npoints, 9);
-        for layout in [Layout::Partition, Layout::Stripe] {
-            let index = DistRTree::build(points.clone(), d, 64, layout);
+    // Each (D, layout) cell builds its own index from the same seeded
+    // point set and runs its probe/flood emulations independently, so
+    // the grid fans out across threads; results return in input order,
+    // keeping output byte-identical to the serial sweep.
+    let cells: Vec<(usize, Layout)> = [4usize, 16]
+        .into_iter()
+        .flat_map(|d| [(d, Layout::Partition), (d, Layout::Stripe)])
+        .collect();
+    let measured: Vec<(f64, f64)> = cells
+        .par_iter()
+        .map(|&(d, layout)| {
+            let cluster = ClusterConfig::era_2002(1, d, 8.0);
+            let points = random_points(npoints, 9);
+            let index = DistRTree::build(points, d, 64, layout);
             // Latency: each probe query runs alone; average makespan.
             let mut lat = 0.0;
             for (i, q) in random_queries(probes, side, 77).into_iter().enumerate() {
@@ -60,21 +70,24 @@ fn main() {
             let queries = random_queries(flood, side, 123);
             let run = lmas_gis::run_queries(&cluster, &index, &queries, 4).expect("flood");
             let thr = flood as f64 / run.report.makespan.as_secs_f64();
-            let name = format!("{layout:?}").to_lowercase();
-            println!(
-                "{}",
-                row(
-                    &[
-                        d.to_string(),
-                        name.clone(),
-                        format!("{:.3}ms", lat * 1e3),
-                        format!("{thr:.0}"),
-                    ],
-                    &widths
-                )
-            );
-            csv.push_str(&format!("{d},{name},{lat:.6},{thr:.2}\n"));
-        }
+            (lat, thr)
+        })
+        .collect();
+    for (&(d, layout), &(lat, thr)) in cells.iter().zip(&measured) {
+        let name = format!("{layout:?}").to_lowercase();
+        println!(
+            "{}",
+            row(
+                &[
+                    d.to_string(),
+                    name.clone(),
+                    format!("{:.3}ms", lat * 1e3),
+                    format!("{thr:.0}"),
+                ],
+                &widths
+            )
+        );
+        csv.push_str(&format!("{d},{name},{lat:.6},{thr:.2}\n"));
     }
     // Hot-region extension: every query hammers the same spatial slab.
     // Partition serializes on one ASU; the paper's hybrid (replicated
@@ -90,14 +103,20 @@ fn main() {
         })
         .collect();
     let mut hot_csv = String::from("layout,throughput_qps\n");
-    for layout in [
+    let hot_layouts = [
         Layout::Partition,
         Layout::Replicated { copies: 4 },
         Layout::Stripe,
-    ] {
-        let index = DistRTree::build(points.clone(), d, 64, layout);
-        let run = lmas_gis::run_queries(&cluster, &index, &hot, 4).expect("hot flood");
-        let thr = flood as f64 / run.report.makespan.as_secs_f64();
+    ];
+    let hot_thr: Vec<f64> = hot_layouts
+        .par_iter()
+        .map(|&layout| {
+            let index = DistRTree::build(points.clone(), d, 64, layout);
+            let run = lmas_gis::run_queries(&cluster, &index, &hot, 4).expect("hot flood");
+            flood as f64 / run.report.makespan.as_secs_f64()
+        })
+        .collect();
+    for (&layout, &thr) in hot_layouts.iter().zip(&hot_thr) {
         let name = format!("{layout:?}").to_lowercase();
         println!("  {name:<28} {thr:>8.0} q/s");
         hot_csv.push_str(&format!("{name},{thr:.2}\n"));

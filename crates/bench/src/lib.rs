@@ -46,6 +46,82 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
+/// Wall-clock micro-benchmark support: a median-of-iterations timer and
+/// a hand-rolled JSON emitter (the offline workspace carries no external
+/// bench harness or serializer). Used by the `benches/` targets, which
+/// run as plain `harness = false` mains under `cargo bench`.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Timed iterations per measurement (`LMAS_BENCH_ITERS`, default 15).
+    pub fn iters() -> usize {
+        std::env::var("LMAS_BENCH_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(15)
+            .max(1)
+    }
+
+    /// Median wall-clock nanoseconds of one call to `f`, over
+    /// [`iters`] timed iterations after a few warmup calls. The median
+    /// (not the mean) keeps one preempted iteration from skewing the
+    /// figure.
+    pub fn median_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut samples: Vec<f64> = (0..iters())
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        }
+    }
+
+    /// A collected set of named measurements, rendered to JSON.
+    #[derive(Default)]
+    pub struct BenchReport {
+        entries: Vec<(String, f64)>,
+    }
+
+    impl BenchReport {
+        /// An empty report.
+        pub fn new() -> BenchReport {
+            BenchReport::default()
+        }
+
+        /// Time `f` and record `median / per` (e.g. per-record ns) under
+        /// `name`; prints the figure as it lands.
+        pub fn bench<T>(&mut self, name: &str, per: u64, f: impl FnMut() -> T) {
+            let ns = median_ns(f) / per.max(1) as f64;
+            println!("{name:<40} {ns:>12.2} ns/unit");
+            self.entries.push((name.to_string(), ns));
+        }
+
+        /// Render the flat `{"name": ns, ...}` JSON object.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n");
+            for (i, (name, v)) in self.entries.iter().enumerate() {
+                let comma = if i + 1 == self.entries.len() { "" } else { "," };
+                // Names are ASCII identifiers chosen by the benches; no
+                // escaping beyond quotes is needed.
+                out.push_str(&format!("  \"{name}\": {v:.3}{comma}\n"));
+            }
+            out.push('}');
+            out.push('\n');
+            out
+        }
+    }
+}
+
 /// Quick scale helper: read `LMAS_SCALE` (float, default 1.0) to shrink
 /// or grow experiment sizes without editing code.
 pub fn scale() -> f64 {

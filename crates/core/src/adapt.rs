@@ -13,10 +13,9 @@
 //! each cluster size.
 
 use crate::cost::{log2_ceil, CostModel, Work};
-use serde::{Deserialize, Serialize};
 
 /// Cluster-rate model for pipeline-phase prediction.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PipelineModel {
     /// Cost model converting work to time.
     pub cost: CostModel,

@@ -6,27 +6,47 @@
 //! functor instances." A sorted run produced by a pre-sort functor is the
 //! canonical packet: keeping it whole preserves its internal order through
 //! later phases (Figure 4).
+//!
+//! # Zero-copy sharing
+//!
+//! A packet is a shared, immutable record buffer (`Arc<Vec<R>>`).
+//! `Clone` is O(1) — it bumps a reference count, never copies records —
+//! so routing fan-out, NIC transfer, metrics capture, and sink capture
+//! all view one buffer. Mutation goes through [`Packet::records_mut`],
+//! which is copy-on-write: it detaches (deep-copies) only when the buffer
+//! is actually shared, so in-place kernels on uniquely-owned packets stay
+//! zero-copy. [`Packet::shares_buffer`] observes sharing for tests.
 
 use crate::record::Record;
+use std::sync::Arc;
 
-/// An indivisible group of records.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// An indivisible group of records backed by a shared buffer.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Packet<R> {
-    records: Vec<R>,
+    records: Arc<Vec<R>>,
+}
+
+impl<R> Clone for Packet<R> {
+    /// O(1): clones share the record buffer (no records are copied).
+    fn clone(&self) -> Packet<R> {
+        Packet {
+            records: Arc::clone(&self.records),
+        }
+    }
 }
 
 impl<R: Record> Packet<R> {
     /// A packet owning `records`. Empty packets are allowed (e.g. an
     /// empty bucket after a distribute).
     pub fn new(records: Vec<R>) -> Packet<R> {
-        Packet { records }
+        Packet {
+            records: Arc::new(records),
+        }
     }
 
     /// A packet holding one record.
     pub fn singleton(record: R) -> Packet<R> {
-        Packet {
-            records: vec![record],
-        }
+        Packet::new(vec![record])
     }
 
     /// Number of records.
@@ -50,13 +70,24 @@ impl<R: Record> Packet<R> {
     }
 
     /// The records, mutably (e.g. for an in-place sort kernel).
+    ///
+    /// Copy-on-write: detaches from clones sharing this buffer, copying
+    /// the records only if such clones exist.
     pub fn records_mut(&mut self) -> &mut Vec<R> {
-        &mut self.records
+        Arc::make_mut(&mut self.records)
     }
 
-    /// Consume into the record vector.
+    /// Consume into the record vector. Zero-copy when this packet is the
+    /// buffer's sole owner; otherwise the records are copied out and the
+    /// other owners keep the shared buffer.
     pub fn into_records(self) -> Vec<R> {
-        self.records
+        Arc::try_unwrap(self.records).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True when `self` and `other` view the same underlying buffer
+    /// (i.e. one is an O(1) clone of the other and neither has detached).
+    pub fn shares_buffer(&self, other: &Packet<R>) -> bool {
+        Arc::ptr_eq(&self.records, &other.records)
     }
 
     /// Whether records are in non-decreasing key order.
@@ -131,6 +162,50 @@ mod tests {
         let e = Packet::<Rec8>::new(vec![]);
         assert!(e.is_empty());
         assert_eq!(e.min_key(), None);
+    }
+
+    #[test]
+    fn clone_shares_buffer() {
+        let p = Packet::new(vec![r(1), r(2)]);
+        let q = p.clone();
+        assert!(p.shares_buffer(&q));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn records_mut_detaches_shared_buffer() {
+        let mut p = Packet::new(vec![r(1), r(2)]);
+        let q = p.clone();
+        p.records_mut()[0] = r(9);
+        assert!(!p.shares_buffer(&q), "COW must detach on write");
+        assert_eq!(p.records()[0].key, 9);
+        assert_eq!(q.records()[0].key, 1, "clone must keep original data");
+    }
+
+    #[test]
+    fn records_mut_in_place_when_unique() {
+        let mut p = Packet::new(vec![r(2), r(1)]);
+        let before = p.records().as_ptr();
+        p.records_mut().sort_by_key(|x| x.key);
+        assert_eq!(p.records().as_ptr(), before, "sole owner mutates in place");
+        assert!(p.is_sorted());
+    }
+
+    #[test]
+    fn into_records_zero_copy_when_unique() {
+        let p = Packet::new(vec![r(1), r(2), r(3)]);
+        let before = p.records().as_ptr();
+        let v = p.into_records();
+        assert_eq!(v.as_ptr(), before, "unique owner unwraps without copying");
+    }
+
+    #[test]
+    fn into_records_leaves_clones_intact() {
+        let p = Packet::new(vec![r(1), r(2)]);
+        let q = p.clone();
+        let v = p.into_records();
+        assert_eq!(v, vec![r(1), r(2)]);
+        assert_eq!(q.records(), &[r(1), r(2)]);
     }
 
     #[test]

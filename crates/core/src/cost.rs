@@ -16,11 +16,10 @@
 //! compares per record).
 
 use lmas_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// A vector of abstract work units.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Work {
     /// Key comparisons (the unit the paper counts: "log(parameter) is the
     /// number of compares per key").
@@ -87,7 +86,7 @@ impl AddAssign for Work {
 }
 
 /// Converts [`Work`] into virtual CPU time.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Nanoseconds per comparison on a speed-1.0 (host) CPU.
     pub ns_per_compare: f64,

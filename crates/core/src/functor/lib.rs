@@ -445,7 +445,7 @@ mod tests {
 
     #[test]
     fn filter_keeps_and_counts() {
-        let mut f = FilterFunctor::new("evens", |r: &Rec8| r.key % 2 == 0);
+        let mut f = FilterFunctor::new("evens", |r: &Rec8| r.key.is_multiple_of(2));
         let got = run(&mut f, vec![pkt(&[1, 2, 3, 4])]);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].1.records().iter().map(|r| r.key).collect::<Vec<_>>(), [2, 4]);
@@ -572,7 +572,7 @@ mod tests {
         for bucket in buckets {
             let mut bs = BlockSortFunctor::new(64);
             let runs = run(&mut bs, bucket);
-            let mut mg = MergeFunctor::new(16.max(2));
+            let mut mg = MergeFunctor::new(16);
             let merged = run(&mut mg, runs.into_iter().map(|(_, p)| p).collect());
             for (_, p) in merged {
                 global.extend(p.into_records());

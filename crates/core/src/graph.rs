@@ -236,7 +236,7 @@ impl<R: Record> FlowGraph<R> {
         }
         if let RouteScope::PortGroups { group_size } = scope {
             let repl = self.stages[to.0].replication;
-            if group_size == 0 || repl % group_size != 0 {
+            if group_size == 0 || !repl.is_multiple_of(group_size) {
                 return Err(GraphError::BadGroupSize { to, group_size });
             }
         }

@@ -8,103 +8,169 @@
 
 use crate::record::Record;
 
+/// Below this length the comparison sort's constant factors win; the
+/// threshold only affects wall-clock, never output (both paths are
+/// stable) or charging.
+const RADIX_MIN_LEN: usize = 64;
+
 /// Sort `records` by key in place; returns the number of comparisons a
 /// binary-insertion-counted mergesort would charge, `n·ceil(log2 n)`,
 /// which is the paper's accounting unit for a β-record block sort.
+///
+/// Records that expose a faithful `u32` key image
+/// ([`Record::RADIX32`]) are sorted by a stable LSB radix sort;
+/// everything else falls back to `sort_by_key`. Both paths are stable,
+/// so the permutation produced is identical either way, and the charge
+/// is the paper's unit regardless of the kernel actually used — the
+/// work identity `T1 = n·log(αβγ)` is a property of the accounting, not
+/// of the machine instructions.
 pub fn block_sort<R: Record>(records: &mut [R]) -> u64 {
     let n = records.len() as u64;
-    records.sort_by_key(|r| r.key());
+    if R::RADIX32 && records.len() >= RADIX_MIN_LEN {
+        radix_sort_u32(records);
+    } else {
+        records.sort_by_key(|r| r.key());
+    }
     n * crate::cost::log2_ceil(n)
 }
 
-/// One entry in the loser-tree: which run, and the next element index.
-#[derive(Debug, Clone, Copy)]
-struct Cursor {
-    run: usize,
-    idx: usize,
+/// Stable LSB radix sort for records with a `u32` key image
+/// ([`Record::RADIX32`] must be true).
+///
+/// Sorts `(key, index)` pairs through four 8-bit counting passes —
+/// moving 8-byte pairs instead of whole records — then gathers the
+/// records into place with a single permutation pass. Passes whose byte
+/// is constant across the block (common under skewed or small-range
+/// keys) are skipped. Output order equals a stable `sort_by_key`.
+pub fn radix_sort_u32<R: Record>(records: &mut [R]) {
+    debug_assert!(R::RADIX32, "record type did not opt into radix sorting");
+    let n = records.len();
+    if n < 2 {
+        return;
+    }
+    debug_assert!(n <= u32::MAX as usize, "block exceeds u32 indexing");
+    let mut pairs: Vec<(u32, u32)> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.radix_key(), i as u32))
+        .collect();
+    let mut scratch: Vec<(u32, u32)> = vec![(0, 0); n];
+    for shift in [0u32, 8, 16, 24] {
+        let mut counts = [0usize; 256];
+        for &(k, _) in &pairs {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue; // this byte is constant: the pass is the identity
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (o, &c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        for &(k, i) in &pairs {
+            let b = ((k >> shift) & 0xFF) as usize;
+            scratch[offsets[b]] = (k, i);
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut pairs, &mut scratch);
+    }
+    // One gather pass puts each record in place (records move once, not
+    // once per radix pass).
+    let gathered: Vec<R> = pairs
+        .iter()
+        .map(|&(_, i)| records[i as usize].clone())
+        .collect();
+    for (dst, src) in records.iter_mut().zip(gathered) {
+        *dst = src;
+    }
+}
+
+/// Does run `a`'s head strictly beat run `b`'s in the tournament?
+///
+/// Exhausted runs (`None`) lose to everything; equal keys break toward
+/// the lower run index, reproducing the `(key, run)` order of the merge
+/// this replaced, so the merge stays stable across runs.
+fn beats<R: Record>(heads: &[Option<R>], a: usize, b: usize, compares: &mut u64) -> bool {
+    match (&heads[a], &heads[b]) {
+        (Some(x), Some(y)) => {
+            *compares += 1;
+            (x.key(), a) < (y.key(), b)
+        }
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => a < b,
+    }
 }
 
 /// Merge `runs` (each sorted by key) into one sorted vector using a
-/// tournament (loser) tree; returns `(merged, compares)` where `compares`
-/// counts actual tree comparisons (~`m·ceil(log2 k)`).
+/// loser tree; returns `(merged, compares)` where `compares` counts the
+/// comparisons actually performed (~`m·ceil(log2 k)` for `m` records
+/// over `k` live runs — sentinel matches are free).
+///
+/// The tree is two flat arrays: `losers[1..m]` holds the run index
+/// parked at each internal node, `heads[r]` holds run `r`'s current
+/// front record, **moved** out of the run (records are drained, never
+/// cloned). Emitting the winner costs one root-to-leaf replay; no
+/// per-step heap state is rebuilt or copied.
 pub fn merge_runs<R: Record>(runs: Vec<Vec<R>>) -> (Vec<R>, u64) {
-    let runs: Vec<Vec<R>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let mut runs: Vec<Vec<R>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
     let k = runs.len();
     if k == 0 {
         return (Vec::new(), 0);
     }
     if k == 1 {
-        return (runs.into_iter().next().expect("k==1"), 0);
+        return (runs.pop().expect("k==1"), 0);
     }
     let total: usize = runs.iter().map(|r| r.len()).sum();
-    let mut out = Vec::with_capacity(total);
+    let mut out: Vec<R> = Vec::with_capacity(total);
     let mut compares = 0u64;
 
-    // Simple binary-heap tournament keyed on (key, run) for stability
-    // across runs; each pop/push costs ~log2 k compares.
-    let mut heap: Vec<Cursor> = (0..k).map(|run| Cursor { run, idx: 0 }).collect();
-    let key_of = |runs: &Vec<Vec<R>>, c: Cursor| runs[c.run][c.idx].key();
-    // Build heap (sift-down from the middle).
-    let mut build = heap.clone();
-    let less = |a: Cursor, b: Cursor, runs: &Vec<Vec<R>>| {
-        (key_of(runs, a), a.run) < (key_of(runs, b), b.run)
-    };
-    for i in (0..k / 2).rev() {
-        // sift down i
-        let mut j = i;
-        loop {
-            let l = 2 * j + 1;
-            let r = 2 * j + 2;
-            let mut m = j;
-            if l < k && less(build[l], build[m], &runs) {
-                m = l;
-            }
-            if r < k && less(build[r], build[m], &runs) {
-                m = r;
-            }
-            compares += 2;
-            if m == j {
-                break;
-            }
-            build.swap(j, m);
-            j = m;
-        }
+    // m leaves (next power of two ≥ k); leaves k..m are permanent
+    // sentinels. Leaf r is tree node m + r; internal nodes are 1..m.
+    let m = k.next_power_of_two();
+    let mut tails: Vec<std::vec::IntoIter<R>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<R>> = Vec::with_capacity(m);
+    for t in &mut tails {
+        heads.push(t.next());
     }
-    heap = build;
-    let mut live = k;
-    while live > 0 {
-        let top = heap[0];
-        out.push(runs[top.run][top.idx].clone());
-        let next = Cursor {
-            run: top.run,
-            idx: top.idx + 1,
-        };
-        if next.idx < runs[next.run].len() {
-            heap[0] = next;
+    heads.resize_with(m, || None);
+
+    // Build: play each match bottom-up, parking losers, bubbling winners.
+    let mut losers = vec![0usize; m];
+    let mut winner_at = vec![0usize; 2 * m];
+    for (r, w) in winner_at[m..].iter_mut().enumerate() {
+        *w = r;
+    }
+    for node in (1..m).rev() {
+        let a = winner_at[2 * node];
+        let b = winner_at[2 * node + 1];
+        let (w, l) = if beats(&heads, a, b, &mut compares) {
+            (a, b)
         } else {
-            live -= 1;
-            heap[0] = heap[live];
-        }
-        // Sift down the root over the live prefix.
-        let mut j = 0;
-        loop {
-            let l = 2 * j + 1;
-            let r = 2 * j + 2;
-            let mut m = j;
-            if l < live && less(heap[l], heap[m], &runs) {
-                m = l;
-            }
-            if r < live && less(heap[r], heap[m], &runs) {
-                m = r;
-            }
-            compares += 2;
-            if m == j {
-                break;
-            }
-            heap.swap(j, m);
-            j = m;
-        }
+            (b, a)
+        };
+        winner_at[node] = w;
+        losers[node] = l;
     }
+    let mut winner = winner_at[1];
+
+    while let Some(rec) = heads[winner].take() {
+        out.push(rec);
+        heads[winner] = tails[winner].next();
+        // Replay from the winner's leaf to the root.
+        let mut node = (m + winner) / 2;
+        let mut w = winner;
+        while node >= 1 {
+            if beats(&heads, losers[node], w, &mut compares) {
+                std::mem::swap(&mut losers[node], &mut w);
+            }
+            node /= 2;
+        }
+        winner = w;
+    }
+    debug_assert_eq!(out.len(), total);
     (out, compares)
 }
 
@@ -154,6 +220,64 @@ mod tests {
     }
 
     #[test]
+    fn block_sort_charge_is_size_only() {
+        // The charge is the paper's accounting unit, independent of
+        // whether the radix or comparison kernel ran.
+        let mut small = recs(&[2, 1]);
+        assert_eq!(block_sort(&mut small), 2);
+        let mut big = generate_rec8(1 << 10, KeyDist::Uniform, 9);
+        assert_eq!(block_sort(&mut big), (1 << 10) * 10);
+        assert!(is_sorted_by_key(&big));
+    }
+
+    #[test]
+    fn radix_matches_stable_sort() {
+        // Modulo 0 means full-range keys; small moduli force duplicates,
+        // stressing stability (equal keys must keep input order).
+        for (n, modulus) in [(3u64, 0u32), (1000, 0), (1000, 97), (4096, 5)] {
+            let data = generate_rec8(n, KeyDist::Uniform, n);
+            let mut a: Vec<Rec8> = data
+                .iter()
+                .map(|r| Rec8 {
+                    key: if modulus == 0 { r.key } else { r.key % modulus },
+                    tag: r.tag,
+                })
+                .collect();
+            let mut b = a.clone();
+            radix_sort_u32(&mut a);
+            b.sort_by_key(|r| r.key);
+            assert_eq!(
+                a.iter().map(|r| (r.key, r.tag)).collect::<Vec<_>>(),
+                b.iter().map(|r| (r.key, r.tag)).collect::<Vec<_>>(),
+                "radix must equal a stable comparison sort (n={n}, mod={modulus})"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_skips_constant_bytes() {
+        // All keys share the upper three bytes: three passes are skipped,
+        // but the result must still be fully sorted.
+        let mut v: Vec<Rec8> = (0..300u32)
+            .rev()
+            .map(|i| Rec8 { key: 0xABCD_0000 | (i % 256), tag: i })
+            .collect();
+        let mut expect = v.clone();
+        radix_sort_u32(&mut v);
+        expect.sort_by_key(|r| r.key);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_trivial_sizes() {
+        let mut empty: Vec<Rec8> = vec![];
+        radix_sort_u32(&mut empty);
+        let mut one = recs(&[5]);
+        radix_sort_u32(&mut one);
+        assert_eq!(one[0].key, 5);
+    }
+
+    #[test]
     fn merge_runs_produces_global_order() {
         let runs = vec![
             recs(&[1, 4, 7]),
@@ -185,6 +309,50 @@ mod tests {
         let (m, _) = merge_runs(vec![recs(&[2, 2]), recs(&[2, 2, 2])]);
         assert_eq!(m.len(), 5);
         assert!(m.iter().all(|r| r.key == 2));
+    }
+
+    #[test]
+    fn merge_is_stable_across_equal_keys() {
+        // Equal keys must come out in run order (run 0 before run 1
+        // before run 2), and in input order within a run.
+        let tagged = |keys: &[(u32, u32)]| -> Vec<Rec8> {
+            keys.iter().map(|&(k, t)| Rec8 { key: k, tag: t }).collect()
+        };
+        let runs = vec![
+            tagged(&[(1, 10), (5, 11), (5, 12)]),
+            tagged(&[(1, 20), (5, 21), (9, 22)]),
+            tagged(&[(1, 30), (1, 31), (5, 32)]),
+        ];
+        let (m, _) = merge_runs(runs);
+        let got: Vec<(u32, u32)> = m.iter().map(|r| (r.key, r.tag)).collect();
+        assert_eq!(
+            got,
+            [
+                (1, 10), (1, 20), (1, 30), (1, 31),
+                (5, 11), (5, 12), (5, 21), (5, 32),
+                (9, 22),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_compare_count_is_m_log_k_scale() {
+        // 8 runs of 512 records: a loser tree does exactly log2(k) real
+        // comparisons per emitted record once sentinels are free.
+        let data = generate_rec8(4096, KeyDist::Uniform, 41);
+        let mut runs: Vec<Vec<Rec8>> = data.chunks(512).map(|c| c.to_vec()).collect();
+        for r in &mut runs {
+            r.sort_by_key(|x| x.key);
+        }
+        let (merged, compares) = merge_runs(runs);
+        assert!(is_sorted_by_key(&merged));
+        let m = merged.len() as u64;
+        assert!(
+            compares <= m * 3 + 64,
+            "compares={compares} should be ~m·log2(8)={}",
+            m * 3
+        );
+        assert!(compares >= m * 2, "compares={compares} suspiciously low");
     }
 
     #[test]

@@ -6,13 +6,12 @@
 //! [`FunctorKind`](crate::functor::FunctorKind) contract.
 
 use crate::functor::FunctorKind;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A node of the emulated system: a powerful host or an ASU.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub enum NodeId {
     /// Dedicated application host `i` (large memory, full-speed CPU).
@@ -40,12 +39,12 @@ impl fmt::Display for NodeId {
 
 /// Identifies a stage within a [`crate::graph::FlowGraph`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct StageId(pub usize);
 
 /// Assignment of every `(stage, instance)` to a node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Placement {
     map: HashMap<(StageId, usize), NodeId>,
 }

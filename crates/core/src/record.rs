@@ -7,13 +7,16 @@
 //! [`KeyDist`].
 
 use lmas_sim::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-size record with an ordered key.
 ///
 /// `SIZE` is the on-storage footprint; `to_bytes`/`from_bytes` must
 /// round-trip exactly `SIZE` bytes.
-pub trait Record: Clone + Send + 'static {
+///
+/// `Sync` is required because packets share one record buffer across
+/// clones (`Packet` is `Arc`-backed), and emulation sweeps fan whole runs
+/// out across threads.
+pub trait Record: Clone + Send + Sync + 'static {
     /// On-storage size in bytes.
     const SIZE: usize;
     /// The sort/partition key.
@@ -25,6 +28,20 @@ pub trait Record: Clone + Send + 'static {
     fn to_bytes(&self, out: &mut [u8]);
     /// Deserialize from exactly `SIZE` bytes.
     fn from_bytes(bytes: &[u8]) -> Self;
+
+    /// When true, [`radix_key`](Record::radix_key) is a faithful `u32`
+    /// image of [`key`](Record::key) — `a.key() <= b.key()` iff
+    /// `a.radix_key() <= b.radix_key()` — and `block_sort` may dispatch
+    /// to a stable LSB radix sort instead of a comparison sort. The
+    /// default keeps comparison sorting.
+    const RADIX32: bool = false;
+
+    /// The `u32` radix image of the key; meaningful only when
+    /// [`RADIX32`](Record::RADIX32) is true.
+    #[inline]
+    fn radix_key(&self) -> u32 {
+        0
+    }
 }
 
 /// The paper's experimental record: 128 bytes, 4-byte key.
@@ -63,9 +80,15 @@ impl Rec128 {
 impl Record for Rec128 {
     const SIZE: usize = 128;
     type Key = u32;
+    const RADIX32: bool = true;
 
     #[inline]
     fn key(&self) -> u32 {
+        self.key
+    }
+
+    #[inline]
+    fn radix_key(&self) -> u32 {
         self.key
     }
 
@@ -85,7 +108,7 @@ impl Record for Rec128 {
 }
 
 /// A tiny record for tests where payload is irrelevant: 8 bytes, u32 key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rec8 {
     /// The key.
     pub key: u32,
@@ -96,9 +119,15 @@ pub struct Rec8 {
 impl Record for Rec8 {
     const SIZE: usize = 8;
     type Key = u32;
+    const RADIX32: bool = true;
 
     #[inline]
     fn key(&self) -> u32 {
+        self.key
+    }
+
+    #[inline]
+    fn radix_key(&self) -> u32 {
         self.key
     }
 
@@ -116,7 +145,7 @@ impl Record for Rec8 {
 }
 
 /// Key distributions for workload generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDist {
     /// Uniform over the full `u32` range.
     Uniform,

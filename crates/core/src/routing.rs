@@ -18,10 +18,9 @@
 //!   observed backlog, breaking ties by static capacity weight.
 
 use lmas_sim::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// Which routing rule an edge uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {
     /// Port `p` always goes to instance `p mod n`.
     Static,

@@ -12,10 +12,9 @@
 use lmas_core::CostModel;
 use lmas_sim::SimDuration;
 use lmas_storage::DiskParams;
-use serde::{Deserialize, Serialize};
 
 /// Full parameter set of an emulated active storage cluster.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
     /// Number of hosts, H.
     pub hosts: usize,

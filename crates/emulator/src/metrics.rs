@@ -13,6 +13,10 @@ use std::collections::BTreeMap;
 /// Maximum memory-violation notes retained (they repeat).
 const MAX_VIOLATION_NOTES: usize = 16;
 
+/// Sink captures keyed by `(stage, instance)`; each entry is a
+/// `(port, packet)` pair in emission order.
+pub type SinkOutputs<R> = BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>;
+
 /// Mutable metrics shared by all instance actors of a job.
 #[derive(Debug)]
 pub struct Metrics<R: Record> {
@@ -23,7 +27,7 @@ pub struct Metrics<R: Record> {
     /// Outputs of sink stages (stages with no outgoing edge), keyed by
     /// `(stage, instance)`; each entry is `(port, packet)` in emission
     /// order.
-    pub sink_outputs: BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>,
+    pub sink_outputs: SinkOutputs<R>,
     /// Total records processed across all stages (progress).
     pub records_processed: u64,
     /// Functor-state memory contract violations observed (bounded list).
@@ -64,13 +68,18 @@ impl<R: Record> Metrics<R> {
             .fold(Work::ZERO, |acc, &w| acc + w)
     }
 
+    /// The captured sink packets in `(stage, instance)` then emission
+    /// order, borrowed — no records are copied.
+    pub fn sink_packets(&self) -> impl Iterator<Item = &Packet<R>> {
+        self.sink_outputs.values().flatten().map(|(_, p)| p)
+    }
+
     /// All records captured at sinks, flattened in `(stage, instance)`
-    /// then emission order.
+    /// then emission order. Copies every record; prefer
+    /// [`sink_packets`](Metrics::sink_packets) for read-only access.
     pub fn sink_records(&self) -> Vec<R> {
-        self.sink_outputs
-            .values()
-            .flatten()
-            .flat_map(|(_, p)| p.records().iter().cloned())
+        self.sink_packets()
+            .flat_map(|p| p.records().iter().cloned())
             .collect()
     }
 }

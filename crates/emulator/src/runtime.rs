@@ -17,7 +17,7 @@
 //! from the same sender.
 
 use crate::config::ClusterConfig;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SinkOutputs};
 use crate::node::NodeRes;
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
@@ -120,7 +120,7 @@ pub struct EmulationReport<R: Record> {
     /// Records entering each stage.
     pub stage_records_in: Vec<u64>,
     /// Sink outputs keyed by `(stage, instance)`, `(port, packet)` pairs.
-    pub sink_outputs: BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>,
+    pub sink_outputs: SinkOutputs<R>,
     /// Total records processed.
     pub records_processed: u64,
     /// Memory-contract violations (empty on a clean run).
@@ -128,14 +128,39 @@ pub struct EmulationReport<R: Record> {
 }
 
 impl<R: Record> EmulationReport<R> {
+    /// The captured sink packets in `(stage, instance)` then emission
+    /// order, borrowed — no records are copied. Packets arrive here by
+    /// move from the sink actors, so the whole capture path is zero-copy.
+    pub fn sink_packets(&self) -> impl Iterator<Item = &Packet<R>> {
+        self.sink_outputs.values().flatten().map(|(_, p)| p)
+    }
+
     /// All records captured at sinks, in `(stage, instance)` then
-    /// emission order.
+    /// emission order. Copies every record; prefer
+    /// [`sink_packets`](EmulationReport::sink_packets) for read-only
+    /// access or [`into_sink_records`](EmulationReport::into_sink_records)
+    /// when the report is no longer needed.
     pub fn sink_records(&self) -> Vec<R> {
-        self.sink_outputs
+        self.sink_packets()
+            .flat_map(|p| p.records().iter().cloned())
+            .collect()
+    }
+
+    /// Consume the report into the flattened sink records. Packets whose
+    /// buffers are uniquely owned (the usual case — sinks receive them by
+    /// move) give up their records without copying.
+    pub fn into_sink_records(self) -> Vec<R> {
+        let total: usize = self
+            .sink_outputs
             .values()
             .flatten()
-            .flat_map(|(_, p)| p.records().iter().cloned())
-            .collect()
+            .map(|(_, p)| p.len())
+            .sum();
+        let mut out = Vec::with_capacity(total);
+        for (_, p) in self.sink_outputs.into_values().flatten() {
+            out.append(&mut p.into_records());
+        }
+        out
     }
 
     /// CPU utilization series of host `i`.
@@ -397,7 +422,7 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
 
     // Nodes: hosts 0..H, then ASUs.
     let nodes: Vec<Rc<RefCell<NodeRes>>> = (0..cfg.hosts)
-        .map(|i| NodeId::Host(i))
+        .map(NodeId::Host)
         .chain((0..cfg.asus).map(NodeId::Asu))
         .map(|id| Rc::new(RefCell::new(NodeRes::new(id, cfg))))
         .collect();

@@ -59,7 +59,7 @@ impl CellRec {
             if let Some(nk) = self.neighbor_key(i) {
                 if nk < me {
                     let e = self.neighbors[i];
-                    if best.map_or(true, |(be, _)| e < be) {
+                    if best.is_none_or(|(be, _)| e < be) {
                         best = Some((e, i));
                     }
                 }

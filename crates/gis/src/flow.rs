@@ -72,7 +72,7 @@ impl WatershedLabeler {
     pub fn label(&mut self, mut cell: CellRec) -> CellRec {
         let key = cell.key();
         assert!(
-            self.last_key.map_or(true, |k| k <= key),
+            self.last_key.is_none_or(|k| k <= key),
             "cells must arrive in sorted order (time-forward processing)"
         );
         self.last_key = Some(key);

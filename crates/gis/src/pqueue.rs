@@ -104,7 +104,7 @@ impl<K: Ord + Copy, V: Clone> ExternalPq<K, V> {
     fn ensure_buffer_sorted(&mut self) {
         if !self.buffer_sorted {
             // Descending, so the minimum is at the tail (O(1) pop).
-            self.buffer.sort_by(|a, b| b.0.cmp(&a.0));
+            self.buffer.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
             self.buffer_sorted = true;
         }
     }

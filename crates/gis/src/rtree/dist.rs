@@ -151,7 +151,7 @@ impl DistRTree {
                 (trees, mbrs)
             }
             Layout::Replicated { copies } => {
-                assert!(copies >= 1 && d % copies == 0, "copies must divide the ASU count");
+                assert!(copies >= 1 && d.is_multiple_of(copies), "copies must divide the ASU count");
                 let parts = d / copies;
                 let part_trees: Vec<Arc<RTree>> = slabs(&mut points, parts)
                     .into_iter()
@@ -229,9 +229,9 @@ impl Functor<QRec> for DispatchFunctor {
         let d = self.mbrs.len();
         let mut per_port: Vec<Vec<QRec>> = (0..d).map(|_| Vec::new()).collect();
         for q in input.into_records() {
-            for p in 0..d {
-                if self.stripe || self.mbrs[p].intersects(&q.rect()) {
-                    per_port[p].push(q);
+            for (port, mbr) in per_port.iter_mut().zip(&self.mbrs) {
+                if self.stripe || mbr.intersects(&q.rect()) {
+                    port.push(q);
                 }
             }
         }
@@ -354,7 +354,7 @@ pub fn run_queries(
 
     let report = run_job(cluster, Job { graph: g, placement, inputs })?;
     let mut counts = BTreeMap::new();
-    for q in report.sink_records() {
+    for q in report.sink_packets().flat_map(|p| p.records()) {
         *counts.entry(q.qid).or_insert(0u64) += q.count as u64;
     }
     Ok(QueryRun { report, counts })

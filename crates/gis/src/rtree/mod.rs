@@ -10,10 +10,9 @@
 pub mod dist;
 
 use lmas_core::Record;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Left edge.
     pub x0: f32,

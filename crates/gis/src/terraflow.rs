@@ -209,7 +209,7 @@ pub fn run_terraflow(
     let w = grid.width();
     let mut colors = vec![0u32; grid.len()];
     let mut watersheds = 0;
-    for c in step3.sink_records() {
+    for c in step3.sink_packets().flat_map(|p| p.records()) {
         colors[c.y as usize * w + c.x as usize] = c.color;
         watersheds = watersheds.max(c.color + 1);
     }

@@ -1,0 +1,212 @@
+//! A minimal, dependency-free stand-in for the slice of `rayon` the
+//! bench sweeps use: `items.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The workspace builds offline, so the real `rayon` cannot be fetched;
+//! dependents import this crate under the name `rayon` (see the
+//! workspace manifest) and keep the familiar spelling. Execution model:
+//!
+//! - one scoped `std::thread` per available core (capped at the item
+//!   count), pulling indices from a shared atomic counter, so uneven
+//!   per-item costs (different cluster sizes, different γ splits) still
+//!   balance;
+//! - results are reassembled **in input order**, so a parallel sweep
+//!   prints and serializes byte-identically to its serial form;
+//! - panics in workers propagate to the caller (scoped threads).
+//!
+//! Each mapped item must be independent — the bench sweeps satisfy this
+//! by construction, since every emulation owns its cluster, RNG streams,
+//! and report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Map `f` over `items` in parallel, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("receiver outlives scope");
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(out[i].is_none(), "index {i} computed twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index computed"))
+            .collect()
+    })
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Attach the map stage; nothing runs until `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map, executed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Run the map across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        let ordered: Vec<R> = std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &self.f;
+                let items = self.items;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    tx.send((i, f(&items[i]))).expect("receiver outlives scope");
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("every index computed"))
+                .collect()
+        });
+        ordered.into_iter().collect()
+    }
+}
+
+/// `.par_iter()` on slices, arrays, and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Drop-in for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let items = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let par: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+        let ser: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_costs_balance() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let spin = if x % 7 == 0 { 200_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

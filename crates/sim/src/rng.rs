@@ -9,10 +9,9 @@
 //! The generator is SplitMix64 — tiny, fast, passes BigCrush for the
 //! quantities of randomness we draw, and trivially seedable from a hash.
 
-use serde::{Deserialize, Serialize};
 
 /// A deterministic 64-bit PRNG stream (SplitMix64).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetRng {
     state: u64,
 }

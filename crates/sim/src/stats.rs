@@ -6,10 +6,9 @@
 //! each host and ASU") is built from these pieces.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A monotone event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -32,7 +31,7 @@ impl Counter {
 
 /// Integral of a piecewise-constant value over virtual time; yields the
 /// time-weighted mean (e.g. mean queue depth).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     value: f64,
     last_change: SimTime,
@@ -98,7 +97,7 @@ impl TimeWeighted {
 ///
 /// `add_busy(start, end)` marks the half-open interval `[start, end)` as
 /// busy, spreading it across bins. `utilization(bin)` is busy-ns / bin-ns.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationLedger {
     bin_width: SimDuration,
     bins: Vec<u64>, // busy ns per bin
@@ -172,7 +171,7 @@ impl UtilizationLedger {
 }
 
 /// A power-of-two bucketed histogram of durations (latency distributions).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DurationHistogram {
     // bucket i counts samples with floor(log2(ns)) == i; bucket 0 also
     // holds zero-length samples.

@@ -9,11 +9,10 @@
 //! with the work identity `Total Work = n·log(αβγ)`.
 
 use lmas_core::log2_ceil;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Parameters of one DSM-Sort run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsmConfig {
     /// Distribute order: number of subsets.
     pub alpha: usize,

@@ -63,6 +63,10 @@ impl From<JobError> for DsmError {
     }
 }
 
+/// Sorted runs resident on each ASU: `runs[asu]` is that ASU's run
+/// packets in storage order.
+pub type RunsPerAsu<R> = Vec<Vec<Packet<R>>>;
+
 /// Result of pass 1: the emulation report and the sorted runs now stored
 /// on each ASU.
 pub struct Pass1Result<R: Record> {
@@ -280,7 +284,7 @@ pub fn run_intermediate_merge<R: Record>(
     splitters: Vec<R::Key>,
     gamma1: usize,
     packet_records: usize,
-) -> Result<(EmulationReport<R>, Vec<Vec<Packet<R>>>), DsmError> {
+) -> Result<(EmulationReport<R>, RunsPerAsu<R>), DsmError> {
     let _ = packet_records;
     let d = cluster.asus;
     if runs_per_asu.len() != d {

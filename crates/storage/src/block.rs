@@ -5,12 +5,10 @@
 //! [`BlockId`] names a stored block within a block transfer engine; an
 //! [`Extent`] is a contiguous run of block ids used for sequential layout.
 
-use bytes::{Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Names a stored block within one [`crate::bte::BlockTransferEngine`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct BlockId(pub u64);
 
@@ -26,7 +24,7 @@ impl BlockId {
 /// `capacity` bytes; writers fill a prefix and record the valid length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
-    data: BytesMut,
+    data: Vec<u8>,
     valid: usize,
     capacity: usize,
 }
@@ -36,7 +34,7 @@ impl Block {
     pub fn zeroed(capacity: usize) -> Block {
         assert!(capacity > 0, "block capacity must be positive");
         Block {
-            data: BytesMut::zeroed(capacity),
+            data: vec![0u8; capacity],
             valid: 0,
             capacity,
         }
@@ -46,7 +44,7 @@ impl Block {
     pub fn from_bytes(bytes: &[u8]) -> Block {
         assert!(!bytes.is_empty(), "block capacity must be positive");
         Block {
-            data: BytesMut::from(bytes),
+            data: bytes.to_vec(),
             valid: bytes.len(),
             capacity: bytes.len(),
         }
@@ -88,16 +86,16 @@ impl Block {
         &self.data
     }
 
-    /// Freeze into an immutable byte view of the valid prefix.
-    pub fn freeze_valid(self) -> Bytes {
+    /// Freeze into an owned byte vector of the valid prefix.
+    pub fn freeze_valid(self) -> Vec<u8> {
         let mut data = self.data;
         data.truncate(self.valid);
-        data.freeze()
+        data
     }
 }
 
 /// A contiguous run of blocks `[first, first + len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Extent {
     /// First block id of the run.
     pub first: BlockId,
@@ -173,7 +171,7 @@ mod tests {
         b.buffer_mut()[..4].copy_from_slice(&[1, 2, 3, 4]);
         b.set_valid_len(4);
         assert_eq!(b.valid_bytes(), &[1, 2, 3, 4]);
-        assert_eq!(b.freeze_valid().as_ref(), &[1, 2, 3, 4]);
+        assert_eq!(b.freeze_valid(), vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -19,10 +19,9 @@
 //! per-request overhead knob exists for sensitivity studies.
 
 use lmas_sim::{SimDuration, SimTime, UtilizationLedger};
-use serde::{Deserialize, Serialize};
 
 /// Disk timing parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DiskParams {
     /// Base aggregate sequential transfer rate, bytes per second.
     pub rate_bytes_per_sec: f64,

@@ -53,7 +53,7 @@ impl RecordCodec {
     /// and the number of records packed.
     pub fn pack(&self, payload: &[u8]) -> (Block, usize) {
         assert!(
-            payload.len() % self.record_size == 0,
+            payload.len().is_multiple_of(self.record_size),
             "payload is not a whole number of records"
         );
         let n = (payload.len() / self.record_size).min(self.records_per_block());
@@ -67,7 +67,7 @@ impl RecordCodec {
     /// Number of records in a block's valid prefix.
     pub fn unpack_count(&self, block: &Block) -> usize {
         assert!(
-            block.valid_len() % self.record_size == 0,
+            block.valid_len().is_multiple_of(self.record_size),
             "block holds a partial record"
         );
         block.valid_len() / self.record_size

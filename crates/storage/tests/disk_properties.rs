@@ -24,7 +24,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut prev_ready = SimTime::ZERO;
         for (g, s) in gaps.iter().zip(&sizes) {
-            now = now + SimDuration(*g);
+            now += SimDuration(*g);
             let ready = d.read(now, *s);
             prop_assert!(ready >= now, "data before request");
             prop_assert!(ready >= prev_ready, "ready times must be monotone");

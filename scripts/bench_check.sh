@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Quick wall-clock sanity pass over the kernel benches.
+#
+# Builds release, runs the kernel microbenches with a reduced iteration
+# count (override with LMAS_BENCH_ITERS), and leaves the ns/record
+# numbers in results/BENCH_kernels.json. Expected shape: radix_sort
+# beats comparison_sort on Rec128, and packet fan-out is ~0 ns/record
+# (O(1) Arc clone, not a deep copy).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export LMAS_BENCH_ITERS="${LMAS_BENCH_ITERS:-7}"
+# cargo bench runs with cwd = the bench package; pin output to the
+# repo-root results/ dir regardless.
+export LMAS_RESULTS_DIR="${LMAS_RESULTS_DIR:-$PWD/results}"
+
+echo "== cargo build --release =="
+cargo build --release -q
+
+echo "== kernel benches (LMAS_BENCH_ITERS=$LMAS_BENCH_ITERS) =="
+cargo bench -q -p lmas-bench --bench kernels
+
+echo
+echo "== $LMAS_RESULTS_DIR/BENCH_kernels.json =="
+cat "$LMAS_RESULTS_DIR/BENCH_kernels.json"

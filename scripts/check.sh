@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full correctness gate: every workspace test plus lint-clean clippy.
+# Run from the repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo test (workspace) =="
+cargo test -q
+
+echo "== cargo clippy -D warnings (workspace, all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

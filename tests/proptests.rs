@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants of the stack.
 
-use lmas::core::kernels::{bucket_of, is_sorted_by_key, merge_runs, select_splitters};
-use lmas::core::{packetize, Packet, Rec8, Record};
+use lmas::core::kernels::{
+    bucket_of, is_sorted_by_key, merge_runs, radix_sort_u32, select_splitters,
+};
+use lmas::core::{packetize, Packet, Rec128, Rec8, Record};
 use lmas::emulator::ClusterConfig;
 use lmas::sort::{
     check_tag_permutation, reconstruct_sorted, run_dsm_sort, DsmConfig, LoadMode,
@@ -106,6 +108,48 @@ proptest! {
         } else {
             prop_assert!(check_tag_permutation(tags, n).is_ok());
         }
+    }
+
+    /// The radix kernel equals a stable comparison sort for arbitrary
+    /// Rec128 inputs (narrow mode forces duplicate keys so stability —
+    /// equal keys keep input order — is actually exercised).
+    #[test]
+    fn radix_equals_stable_sort(keys in prop::collection::vec(any::<u32>(), 0..400), narrow in any::<bool>()) {
+        let recs: Vec<Rec128> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Rec128::new(if narrow { k % 13 } else { k }, i as u64))
+            .collect();
+        let mut a = recs.clone();
+        radix_sort_u32(&mut a);
+        let mut b = recs;
+        b.sort_by_key(|r| r.key());
+        prop_assert_eq!(
+            a.iter().map(|r| (r.key(), r.tag())).collect::<Vec<_>>(),
+            b.iter().map(|r| (r.key(), r.tag())).collect::<Vec<_>>()
+        );
+    }
+
+    /// Packet clones share one buffer (a clone never splits or copies
+    /// the records), and copy-on-write mutation equals the deep-copy
+    /// semantics it replaced, leaving every other clone untouched.
+    #[test]
+    fn packet_clone_shares_and_cow_matches(data in rec8s(200)) {
+        let p = Packet::new(data.clone());
+        let q = p.clone();
+        prop_assert!(p.shares_buffer(&q));
+        prop_assert_eq!(p.len(), q.len());
+        prop_assert_eq!(p.records(), q.records());
+        // Mutate a clone: same result as mutating an independent copy.
+        let mut cow = q.clone();
+        cow.records_mut().sort_by_key(|r| r.key);
+        let mut deep = data.clone();
+        deep.sort_by_key(|r| r.key);
+        prop_assert_eq!(cow.records(), &deep[..]);
+        // The original pair still shares its (unchanged) buffer.
+        prop_assert_eq!(p.records(), &data[..]);
+        prop_assert!(p.shares_buffer(&q));
+        prop_assert!(!cow.shares_buffer(&p), "write must detach the writer only");
     }
 
     /// Record serialization round-trips.
