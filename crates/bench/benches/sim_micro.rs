@@ -1,16 +1,30 @@
 //! Wall-clock microbenchmarks for the simulation kernel: the event
 //! calendar and FCFS resources pace every emulated run, so their
 //! per-operation cost bounds how large an experiment the harness can
-//! afford. Runs as a plain main under `cargo bench --bench sim_micro`.
+//! afford. Runs as a plain main under `cargo bench --bench sim_micro`
+//! and writes the per-event figures to `BENCH_sim.json` in the results
+//! directory.
+//!
+//! The scenarios mirror the calendar's hot paths in the emulator:
+//! random-time schedule/pop (pass boundaries), interleaved cancels
+//! (revised timers), same-instant FIFO cascades (`send_now` chains),
+//! full engine dispatch, FCFS grants, and an end-to-end DSM-Sort
+//! emulation on the default config.
 
 use lmas_bench::timing::BenchReport;
-use lmas_sim::{DetRng, EventQueue, Resource, SimDuration, SimTime};
+use lmas_bench::write_results;
+use lmas_core::{generate_rec128, KeyDist};
+use lmas_emulator::ClusterConfig;
+use lmas_sim::{
+    Ctx, DetRng, EventQueue, MultiResource, Resource, SimDuration, SimTime, Simulation,
+};
+use lmas_sort::{run_dsm_sort, DsmConfig, LoadMode};
 
 fn main() {
     let mut report = BenchReport::new();
-    let n = 10_000u64;
+    let n = 1 << 16;
 
-    report.bench("event_queue/schedule_pop_10k", n, || {
+    report.bench("calendar/schedule_pop_random_64k", n, || {
         let mut rng = DetRng::new(1);
         let mut q = EventQueue::new();
         for i in 0..n {
@@ -23,12 +37,70 @@ fn main() {
         acc
     });
 
-    report.bench("resource/acquire_10k", n, || {
+    report.bench("calendar/schedule_cancel_64k", n, || {
+        let mut rng = DetRng::new(2);
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            tokens.push(q.schedule(SimTime(rng.gen_range(1_000_000)), i));
+        }
+        // Cancel every other event (the blocked-timer-revision idiom).
+        for tok in tokens.iter().step_by(2) {
+            q.cancel(*tok);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+
+    report.bench("calendar/same_instant_fifo_64k", n, || {
+        // A send_now cascade: every pop schedules a successor at the very
+        // instant just popped, so the whole run plays out at t=42.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(42), 0u64);
+        let mut acc = 0u64;
+        let mut left = n - 1;
+        while let Some((t, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+            if left > 0 {
+                left -= 1;
+                q.schedule(t, v + 1);
+            }
+        }
+        acc
+    });
+
+    report.bench("engine/send_now_cascade_64k", n, || {
+        let mut sim: Simulation<u64> = Simulation::new(0);
+        let a = sim.add_actor(Box::new(|ctx: &mut Ctx<'_, u64>, left: u64| {
+            if left > 0 {
+                let me = ctx.me();
+                ctx.send_now(me, left - 1);
+            }
+        }));
+        sim.seed_message(a, SimTime::ZERO, n - 1);
+        sim.run();
+        sim.dispatched()
+    });
+
+    report.bench("resource/acquire_100k", 100_000, || {
         let mut r = Resource::new("cpu", SimDuration::from_millis(100));
         let mut t = SimTime::ZERO;
-        for _ in 0..n {
+        for _ in 0..100_000 {
             let grant = r.acquire(t, SimDuration::from_micros(3));
             t = grant.end;
+        }
+        t
+    });
+
+    report.bench("multi_resource/acquire_8x100k", 100_000, || {
+        let mut m = MultiResource::new("raid", 8, SimDuration::from_millis(100));
+        let mut t = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let grant = m.acquire(t, SimDuration::from_micros(3));
+            t = grant.start;
         }
         t
     });
@@ -41,4 +113,23 @@ fn main() {
         }
         acc
     });
+
+    // End-to-end: the default DSM-Sort emulation. ns/unit here is ns per
+    // dispatched simulator event, the paper-harness figure of merit.
+    let sort_n = 30_000u64;
+    let cluster = ClusterConfig::era_2002(1, 4, 8.0);
+    let dsm = DsmConfig::new(16, 256, 4, 64);
+    let data = generate_rec128(sort_n, KeyDist::Uniform, 1);
+    let probe = run_dsm_sort(&cluster, data.clone(), &dsm, LoadMode::Static)
+        .expect("default DSM-Sort runs");
+    let events = probe.pass1.dispatched + probe.pass2.dispatched;
+    println!(
+        "emulation/dsm_sort_default: {events} events, makespan {}",
+        probe.total
+    );
+    report.bench("emulation/dsm_sort_default_per_event", events, || {
+        run_dsm_sort(&cluster, data.clone(), &dsm, LoadMode::Static).expect("sort runs")
+    });
+
+    write_results("BENCH_sim.json", &report.to_json());
 }

@@ -1,0 +1,64 @@
+//! Determinism gate: run the pinned seeded DSM-Sort emulation and print
+//! every virtual-time observable. `scripts/check.sh` runs this twice and
+//! diffs the output — any nondeterminism in the calendar, dispatch loop,
+//! resource accounting, or trace rendering shows up as a diff.
+//!
+//! The same figures are frozen in the emulator's golden test
+//! (`crates/emulator/tests/golden.rs`), which pins them across simulator
+//! rewrites; this binary guards run-to-run stability within one build.
+
+use lmas_core::{generate_rec128, KeyDist, Record};
+use lmas_emulator::ClusterConfig;
+use lmas_sort::{run_dsm_sort, DsmConfig, LoadMode};
+
+/// FNV-1a over a byte stream; stable and dependency-free.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let cluster = ClusterConfig::era_2002(1, 2, 8.0).with_trace(4096);
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let n = 5_000;
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let out = run_dsm_sort(&cluster, data, &dsm, LoadMode::Static).expect("pinned sort runs");
+
+    println!("pass1.makespan_ns {}", out.pass1.makespan.as_nanos());
+    println!("pass2.makespan_ns {}", out.pass2.makespan.as_nanos());
+    println!("total_ns {}", out.total.as_nanos());
+    println!("pass1.dispatched {}", out.pass1.dispatched);
+    println!("pass2.dispatched {}", out.pass2.dispatched);
+    println!(
+        "records_processed {} {}",
+        out.pass1.records_processed, out.pass2.records_processed
+    );
+    let key_hash = fnv1a(
+        out.output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let out_records: usize = out.output.iter().map(|p| p.len()).sum();
+    println!("output.records {out_records} output.key_fnv {key_hash:016x}");
+    for (pass, report) in [("pass1", &out.pass1), ("pass2", &out.pass2)] {
+        let util_hash = fnv1a(
+            report
+                .nodes
+                .iter()
+                .flat_map(|nr| nr.cpu_series.iter())
+                .flat_map(|u| u.to_bits().to_le_bytes()),
+        );
+        println!("{pass}.cpu_series_fnv {util_hash:016x}");
+        let render = report.trace.render();
+        println!(
+            "{pass}.trace lines {} fnv {:016x}",
+            report.trace.len(),
+            fnv1a(render.bytes())
+        );
+    }
+}

@@ -44,6 +44,10 @@ pub struct ClusterConfig {
     /// Fraction of each ASU's disk bandwidth consumed by competing
     /// tenants. 0 = idle.
     pub background_asu_disk: f64,
+    /// Ring-buffer capacity of the run's event trace; 0 disables tracing
+    /// entirely (the dispatch loop then allocates no trace strings —
+    /// see [`lmas_sim::Trace::record_with`]).
+    pub trace_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -68,7 +72,15 @@ impl ClusterConfig {
             seed: 0x1A5,
             background_asu_cpu: 0.0,
             background_asu_disk: 0.0,
+            trace_capacity: 0,
         }
+    }
+
+    /// This cluster with an event trace retaining the `capacity`
+    /// most-recent entries (rendered into the run report).
+    pub fn with_trace(mut self, capacity: usize) -> ClusterConfig {
+        self.trace_capacity = capacity;
+        self
     }
 
     /// This cluster with competing tenants consuming `cpu` of each ASU's

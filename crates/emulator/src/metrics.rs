@@ -8,6 +8,7 @@
 //! progress, and contract violations.
 
 use lmas_core::{Packet, Record, Work};
+use lmas_sim::Trace;
 use std::collections::BTreeMap;
 
 /// Maximum memory-violation notes retained (they repeat).
@@ -32,6 +33,10 @@ pub struct Metrics<R: Record> {
     pub records_processed: u64,
     /// Functor-state memory contract violations observed (bounded list).
     pub mem_violations: Vec<String>,
+    /// Event trace of the run (disabled unless the cluster config asks
+    /// for one; recording through [`Trace::record_with`] is free when
+    /// disabled).
+    pub trace: Trace,
     violations_total: u64,
 }
 
@@ -44,6 +49,7 @@ impl<R: Record> Metrics<R> {
             sink_outputs: BTreeMap::new(),
             records_processed: 0,
             mem_violations: Vec::new(),
+            trace: Trace::disabled(),
             violations_total: 0,
         }
     }

@@ -69,6 +69,19 @@ impl NodeRes {
         self.nic.acquire(now, service)
     }
 
+    /// Book `count` back-to-back NIC serializations of `bytes` each at
+    /// `now` in one batched ledger update; returns the combined window.
+    pub fn charge_nic_batch(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        link_rate: f64,
+        count: u64,
+    ) -> Grant {
+        let service = SimDuration::from_secs_f64(bytes as f64 / link_rate);
+        self.nic.acquire_batch(now, count, service)
+    }
+
     /// Sequential disk read of `bytes`; returns data-ready time.
     pub fn disk_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.disk.read(now, bytes)

@@ -23,7 +23,7 @@ use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
     Router, StageId,
 };
-use lmas_sim::{ActorId, Ctx, RunOutcome, SimDuration, SimTime, Simulation};
+use lmas_sim::{ActorId, Ctx, RunOutcome, SimDuration, SimTime, Simulation, Trace};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -125,6 +125,11 @@ pub struct EmulationReport<R: Record> {
     pub records_processed: u64,
     /// Memory-contract violations (empty on a clean run).
     pub mem_violations: Vec<String>,
+    /// Simulator events dispatched while running the job.
+    pub dispatched: u64,
+    /// Event trace of the run (empty unless
+    /// [`ClusterConfig::trace_capacity`] asked for one).
+    pub trace: Trace,
 }
 
 impl<R: Record> EmulationReport<R> {
@@ -252,13 +257,24 @@ impl<R: Record> InstanceActor<R> {
             Unit::Process(p) => {
                 let n = p.len() as u64;
                 self.node.borrow_mut().note_records(n);
-                self.metrics.borrow_mut().records_processed += n;
+                let (stage, instance) = (self.stage, self.instance);
+                let mut m = self.metrics.borrow_mut();
+                m.records_processed += n;
+                m.trace.record_with(ctx.now(), || {
+                    (format!("s{stage}.i{instance}"), format!("proc {n} recs"))
+                });
+                drop(m);
                 self.functor.process(p, &mut emit);
             }
             Unit::Flush => {
                 self.functor.flush(&mut emit);
                 self.flushed = true;
                 just_flushed = true;
+                let (stage, instance) = (self.stage, self.instance);
+                self.metrics
+                    .borrow_mut()
+                    .trace
+                    .record_with(ctx.now(), || (format!("s{stage}.i{instance}"), "flush"));
             }
         }
         let state = self.functor.state_bytes();
@@ -329,16 +345,43 @@ impl<R: Record> InstanceActor<R> {
     fn broadcast_eos(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
         if let Some(d) = &mut self.down {
             // EOS rides the NIC (zero payload) so it stays behind data.
-            for i in 0..d.actors.len() {
-                let deliver_at = delivery_time(
-                    ctx.now(),
-                    &self.node,
-                    &d.nodes[i],
+            // Every remote mark serializes zero bytes, so one batched NIC
+            // charge stands in for the per-destination charges: k
+            // zero-length grants at the same instant share one window and
+            // leave `free_at` where a lone charge would (the ledger sees
+            // no busy time either way).
+            let now = ctx.now();
+            let my_id = self.node.borrow().id;
+            let remote = d
+                .nodes
+                .iter()
+                .filter(|n| n.borrow().id != my_id)
+                .count();
+            let deliver_remote = if remote > 0 {
+                let g = self.node.borrow_mut().charge_nic_batch(
+                    now,
                     0,
                     self.link_rate,
-                    self.latency,
+                    remote as u64,
                 );
-                ctx.send_at(d.actors[i], deliver_at, Msg::Eos);
+                g.end + self.latency
+            } else {
+                now
+            };
+            let (stage, instance, fanout) = (self.stage, self.instance, d.actors.len());
+            self.metrics
+                .borrow_mut()
+                .trace
+                .record_with(now, || {
+                    (format!("s{stage}.i{instance}"), format!("eos -> {fanout}"))
+                });
+            for i in 0..d.actors.len() {
+                let at = if d.nodes[i].borrow().id == my_id {
+                    now
+                } else {
+                    deliver_remote
+                };
+                ctx.send_at(d.actors[i], at, Msg::Eos);
             }
         }
     }
@@ -445,6 +488,9 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         .map(|s| Rc::new(RefCell::new(vec![0u64; s.replication])))
         .collect();
     let metrics = Rc::new(RefCell::new(Metrics::<R>::new(graph.stages().len())));
+    if cfg.trace_capacity > 0 {
+        metrics.borrow_mut().trace = Trace::enabled(cfg.trace_capacity);
+    }
 
     // Upstream EOS expectations.
     let eos_expected: Vec<usize> = (0..graph.stages().len())
@@ -525,6 +571,7 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
 
     let outcome = sim.run();
     debug_assert_eq!(outcome, RunOutcome::Drained, "job should drain");
+    let dispatched = sim.dispatched();
 
     // Makespan: last event, all CPU queues drained, all disks quiesced.
     let mut end = sim.now();
@@ -572,5 +619,7 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         sink_outputs: m.sink_outputs,
         records_processed: m.records_processed,
         mem_violations: m.mem_violations,
+        dispatched,
+        trace: m.trace,
     })
 }

@@ -175,16 +175,21 @@ impl<M> Simulation<M> {
 
     /// Run until the calendar drains, an actor requests a stop, or virtual
     /// time would exceed `horizon`.
+    ///
+    /// The loop allocates nothing per dispatch: envelopes are recycled
+    /// through the calendar's slot free list, and the horizon check is
+    /// folded into the pop ([`EventQueue::pop_not_after`]) instead of a
+    /// separate peek.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let mut stop = false;
         loop {
-            let Some(t) = self.queue.peek_time() else {
-                return RunOutcome::Drained;
+            let Some((t, env)) = self.queue.pop_not_after(horizon) else {
+                return if self.queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::HorizonReached
+                };
             };
-            if t > horizon {
-                return RunOutcome::HorizonReached;
-            }
-            let (t, env) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatched += 1;

@@ -5,54 +5,109 @@
 //! fire in the order they were scheduled — a total order that makes runs
 //! deterministic regardless of hash-map iteration or heap tie-breaking.
 //!
-//! Events can be cancelled via the [`EventToken`] returned at scheduling
-//! time; cancellation is O(1) (lazy removal at pop). This supports the
-//! paper's blocking-synchronization idiom of posting a wakeup at `t = ∞`
-//! and revising it on signal — in our engine the equivalent is cancelling
-//! the stale timer and scheduling a fresh one.
+//! ## Internals
+//!
+//! The calendar is an **index-tracked 4-ary min-heap** over recycled
+//! payload slots, plus a **same-instant FIFO fast lane**:
+//!
+//! - Payloads live in a slot arena with a free list, so steady-state
+//!   scheduling allocates nothing: a fired or cancelled event's slot is
+//!   reused by the next `schedule`. Each slot carries a generation
+//!   counter; an [`EventToken`] packs `(slot, generation)`, which makes
+//!   stale tokens (fired or already-cancelled events) detectable in O(1)
+//!   without any tombstone set.
+//! - The heap orders `(time, seq)` keys stored inline in the heap array
+//!   (one cache line holds two entries), and each slot knows its heap
+//!   position, so [`EventQueue::cancel`] removes the entry eagerly — a
+//!   single sift, no tombstone accumulation, and
+//!   [`EventQueue::peek_time`] never has to skip dead entries.
+//! - Events scheduled **at the instant currently firing** — the
+//!   `send_now` cascades that dominate the emulator's dispatch mix —
+//!   bypass the heap entirely: they append to a FIFO lane whose entries
+//!   all share one timestamp and arrive in `seq` order by construction.
+//!   A pop takes whichever of (lane front, heap top) has the smaller
+//!   `(time, seq)`, so the total order is exactly the one the old
+//!   binary-heap calendar produced.
+//!
+//! Cancellation via the token is O(1) for lane entries and one
+//! O(log₄ n) sift for heap entries; both free the slot immediately.
+//! This supports the paper's blocking-synchronization idiom of posting a
+//! wakeup at `t = ∞` and revising it on signal — in our engine the
+//! equivalent is cancelling the stale timer and scheduling a fresh one.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::VecDeque;
 
-/// Identifies a scheduled event so it can later be cancelled.
+/// Identifies a scheduled event so it can later be cancelled. Packs the
+/// event's slot index (low 32 bits) and the slot's generation at
+/// scheduling time (high 32 bits); a token outlives its event harmlessly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(pub(crate) u64);
 
-struct Entry<M> {
+impl EventToken {
+    fn pack(slot: u32, gen: u32) -> EventToken {
+        EventToken(((gen as u64) << 32) | slot as u64)
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// `Slot::pos` sentinel: the event sits in the same-instant fast lane.
+const IN_LANE: u32 = u32::MAX;
+/// `Slot::pos` sentinel: a lane entry cancelled before firing; skipped
+/// (and its slot freed) when the lane drains past it within the instant.
+const LANE_CANCELLED: u32 = u32::MAX - 1;
+/// `Slot::pos` sentinel: the slot is on the free list.
+const FREE: u32 = u32::MAX - 2;
+
+struct Slot<M> {
+    /// Bumped every time the slot is freed; stale tokens mismatch.
+    gen: u32,
+    /// Heap position, or one of the sentinels above.
+    pos: u32,
+    seq: u64,
+    time: SimTime,
+    payload: Option<M>,
+}
+
+/// Heap entries carry the full `(time, seq)` ordering key inline so
+/// comparisons during sifting never chase the slot arena.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    payload: M,
+    slot: u32,
 }
 
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Entry<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
 /// A deterministic future-event calendar.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Entry<M>>,
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot<M>>,
+    /// Recycled slot indices: the calendar's envelope free list.
+    free: Vec<u32>,
+    /// 4-ary min-heap of events *not* at the current instant.
+    heap: Vec<HeapEntry>,
+    /// Same-instant FIFO: slot indices, all at `lane_time`, seq-ascending.
+    lane: VecDeque<u32>,
+    /// Timestamp shared by every lane entry (valid while `lane` is
+    /// non-empty).
+    lane_time: SimTime,
+    /// Time of the most recently popped event — "the current instant".
+    front_time: SimTime,
     next_seq: u64,
     scheduled: u64,
     fired: u64,
+    live: u64,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -65,11 +120,16 @@ impl<M> EventQueue<M> {
     /// An empty calendar.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            lane: VecDeque::new(),
+            lane_time: SimTime::ZERO,
+            front_time: SimTime::ZERO,
             next_seq: 0,
             scheduled: 0,
             fired: 0,
+            live: 0,
         }
     }
 
@@ -84,40 +144,121 @@ impl<M> EventQueue<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry { time, seq, payload });
-        EventToken(seq)
+        self.live += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.seq = seq;
+                s.time = time;
+                s.payload = Some(payload);
+                i
+            }
+            None => {
+                assert!(self.slots.len() < FREE as usize, "calendar slot overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    pos: FREE,
+                    seq,
+                    time,
+                    payload: Some(payload),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if time == self.front_time && (self.lane.is_empty() || self.lane_time == time) {
+            // send_now fast lane: same instant as the event being
+            // dispatched, seq necessarily above everything already there.
+            self.lane_time = time;
+            self.lane.push_back(idx);
+            self.slots[idx as usize].pos = IN_LANE;
+        } else {
+            self.heap_push(HeapEntry { time, seq, slot: idx });
+        }
+        EventToken::pack(idx, self.slots[idx as usize].gen)
     }
 
     /// Cancel a previously scheduled event. Idempotent; cancelling an
-    /// already-fired event has no effect.
+    /// already-fired event has no effect. Lane entries are O(1); heap
+    /// entries are removed eagerly with one sift (no tombstones linger).
     pub fn cancel(&mut self, token: EventToken) {
-        self.cancelled.insert(token.0);
+        let idx = token.slot();
+        let Some(slot) = self.slots.get_mut(idx as usize) else {
+            return;
+        };
+        if slot.gen != token.gen() {
+            return; // already fired or cancelled; slot moved on
+        }
+        match slot.pos {
+            FREE | LANE_CANCELLED => {}
+            IN_LANE => {
+                // The lane index stays; the drained-lane scan frees it.
+                slot.payload = None;
+                slot.pos = LANE_CANCELLED;
+                self.live -= 1;
+            }
+            pos => {
+                self.heap_remove(pos);
+                self.free_slot(idx);
+                self.live -= 1;
+            }
+        }
     }
 
-    /// Remove and return the earliest live event, skipping cancelled ones.
+    /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, M)> {
-        while let Some(e) = self.heap.pop() {
-            if self.cancelled.remove(&e.seq) {
-                continue;
-            }
-            self.fired += 1;
-            return Some((e.time, e.payload));
-        }
-        None
+        self.pop_not_after(SimTime::NEVER)
     }
 
-    /// Time of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(e) = self.heap.peek() {
-            if self.cancelled.contains(&e.seq) {
-                let seq = e.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+    /// Remove and return the earliest live event if it fires at or
+    /// before `horizon`; `None` when the calendar is empty or the next
+    /// event is later. One call replaces the peek-then-pop pair in
+    /// dispatch loops.
+    pub fn pop_not_after(&mut self, horizon: SimTime) -> Option<(SimTime, M)> {
+        self.drop_cancelled_lane_prefix();
+        let lane_key = self
+            .lane
+            .front()
+            .map(|&i| (self.lane_time, self.slots[i as usize].seq));
+        let heap_key = self.heap.first().map(HeapEntry::key);
+        let from_lane = match (lane_key, heap_key) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(l), Some(h)) => l < h,
+        };
+        let idx = if from_lane {
+            if self.lane_time > horizon {
+                return None;
             }
-            return Some(e.time);
+            self.lane.pop_front().expect("lane front exists")
+        } else {
+            if self.heap[0].time > horizon {
+                return None;
+            }
+            let top = self.heap[0];
+            self.heap_remove(0);
+            top.slot
+        };
+        let slot = &mut self.slots[idx as usize];
+        let time = slot.time;
+        let payload = slot.payload.take().expect("live event has a payload");
+        self.free_slot(idx);
+        self.fired += 1;
+        self.live -= 1;
+        self.front_time = time;
+        Some((time, payload))
+    }
+
+    /// Time of the earliest live event without removing it. O(1).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_cancelled_lane_prefix();
+        let lane = self.lane.front().map(|_| self.lane_time);
+        let heap = self.heap.first().map(|e| e.time);
+        match (lane, heap) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (Some(a), Some(b)) => Some(a.min(b)),
         }
-        None
     }
 
     /// True when no live events remain.
@@ -126,17 +267,101 @@ impl<M> EventQueue<M> {
     }
 
     /// Number of live (scheduled, not yet fired or cancelled) events.
-    /// Linear in pending cancellations; intended for tests and reports.
+    /// O(1) — the calendar tracks the count directly.
     pub fn live_len(&self) -> usize {
-        self.heap
-            .iter()
-            .filter(|e| !self.cancelled.contains(&e.seq))
-            .count()
+        self.live as usize
     }
 
     /// Lifetime counters: (scheduled, fired).
     pub fn counters(&self) -> (u64, u64) {
         (self.scheduled, self.fired)
+    }
+
+    /// Free cancelled entries parked at the head of the fast lane so the
+    /// live front is directly inspectable.
+    fn drop_cancelled_lane_prefix(&mut self) {
+        while let Some(&i) = self.lane.front() {
+            if self.slots[i as usize].pos == LANE_CANCELLED {
+                self.lane.pop_front();
+                self.free_slot(i);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn free_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.pos = FREE;
+        slot.payload = None;
+        self.free.push(idx);
+    }
+
+    // ---- 4-ary heap primitives (children of i: 4i+1 ..= 4i+4) ----
+
+    fn heap_push(&mut self, entry: HeapEntry) {
+        let pos = self.heap.len() as u32;
+        self.slots[entry.slot as usize].pos = pos;
+        self.heap.push(entry);
+        self.sift_up(pos as usize);
+    }
+
+    /// Remove the entry at heap position `pos`, restoring heap order.
+    fn heap_remove(&mut self, pos: u32) {
+        let pos = pos as usize;
+        let last = self.heap.pop().expect("heap entry to remove");
+        if pos < self.heap.len() {
+            self.heap[pos] = last;
+            self.slots[last.slot as usize].pos = pos as u32;
+            // The replacement came from the bottom: usually sifts down,
+            // but under a different subtree it may need to rise instead.
+            if !self.sift_up(pos) {
+                self.sift_down(pos);
+            }
+        }
+    }
+
+    /// Move the entry at `i` up to its place; returns true if it moved.
+    fn sift_up(&mut self, mut i: usize) -> bool {
+        let mut moved = false;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                self.slots[self.heap[i].slot as usize].pos = i as u32;
+                self.slots[self.heap[parent].slot as usize].pos = parent as u32;
+                i = parent;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = 4 * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + 4).min(self.heap.len());
+            let mut min = first;
+            for c in first + 1..last {
+                if self.heap[c].key() < self.heap[min].key() {
+                    min = c;
+                }
+            }
+            if self.heap[min].key() < self.heap[i].key() {
+                self.heap.swap(i, min);
+                self.slots[self.heap[i].slot as usize].pos = i as u32;
+                self.slots[self.heap[min].slot as usize].pos = min as u32;
+                i = min;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -216,5 +441,135 @@ mod tests {
         q.schedule(SimTime(2), ());
         q.pop();
         assert_eq!(q.counters(), (2, 1));
+    }
+
+    #[test]
+    fn same_instant_cascade_stays_fifo() {
+        // Mimics a send_now chain: each pop schedules a successor at the
+        // popped instant; successors must fire after everything already
+        // scheduled for that instant, in schedule order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(7), 0u32);
+        q.schedule(SimTime(7), 1u32);
+        let mut order = Vec::new();
+        let mut next = 2u32;
+        while let Some((t, v)) = q.pop() {
+            assert_eq!(t, SimTime(7));
+            order.push(v);
+            if next < 6 {
+                q.schedule(t, next);
+                next += 1;
+            }
+        }
+        assert_eq!(order, [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn lane_and_heap_interleave_by_seq() {
+        let mut q = EventQueue::new();
+        // Heap-resident events at t=5 scheduled first...
+        q.schedule(SimTime(5), "early-a");
+        q.schedule(SimTime(5), "early-b");
+        q.schedule(SimTime(3), "first");
+        assert_eq!(q.pop(), Some((SimTime(3), "first")));
+        // ...then a pop at t=5 opens the fast lane; lane entries carry
+        // later seqs and must fire after the heap's same-time entries.
+        assert_eq!(q.pop(), Some((SimTime(5), "early-a")));
+        q.schedule(SimTime(5), "lane-a");
+        q.schedule(SimTime(5), "lane-b");
+        assert_eq!(q.pop(), Some((SimTime(5), "early-b")));
+        assert_eq!(q.pop(), Some((SimTime(5), "lane-a")));
+        assert_eq!(q.pop(), Some((SimTime(5), "lane-b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_inside_fast_lane() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(0), "head");
+        assert_eq!(q.pop(), Some((SimTime(0), "head")));
+        let a = q.schedule(SimTime(0), "a");
+        let b = q.schedule(SimTime(0), "b");
+        let c = q.schedule(SimTime(0), "c");
+        q.cancel(b);
+        q.cancel(b); // idempotent on lane entries too
+        assert_eq!(q.live_len(), 2);
+        assert_eq!(q.pop(), Some((SimTime(0), "a")));
+        assert_eq!(q.pop(), Some((SimTime(0), "c")));
+        assert_eq!(q.pop(), None);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn slots_recycle_without_token_confusion() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime(1), 1u32);
+        assert_eq!(q.pop(), Some((SimTime(1), 1)));
+        // The slot is recycled for `b`; the stale token must not hit it.
+        let b = q.schedule(SimTime(2), 2u32);
+        q.cancel(a);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop(), Some((SimTime(2), 2)));
+        q.cancel(b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_not_after_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "x");
+        q.schedule(SimTime(20), "y");
+        assert_eq!(q.pop_not_after(SimTime(5)), None);
+        assert_eq!(q.pop_not_after(SimTime(15)), Some((SimTime(10), "x")));
+        assert_eq!(q.pop_not_after(SimTime(15)), None);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_not_after(SimTime(20)), Some((SimTime(20), "y")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_order() {
+        // Interleaved schedule/cancel across many instants; survivors
+        // must still pop in exact (time, seq) order.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let mut tokens = Vec::new();
+        for round in 0u64..50 {
+            for k in 0..20u64 {
+                let t = (round * 7 + k * 13) % 97;
+                let id = round * 100 + k;
+                let tok = q.schedule(SimTime(t), id);
+                tokens.push((tok, t, id));
+            }
+            // Cancel a deterministic third of everything scheduled so far.
+            if round % 3 == 0 {
+                for j in (0..tokens.len()).step_by(3) {
+                    q.cancel(tokens[j].0);
+                }
+            }
+        }
+        // Recompute the surviving set directly from the cancel pattern.
+        let mut dead = vec![false; tokens.len()];
+        let mut scheduled_so_far = 0;
+        for round in 0u64..50 {
+            scheduled_so_far += 20;
+            if round % 3 == 0 {
+                for j in (0..scheduled_so_far).step_by(3) {
+                    dead[j] = true;
+                }
+            }
+        }
+        for (j, &(_, t, id)) in tokens.iter().enumerate() {
+            if !dead[j] {
+                expected.push((t, id));
+            }
+        }
+        expected.sort_by_key(|&(t, id)| (t, id));
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t.0, id));
+        }
+        // seq order == schedule order == ascending id within equal time.
+        assert_eq!(popped, expected);
     }
 }

@@ -1,0 +1,122 @@
+//! Interned names for resources, metrics, and trace subjects.
+//!
+//! The emulator stamps every resource and trace entry with a name like
+//! `"host0.cpu"`. Those names repeat millions of times across a sweep;
+//! interning stores each distinct string once and hands out shared
+//! pointers, so stamping a name is a pointer copy instead of a `String`
+//! allocation, and equality checks usually resolve on the pointer.
+//!
+//! The intern table is thread-local: sweeps that fan emulations out
+//! across threads (`lmas-par`) each keep their own small table, which
+//! avoids any locking on the hot path.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply clonable, interned, immutable string.
+#[derive(Clone)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// The interned text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Intern `s`, returning a shared handle. Repeated calls with equal text
+/// on the same thread return clones of one allocation.
+pub fn intern(s: &str) -> Name {
+    thread_local! {
+        static TABLE: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+    }
+    TABLE.with(|table| {
+        let mut table = table.borrow_mut();
+        if let Some(existing) = table.get(s) {
+            Name(existing.clone())
+        } else {
+            let arc: Arc<str> = Arc::from(s);
+            table.insert(arc.clone());
+            Name(arc)
+        }
+    })
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        // Same-thread interned names with equal text share one Arc.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for Name {}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = intern("host0.cpu");
+        let b = intern("host0.cpu");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+        assert_eq!(a, "host0.cpu");
+    }
+
+    #[test]
+    fn distinct_names_differ() {
+        let a = intern("host0.cpu");
+        let b = intern("host0.nic");
+        assert_ne!(a, b);
+        assert_eq!(format!("{a}"), "host0.cpu");
+        assert_eq!(format!("{b:?}"), "\"host0.nic\"");
+    }
+}

@@ -8,6 +8,7 @@
 //! - [`engine`]: an actor loop ([`Simulation`], [`Actor`], [`Ctx`]);
 //! - [`resource`]: FCFS servers with utilization accounting — the CPUs,
 //!   disks and links of an emulated cluster;
+//! - [`intern`]: interned resource/metric names (allocation-free stamping);
 //! - [`rng`]: seed-derived deterministic random streams;
 //! - [`stats`]: counters, time-weighted values, utilization ledgers;
 //! - [`trace`]: an optional bounded event trace.
@@ -39,6 +40,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod intern;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -47,6 +49,7 @@ pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
 pub use event::{EventQueue, EventToken};
+pub use intern::{intern, Name};
 pub use resource::{Grant, MultiResource, Resource};
 pub use rng::DetRng;
 pub use stats::{Counter, DurationHistogram, TimeWeighted, UtilizationLedger};

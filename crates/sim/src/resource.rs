@@ -11,6 +11,7 @@
 //! Multi-server variants (e.g. a RAID group or multi-core host) are
 //! provided by [`MultiResource`].
 
+use crate::intern::{intern, Name};
 use crate::stats::UtilizationLedger;
 use crate::time::{SimDuration, SimTime};
 
@@ -33,7 +34,7 @@ impl Grant {
 /// A single FCFS server with utilization accounting.
 #[derive(Debug)]
 pub struct Resource {
-    name: String,
+    name: Name,
     free_at: SimTime,
     ledger: UtilizationLedger,
     grants: u64,
@@ -41,10 +42,11 @@ pub struct Resource {
 
 impl Resource {
     /// A new idle resource. `bin_width` sets the resolution of the
-    /// utilization series this resource records.
-    pub fn new(name: impl Into<String>, bin_width: SimDuration) -> Self {
+    /// utilization series this resource records. The name is interned:
+    /// resources sharing a name share one allocation.
+    pub fn new(name: impl AsRef<str>, bin_width: SimDuration) -> Self {
         Resource {
-            name: name.into(),
+            name: intern(name.as_ref()),
             free_at: SimTime::ZERO,
             ledger: UtilizationLedger::new(bin_width),
             grants: 0,
@@ -60,6 +62,22 @@ impl Resource {
         self.free_at = end;
         self.ledger.add_busy(start, end);
         self.grants += 1;
+        Grant { start, end }
+    }
+
+    /// Book `count` back-to-back services of `each` starting no earlier
+    /// than `now`, in one accounting step. Bit-identical to calling
+    /// [`Resource::acquire`] `count` times with `each` (the windows are
+    /// contiguous, so the per-bin busy charges sum to the same values and
+    /// `free_at` lands at the same instant) but touches the
+    /// [`UtilizationLedger`] once. Returns the spanning window; the
+    /// `i`-th sub-grant is `[start + each·i, start + each·(i+1))`.
+    pub fn acquire_batch(&mut self, now: SimTime, count: u64, each: SimDuration) -> Grant {
+        let start = now.max(self.free_at);
+        let end = start + each * count;
+        self.free_at = end;
+        self.ledger.add_busy(start, end);
+        self.grants += count;
         Grant { start, end }
     }
 
@@ -113,48 +131,74 @@ impl Resource {
 /// which for identical servers equals FCFS-to-first-free).
 #[derive(Debug)]
 pub struct MultiResource {
-    name: String,
-    free_at: Vec<SimTime>,
+    name: Name,
+    /// Binary min-heap of `(free_at, server index)`. The root is the
+    /// next server to free; the index tie-break reproduces exactly the
+    /// `(time, index)` order of the old linear min-scan, so grant
+    /// assignment is unchanged while each acquire costs O(log k).
+    heap: Vec<(SimTime, u32)>,
     ledger: UtilizationLedger,
     grants: u64,
 }
 
 impl MultiResource {
     /// `k` idle servers. Panics if `k == 0`.
-    pub fn new(name: impl Into<String>, k: usize, bin_width: SimDuration) -> Self {
+    pub fn new(name: impl AsRef<str>, k: usize, bin_width: SimDuration) -> Self {
         assert!(k > 0, "MultiResource needs at least one server");
         MultiResource {
-            name: name.into(),
-            free_at: vec![SimTime::ZERO; k],
+            name: intern(name.as_ref()),
+            // Ascending indices at equal times already satisfy the heap
+            // invariant.
+            heap: (0..k).map(|i| (SimTime::ZERO, i as u32)).collect(),
             ledger: UtilizationLedger::new(bin_width),
             grants: 0,
         }
     }
 
-    /// Book `service` on the server that frees first.
+    /// Book `service` on the server that frees first (ties broken by
+    /// lowest server index, as ever).
     pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Grant {
-        let (idx, _) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, t)| (**t, *i))
-            .expect("at least one server");
-        let start = now.max(self.free_at[idx]);
+        let (free_at, idx) = self.heap[0];
+        let start = now.max(free_at);
         let end = start + service;
-        self.free_at[idx] = end;
+        self.heap[0] = (end, idx);
+        self.sift_down_root();
         self.ledger.add_busy(start, end);
         self.grants += 1;
         Grant { start, end }
     }
 
-    /// Earliest time any server frees.
+    /// Restore the heap invariant after the root's key grew.
+    fn sift_down_root(&mut self) {
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let min = if r < self.heap.len() && self.heap[r] < self.heap[l] {
+                r
+            } else {
+                l
+            };
+            if self.heap[min] < self.heap[i] {
+                self.heap.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Earliest time any server frees. O(1).
     pub fn next_free(&self) -> SimTime {
-        *self.free_at.iter().min().expect("at least one server")
+        self.heap[0].0
     }
 
     /// Number of servers.
     pub fn servers(&self) -> usize {
-        self.free_at.len()
+        self.heap.len()
     }
 
     /// Resource name (for reports).
@@ -258,5 +302,67 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_server_multi_resource_panics() {
         MultiResource::new("bad", 0, BIN);
+    }
+
+    #[test]
+    fn acquire_batch_matches_repeated_acquires() {
+        let mut batched = Resource::new("cpu", SimDuration(10));
+        let mut looped = Resource::new("cpu", SimDuration(10));
+        // Pre-book some work so the batch queues behind it.
+        batched.acquire(SimTime(0), SimDuration(37));
+        looped.acquire(SimTime(0), SimDuration(37));
+        let g = batched.acquire_batch(SimTime(2), 5, SimDuration(9));
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..5 {
+            let gi = looped.acquire(SimTime(2), SimDuration(9));
+            first.get_or_insert(gi.start);
+            last = Some(gi.end);
+        }
+        assert_eq!(g.start, first.unwrap());
+        assert_eq!(g.end, last.unwrap());
+        assert_eq!(batched.next_free(), looped.next_free());
+        assert_eq!(batched.grants(), looped.grants());
+        assert_eq!(batched.total_busy(), looped.total_busy());
+        assert_eq!(
+            batched.utilization_series(SimTime(100)),
+            looped.utilization_series(SimTime(100))
+        );
+    }
+
+    #[test]
+    fn acquire_batch_of_zero_service_is_an_empty_window() {
+        let mut r = Resource::new("nic", BIN);
+        r.acquire(SimTime(0), SimDuration(50));
+        let g = r.acquire_batch(SimTime(10), 3, SimDuration::ZERO);
+        assert_eq!(g.start, SimTime(50));
+        assert_eq!(g.end, SimTime(50));
+        assert_eq!(r.grants(), 4);
+        assert_eq!(r.total_busy(), SimDuration(50));
+    }
+
+    #[test]
+    fn multi_resource_heap_matches_linear_scan_reference() {
+        // The heap must pick exactly the server the old O(k) min-scan
+        // picked: min by (free_at, index).
+        let mut m = MultiResource::new("raid", 5, BIN);
+        let mut reference = [SimTime::ZERO; 5];
+        let mut rng = crate::rng::DetRng::new(99);
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            now += SimDuration(rng.gen_range(40));
+            let service = SimDuration(rng.gen_range(100));
+            let got = m.acquire(now, service);
+            let (idx, _) = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, t)| (**t, *i))
+                .unwrap();
+            let start = now.max(reference[idx]);
+            let end = start + service;
+            reference[idx] = end;
+            assert_eq!(got, Grant { start, end });
+            assert_eq!(m.next_free(), *reference.iter().min().unwrap());
+        }
     }
 }

@@ -126,6 +126,16 @@ impl UtilizationLedger {
         let w = self.bin_width.as_nanos();
         let mut s = start.as_nanos();
         let e = end.as_nanos();
+        // Fast path: the whole interval lands in one bin — the common
+        // case, with µs-scale service times against 100ms default bins.
+        let bin = (s / w) as usize;
+        if e <= (bin as u64 + 1) * w {
+            if self.bins.len() <= bin {
+                self.bins.resize(bin + 1, 0);
+            }
+            self.bins[bin] += e - s;
+            return;
+        }
         while s < e {
             let bin = (s / w) as usize;
             let bin_end = (bin as u64 + 1) * w;

@@ -3,18 +3,23 @@
 //! A [`Trace`] is a bounded ring buffer of `(time, subject, detail)`
 //! entries. Tracing is cheap enough to leave on in tests but is entirely
 //! optional: production runs construct a disabled trace and pay only a
-//! branch per record.
+//! branch per record — [`Trace::record_with`] takes a closure, so a
+//! disabled trace never materialises the subject or detail strings at
+//! all. Subjects are interned ([`crate::intern`]): the hot path stamps a
+//! shared pointer rather than allocating a fresh `String` per entry.
 
+use crate::intern::{intern, Name};
 use crate::time::SimTime;
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 
 /// One recorded occurrence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// When it happened.
     pub at: SimTime,
-    /// Which component reported it (e.g. `"host0.cpu"`).
-    pub subject: String,
+    /// Which component reported it (e.g. `"host0.cpu"`), interned.
+    pub subject: Name,
     /// Free-form description.
     pub detail: String,
 }
@@ -56,20 +61,38 @@ impl Trace {
     }
 
     /// Record an entry (no-op when disabled). Oldest entries are evicted
-    /// once capacity is reached.
-    pub fn record(&mut self, at: SimTime, subject: impl Into<String>, detail: impl Into<String>) {
+    /// once capacity is reached. Prefer [`Trace::record_with`] on hot
+    /// paths: this eager variant builds its arguments even when the
+    /// trace is disabled.
+    pub fn record(&mut self, at: SimTime, subject: impl AsRef<str>, detail: impl Into<String>) {
         if !self.enabled {
             return;
         }
+        self.push(at, intern(subject.as_ref()), detail.into());
+    }
+
+    /// Record an entry built lazily: `f` runs — and its strings are
+    /// allocated — only when the trace is enabled. This is the zero-cost
+    /// variant for dispatch loops.
+    pub fn record_with<S, D, F>(&mut self, at: SimTime, f: F)
+    where
+        S: AsRef<str>,
+        D: Into<String>,
+        F: FnOnce() -> (S, D),
+    {
+        if !self.enabled {
+            return;
+        }
+        let (subject, detail) = f();
+        self.push(at, intern(subject.as_ref()), detail.into());
+    }
+
+    fn push(&mut self, at: SimTime, subject: Name, detail: String) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry {
-            at,
-            subject: subject.into(),
-            detail: detail.into(),
-        });
+        self.entries.push_back(TraceEntry { at, subject, detail });
     }
 
     /// Entries currently retained, oldest first.
@@ -96,7 +119,7 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            out.push_str(&format!("{} [{}] {}\n", e.at, e.subject, e.detail));
+            let _ = writeln!(out, "{} [{}] {}", e.at, e.subject, e.detail);
         }
         out
     }
@@ -134,6 +157,25 @@ mod tests {
         t.record(SimTime(1), "a", "");
         assert!(t.is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn record_with_skips_closure_when_disabled() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record_with(SimTime(1), || {
+            called = true;
+            ("a", "x")
+        });
+        assert!(!called, "disabled trace must not build its strings");
+        assert!(t.is_empty());
+
+        let mut t = Trace::enabled(4);
+        t.record_with(SimTime(2), || (format!("s{}", 1), format!("n={}", 42)));
+        assert_eq!(t.len(), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.subject, "s1");
+        assert_eq!(e.detail, "n=42");
     }
 
     #[test]

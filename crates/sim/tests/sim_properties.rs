@@ -94,6 +94,84 @@ proptest! {
         prop_assert!((series_sum - total as f64).abs() < 1e-6 * (total.max(1) as f64) + 1e-6);
     }
 
+    /// Differential model check: the indexed calendar agrees with a naive
+    /// lazy-deletion `BinaryHeap` reference under arbitrary interleavings
+    /// of schedule, cancel (idempotent, including cancel-after-fire),
+    /// pop, and horizon-bounded pop. Timestamps come from a tiny range so
+    /// same-instant ties — and the FIFO fast lane behind them — are
+    /// exercised constantly.
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in prop::collection::vec((0u8..6, 0u64..8, any::<u16>()), 1..400),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut q: lmas_sim::EventQueue<usize> = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut tokens: Vec<lmas_sim::EventToken> = Vec::new();
+        let mut alive: Vec<bool> = Vec::new();
+
+        fn model_pop(
+            model: &mut BinaryHeap<Reverse<(u64, usize)>>,
+            alive: &mut [bool],
+            horizon: u64,
+        ) -> Option<(u64, usize)> {
+            while let Some(&Reverse((t, id))) = model.peek() {
+                if !alive[id] {
+                    model.pop();
+                    continue;
+                }
+                if t > horizon {
+                    return None;
+                }
+                model.pop();
+                alive[id] = false;
+                return Some((t, id));
+            }
+            None
+        }
+
+        for &(kind, t, sel) in &ops {
+            match kind {
+                0..=2 => {
+                    // Ids double as payloads; id order == seq order, so the
+                    // reference's (time, id) order is the spec's (time, seq).
+                    let id = tokens.len();
+                    tokens.push(q.schedule(SimTime(t), id));
+                    alive.push(true);
+                    model.push(Reverse((t, id)));
+                }
+                3 => {
+                    if !tokens.is_empty() {
+                        let i = sel as usize % tokens.len();
+                        q.cancel(tokens[i]); // may be live, fired, or cancelled
+                        alive[i] = false;
+                    }
+                }
+                4 => {
+                    let got = q.pop().map(|(at, id)| (at.as_nanos(), id));
+                    prop_assert_eq!(got, model_pop(&mut model, &mut alive, u64::MAX));
+                }
+                _ => {
+                    let got = q.pop_not_after(SimTime(t)).map(|(at, id)| (at.as_nanos(), id));
+                    prop_assert_eq!(got, model_pop(&mut model, &mut alive, t));
+                }
+            }
+            prop_assert_eq!(q.live_len(), alive.iter().filter(|&&a| a).count());
+        }
+        // Drain both; the remaining sequences must agree one-for-one.
+        loop {
+            let got = q.pop().map(|(at, id)| (at.as_nanos(), id));
+            let want = model_pop(&mut model, &mut alive, u64::MAX);
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(q.is_empty());
+    }
+
     /// Derived RNG streams are reproducible and stream-independent.
     #[test]
     fn rng_streams_reproducible(seed in any::<u64>(), a in 0u64..1_000, b in 0u64..1_000) {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Quick wall-clock sanity pass over the kernel benches.
 #
-# Builds release, runs the kernel microbenches with a reduced iteration
-# count (override with LMAS_BENCH_ITERS), and leaves the ns/record
-# numbers in results/BENCH_kernels.json. Expected shape: radix_sort
-# beats comparison_sort on Rec128, and packet fan-out is ~0 ns/record
-# (O(1) Arc clone, not a deep copy).
+# Builds release, runs the kernel and simulator microbenches with a
+# reduced iteration count (override with LMAS_BENCH_ITERS), and leaves
+# the ns/unit numbers in results/BENCH_kernels.json and
+# results/BENCH_sim.json. Expected shape: radix_sort beats
+# comparison_sort on Rec128, packet fan-out is ~0 ns/record (O(1) Arc
+# clone, not a deep copy), and calendar schedule+pop stays within a few
+# tens of ns per event.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,13 @@ cargo build --release -q
 echo "== kernel benches (LMAS_BENCH_ITERS=$LMAS_BENCH_ITERS) =="
 cargo bench -q -p lmas-bench --bench kernels
 
+echo "== simulator microbenches (LMAS_BENCH_ITERS=$LMAS_BENCH_ITERS) =="
+cargo bench -q -p lmas-bench --bench sim_micro
+
 echo
 echo "== $LMAS_RESULTS_DIR/BENCH_kernels.json =="
 cat "$LMAS_RESULTS_DIR/BENCH_kernels.json"
+
+echo
+echo "== $LMAS_RESULTS_DIR/BENCH_sim.json =="
+cat "$LMAS_RESULTS_DIR/BENCH_sim.json"

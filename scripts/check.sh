@@ -10,4 +10,15 @@ cargo test -q
 echo "== cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== determinism gate (seeded emulation, run twice, diff) =="
+cargo build -q --release -p lmas-bench --bin determinism
+run1="$(./target/release/determinism)"
+run2="$(./target/release/determinism)"
+if [ "$run1" != "$run2" ]; then
+    echo "determinism gate FAILED: two runs of the pinned emulation differ" >&2
+    diff <(echo "$run1") <(echo "$run2") >&2 || true
+    exit 1
+fi
+echo "$run1"
+
 echo "check.sh: all green"
