@@ -7,9 +7,10 @@
 //! (`crates/emulator/tests/golden.rs`), which pins them across simulator
 //! rewrites; this binary guards run-to-run stability within one build.
 
-use lmas_core::{generate_rec128, KeyDist, Record};
-use lmas_emulator::ClusterConfig;
-use lmas_sort::{run_dsm_sort, DsmConfig, LoadMode};
+use lmas_core::{generate_rec128, KeyDist, Record, RoutingPolicy};
+use lmas_emulator::{asu_index, ClusterConfig, FaultSpec};
+use lmas_sim::{FaultPlan, SimTime};
+use lmas_sort::{run_dsm_sort, run_dsm_sort_faulty, DsmConfig, LoadMode};
 
 /// FNV-1a over a byte stream; stable and dependency-free.
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
@@ -61,4 +62,42 @@ fn main() {
             fnv1a(render.bytes())
         );
     }
+
+    // Chaos section: the same sort under a pinned fault plan (crash one
+    // ASU mid-pass-1 plus a lossy host→ASU link). Everything the fault
+    // layer does — bounces, retries, fencing, detection, repair — draws
+    // from seeded state, so these figures must be run-to-run stable too.
+    let cluster = ClusterConfig::era_2002(1, 2, 8.0);
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let plan = FaultPlan::new()
+        .crash(asu_index(&cluster, 1), SimTime(out.pass1.makespan.0 / 3))
+        .link_loss(0, asu_index(&cluster, 0), SimTime::ZERO, 0.05);
+    let spec = FaultSpec::with_plan(plan);
+    let chaos = run_dsm_sort_faulty(
+        &cluster,
+        &spec,
+        data,
+        &dsm,
+        LoadMode::Managed(RoutingPolicy::SimpleRandomization),
+    )
+    .expect("pinned chaos sort runs");
+    println!("chaos.pass1.makespan_ns {}", chaos.pass1.makespan.as_nanos());
+    println!("chaos.total_ns {}", chaos.total.as_nanos());
+    println!("chaos.pass1.dispatched {}", chaos.pass1.dispatched);
+    let s = chaos.pass1.fault;
+    println!(
+        "chaos.fault retries {} nacks {} drops {} lost {} abandoned {} fenced {} detections {}",
+        s.retries, s.nacks, s.drops, s.lost_queued_records, s.abandoned_records,
+        s.fenced_instances, s.detections
+    );
+    println!("chaos.recovered_records {}", chaos.recovered_records);
+    let chaos_hash = fnv1a(
+        chaos
+            .output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let chaos_records: usize = chaos.output.iter().map(|p| p.len()).sum();
+    println!("chaos.output.records {chaos_records} chaos.output.key_fnv {chaos_hash:016x}");
 }

@@ -16,6 +16,15 @@ use crate::placement::StageId;
 use crate::record::Record;
 use crate::routing::RoutingPolicy;
 use std::fmt;
+use std::sync::Arc;
+
+/// A shared handle to a stage's functor factory.
+///
+/// The factory is reference-counted so the emulator can keep a handle per
+/// instance actor and rebuild a functor from scratch after a crash
+/// (volatile functor state is lost with the node; a recovered instance
+/// restarts from the factory's initial state).
+pub type StageFactory<R> = Arc<dyn Fn(usize) -> Box<dyn Functor<R>> + Send + Sync>;
 
 /// Ordering contract of an edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,13 +85,19 @@ pub struct Stage<R: Record> {
     pub kind: FunctorKind,
     /// Whether external input is injected into this stage.
     pub is_source: bool,
-    factory: Box<dyn Fn(usize) -> Box<dyn Functor<R>> + Send>,
+    factory: StageFactory<R>,
 }
 
 impl<R: Record> Stage<R> {
     /// Build the functor for instance `i`.
     pub fn instantiate(&self, i: usize) -> Box<dyn Functor<R>> {
         (self.factory)(i)
+    }
+
+    /// A shared handle to this stage's factory (for crash-restart:
+    /// rebuilding an instance's functor resets it to initial state).
+    pub fn factory_handle(&self) -> StageFactory<R> {
+        Arc::clone(&self.factory)
     }
 }
 
@@ -173,7 +188,7 @@ impl<R: Record> FlowGraph<R> {
     /// A probe instance is constructed to capture name/ports/kind.
     pub fn add_stage<F>(&mut self, replication: usize, factory: F) -> StageId
     where
-        F: Fn(usize) -> Box<dyn Functor<R>> + Send + 'static,
+        F: Fn(usize) -> Box<dyn Functor<R>> + Send + Sync + 'static,
     {
         self.add_stage_inner(replication, factory, false)
     }
@@ -181,14 +196,14 @@ impl<R: Record> FlowGraph<R> {
     /// Add a stage that receives external input (container scans feed it).
     pub fn add_source_stage<F>(&mut self, replication: usize, factory: F) -> StageId
     where
-        F: Fn(usize) -> Box<dyn Functor<R>> + Send + 'static,
+        F: Fn(usize) -> Box<dyn Functor<R>> + Send + Sync + 'static,
     {
         self.add_stage_inner(replication, factory, true)
     }
 
     fn add_stage_inner<F>(&mut self, replication: usize, factory: F, is_source: bool) -> StageId
     where
-        F: Fn(usize) -> Box<dyn Functor<R>> + Send + 'static,
+        F: Fn(usize) -> Box<dyn Functor<R>> + Send + Sync + 'static,
     {
         let probe = factory(0);
         let id = StageId(self.stages.len());
@@ -198,7 +213,7 @@ impl<R: Record> FlowGraph<R> {
             out_ports: probe.out_ports(),
             kind: probe.kind(),
             is_source,
-            factory: Box::new(factory),
+            factory: Arc::new(factory),
         });
         id
     }

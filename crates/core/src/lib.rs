@@ -42,7 +42,7 @@ pub use adapt::PipelineModel;
 pub use container::{packetize, ArrayC, Packet, PacketTicket, SetC, StreamC};
 pub use cost::{log2_ceil, CostModel, Work};
 pub use functor::{Emit, Functor, FunctorKind};
-pub use graph::{Edge, EdgeKind, FlowGraph, GraphError, RouteScope, Stage};
+pub use graph::{Edge, EdgeKind, FlowGraph, GraphError, RouteScope, Stage, StageFactory};
 pub use placement::{NodeId, Placement, PlacementError, StageId};
 pub use record::{generate_rec128, generate_rec8, KeyDist, Rec128, Rec8, Record};
-pub use routing::{Router, RoutingPolicy};
+pub use routing::{Router, RoutingPolicy, UpMask};

@@ -20,7 +20,7 @@ pub trait Record: Clone + Send + Sync + 'static {
     /// On-storage size in bytes.
     const SIZE: usize;
     /// The sort/partition key.
-    type Key: Ord + Copy + Send + std::fmt::Debug;
+    type Key: Ord + Copy + Send + Sync + std::fmt::Debug;
 
     /// This record's key.
     fn key(&self) -> Self::Key;
@@ -41,6 +41,17 @@ pub trait Record: Clone + Send + Sync + 'static {
     #[inline]
     fn radix_key(&self) -> u32 {
         0
+    }
+
+    /// A stable per-record identity tag, when the record type carries
+    /// one. Fault recovery uses tags to compute exactly which records
+    /// were lost with a crashed node (set difference against surviving
+    /// partial output) so a repair pass can re-dispatch them. Returns
+    /// `u64::MAX` ("no identity") by default; record types with
+    /// provenance tags override.
+    #[inline]
+    fn tag64(&self) -> u64 {
+        u64::MAX
     }
 }
 
@@ -92,6 +103,11 @@ impl Record for Rec128 {
         self.key
     }
 
+    #[inline]
+    fn tag64(&self) -> u64 {
+        self.tag()
+    }
+
     fn to_bytes(&self, out: &mut [u8]) {
         assert!(out.len() >= 128, "need 128 bytes");
         out[..4].copy_from_slice(&self.key.to_le_bytes());
@@ -129,6 +145,11 @@ impl Record for Rec8 {
     #[inline]
     fn radix_key(&self) -> u32 {
         self.key
+    }
+
+    #[inline]
+    fn tag64(&self) -> u64 {
+        self.tag as u64
     }
 
     fn to_bytes(&self, out: &mut [u8]) {

@@ -19,6 +19,61 @@
 
 use lmas_sim::DetRng;
 
+/// Per-instance liveness, as seen by a router (a *detected* view: a
+/// failure detector may lag reality).
+///
+/// [`UpMask::All`] is the fault-free fast path — every policy makes
+/// exactly the same decisions (and RNG draws) through
+/// [`Router::pick_available`] with `All` as through [`Router::pick`],
+/// so enabling the fault layer with no faults perturbs nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpMask {
+    /// Every instance is live.
+    All,
+    /// Explicit liveness bitset; bit `i` of word `i / 64` is instance `i`.
+    /// Indices beyond the stored words read as down.
+    Bits(Vec<u64>),
+}
+
+impl UpMask {
+    /// The fault-free mask.
+    pub fn all() -> UpMask {
+        UpMask::All
+    }
+
+    /// Build an explicit mask over `n` instances from a predicate.
+    pub fn from_fn(n: usize, f: impl Fn(usize) -> bool) -> UpMask {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (i, word) in words.iter_mut().enumerate() {
+            for b in 0..64 {
+                let idx = i * 64 + b;
+                if idx < n && f(idx) {
+                    *word |= 1u64 << b;
+                }
+            }
+        }
+        UpMask::Bits(words)
+    }
+
+    /// Is instance `i` live?
+    pub fn is_up(&self, i: usize) -> bool {
+        match self {
+            UpMask::All => true,
+            UpMask::Bits(words) => {
+                words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+            }
+        }
+    }
+
+    /// How many of the first `n` instances are live.
+    pub fn count_up(&self, n: usize) -> usize {
+        match self {
+            UpMask::All => n,
+            UpMask::Bits(_) => (0..n).filter(|&i| self.is_up(i)).count(),
+        }
+    }
+}
+
 /// Which routing rule an edge uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {
@@ -59,29 +114,87 @@ impl Router {
         self.policy
     }
 
-    /// Choose a destination among `n` instances.
+    /// Choose a destination among `n` instances, all assumed live.
     ///
     /// * `port` — the source port the packet left on (static hint);
     /// * `backlog` — per-instance observed load (e.g. queued work in ns);
     ///   empty when unknown;
     /// * `capacity` — per-instance static capacity weights; empty when
     ///   homogeneous.
-    pub fn pick(&mut self, n: usize, port: usize, backlog: &[u64], capacity: &[f64]) -> usize {
-        assert!(n > 0, "cannot route to zero instances");
+    ///
+    /// Returns `None` when `n == 0` — a typed "nowhere to route" the
+    /// caller must surface (e.g. as `JobError::AllReplicasDown`) rather
+    /// than a process abort.
+    pub fn pick(
+        &mut self,
+        n: usize,
+        port: usize,
+        backlog: &[u64],
+        capacity: &[f64],
+    ) -> Option<usize> {
+        self.pick_available(n, port, backlog, capacity, &UpMask::All)
+    }
+
+    /// Choose a destination among the instances `up` marks live.
+    ///
+    /// Failover semantics per policy:
+    ///
+    /// * **Static** — the pinned instance `port % n`, or the next live
+    ///   index (wrapping linear probe) when it is down;
+    /// * **RoundRobin** — advances the cursor past down instances;
+    /// * **SimpleRandomization** — uniform over the live instances only
+    ///   (with [`UpMask::All`] this makes the identical RNG draw as the
+    ///   unmasked path, preserving fault-free determinism);
+    /// * **LoadAware** — a down instance is treated as infinite backlog:
+    ///   it can never win the minimum while any live instance exists.
+    ///
+    /// Returns `None` when no instance is live.
+    pub fn pick_available(
+        &mut self,
+        n: usize,
+        port: usize,
+        backlog: &[u64],
+        capacity: &[f64],
+        up: &UpMask,
+    ) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
         match self.policy {
-            RoutingPolicy::Static => port % n,
-            RoutingPolicy::RoundRobin => {
-                let i = self.rr_next % n;
-                self.rr_next = self.rr_next.wrapping_add(1);
-                i
+            RoutingPolicy::Static => {
+                let pinned = port % n;
+                (0..n).map(|d| (pinned + d) % n).find(|&i| up.is_up(i))
             }
-            RoutingPolicy::SimpleRandomization => self.rng.gen_index(n),
+            RoutingPolicy::RoundRobin => {
+                for _ in 0..n {
+                    let i = self.rr_next % n;
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    if up.is_up(i) {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            RoutingPolicy::SimpleRandomization => match up {
+                // Fast path: same draw as the unmasked router.
+                UpMask::All => Some(self.rng.gen_index(n)),
+                UpMask::Bits(_) => {
+                    let live = up.count_up(n);
+                    if live == 0 {
+                        return None;
+                    }
+                    let k = self.rng.gen_index(live);
+                    (0..n).filter(|&i| up.is_up(i)).nth(k)
+                }
+            },
             RoutingPolicy::LoadAware => {
                 let cap = |i: usize| capacity.get(i).copied().unwrap_or(1.0);
                 let load = |i: usize| backlog.get(i).copied().unwrap_or(0);
-                // Least backlog normalized by capacity; ties to larger
-                // capacity, then lower index for determinism.
+                // Least backlog normalized by capacity among live
+                // instances; ties to larger capacity, then lower index
+                // for determinism. Down == infinite backlog == filtered.
                 (0..n)
+                    .filter(|&i| up.is_up(i))
                     .min_by(|&a, &b| {
                         let la = load(a) as f64 / cap(a);
                         let lb = load(b) as f64 / cap(b);
@@ -94,7 +207,6 @@ impl Router {
                             )
                             .then(a.cmp(&b))
                     })
-                    .expect("n > 0")
             }
         }
     }
@@ -107,26 +219,29 @@ mod tests {
     #[test]
     fn static_pins_port_to_instance() {
         let mut r = Router::new(RoutingPolicy::Static, 0, 0);
-        assert_eq!(r.pick(2, 0, &[], &[]), 0);
-        assert_eq!(r.pick(2, 1, &[], &[]), 1);
-        assert_eq!(r.pick(2, 5, &[], &[]), 1);
+        assert_eq!(r.pick(2, 0, &[], &[]), Some(0));
+        assert_eq!(r.pick(2, 1, &[], &[]), Some(1));
+        assert_eq!(r.pick(2, 5, &[], &[]), Some(1));
         // Repeated picks are stable.
-        assert_eq!(r.pick(2, 5, &[], &[]), 1);
+        assert_eq!(r.pick(2, 5, &[], &[]), Some(1));
     }
 
     #[test]
     fn round_robin_cycles() {
         let mut r = Router::new(RoutingPolicy::RoundRobin, 0, 0);
-        let picks: Vec<usize> = (0..6).map(|_| r.pick(3, 0, &[], &[])).collect();
-        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+        let picks: Vec<Option<usize>> = (0..6).map(|_| r.pick(3, 0, &[], &[])).collect();
+        let want: Vec<Option<usize>> = [0, 1, 2, 0, 1, 2].into_iter().map(Some).collect();
+        assert_eq!(picks, want);
     }
 
     #[test]
     fn sr_is_uniformish_and_deterministic() {
         let mut r1 = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
         let mut r2 = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
-        let picks1: Vec<usize> = (0..3000).map(|_| r1.pick(3, 0, &[], &[])).collect();
-        let picks2: Vec<usize> = (0..3000).map(|_| r2.pick(3, 0, &[], &[])).collect();
+        let picks1: Vec<usize> =
+            (0..3000).map(|_| r1.pick(3, 0, &[], &[]).unwrap()).collect();
+        let picks2: Vec<usize> =
+            (0..3000).map(|_| r2.pick(3, 0, &[], &[]).unwrap()).collect();
         assert_eq!(picks1, picks2, "same seed, same stream");
         let mut counts = [0usize; 3];
         for p in picks1 {
@@ -140,11 +255,11 @@ mod tests {
     #[test]
     fn load_aware_prefers_least_backlog() {
         let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
-        assert_eq!(r.pick(3, 0, &[50, 10, 90], &[]), 1);
+        assert_eq!(r.pick(3, 0, &[50, 10, 90], &[]), Some(1));
         // Tie on backlog → lower index.
-        assert_eq!(r.pick(3, 0, &[10, 10, 90], &[]), 0);
+        assert_eq!(r.pick(3, 0, &[10, 10, 90], &[]), Some(0));
         // Missing backlog info defaults to 0 → picks index 0.
-        assert_eq!(r.pick(3, 0, &[], &[]), 0);
+        assert_eq!(r.pick(3, 0, &[], &[]), Some(0));
     }
 
     #[test]
@@ -152,14 +267,84 @@ mod tests {
         let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
         // Instance 1 is 4× faster; backlog 30 on it is "shorter" than 10
         // on the slow one.
-        assert_eq!(r.pick(2, 0, &[10, 30], &[1.0, 4.0]), 1);
+        assert_eq!(r.pick(2, 0, &[10, 30], &[1.0, 4.0]), Some(1));
         // Equal normalized load → higher capacity wins.
-        assert_eq!(r.pick(2, 0, &[10, 40], &[1.0, 4.0]), 1);
+        assert_eq!(r.pick(2, 0, &[10, 40], &[1.0, 4.0]), Some(1));
     }
 
     #[test]
-    #[should_panic(expected = "zero instances")]
-    fn zero_instances_rejected() {
-        Router::new(RoutingPolicy::Static, 0, 0).pick(0, 0, &[], &[]);
+    fn zero_instances_yields_none_not_panic() {
+        let mut r = Router::new(RoutingPolicy::Static, 0, 0);
+        assert_eq!(r.pick(0, 0, &[], &[]), None);
+        assert_eq!(r.pick_available(0, 0, &[], &[], &UpMask::All), None);
+    }
+
+    #[test]
+    fn up_mask_bit_accounting() {
+        let m = UpMask::from_fn(70, |i| i % 3 != 0);
+        for i in 0..70 {
+            assert_eq!(m.is_up(i), i % 3 != 0, "bit {i}");
+        }
+        assert_eq!(m.count_up(70), 46);
+        // Indices past the stored words read as down.
+        assert!(!m.is_up(128));
+        assert_eq!(UpMask::All.count_up(5), 5);
+        assert!(UpMask::All.is_up(12345));
+    }
+
+    /// Every policy, three masks: all up / one down / all down.
+    #[test]
+    fn failover_semantics_per_policy() {
+        let all = UpMask::all();
+        let one_down = UpMask::from_fn(3, |i| i != 1); // instance 1 dead
+        let all_down = UpMask::from_fn(3, |_| false);
+
+        // Static: pinned while up; wrapping probe to next live when down.
+        let mut r = Router::new(RoutingPolicy::Static, 0, 0);
+        assert_eq!(r.pick_available(3, 1, &[], &[], &all), Some(1));
+        assert_eq!(r.pick_available(3, 1, &[], &[], &one_down), Some(2));
+        assert_eq!(r.pick_available(3, 4, &[], &[], &one_down), Some(2));
+        assert_eq!(r.pick_available(3, 2, &[], &[], &one_down), Some(2));
+        assert_eq!(r.pick_available(3, 1, &[], &[], &all_down), None);
+
+        // RoundRobin: cursor skips the dead instance but keeps cycling.
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 0, 0);
+        let picks: Vec<Option<usize>> = (0..4)
+            .map(|_| r.pick_available(3, 0, &[], &[], &one_down))
+            .collect();
+        assert_eq!(picks, [Some(0), Some(2), Some(0), Some(2)]);
+        assert_eq!(r.pick_available(3, 0, &[], &[], &all_down), None);
+        let mut r = Router::new(RoutingPolicy::RoundRobin, 0, 0);
+        assert_eq!(r.pick_available(3, 0, &[], &[], &all), Some(0));
+
+        // SR: never picks a dead instance; All-mask draw matches pick().
+        let mut masked = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
+        let mut plain = Router::new(RoutingPolicy::SimpleRandomization, 9, 1);
+        for _ in 0..500 {
+            assert_eq!(
+                masked.pick_available(3, 0, &[], &[], &all),
+                plain.pick(3, 0, &[], &[]),
+                "All-mask SR must draw identically to unmasked SR"
+            );
+        }
+        let mut hit = [0usize; 3];
+        for _ in 0..600 {
+            let p = masked
+                .pick_available(3, 0, &[], &[], &one_down)
+                .expect("live instances exist");
+            hit[p] += 1;
+        }
+        assert_eq!(hit[1], 0, "dead instance picked");
+        assert!(hit[0] > 100 && hit[2] > 100, "skewed failover SR: {hit:?}");
+        assert_eq!(masked.pick_available(3, 0, &[], &[], &all_down), None);
+
+        // LoadAware: a dead instance loses even with zero backlog.
+        let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
+        assert_eq!(r.pick_available(3, 0, &[50, 0, 90], &[], &all), Some(1));
+        assert_eq!(
+            r.pick_available(3, 0, &[50, 0, 90], &[], &one_down),
+            Some(0)
+        );
+        assert_eq!(r.pick_available(3, 0, &[50, 0, 90], &[], &all_down), None);
     }
 }

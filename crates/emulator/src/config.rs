@@ -8,6 +8,12 @@
 //! aggregating several ~25 MB/s spindles behind one port (~100 MB/s),
 //! and a SAN whose links are fast enough that "the processor saturates
 //! before the individual network links".
+//!
+//! `ClusterConfig` describes the *healthy* cluster; fault-injection
+//! knobs (the plan, heartbeat cadence, detection timeout, and delivery
+//! retry backoff) live in [`FaultSpec`](crate::fault::FaultSpec), which
+//! is passed separately to
+//! [`run_job_with_faults`](crate::run_job_with_faults).
 
 use lmas_core::CostModel;
 use lmas_sim::SimDuration;

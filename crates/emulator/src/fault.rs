@@ -1,0 +1,178 @@
+//! Fault injection surface of the emulator.
+//!
+//! A [`FaultSpec`] bundles a deterministic [`FaultPlan`] with the
+//! recovery-protocol knobs: heartbeat cadence and detection timeout,
+//! and the delivery retry [`BackoffPolicy`]. Passing
+//! [`FaultSpec::none`] (or an empty plan) to
+//! [`run_job_with_faults`](crate::runtime::run_job_with_faults) is
+//! exactly [`run_job`](crate::runtime::run_job): no controller actor is
+//! installed, routers use the all-up mask (identical RNG draws), and
+//! the run is byte-identical to a fault-free one.
+//!
+//! What the layer models:
+//!
+//! - **Crash**: the node's instances stop (in-flight and queued work is
+//!   lost with volatile state); packets arriving at the node bounce back
+//!   to their senders as NACKs, which retry with exponential backoff
+//!   against the live replicas the failure detector currently reports.
+//! - **Detection latency is charged**: senders keep routing to a dead
+//!   node until the heartbeat timeout expires; every such delivery pays
+//!   a bounce round-trip plus backoff before failing over.
+//! - **Fencing**: once a node is *detected* down, unflushed instances
+//!   on it have EOS broadcast on their behalf so the pipeline drains
+//!   instead of waiting forever.
+//! - **Degrade**: the node keeps running with scaled CPU speed and disk
+//!   rate — and is *not* detected as failed (no false positives from
+//!   slowness alone).
+//! - **LinkLoss**: each packet on the edge is dropped with the given
+//!   probability (decided by the sender's deterministic RNG); the loss
+//!   is surfaced as a NACK after a round trip and retried.
+
+use crate::config::ClusterConfig;
+use lmas_core::NodeId;
+use lmas_sim::{BackoffPolicy, FaultPlan, SimDuration, SimTime};
+
+/// Health of one emulated node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeHealth {
+    /// Fully operational.
+    Up,
+    /// Running with scaled-down resources.
+    Degraded {
+        /// Remaining fraction of CPU speed, in `(0, 1]`.
+        cpu_factor: f64,
+        /// Remaining fraction of disk bandwidth, in `(0, 1]`.
+        disk_factor: f64,
+    },
+    /// Crashed: processes nothing, bounces deliveries.
+    Down,
+}
+
+/// Fault-injection parameters for one run.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The scheduled fault events (node indices per [`node_index`]).
+    pub plan: FaultPlan,
+    /// Heartbeat probe cadence of the failure detector.
+    pub heartbeat_period: SimDuration,
+    /// Silence threshold before a node is declared Down. Must be at
+    /// least one period; detection lands on the first heartbeat tick at
+    /// or after `crash + timeout`, so that latency is charged in
+    /// virtual time (senders keep paying bounce round-trips until then).
+    pub heartbeat_timeout: SimDuration,
+    /// Retry schedule for failed deliveries.
+    pub backoff: BackoffPolicy,
+    /// When true, exhausting every live replica of a stage aborts the
+    /// run with [`JobError::AllReplicasDown`](crate::JobError); when
+    /// false the affected records are dropped (counted in
+    /// [`FaultStats`]) and the run drains — degraded-mode operation for
+    /// callers with an orchestration-level repair path.
+    pub fail_fast: bool,
+}
+
+impl FaultSpec {
+    /// No faults: behaves exactly like the fault-free runtime.
+    pub fn none() -> FaultSpec {
+        FaultSpec::with_plan(FaultPlan::new())
+    }
+
+    /// `plan` with 2002-era protocol defaults: 5 ms heartbeats, 15 ms
+    /// detection timeout, [`BackoffPolicy::default_2002`] retries, and
+    /// degraded-mode (non-fatal) delivery failures.
+    pub fn with_plan(plan: FaultPlan) -> FaultSpec {
+        FaultSpec {
+            plan,
+            heartbeat_period: SimDuration::from_millis(5),
+            heartbeat_timeout: SimDuration::from_millis(15),
+            backoff: BackoffPolicy::default_2002(),
+            fail_fast: false,
+        }
+    }
+
+    /// This spec with `fail_fast` set.
+    pub fn failing_fast(mut self, yes: bool) -> FaultSpec {
+        self.fail_fast = yes;
+        self
+    }
+
+    /// Whether the fault machinery engages at all. An inactive spec
+    /// leaves the runtime on its fault-free fast path.
+    pub fn is_active(&self) -> bool {
+        !self.plan.is_empty()
+    }
+}
+
+/// An unrecoverable delivery failure that stopped the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatalFault {
+    /// The destination stage whose replicas were all unreachable.
+    pub stage: usize,
+    /// Virtual time of the failure.
+    pub at: SimTime,
+}
+
+/// Counters of fault-layer activity during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets re-sent after a NACK or drop.
+    pub retries: u64,
+    /// Deliveries bounced by a down node.
+    pub nacks: u64,
+    /// Packets dropped by lossy links.
+    pub drops: u64,
+    /// Records lost when a crash discarded an instance's queue and
+    /// in-flight unit.
+    pub lost_queued_records: u64,
+    /// Records abandoned after the retry budget was exhausted (only in
+    /// non-`fail_fast` mode).
+    pub abandoned_records: u64,
+    /// Instances that had EOS sent on their behalf after their node was
+    /// detected down.
+    pub fenced_instances: u64,
+    /// Down-node detections by the heartbeat controller.
+    pub detections: u64,
+}
+
+impl FaultStats {
+    /// True when no fault-layer event fired (a clean run).
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// The dense node index the fault layer uses: hosts first (`0..H`),
+/// then ASUs (`H..H+D`) — the same order as
+/// [`EmulationReport::nodes`](crate::EmulationReport::nodes).
+pub fn node_index(cfg: &ClusterConfig, id: NodeId) -> usize {
+    match id {
+        NodeId::Host(i) => i,
+        NodeId::Asu(i) => cfg.hosts + i,
+    }
+}
+
+/// The node index of ASU `d` (convenience for building [`FaultPlan`]s).
+pub fn asu_index(cfg: &ClusterConfig, d: usize) -> usize {
+    node_index(cfg, NodeId::Asu(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_indices_are_hosts_then_asus() {
+        let cfg = ClusterConfig::era_2002(2, 3, 8.0);
+        assert_eq!(node_index(&cfg, NodeId::Host(1)), 1);
+        assert_eq!(node_index(&cfg, NodeId::Asu(0)), 2);
+        assert_eq!(asu_index(&cfg, 2), 4);
+    }
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!FaultSpec::none().is_active());
+        let spec =
+            FaultSpec::with_plan(FaultPlan::new().crash(0, SimTime(5))).failing_fast(true);
+        assert!(spec.is_active());
+        assert!(spec.fail_fast);
+    }
+}

@@ -9,18 +9,25 @@
 //! - [`config`]: cluster parameters with 2002-era defaults;
 //! - [`node`]: per-node CPU/NIC/disk resources;
 //! - [`runtime`]: compiles a (`FlowGraph`, `Placement`) pair into
-//!   simulation actors and runs it ([`run_job`]);
+//!   simulation actors and runs it ([`run_job`],
+//!   [`run_job_with_faults`]);
+//! - [`fault`]: deterministic fault injection — crash/degrade/lossy
+//!   nodes, heartbeat failure detection, retrying delivery;
 //! - [`metrics`], [`report`]: instrumentation and rendering.
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod report;
 pub mod runtime;
 
 pub use config::ClusterConfig;
+pub use fault::{asu_index, node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
 pub use node::NodeRes;
 pub use report::{render_summary, render_utilization_csv};
-pub use runtime::{run_job, EmulationReport, Job, JobError, NodeReport};
+pub use runtime::{
+    run_job, run_job_with_faults, EmulationReport, Job, JobError, NodeReport,
+};

@@ -7,8 +7,9 @@
 //! the job-level counters: per-stage declared work, sink outputs,
 //! progress, and contract violations.
 
+use crate::fault::{FatalFault, FaultStats};
 use lmas_core::{Packet, Record, Work};
-use lmas_sim::Trace;
+use lmas_sim::{SimTime, Trace};
 use std::collections::BTreeMap;
 
 /// Maximum memory-violation notes retained (they repeat).
@@ -19,7 +20,11 @@ const MAX_VIOLATION_NOTES: usize = 16;
 pub type SinkOutputs<R> = BTreeMap<(usize, usize), Vec<(usize, Packet<R>)>>;
 
 /// Mutable metrics shared by all instance actors of a job.
-#[derive(Debug)]
+///
+/// `Clone` exists for graceful degradation: if an early-terminated run
+/// leaves an actor alive holding a reference, the runtime clones the
+/// contents out instead of panicking on `Rc::try_unwrap`.
+#[derive(Debug, Clone)]
 pub struct Metrics<R: Record> {
     /// Declared [`Work`] charged per stage (indexed by stage id).
     pub stage_work: Vec<Work>,
@@ -37,6 +42,16 @@ pub struct Metrics<R: Record> {
     /// for one; recording through [`Trace::record_with`] is free when
     /// disabled).
     pub trace: Trace,
+    /// Fault-layer activity counters (all zero on a fault-free run).
+    pub fault: FaultStats,
+    /// Set when a delivery failure was fatal (`fail_fast`); the runtime
+    /// surfaces it as `JobError::AllReplicasDown`.
+    pub fatal: Option<FatalFault>,
+    /// Last instant any *application* progress happened (processing,
+    /// source reads, sink writes). Fault-injected runs use this for the
+    /// makespan so that late plan events (e.g. a recovery scheduled
+    /// after the job drained) don't inflate it.
+    pub last_activity: SimTime,
     violations_total: u64,
 }
 
@@ -50,8 +65,16 @@ impl<R: Record> Metrics<R> {
             records_processed: 0,
             mem_violations: Vec::new(),
             trace: Trace::disabled(),
+            fault: FaultStats::default(),
+            fatal: None,
+            last_activity: SimTime::ZERO,
             violations_total: 0,
         }
+    }
+
+    /// Note application progress at `now` (monotone max).
+    pub fn note_activity(&mut self, now: SimTime) {
+        self.last_activity = self.last_activity.max(now);
     }
 
     /// Note a memory violation (bounded retention).

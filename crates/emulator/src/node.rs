@@ -6,6 +6,7 @@
 //! node emerges from the resource queues rather than from bespoke logic.
 
 use crate::config::ClusterConfig;
+use crate::fault::NodeHealth;
 use lmas_core::{CostModel, NodeId, Work};
 use lmas_sim::{Grant, Resource, SimDuration, SimTime};
 use lmas_storage::DiskSim;
@@ -25,6 +26,11 @@ pub struct NodeRes {
     cost: CostModel,
     records_processed: u64,
     peak_state_bytes: usize,
+    /// Healthy-state speed, restored on recovery.
+    base_speed: f64,
+    /// Healthy-state disk rate, restored on recovery.
+    base_disk_rate: f64,
+    health: NodeHealth,
 }
 
 impl NodeRes {
@@ -54,7 +60,38 @@ impl NodeRes {
             cost: cfg.cost,
             records_processed: 0,
             peak_state_bytes: 0,
+            base_speed: speed,
+            base_disk_rate: disk.rate_bytes_per_sec,
+            health: NodeHealth::Up,
         }
+    }
+
+    /// Change this node's health (fault injection). `Up` restores the
+    /// configured speeds, `Degraded` scales CPU and disk by the given
+    /// factors, `Down` leaves the devices untouched (nothing runs on a
+    /// down node anyway — the runtime stops dispatching to it).
+    pub fn set_health(&mut self, health: NodeHealth) {
+        self.health = health;
+        match health {
+            NodeHealth::Up | NodeHealth::Down => {
+                self.speed = self.base_speed;
+                self.disk.set_rate(self.base_disk_rate);
+            }
+            NodeHealth::Degraded { cpu_factor, disk_factor } => {
+                self.speed = self.base_speed * cpu_factor;
+                self.disk.set_rate(self.base_disk_rate * disk_factor);
+            }
+        }
+    }
+
+    /// Current health.
+    pub fn health(&self) -> NodeHealth {
+        self.health
+    }
+
+    /// Is the node crashed?
+    pub fn is_down(&self) -> bool {
+        self.health == NodeHealth::Down
     }
 
     /// Book CPU time for `work` at `now`; returns the service window.
@@ -214,6 +251,27 @@ mod tests {
             hq.charge_cpu(SimTime::ZERO, w).end,
             hb.charge_cpu(SimTime::ZERO, w).end
         );
+    }
+
+    #[test]
+    fn degrade_scales_devices_and_recovery_restores_them() {
+        let mut h = NodeRes::new(NodeId::Host(0), &cfg());
+        let w = Work::compares(1000);
+        let t_up = h.charge_cpu(SimTime::ZERO, w).end.since(SimTime::ZERO);
+        h.set_health(NodeHealth::Degraded { cpu_factor: 0.5, disk_factor: 0.25 });
+        assert!(!h.is_down());
+        let g = h.charge_cpu(h.cpu_free_at(), w);
+        let t_deg = g.end.since(g.start);
+        assert!(
+            (t_deg.as_secs_f64() / t_up.as_secs_f64() - 2.0).abs() < 1e-9,
+            "half the CPU → twice the time"
+        );
+        h.set_health(NodeHealth::Up);
+        let g = h.charge_cpu(h.cpu_free_at(), w);
+        assert_eq!(g.end.since(g.start), t_up, "recovery restores full speed");
+        h.set_health(NodeHealth::Down);
+        assert!(h.is_down());
+        assert_eq!(h.health(), NodeHealth::Down);
     }
 
     #[test]

@@ -15,15 +15,31 @@
 //! forwards the flush outputs, then broadcasts EOS downstream. Because
 //! EOS rides the same FCFS NIC as data, it can never overtake packets
 //! from the same sender.
+//!
+//! ## Fault-masked delivery
+//!
+//! [`run_job_with_faults`] layers a failure model on top (see
+//! [`crate::fault`]): a controller actor replays the [`FaultSpec`]'s
+//! plan in virtual time, flipping node health and driving a heartbeat
+//! failure detector. Delivery becomes optimistic-with-recovery: a packet
+//! arriving at a down node bounces back as a NACK; the sender re-routes
+//! it through [`Router::pick_available`] masked by the *detected* node
+//! health, after a deterministic exponential backoff. Down nodes are
+//! thus masked, not fatal — and with an empty plan the whole layer
+//! vanishes: no controller actor, all-up masks (identical RNG draws),
+//! byte-identical virtual times to [`run_job`].
 
 use crate::config::ClusterConfig;
+use crate::fault::{node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
 use crate::metrics::{Metrics, SinkOutputs};
 use crate::node::NodeRes;
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
-    Router, StageId,
+    Router, StageFactory, StageId, UpMask,
 };
-use lmas_sim::{ActorId, Ctx, RunOutcome, SimDuration, SimTime, Simulation, Trace};
+use lmas_sim::{
+    ActorId, BackoffPolicy, Ctx, FaultEvent, RunOutcome, SimDuration, SimTime, Simulation, Trace,
+};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -40,7 +56,7 @@ pub struct Job<R: Record> {
     pub inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
 }
 
-/// Why a job could not run.
+/// Why a job could not run (or could not finish).
 #[derive(Debug)]
 pub enum JobError {
     /// The graph failed validation.
@@ -56,6 +72,31 @@ pub enum JobError {
     },
     /// A non-source stage has no incoming edge (it would never start).
     DisconnectedStage(StageId),
+    /// An instance has no node assigned (surfaced as a typed error so a
+    /// fault-injected run never aborts the process).
+    UnplacedInstance {
+        /// Stage index.
+        stage: usize,
+        /// Instance index.
+        instance: usize,
+    },
+    /// A fault-plan event names a node outside the cluster.
+    FaultPlanNode {
+        /// The offending node index (valid indices are
+        /// `0..hosts + asus`).
+        node: usize,
+    },
+    /// Every replica of a stage was unreachable and the retry budget was
+    /// exhausted with [`FaultSpec::fail_fast`] set. Partial progress is
+    /// reported so callers can decide how much work was lost.
+    AllReplicasDown {
+        /// The stage whose replicas were all down.
+        stage: usize,
+        /// Virtual time the run gave up.
+        at: SimTime,
+        /// Records processed before the failure.
+        records_processed: u64,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -69,6 +110,17 @@ impl fmt::Display for JobError {
             JobError::DisconnectedStage(s) => {
                 write!(f, "non-source stage {s:?} has no incoming edge")
             }
+            JobError::UnplacedInstance { stage, instance } => {
+                write!(f, "stage {stage} instance {instance} has no node assigned")
+            }
+            JobError::FaultPlanNode { node } => {
+                write!(f, "fault plan names node {node}, which is not in the cluster")
+            }
+            JobError::AllReplicasDown { stage, at, records_processed } => write!(
+                f,
+                "all replicas of stage {stage} down at t={}ns after {records_processed} records",
+                at.as_nanos()
+            ),
         }
     }
 }
@@ -106,6 +158,8 @@ pub struct NodeReport {
     pub nic_busy: SimDuration,
     /// Peak functor-state bytes observed.
     pub peak_state_bytes: usize,
+    /// Health at the end of the run.
+    pub health: NodeHealth,
 }
 
 /// The result of running a [`Job`].
@@ -130,6 +184,12 @@ pub struct EmulationReport<R: Record> {
     /// Event trace of the run (empty unless
     /// [`ClusterConfig::trace_capacity`] asked for one).
     pub trace: Trace,
+    /// Nodes still down when the run ended (hosts-then-ASUs ids).
+    /// Orchestration layers use this to tell which sink outputs were
+    /// lost with their node.
+    pub down_nodes: Vec<NodeId>,
+    /// Fault-layer activity counters (all zero on a fault-free run).
+    pub fault: FaultStats,
 }
 
 impl<R: Record> EmulationReport<R> {
@@ -168,22 +228,62 @@ impl<R: Record> EmulationReport<R> {
         out
     }
 
-    /// CPU utilization series of host `i`.
-    pub fn host_cpu_series(&self, i: usize) -> &[f64] {
-        let n = self
-            .nodes
+    /// CPU utilization series of host `i`, or `None` when no such host
+    /// was part of the run.
+    pub fn try_host_cpu_series(&self, i: usize) -> Option<&[f64]> {
+        self.nodes
             .iter()
-            .position(|nr| nr.id == NodeId::Host(i))
-            .expect("host exists");
-        &self.nodes[n].cpu_series
+            .find(|nr| nr.id == NodeId::Host(i))
+            .map(|nr| nr.cpu_series.as_slice())
+    }
+
+    /// CPU utilization series of host `i`; empty when no such host was
+    /// part of the run (see
+    /// [`try_host_cpu_series`](EmulationReport::try_host_cpu_series) to
+    /// distinguish that case).
+    pub fn host_cpu_series(&self, i: usize) -> &[f64] {
+        self.try_host_cpu_series(i).unwrap_or(&[])
     }
 }
 
+/// Routing/retry metadata carried with a delivery so a bounced packet
+/// can find its way back to the sender and out again.
+#[derive(Debug, Clone, Copy)]
+struct DeliveryMeta {
+    /// The sending instance actor (NACKs return here).
+    sender: ActorId,
+    /// The emission port (re-routing stays within the port's group).
+    port: usize,
+    /// Destination instance index (for backlog-gauge rollback).
+    dest: usize,
+    /// Delivery attempts so far (0 = first send).
+    attempt: u32,
+}
+
 enum Msg<R: Record> {
-    Arrive(Packet<R>),
+    /// A data packet. `meta` is `Some` only under an active fault spec;
+    /// fault-free runs carry `None` and skip all bounce bookkeeping.
+    Arrive {
+        p: Packet<R>,
+        meta: Option<DeliveryMeta>,
+    },
+    /// A delivery bounced (down node or lossy link); returned to sender.
+    Nack { p: Packet<R>, meta: DeliveryMeta },
+    /// Backoff expired: sender re-routes the packet.
+    Retry { p: Packet<R>, meta: DeliveryMeta },
     Eos,
-    Work,
+    /// A CPU service window completed. The epoch stamp discards windows
+    /// that belonged to a life of this instance before a crash.
+    Work(u64),
     SourceNext,
+    /// Controller → instance: your node crashed. Volatile state dies.
+    Kill,
+    /// Controller → instance: your node recovered (fresh state).
+    Revive,
+    /// Controller: apply plan event `i`.
+    FaultStep(usize),
+    /// Controller: heartbeat detection sweep.
+    FaultTick,
 }
 
 enum Unit<R: Record> {
@@ -191,15 +291,45 @@ enum Unit<R: Record> {
     Flush,
 }
 
+/// Per-instance fencing/flush flags shared between the instances and
+/// the fault controller.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstFlags {
+    /// The instance flushed (its own EOS has been broadcast).
+    flushed: bool,
+    /// The controller broadcast EOS on this instance's behalf; it must
+    /// never broadcast its own, even if revived.
+    fenced: bool,
+}
+
 struct Downstream<R: Record> {
     actors: Vec<ActorId>,
     nodes: Vec<Rc<RefCell<NodeRes>>>,
+    /// Dense node index per destination instance (fault-mask lookups).
+    node_idx: Vec<usize>,
     capacities: Vec<f64>,
     router: Router,
     gauge: Rc<RefCell<Vec<u64>>>,
     /// Instances per port group (= replication for global scope).
     group_size: usize,
+    /// Destination stage id (for `AllReplicasDown` reporting).
+    dest_stage: usize,
     _marker: std::marker::PhantomData<fn(R)>,
+}
+
+/// Fault-layer state held by each instance actor (present only when the
+/// spec is active — `None` keeps the fault-free path allocation- and
+/// draw-identical to the pre-fault runtime).
+struct InstanceFault<R: Record> {
+    detected_up: Rc<RefCell<Vec<bool>>>,
+    link_loss: Rc<RefCell<Vec<f64>>>,
+    flags: Rc<RefCell<Vec<InstFlags>>>,
+    backoff: BackoffPolicy,
+    fail_fast: bool,
+    total_nodes: usize,
+    my_node: usize,
+    my_global: usize,
+    factory: StageFactory<R>,
 }
 
 struct InstanceActor<R: Record> {
@@ -215,15 +345,31 @@ struct InstanceActor<R: Record> {
     down: Option<Downstream<R>>,
     source_data: VecDeque<Packet<R>>,
     is_source: bool,
+    /// False once a crash kills the source read chain.
+    source_live: bool,
+    /// Incremented on crash; stale `Work` from a previous life is
+    /// discarded by the stamp.
+    epoch: u64,
     my_gauge: Option<(Rc<RefCell<Vec<u64>>>, usize)>,
     metrics: Rc<RefCell<Metrics<R>>>,
     link_rate: f64,
     latency: SimDuration,
+    fault: Option<InstanceFault<R>>,
 }
 
 impl<R: Record> InstanceActor<R> {
+    fn is_down(&self) -> bool {
+        self.fault.is_some() && self.node.borrow().is_down()
+    }
+
+    fn is_fenced(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.flags.borrow()[f.my_global].fenced)
+    }
+
     fn try_start(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.is_down() {
             return;
         }
         if let Some(p) = self.queue.pop_front() {
@@ -239,18 +385,23 @@ impl<R: Record> InstanceActor<R> {
             }
             let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
             self.pending = Some(Unit::Process(p));
-            ctx.send_at(ctx.me(), grant.end, Msg::Work);
-        } else if self.eos_seen >= self.eos_expected && !self.flushed {
+            ctx.send_at(ctx.me(), grant.end, Msg::Work(self.epoch));
+        } else if self.eos_seen >= self.eos_expected && !self.flushed && !self.is_fenced() {
             let cost = self.functor.flush_cost();
             self.metrics.borrow_mut().stage_work[self.stage] += cost;
             let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
             self.pending = Some(Unit::Flush);
-            ctx.send_at(ctx.me(), grant.end, Msg::Work);
+            ctx.send_at(ctx.me(), grant.end, Msg::Work(self.epoch));
         }
     }
 
     fn complete_unit(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
-        let unit = self.pending.take().expect("Work without a pending unit");
+        let Some(unit) = self.pending.take() else {
+            // A stale Work stamp from before a crash (already filtered by
+            // the epoch check) or a unit discarded by Kill.
+            debug_assert!(self.fault.is_some(), "Work without a pending unit");
+            return;
+        };
         let mut emit = Emit::new(self.functor.out_ports());
         let mut just_flushed = false;
         match unit {
@@ -260,6 +411,7 @@ impl<R: Record> InstanceActor<R> {
                 let (stage, instance) = (self.stage, self.instance);
                 let mut m = self.metrics.borrow_mut();
                 m.records_processed += n;
+                m.note_activity(ctx.now());
                 m.trace.record_with(ctx.now(), || {
                     (format!("s{stage}.i{instance}"), format!("proc {n} recs"))
                 });
@@ -271,10 +423,14 @@ impl<R: Record> InstanceActor<R> {
                 self.flushed = true;
                 just_flushed = true;
                 let (stage, instance) = (self.stage, self.instance);
-                self.metrics
-                    .borrow_mut()
-                    .trace
+                let mut m = self.metrics.borrow_mut();
+                m.note_activity(ctx.now());
+                m.trace
                     .record_with(ctx.now(), || (format!("s{stage}.i{instance}"), "flush"));
+                drop(m);
+                if let Some(f) = &self.fault {
+                    f.flags.borrow_mut()[f.my_global].flushed = true;
+                }
             }
         }
         let state = self.functor.state_bytes();
@@ -298,51 +454,130 @@ impl<R: Record> InstanceActor<R> {
     }
 
     fn route_outputs(&mut self, ctx: &mut Ctx<'_, Msg<R>>, outputs: Vec<(usize, Packet<R>)>) {
-        match &mut self.down {
-            Some(d) => {
-                for (port, p) in outputs {
-                    // A port is confined to its instance group; the policy
-                    // picks within it (group == whole stage for Global).
-                    let groups = d.actors.len() / d.group_size;
-                    let base = (port % groups) * d.group_size;
-                    let dest = base + {
-                        let backlog = d.gauge.borrow();
-                        d.router.pick(
-                            d.group_size,
-                            port / groups,
-                            &backlog[base..base + d.group_size],
-                            &d.capacities[base..base + d.group_size],
-                        )
-                    };
-                    d.gauge.borrow_mut()[dest] += p.len() as u64;
-                    let deliver_at = delivery_time(
-                        ctx.now(),
-                        &self.node,
-                        &d.nodes[dest],
-                        p.bytes() as u64,
-                        self.link_rate,
-                        self.latency,
-                    );
-                    ctx.send_at(d.actors[dest], deliver_at, Msg::Arrive(p));
+        if self.down.is_some() {
+            for (port, p) in outputs {
+                self.route_packet(ctx, port, p, 0);
+            }
+        } else {
+            // Sink: write results to the local disk and capture them.
+            let now = ctx.now();
+            let mut node = self.node.borrow_mut();
+            let mut m = self.metrics.borrow_mut();
+            for (port, p) in outputs {
+                node.disk_write(now, p.bytes() as u64);
+                m.note_activity(now);
+                m.sink_outputs
+                    .entry((self.stage, self.instance))
+                    .or_default()
+                    .push((port, p));
+            }
+        }
+    }
+
+    /// Route one packet downstream. `attempt` is 0 for fresh emissions
+    /// and counts prior failed deliveries for retries.
+    fn route_packet(&mut self, ctx: &mut Ctx<'_, Msg<R>>, port: usize, p: Packet<R>, attempt: u32) {
+        let d = self.down.as_mut().expect("route_packet needs a downstream");
+        // A port is confined to its instance group; the policy picks
+        // within it (group == whole stage for Global).
+        let groups = d.actors.len() / d.group_size;
+        let base = (port % groups) * d.group_size;
+        let picked = {
+            let up = match &self.fault {
+                Some(f) => {
+                    let det = f.detected_up.borrow();
+                    UpMask::from_fn(d.group_size, |j| det[d.node_idx[base + j]])
+                }
+                None => UpMask::All,
+            };
+            let backlog = d.gauge.borrow();
+            d.router.pick_available(
+                d.group_size,
+                port / groups,
+                &backlog[base..base + d.group_size],
+                &d.capacities[base..base + d.group_size],
+                &up,
+            )
+        };
+        let Some(rel) = picked else {
+            // No replica is (detected) live. Hold the packet through the
+            // backoff schedule — a recovery may land — then give up.
+            let meta = DeliveryMeta { sender: ctx.me(), port, dest: usize::MAX, attempt };
+            self.redeliver(ctx, p, meta);
+            return;
+        };
+        let dest = base + rel;
+        // Optimistic backlog charge; a NACK rolls it back.
+        d.gauge.borrow_mut()[dest] += p.len() as u64;
+        let deliver_at = delivery_time(
+            ctx.now(),
+            &self.node,
+            &d.nodes[dest],
+            p.bytes() as u64,
+            self.link_rate,
+            self.latency,
+        );
+        let to_actor = d.actors[dest];
+        match &self.fault {
+            None => {
+                ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: None });
+            }
+            Some(f) => {
+                let meta = DeliveryMeta { sender: ctx.me(), port, dest, attempt };
+                let prob = f.link_loss.borrow()[f.my_node * f.total_nodes + d.node_idx[dest]];
+                if prob > 0.0 && ctx.rng().gen_f64() < prob {
+                    // The frame left the NIC but never arrived; the loss
+                    // surfaces as a NACK one extra latency later (the
+                    // receiver's link-level reject), and the retry path
+                    // takes over.
+                    self.metrics.borrow_mut().fault.drops += 1;
+                    ctx.send_at(ctx.me(), deliver_at + self.latency, Msg::Nack { p, meta });
+                } else {
+                    ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: Some(meta) });
                 }
             }
+        }
+    }
+
+    /// Schedule a retry for a failed delivery, or give up when the
+    /// attempt budget is exhausted.
+    fn redeliver(&mut self, ctx: &mut Ctx<'_, Msg<R>>, p: Packet<R>, mut meta: DeliveryMeta) {
+        if self.is_down() {
+            // The sender itself died while the bounce was in flight; the
+            // packet dies with it (a repair pass recovers the records).
+            self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
+            return;
+        }
+        let f = self.fault.as_ref().expect("redeliver requires fault mode");
+        meta.attempt += 1;
+        match f.backoff.delay(meta.attempt, ctx.rng()) {
+            Some(delay) => {
+                self.metrics.borrow_mut().fault.retries += 1;
+                ctx.send(ctx.me(), delay, Msg::Retry { p, meta });
+            }
             None => {
-                // Sink: write results to the local disk and capture them.
-                let now = ctx.now();
-                let mut node = self.node.borrow_mut();
+                let fail_fast = f.fail_fast;
+                let stage = self
+                    .down
+                    .as_ref()
+                    .map(|d| d.dest_stage)
+                    .unwrap_or(self.stage);
                 let mut m = self.metrics.borrow_mut();
-                for (port, p) in outputs {
-                    node.disk_write(now, p.bytes() as u64);
-                    m.sink_outputs
-                        .entry((self.stage, self.instance))
-                        .or_default()
-                        .push((port, p));
+                m.fault.abandoned_records += p.len() as u64;
+                if fail_fast && m.fatal.is_none() {
+                    m.fatal = Some(FatalFault { stage, at: ctx.now() });
+                    drop(m);
+                    ctx.request_stop();
                 }
             }
         }
     }
 
     fn broadcast_eos(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if self.is_fenced() {
+            // The controller already spoke for this instance.
+            return;
+        }
         if let Some(d) = &mut self.down {
             // EOS rides the NIC (zero payload) so it stays behind data.
             // Every remote mark serializes zero bytes, so one batched NIC
@@ -387,16 +622,48 @@ impl<R: Record> InstanceActor<R> {
     }
 
     fn source_next(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if !self.source_live {
+            return;
+        }
         if let Some(p) = self.source_data.pop_front() {
             let ready = self
                 .node
                 .borrow_mut()
                 .disk_read(ctx.now(), p.bytes() as u64);
-            ctx.send_at(ctx.me(), ready, Msg::Arrive(p));
+            self.metrics.borrow_mut().note_activity(ready);
+            ctx.send_at(ctx.me(), ready, Msg::Arrive { p, meta: None });
             ctx.send_at(ctx.me(), ready, Msg::SourceNext);
         } else {
             ctx.send_at(ctx.me(), ctx.now(), Msg::Eos);
         }
+    }
+
+    /// The node crashed: volatile state (queue, in-flight unit, functor
+    /// state) is lost; the functor is rebuilt from its factory so a
+    /// revived instance restarts clean.
+    fn kill(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        debug_assert!(self.fault.is_some(), "Kill outside fault mode");
+        self.epoch += 1;
+        let mut lost = 0u64;
+        if let Some(Unit::Process(p)) = self.pending.take() {
+            lost += p.len() as u64;
+        }
+        for p in self.queue.drain(..) {
+            lost += p.len() as u64;
+        }
+        if let Some((gauge, idx)) = &self.my_gauge {
+            gauge.borrow_mut()[*idx] = 0;
+        }
+        self.source_live = false;
+        if let Some(f) = &self.fault {
+            self.functor = (f.factory)(self.instance);
+        }
+        let (stage, instance) = (self.stage, self.instance);
+        let mut m = self.metrics.borrow_mut();
+        m.fault.lost_queued_records += lost;
+        m.trace.record_with(ctx.now(), || {
+            (format!("s{stage}.i{instance}"), format!("killed, lost {lost} recs"))
+        });
     }
 }
 
@@ -420,9 +687,44 @@ fn delivery_time(
 impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
         match msg {
-            Msg::Arrive(p) => {
+            Msg::Arrive { p, meta } => {
+                if self.is_down() {
+                    match meta {
+                        Some(meta) => {
+                            // Bounce: a control-plane NACK back to the
+                            // sender, one link latency later.
+                            self.metrics.borrow_mut().fault.nacks += 1;
+                            ctx.send(meta.sender, self.latency, Msg::Nack { p, meta });
+                        }
+                        None => {
+                            // A source self-delivery racing the crash;
+                            // the records stay durable on disk and are
+                            // recovered by a repair pass.
+                            self.metrics.borrow_mut().fault.lost_queued_records +=
+                                p.len() as u64;
+                        }
+                    }
+                    return;
+                }
                 self.queue.push_back(p);
                 self.try_start(ctx);
+            }
+            Msg::Nack { p, meta } => {
+                // Roll back the optimistic backlog charge, then retry.
+                if meta.dest != usize::MAX {
+                    if let Some(d) = &self.down {
+                        let mut g = d.gauge.borrow_mut();
+                        g[meta.dest] = g[meta.dest].saturating_sub(p.len() as u64);
+                    }
+                }
+                self.redeliver(ctx, p, meta);
+            }
+            Msg::Retry { p, meta } => {
+                if self.is_down() {
+                    self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
+                    return;
+                }
+                self.route_packet(ctx, meta.port, p, meta.attempt);
             }
             Msg::Eos => {
                 self.eos_seen += 1;
@@ -434,17 +736,178 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 );
                 self.try_start(ctx);
             }
-            Msg::Work => self.complete_unit(ctx),
+            Msg::Work(epoch) => {
+                if epoch == self.epoch {
+                    self.complete_unit(ctx);
+                }
+                // Stale stamps belong to a pre-crash life of this
+                // instance; the service window died with the node.
+            }
             Msg::SourceNext => {
                 debug_assert!(self.is_source);
                 self.source_next(ctx);
+            }
+            Msg::Kill => self.kill(ctx),
+            Msg::Revive => {
+                debug_assert!(self.fault.is_some(), "Revive outside fault mode");
+                // Fresh volatile state; process whatever arrives from now
+                // on. Source read chains do not resume (their unread
+                // extent is re-dispatched by orchestration-level repair).
+                self.try_start(ctx);
+            }
+            Msg::FaultStep(_) | Msg::FaultTick => {
+                unreachable!("controller message delivered to an instance")
             }
         }
     }
 }
 
-/// Run `job` on the cluster described by `cfg`.
+/// The fault controller: replays the plan and runs failure detection.
+struct FaultController<R: Record> {
+    events: Vec<FaultEvent>,
+    period: SimDuration,
+    timeout: SimDuration,
+    nodes: Vec<Rc<RefCell<NodeRes>>>,
+    detected_up: Rc<RefCell<Vec<bool>>>,
+    link_loss: Rc<RefCell<Vec<f64>>>,
+    flags: Rc<RefCell<Vec<InstFlags>>>,
+    /// Global instance indices resident on each node.
+    instances_on: Vec<Vec<usize>>,
+    inst_actor: Vec<ActorId>,
+    /// Downstream instance actors per global instance (fencing targets).
+    inst_downstream: Vec<Option<Vec<ActorId>>>,
+    down_since: Vec<Option<SimTime>>,
+    tick_armed: bool,
+    total_nodes: usize,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+impl<R: Record> FaultController<R> {
+    fn arm_tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        if !self.tick_armed {
+            ctx.timer(self.period, Msg::FaultTick);
+            self.tick_armed = true;
+        }
+    }
+
+    /// EOS on behalf of every unflushed instance on a detected-down
+    /// node, so downstream consumers stop waiting for the dead.
+    fn fence_node(&mut self, ctx: &mut Ctx<'_, Msg<R>>, node: usize) {
+        for i in 0..self.instances_on[node].len() {
+            let gi = self.instances_on[node][i];
+            let already = {
+                let f = self.flags.borrow();
+                f[gi].flushed || f[gi].fenced
+            };
+            if already {
+                continue;
+            }
+            self.flags.borrow_mut()[gi].fenced = true;
+            self.metrics.borrow_mut().fault.fenced_instances += 1;
+            if let Some(targets) = &self.inst_downstream[gi] {
+                for &a in targets {
+                    ctx.send_now(a, Msg::Eos);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg<R>>, i: usize) {
+        let now = ctx.now();
+        match self.events[i] {
+            FaultEvent::Crash { node, .. } => {
+                self.nodes[node].borrow_mut().set_health(NodeHealth::Down);
+                self.down_since[node] = Some(now);
+                for j in 0..self.instances_on[node].len() {
+                    let gi = self.instances_on[node][j];
+                    ctx.send_now(self.inst_actor[gi], Msg::Kill);
+                }
+                self.metrics
+                    .borrow_mut()
+                    .trace
+                    .record_with(now, || ("fault", format!("crash node {node}")));
+                self.arm_tick(ctx);
+            }
+            FaultEvent::Recover { node, .. } => {
+                self.nodes[node].borrow_mut().set_health(NodeHealth::Up);
+                self.down_since[node] = None;
+                // Recovery is announced, not timed out: the mask flips
+                // immediately.
+                self.detected_up.borrow_mut()[node] = true;
+                for j in 0..self.instances_on[node].len() {
+                    let gi = self.instances_on[node][j];
+                    ctx.send_now(self.inst_actor[gi], Msg::Revive);
+                }
+                self.metrics
+                    .borrow_mut()
+                    .trace
+                    .record_with(now, || ("fault", format!("recover node {node}")));
+            }
+            FaultEvent::Degrade { node, cpu_factor, disk_factor, .. } => {
+                self.nodes[node]
+                    .borrow_mut()
+                    .set_health(NodeHealth::Degraded { cpu_factor, disk_factor });
+                self.metrics
+                    .borrow_mut()
+                    .trace
+                    .record_with(now, || ("fault", format!("degrade node {node}")));
+            }
+            FaultEvent::LinkLoss { from, to, drop_prob, .. } => {
+                self.link_loss.borrow_mut()[from * self.total_nodes + to] = drop_prob;
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        self.tick_armed = false;
+        let now = ctx.now();
+        let mut awaiting = false;
+        for n in 0..self.total_nodes {
+            let Some(t0) = self.down_since[n] else { continue };
+            if !self.detected_up.borrow()[n] {
+                continue;
+            }
+            if now.saturating_since(t0) >= self.timeout {
+                self.detected_up.borrow_mut()[n] = false;
+                self.metrics.borrow_mut().fault.detections += 1;
+                self.metrics
+                    .borrow_mut()
+                    .trace
+                    .record_with(now, || ("fault", format!("detected node {n} down")));
+                self.fence_node(ctx, n);
+            } else {
+                awaiting = true;
+            }
+        }
+        if awaiting {
+            self.arm_tick(ctx);
+        }
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for FaultController<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::FaultStep(i) => self.apply(ctx, i),
+            Msg::FaultTick => self.tick(ctx),
+            _ => unreachable!("non-fault message delivered to the controller"),
+        }
+    }
+}
+
+/// Run `job` on the cluster described by `cfg` with no faults.
 pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationReport<R>, JobError> {
+    run_job_with_faults(cfg, &FaultSpec::none(), job)
+}
+
+/// Run `job` on the cluster described by `cfg` under the fault plan in
+/// `spec`. With an inactive spec (empty plan) this is exactly
+/// [`run_job`]: no controller, no masks, byte-identical timings.
+pub fn run_job_with_faults<R: Record>(
+    cfg: &ClusterConfig,
+    spec: &FaultSpec,
+    job: Job<R>,
+) -> Result<EmulationReport<R>, JobError> {
     let Job {
         graph,
         placement,
@@ -462,6 +925,23 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
             return Err(JobError::InputForNonSource { stage: s, instance: i });
         }
     }
+    let active = spec.is_active();
+    let total_nodes = cfg.total_nodes();
+    if active {
+        assert!(
+            spec.heartbeat_period.as_nanos() > 0,
+            "heartbeat period must be positive"
+        );
+        for ev in spec.plan.sorted_events() {
+            let bad = match ev {
+                FaultEvent::LinkLoss { from, to, .. } => from.max(to),
+                other => other.node(),
+            };
+            if bad >= total_nodes {
+                return Err(JobError::FaultPlanNode { node: bad });
+            }
+        }
+    }
 
     // Nodes: hosts 0..H, then ASUs.
     let nodes: Vec<Rc<RefCell<NodeRes>>> = (0..cfg.hosts)
@@ -469,12 +949,7 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         .chain((0..cfg.asus).map(NodeId::Asu))
         .map(|id| Rc::new(RefCell::new(NodeRes::new(id, cfg))))
         .collect();
-    let node_rc = |id: NodeId| -> Rc<RefCell<NodeRes>> {
-        match id {
-            NodeId::Host(i) => nodes[i].clone(),
-            NodeId::Asu(i) => nodes[cfg.hosts + i].clone(),
-        }
-    };
+    let node_rc = |id: NodeId| -> Rc<RefCell<NodeRes>> { nodes[node_index(cfg, id)].clone() };
 
     let mut sim: Simulation<Msg<R>> = Simulation::new(cfg.seed);
     let actor_ids: Vec<Vec<ActorId>> = graph
@@ -491,6 +966,15 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
     if cfg.trace_capacity > 0 {
         metrics.borrow_mut().trace = Trace::enabled(cfg.trace_capacity);
     }
+
+    // Fault-layer shared state (cheap to build; unused when inactive).
+    let total_instances: usize = graph.stages().iter().map(|s| s.replication).sum();
+    let detected_up = Rc::new(RefCell::new(vec![true; total_nodes]));
+    let link_loss = Rc::new(RefCell::new(vec![0.0f64; total_nodes * total_nodes]));
+    let flags = Rc::new(RefCell::new(vec![InstFlags::default(); total_instances]));
+    let mut instances_on: Vec<Vec<usize>> = vec![Vec::new(); total_nodes];
+    let mut inst_actor: Vec<ActorId> = Vec::with_capacity(total_instances);
+    let mut inst_downstream: Vec<Option<Vec<ActorId>>> = Vec::with_capacity(total_instances);
 
     // Upstream EOS expectations.
     let eos_expected: Vec<usize> = (0..graph.stages().len())
@@ -511,38 +995,58 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         for i in 0..stage.replication {
             let node_id = placement
                 .node_of(StageId(s), i)
-                .expect("validated placement");
-            let down = graph.out_edge(StageId(s)).map(|e| {
-                let to = e.to.0;
-                let to_stage = &graph.stages()[to];
-                let dnodes: Vec<Rc<RefCell<NodeRes>>> = (0..to_stage.replication)
-                    .map(|j| {
-                        node_rc(
-                            placement
-                                .node_of(e.to, j)
-                                .expect("validated placement"),
-                        )
+                .ok_or(JobError::UnplacedInstance { stage: s, instance: i })?;
+            let my_node = node_index(cfg, node_id);
+            let down = match graph.out_edge(StageId(s)) {
+                Some(e) => {
+                    let to = e.to.0;
+                    let to_stage = &graph.stages()[to];
+                    let mut dnodes = Vec::with_capacity(to_stage.replication);
+                    let mut node_idx = Vec::with_capacity(to_stage.replication);
+                    for j in 0..to_stage.replication {
+                        let nid = placement
+                            .node_of(e.to, j)
+                            .ok_or(JobError::UnplacedInstance { stage: to, instance: j })?;
+                        node_idx.push(node_index(cfg, nid));
+                        dnodes.push(node_rc(nid));
+                    }
+                    let capacities = dnodes.iter().map(|n| n.borrow().speed).collect();
+                    let group_size = match e.scope {
+                        lmas_core::RouteScope::Global => to_stage.replication,
+                        lmas_core::RouteScope::PortGroups { group_size } => group_size,
+                    };
+                    Some(Downstream {
+                        actors: actor_ids[to].clone(),
+                        nodes: dnodes,
+                        node_idx,
+                        capacities,
+                        router: Router::new(e.routing, cfg.seed, global_idx),
+                        gauge: gauges[to].clone(),
+                        group_size,
+                        dest_stage: to,
+                        _marker: std::marker::PhantomData,
                     })
-                    .collect();
-                let capacities = dnodes.iter().map(|n| n.borrow().speed).collect();
-                let group_size = match e.scope {
-                    lmas_core::RouteScope::Global => to_stage.replication,
-                    lmas_core::RouteScope::PortGroups { group_size } => group_size,
-                };
-                Downstream {
-                    actors: actor_ids[to].clone(),
-                    nodes: dnodes,
-                    capacities,
-                    router: Router::new(e.routing, cfg.seed, global_idx),
-                    gauge: gauges[to].clone(),
-                    group_size,
-                    _marker: std::marker::PhantomData,
                 }
-            });
+                None => None,
+            };
+            instances_on[my_node].push(inst_actor.len());
+            inst_actor.push(actor_ids[s][i]);
+            inst_downstream.push(down.as_ref().map(|d| d.actors.clone()));
             let source_data: VecDeque<Packet<R>> = inputs
                 .remove(&(s, i))
                 .map(Into::into)
                 .unwrap_or_default();
+            let fault = active.then(|| InstanceFault {
+                detected_up: detected_up.clone(),
+                link_loss: link_loss.clone(),
+                flags: flags.clone(),
+                backoff: spec.backoff,
+                fail_fast: spec.fail_fast,
+                total_nodes,
+                my_node,
+                my_global: inst_actor.len() - 1,
+                factory: stage.factory_handle(),
+            });
             let actor = InstanceActor {
                 stage: s,
                 instance: i,
@@ -556,10 +1060,13 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
                 down,
                 source_data,
                 is_source: stage.is_source,
+                source_live: true,
+                epoch: 0,
                 my_gauge: (!stage.is_source).then(|| (gauges[s].clone(), i)),
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
+                fault,
             };
             sim.install(actor_ids[s][i], Box::new(actor));
             if stage.is_source {
@@ -569,12 +1076,52 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         }
     }
 
+    if active {
+        let ctrl = sim.reserve_actor();
+        let events = spec.plan.sorted_events();
+        for (i, ev) in events.iter().enumerate() {
+            sim.seed_message(ctrl, ev.at(), Msg::FaultStep(i));
+        }
+        sim.install(
+            ctrl,
+            Box::new(FaultController {
+                events,
+                period: spec.heartbeat_period,
+                timeout: spec.heartbeat_timeout,
+                nodes: nodes.clone(),
+                detected_up: detected_up.clone(),
+                link_loss: link_loss.clone(),
+                flags: flags.clone(),
+                instances_on,
+                inst_actor,
+                inst_downstream,
+                down_since: vec![None; total_nodes],
+                tick_armed: false,
+                total_nodes,
+                metrics: metrics.clone(),
+            }),
+        );
+    }
+
     let outcome = sim.run();
+    let fatal = metrics.borrow().fatal;
+    if let Some(FatalFault { stage, at }) = fatal {
+        debug_assert_eq!(outcome, RunOutcome::Stopped);
+        let records_processed = metrics.borrow().records_processed;
+        return Err(JobError::AllReplicasDown { stage, at, records_processed });
+    }
     debug_assert_eq!(outcome, RunOutcome::Drained, "job should drain");
     let dispatched = sim.dispatched();
 
     // Makespan: last event, all CPU queues drained, all disks quiesced.
-    let mut end = sim.now();
+    // Under faults, plan events with no application effect (e.g. a
+    // recovery after the data drained) should not count: start from the
+    // last *application* activity instead of the last dispatch.
+    let mut end = if active {
+        metrics.borrow().last_activity
+    } else {
+        sim.now()
+    };
     for n in &nodes {
         let n = n.borrow();
         end = end.max(n.cpu_free_at()).max(n.disk_quiesce());
@@ -596,14 +1143,26 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
                 disk: n.disk_counters(),
                 nic_busy: n.nic_busy(),
                 peak_state_bytes: n.peak_state_bytes(),
+                health: n.health(),
             }
         })
         .collect();
+    let down_nodes: Vec<NodeId> = nodes
+        .iter()
+        .filter(|n| n.borrow().is_down())
+        .map(|n| n.borrow().id)
+        .collect();
 
-    let m = Rc::try_unwrap(metrics)
-        .map_err(|_| ())
-        .expect("actors dropped with the simulation")
-        .into_inner();
+    // Every actor was dropped with the simulation, so this Rc should be
+    // unique; if an embedding keeps one alive anyway, degrade to a
+    // clone-out instead of aborting a run that already finished.
+    let m = match Rc::try_unwrap(metrics) {
+        Ok(cell) => cell.into_inner(),
+        Err(rc) => {
+            debug_assert!(false, "metrics still shared after the simulation dropped");
+            rc.borrow().clone()
+        }
+    };
     let stage_work = graph
         .stages()
         .iter()
@@ -621,5 +1180,7 @@ pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationR
         mem_violations: m.mem_violations,
         dispatched,
         trace: m.trace,
+        down_nodes,
+        fault: m.fault,
     })
 }

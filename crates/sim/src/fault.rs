@@ -1,0 +1,377 @@
+//! Deterministic fault injection for simulations.
+//!
+//! A [`FaultPlan`] is a virtual-time schedule of fault events — crashes,
+//! recoveries, partial degradations, and lossy links — that a simulation
+//! harness replays against its actors. The plan itself carries no
+//! randomness: every event fires at an explicit [`SimTime`], and any
+//! randomized consequences (retry jitter, per-packet drops) draw from
+//! [`DetRng`] streams derived from the run's master seed, so a chaos run
+//! is exactly as reproducible as a fault-free one.
+//!
+//! The module also provides the two timing building blocks recovery
+//! protocols need:
+//!
+//! - [`BackoffPolicy`]: a bounded exponential backoff schedule with
+//!   deterministic jitter, for retrying failed deliveries;
+//! - [`Timer`]: a one-shot rearmable timeout handle built on the event
+//!   calendar's O(1) cancel, for heartbeat/failure-detection timeouts.
+
+use crate::engine::Ctx;
+use crate::event::EventToken;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled fault. Nodes are identified by a harness-defined dense
+/// index (the emulator uses hosts first, then ASUs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Node `node` fails completely at `at`: it stops processing, loses
+    /// volatile state, and bounces deliveries until it recovers.
+    Crash {
+        /// Failed node index.
+        node: usize,
+        /// Virtual time of the failure.
+        at: SimTime,
+    },
+    /// Node `node` returns to service at `at` with fresh (empty) volatile
+    /// state. Durable storage survives the outage.
+    Recover {
+        /// Recovering node index.
+        node: usize,
+        /// Virtual time of the recovery.
+        at: SimTime,
+    },
+    /// Node `node` keeps running but with scaled-down resources from `at`
+    /// on (graceful degradation, not binary death).
+    Degrade {
+        /// Degraded node index.
+        node: usize,
+        /// Virtual time the degradation takes effect.
+        at: SimTime,
+        /// Remaining fraction of CPU speed, in `(0, 1]`.
+        cpu_factor: f64,
+        /// Remaining fraction of disk bandwidth, in `(0, 1]`.
+        disk_factor: f64,
+    },
+    /// The directed link `from → to` starts dropping each packet with
+    /// probability `drop_prob` from `at` on (0 restores the link).
+    LinkLoss {
+        /// Sending node index.
+        from: usize,
+        /// Receiving node index.
+        to: usize,
+        /// Virtual time the loss rate takes effect.
+        at: SimTime,
+        /// Per-packet drop probability in `[0, 1]`.
+        drop_prob: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The virtual time at which this event fires.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::Degrade { at, .. }
+            | FaultEvent::LinkLoss { at, .. } => at,
+        }
+    }
+
+    /// The node this event primarily concerns (the sender for link loss).
+    pub fn node(&self) -> usize {
+        match *self {
+            FaultEvent::Crash { node, .. }
+            | FaultEvent::Recover { node, .. }
+            | FaultEvent::Degrade { node, .. } => node,
+            FaultEvent::LinkLoss { from, .. } => from,
+        }
+    }
+}
+
+/// A deterministic schedule of fault events for one run.
+///
+/// Build with the chainable constructors and hand the plan to the
+/// harness; events are replayed in time order (ties keep insertion
+/// order, so a plan is a total order and two runs of the same plan are
+/// bit-identical).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the harness should behave exactly as
+    /// if no fault layer existed).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a raw event.
+    pub fn push(mut self, ev: FaultEvent) -> FaultPlan {
+        self.events.push(ev);
+        self
+    }
+
+    /// Crash `node` at `at`.
+    pub fn crash(self, node: usize, at: SimTime) -> FaultPlan {
+        self.push(FaultEvent::Crash { node, at })
+    }
+
+    /// Recover `node` at `at`.
+    pub fn recover(self, node: usize, at: SimTime) -> FaultPlan {
+        self.push(FaultEvent::Recover { node, at })
+    }
+
+    /// Degrade `node` at `at` to `cpu_factor` CPU and `disk_factor` disk.
+    pub fn degrade(
+        self,
+        node: usize,
+        at: SimTime,
+        cpu_factor: f64,
+        disk_factor: f64,
+    ) -> FaultPlan {
+        assert!(
+            cpu_factor > 0.0 && cpu_factor <= 1.0,
+            "cpu_factor in (0, 1]"
+        );
+        assert!(
+            disk_factor > 0.0 && disk_factor <= 1.0,
+            "disk_factor in (0, 1]"
+        );
+        self.push(FaultEvent::Degrade { node, at, cpu_factor, disk_factor })
+    }
+
+    /// Make the directed link `from → to` drop packets with probability
+    /// `drop_prob` from `at` on.
+    pub fn link_loss(self, from: usize, to: usize, at: SimTime, drop_prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob in [0, 1]");
+        self.push(FaultEvent::LinkLoss { from, to, at, drop_prob })
+    }
+
+    /// No events scheduled?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in firing order (stable: ties keep insertion order).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at());
+        evs
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Retry `k` (1-based) waits a uniformly jittered duration in
+/// `[d/2, d]` where `d = min(base · 2^(k-1), cap)`; after
+/// `max_attempts` retries the delivery is declared failed. All jitter
+/// comes from the caller's [`DetRng`] stream, so the schedule is a pure
+/// function of (seed, stream, attempt sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// First-retry target delay.
+    pub base: SimDuration,
+    /// Upper bound on any single delay.
+    pub cap: SimDuration,
+    /// Retries allowed before the delivery fails (0 disables retrying).
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// A policy retrying `max_attempts` times from `base` up to `cap`.
+    pub fn new(base: SimDuration, cap: SimDuration, max_attempts: u32) -> BackoffPolicy {
+        assert!(base.as_nanos() > 0, "backoff base must be positive");
+        assert!(cap >= base, "backoff cap below base");
+        BackoffPolicy { base, cap, max_attempts }
+    }
+
+    /// 2002-era defaults: 200µs base, 20ms cap, 8 attempts.
+    pub fn default_2002() -> BackoffPolicy {
+        BackoffPolicy::new(
+            SimDuration::from_micros(200),
+            SimDuration::from_millis(20),
+            8,
+        )
+    }
+
+    /// The jittered delay before retry `attempt` (1-based), or `None`
+    /// when the attempt budget is exhausted.
+    pub fn delay(&self, attempt: u32, rng: &mut DetRng) -> Option<SimDuration> {
+        if attempt == 0 || attempt > self.max_attempts {
+            return None;
+        }
+        let shift = (attempt - 1).min(32);
+        let target = self
+            .base
+            .as_nanos()
+            .saturating_mul(1u64 << shift)
+            .min(self.cap.as_nanos())
+            .max(1);
+        // Uniform in [target/2, target]: half deterministic floor, half
+        // jitter, so retries from co-failing senders decorrelate without
+        // ever collapsing to zero delay.
+        let half = target / 2;
+        let jitter = rng.gen_range(target - half + 1);
+        Some(SimDuration::from_nanos(half + jitter))
+    }
+
+    /// Worst-case total delay across every retry (no jitter shortfall):
+    /// an upper bound on how long a sender can keep a packet alive.
+    pub fn max_total_delay(&self) -> SimDuration {
+        let mut total = 0u64;
+        for attempt in 1..=self.max_attempts {
+            let shift = (attempt - 1).min(32);
+            total = total.saturating_add(
+                self.base
+                    .as_nanos()
+                    .saturating_mul(1u64 << shift)
+                    .min(self.cap.as_nanos()),
+            );
+        }
+        SimDuration::from_nanos(total)
+    }
+}
+
+/// A one-shot, rearmable timeout bound to one actor.
+///
+/// Wraps an [`EventToken`] so timeout protocols (heartbeats, delivery
+/// deadlines) can re-arm without leaking stale events: `arm` cancels any
+/// outstanding shot first, using the indexed calendar's O(1) cancel.
+/// When the timeout fires, call [`Timer::clear`] in the handler so the
+/// handle stops referring to the delivered event (a stale token is
+/// harmless — generation checks make cancel a no-op — but `is_armed`
+/// would misreport).
+#[derive(Debug, Default)]
+pub struct Timer {
+    token: Option<EventToken>,
+}
+
+impl Timer {
+    /// A timer with no outstanding shot.
+    pub fn idle() -> Timer {
+        Timer { token: None }
+    }
+
+    /// Arm (or re-arm) the timer: deliver `msg` to the calling actor
+    /// after `delay`, cancelling any previously armed shot.
+    pub fn arm<M>(&mut self, ctx: &mut Ctx<'_, M>, delay: SimDuration, msg: M) {
+        self.disarm(ctx);
+        self.token = Some(ctx.timer(delay, msg));
+    }
+
+    /// Cancel the outstanding shot, if any.
+    pub fn disarm<M>(&mut self, ctx: &mut Ctx<'_, M>) {
+        if let Some(tok) = self.token.take() {
+            ctx.cancel(tok);
+        }
+    }
+
+    /// Forget the outstanding token without cancelling (call when the
+    /// shot has just been delivered).
+    pub fn clear(&mut self) {
+        self.token = None;
+    }
+
+    /// Is a shot outstanding?
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Ctx, Simulation};
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn plan_sorts_stably_by_time() {
+        let plan = FaultPlan::new()
+            .recover(1, SimTime(50))
+            .crash(0, SimTime(10))
+            .crash(1, SimTime(10))
+            .degrade(2, SimTime(30), 0.5, 0.5);
+        let evs = plan.sorted_events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0], FaultEvent::Crash { node: 0, at: SimTime(10) });
+        assert_eq!(evs[1], FaultEvent::Crash { node: 1, at: SimTime(10) });
+        assert_eq!(evs[2].node(), 2);
+        assert_eq!(evs[3], FaultEvent::Recover { node: 1, at: SimTime(50) });
+        assert!(FaultPlan::new().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential_and_deterministic() {
+        let p = BackoffPolicy::new(
+            SimDuration::from_nanos(1_000),
+            SimDuration::from_nanos(8_000),
+            5,
+        );
+        let mut r1 = DetRng::stream(7, 3);
+        let mut r2 = DetRng::stream(7, 3);
+        let d1: Vec<Option<SimDuration>> = (1..=6).map(|a| p.delay(a, &mut r1)).collect();
+        let d2: Vec<Option<SimDuration>> = (1..=6).map(|a| p.delay(a, &mut r2)).collect();
+        assert_eq!(d1, d2, "same stream, same schedule");
+        // Attempts within budget produce delays in [target/2, target].
+        for (i, d) in d1.iter().take(5).enumerate() {
+            let target = (1_000u64 << i).min(8_000);
+            let d = d.expect("within budget").as_nanos();
+            assert!(d >= target / 2 && d <= target, "attempt {}: {d}", i + 1);
+        }
+        // Budget exhausted.
+        assert_eq!(d1[5], None);
+        assert_eq!(p.delay(0, &mut r1), None, "attempt numbering is 1-based");
+        // Worst-case sum: 1 + 2 + 4 + 8 + 8 (capped) = 23µs-in-ns.
+        assert_eq!(p.max_total_delay().as_nanos(), 23_000);
+    }
+
+    #[test]
+    fn timer_rearm_cancels_previous_shot() {
+        let fired: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let f = fired.clone();
+        let timer: Rc<RefCell<Timer>> = Rc::new(RefCell::new(Timer::idle()));
+        let t = timer.clone();
+        let mut sim: Simulation<&'static str> = Simulation::new(0);
+        let a = sim.add_actor(Box::new(move |ctx: &mut Ctx<'_, &'static str>, m| match m {
+            "start" => {
+                let mut tm = t.borrow_mut();
+                tm.arm(ctx, SimDuration::from_nanos(100), "first");
+                assert!(tm.is_armed());
+                // Re-arming replaces the first shot entirely.
+                tm.arm(ctx, SimDuration::from_nanos(50), "second");
+            }
+            "second" => {
+                let mut tm = t.borrow_mut();
+                tm.clear();
+                assert!(!tm.is_armed());
+                f.borrow_mut().push("second");
+            }
+            other => panic!("stale shot fired: {other}"),
+        }));
+        sim.seed_message(a, SimTime::ZERO, "start");
+        sim.run();
+        assert_eq!(*fired.borrow(), vec!["second"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn link_loss_rejects_bad_probability() {
+        let _ = FaultPlan::new().link_loss(0, 1, SimTime::ZERO, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_factor")]
+    fn degrade_rejects_zero_factor() {
+        let _ = FaultPlan::new().degrade(0, SimTime::ZERO, 0.0, 0.5);
+    }
+}

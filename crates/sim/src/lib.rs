@@ -6,6 +6,8 @@
 //! - [`time`]: virtual nanoseconds ([`SimTime`], [`SimDuration`]);
 //! - [`event`]: a cancellable, totally ordered event calendar;
 //! - [`engine`]: an actor loop ([`Simulation`], [`Actor`], [`Ctx`]);
+//! - [`fault`]: deterministic fault schedules ([`FaultPlan`]), retry
+//!   backoff ([`BackoffPolicy`]) and rearmable timeouts ([`Timer`]);
 //! - [`resource`]: FCFS servers with utilization accounting — the CPUs,
 //!   disks and links of an emulated cluster;
 //! - [`intern`]: interned resource/metric names (allocation-free stamping);
@@ -40,6 +42,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod intern;
 pub mod resource;
 pub mod rng;
@@ -49,6 +52,7 @@ pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
 pub use event::{EventQueue, EventToken};
+pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer};
 pub use intern::{intern, Name};
 pub use resource::{Grant, MultiResource, Resource};
 pub use rng::DetRng;

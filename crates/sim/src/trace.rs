@@ -25,7 +25,7 @@ pub struct TraceEntry {
 }
 
 /// A bounded in-memory event trace.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     entries: VecDeque<TraceEntry>,
     capacity: usize,

@@ -23,7 +23,9 @@ use lmas_core::{
     packetize, EdgeKind, FlowGraph, Functor, NodeId, Packet, Placement, Record, RouteScope,
     RoutingPolicy,
 };
-use lmas_emulator::{run_job, ClusterConfig, EmulationReport, Job, JobError};
+use lmas_emulator::{
+    run_job, run_job_with_faults, ClusterConfig, EmulationReport, FaultSpec, Job, JobError,
+};
 use lmas_sim::SimDuration;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -114,6 +116,22 @@ pub fn run_pass1<R: Record>(
     dsm: &DsmConfig,
     mode: LoadMode,
 ) -> Result<Pass1Result<R>, DsmError> {
+    run_pass1_with(cluster, &FaultSpec::none(), data_per_asu, splitters, dsm, mode)
+}
+
+/// [`run_pass1`] under a fault plan. With an inactive spec this is
+/// exactly `run_pass1`; under faults the report's `down_nodes` and
+/// `fault` fields say what was lost, and
+/// [`run_dsm_sort_faulty`](crate::fault::run_dsm_sort_faulty) knows how
+/// to repair it.
+pub fn run_pass1_with<R: Record>(
+    cluster: &ClusterConfig,
+    spec: &FaultSpec,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<Pass1Result<R>, DsmError> {
     // Pass 1 is γ-independent: validate parameter shape only. The
     // two-pass capacity rule (α·β·γ ≥ n) is enforced by run_dsm_sort.
     dsm.validate_for(1)?;
@@ -188,7 +206,7 @@ pub fn run_pass1<R: Record>(
         );
     }
 
-    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let report = run_job_with_faults(cluster, spec, Job { graph: g, placement, inputs })?;
     let runs_per_asu = (0..d)
         .map(|asu| {
             report
@@ -205,6 +223,17 @@ pub fn run_pass1<R: Record>(
 /// subset on hosts → striped sorted output back to ASUs).
 pub fn run_pass2<R: Record>(
     cluster: &ClusterConfig,
+    runs_per_asu: Vec<Vec<Packet<R>>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+) -> Result<Pass2Result<R>, DsmError> {
+    run_pass2_with(cluster, &FaultSpec::none(), runs_per_asu, splitters, dsm)
+}
+
+/// [`run_pass2`] under a fault plan (inactive spec ⇒ identical runs).
+pub fn run_pass2_with<R: Record>(
+    cluster: &ClusterConfig,
+    spec: &FaultSpec,
     runs_per_asu: Vec<Vec<Packet<R>>>,
     splitters: Vec<R::Key>,
     dsm: &DsmConfig,
@@ -249,7 +278,7 @@ pub fn run_pass2<R: Record>(
         inputs.insert((asu_merge.0, asu), runs);
     }
 
-    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let report = run_job_with_faults(cluster, spec, Job { graph: g, placement, inputs })?;
     let output = report
         .sink_outputs
         .values()

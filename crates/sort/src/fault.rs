@@ -1,0 +1,197 @@
+//! Degraded-mode DSM-Sort: run under a fault plan, then repair.
+//!
+//! The emulator's fault layer ([`lmas_emulator::fault`]) masks crashes
+//! *inside* a pass: deliveries bounce off dead nodes and fail over to
+//! surviving replicas. What it cannot recover by itself are records that
+//! were lost **with** a node — queued packets, in-flight work, and runs
+//! already stored on an ASU that is still offline when the pass ends.
+//! This module closes that gap at the orchestration level:
+//!
+//! 1. run pass 1 under the plan (non-fatal mode: undeliverable records
+//!    are dropped and counted, the pass drains);
+//! 2. diff the per-record identity tags ([`Record::tag64`]) of the
+//!    surviving, *reachable* runs against the input — the difference is
+//!    exactly the lost records, wherever they died;
+//! 3. re-dispatch the lost records through a repair pass on the
+//!    surviving nodes (input extents are assumed replicated across the
+//!    ASU pool, the paper's storage-redundancy premise, so lost extents
+//!    can be re-read from surviving replicas);
+//! 4. merge as usual in pass 2, with the dead ASUs contributing nothing.
+//!
+//! When recovery succeeds, [`canonical_equal`](crate::verify) proves the
+//! final output byte-identical to a fault-free run: every input record
+//! present exactly once, bytes and all. The whole procedure is
+//! deterministic — same seed and plan, same output, same virtual times.
+
+use crate::config::{DsmConfig, LoadMode};
+use crate::dsm::{
+    choose_splitters, run_pass1_with, run_pass2_with, split_across_asus, DsmError, Pass1Result,
+};
+use lmas_core::{NodeId, Packet, Record};
+use lmas_emulator::{ClusterConfig, EmulationReport, FaultSpec};
+use lmas_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Outcome of a fault-injected DSM-Sort with repair.
+pub struct FaultyDsmOutcome<R: Record> {
+    /// Pass-1 report (ran under the fault plan).
+    pub pass1: EmulationReport<R>,
+    /// The repair pass, when one was needed.
+    pub repair: Option<EmulationReport<R>>,
+    /// Pass-2 report.
+    pub pass2: EmulationReport<R>,
+    /// Total emulated time including repair.
+    pub total: SimDuration,
+    /// Final sorted stripes.
+    pub output: Vec<Packet<R>>,
+    /// The splitters used.
+    pub splitters: Vec<<R as Record>::Key>,
+    /// Records the tag diff found missing and re-dispatched.
+    pub recovered_records: u64,
+    /// ASUs still down at the end of pass 1 (their stored runs were
+    /// unreachable and their records went through repair).
+    pub lost_asus: Vec<usize>,
+}
+
+/// Where each surviving run lives and what was lost: the reachable runs
+/// per ASU (empty for offline ASUs) plus the tag set they cover.
+fn reachable_runs<R: Record>(p1: &Pass1Result<R>) -> (Vec<Vec<Packet<R>>>, Vec<usize>) {
+    let lost_asus: Vec<usize> = p1
+        .report
+        .down_nodes
+        .iter()
+        .filter_map(|id| match id {
+            NodeId::Asu(d) => Some(*d),
+            NodeId::Host(_) => None,
+        })
+        .collect();
+    let runs = p1
+        .runs_per_asu
+        .iter()
+        .enumerate()
+        .map(|(d, runs)| {
+            if lost_asus.contains(&d) {
+                Vec::new()
+            } else {
+                runs.clone()
+            }
+        })
+        .collect();
+    (runs, lost_asus)
+}
+
+/// Run the full two-pass DSM-Sort on `data` under `spec`'s fault plan,
+/// repairing lost records between the passes.
+///
+/// Repair identifies lost records by [`Record::tag64`], so the input
+/// must carry unique tags (`Rec128`'s permutation tag, or any unique
+/// `Rec8::tag`); a record without one (`u64::MAX`) is rejected up
+/// front rather than silently unrecoverable.
+pub fn run_dsm_sort_faulty<R: Record>(
+    cluster: &ClusterConfig,
+    spec: &FaultSpec,
+    data: Vec<R>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<FaultyDsmOutcome<R>, DsmError> {
+    dsm.validate_for(data.len() as u64)?;
+    let splitters = choose_splitters(&data, dsm.alpha);
+
+    // Tag → record index for the repair diff. Built before the data is
+    // split so a lost record can be re-materialized from the "replica".
+    let mut by_tag: BTreeMap<u64, R> = BTreeMap::new();
+    if spec.is_active() {
+        for r in &data {
+            let t = r.tag64();
+            if t == u64::MAX {
+                return Err(DsmError::InputShape(
+                    "fault repair requires per-record tags (Record::tag64)".into(),
+                ));
+            }
+            if by_tag.insert(t, r.clone()).is_some() {
+                return Err(DsmError::InputShape(format!(
+                    "fault repair requires unique tags (tag {t} repeats)"
+                )));
+            }
+        }
+    }
+
+    let per_asu = split_across_asus(&data, cluster.asus);
+    drop(data);
+    let p1 = run_pass1_with(cluster, spec, per_asu, splitters.clone(), dsm, mode)?;
+    let (mut runs, lost_asus) = reachable_runs(&p1);
+
+    // Tag diff: whatever the reachable runs don't cover was lost —
+    // dropped in flight, discarded with a crashed instance, or stored on
+    // an ASU that is still offline.
+    let mut missing = by_tag;
+    for asu_runs in &runs {
+        for run in asu_runs {
+            for r in run.records() {
+                missing.remove(&r.tag64());
+            }
+        }
+    }
+    let recovered_records = missing.len() as u64;
+
+    let repair = if missing.is_empty() {
+        None
+    } else {
+        // Re-dispatch the lost records through a pass-1-shaped job on
+        // the surviving nodes only (modeled as a cluster of just the
+        // live hosts and ASUs).
+        let live_asus: Vec<usize> =
+            (0..cluster.asus).filter(|d| !lost_asus.contains(d)).collect();
+        let down_hosts: Vec<usize> = p1
+            .report
+            .down_nodes
+            .iter()
+            .filter_map(|id| match id {
+                NodeId::Host(h) => Some(*h),
+                NodeId::Asu(_) => None,
+            })
+            .collect();
+        let live_hosts = cluster.hosts - down_hosts.len();
+        if live_asus.is_empty() || live_hosts == 0 {
+            return Err(DsmError::InputShape(
+                "no surviving nodes to repair on".into(),
+            ));
+        }
+        let mut repair_cluster = *cluster;
+        repair_cluster.hosts = live_hosts;
+        repair_cluster.asus = live_asus.len();
+        let lost: Vec<R> = missing.into_values().collect();
+        let lost_per_asu = split_across_asus(&lost, live_asus.len());
+        let rp = run_pass1_with(
+            &repair_cluster,
+            &FaultSpec::none(),
+            lost_per_asu,
+            splitters.clone(),
+            dsm,
+            mode,
+        )?;
+        // Repair ASU i stands in for the i-th surviving original ASU;
+        // its new runs land alongside that ASU's surviving runs.
+        for (i, extra) in rp.runs_per_asu.into_iter().enumerate() {
+            runs[live_asus[i]].extend(extra);
+        }
+        Some(rp.report)
+    };
+
+    // Pass 2 runs fault-free on the original cluster: the plan's events
+    // already fired, and offline ASUs simply hold no runs to merge.
+    let p2 = run_pass2_with(cluster, &FaultSpec::none(), runs, splitters.clone(), dsm)?;
+    let total = p1.report.makespan
+        + repair.as_ref().map_or(SimDuration::ZERO, |r| r.makespan)
+        + p2.report.makespan;
+    Ok(FaultyDsmOutcome {
+        pass1: p1.report,
+        repair,
+        pass2: p2.report,
+        total,
+        output: p2.output,
+        splitters,
+        recovered_records,
+        lost_asus,
+    })
+}

@@ -14,7 +14,10 @@
 //! - [`adaptive`]: model-driven (α, γ₁, γ₂) selection;
 //! - [`skew`]: workload layouts, incl. Figure 10's half-uniform/half-
 //!   exponential input;
-//! - [`verify`]: output sortedness and permutation checks.
+//! - [`fault`]: degraded-mode sorting under a fault plan, with
+//!   tag-diff repair of lost records ([`run_dsm_sort_faulty`]);
+//! - [`verify`]: output sortedness, permutation, and canonical
+//!   byte-equality checks.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod adaptive;
 pub mod baseline;
 pub mod config;
 pub mod dsm;
+pub mod fault;
 pub mod functors;
 pub mod skew;
 pub mod verify;
@@ -31,8 +35,12 @@ pub use baseline::{pass1_speedup, run_pass1_baseline};
 pub use config::{DsmConfig, DsmConfigError, LoadMode};
 pub use dsm::{
     choose_splitters, run_dsm_sort, run_dsm_sort_multipass, run_intermediate_merge, run_pass1,
-    run_pass2, split_across_asus, DsmError, DsmMultiOutcome, DsmOutcome, Pass1Result,
-    Pass2Result,
+    run_pass1_with, run_pass2, run_pass2_with, split_across_asus, DsmError, DsmMultiOutcome,
+    DsmOutcome, Pass1Result, Pass2Result,
 };
+pub use fault::{run_dsm_sort_faulty, FaultyDsmOutcome};
 pub use functors::{DistributeSortFunctor, FullMergeFunctor, SubsetMergeFunctor};
-pub use verify::{check_tag_permutation, reconstruct_sorted, verify_rec128_output, VerifyError};
+pub use verify::{
+    canonical_equal, canonical_records, check_tag_permutation, reconstruct_sorted,
+    verify_rec128_output, VerifyError,
+};

@@ -34,6 +34,12 @@ pub enum VerifyError {
         /// First offending tag position.
         position: usize,
     },
+    /// Two outputs differ under the canonical byte comparison.
+    OutputMismatch {
+        /// First differing record position in canonical order (equal to
+        /// the shorter length when one output is a prefix of the other).
+        position: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -48,6 +54,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::NotAPermutation { position } => {
                 write!(f, "tags are not a permutation (first mismatch at {position})")
+            }
+            VerifyError::OutputMismatch { position } => {
+                write!(f, "outputs differ at canonical position {position}")
             }
         }
     }
@@ -93,6 +102,47 @@ pub fn check_tag_permutation(
     for (i, &t) in tags.iter().enumerate() {
         if t != i as u64 {
             return Err(VerifyError::NotAPermutation { position: i });
+        }
+    }
+    Ok(())
+}
+
+/// The records of `stripes` in canonical order: sorted by
+/// `(key, tag64)`. Stripe boundaries and the placement of equal-keyed
+/// records across them are routing artifacts; the canonical form is
+/// what "the same sorted output" means when comparing a fault-injected
+/// run against a fault-free one.
+pub fn canonical_records<R: Record>(stripes: &[Packet<R>]) -> Vec<R> {
+    let mut out: Vec<R> = stripes
+        .iter()
+        .flat_map(|p| p.records().iter().cloned())
+        .collect();
+    out.sort_by_key(|r| (r.key(), r.tag64()));
+    out
+}
+
+/// Prove two outputs identical: equal record counts and byte-identical
+/// records in canonical `(key, tag64)` order. This is the recovery
+/// acceptance check — a crashed-and-repaired DSM-Sort passes iff every
+/// record of the fault-free run is present exactly once, byte for byte.
+pub fn canonical_equal<R: Record>(
+    a: &[Packet<R>],
+    b: &[Packet<R>],
+) -> Result<(), VerifyError> {
+    let ca = canonical_records(a);
+    let cb = canonical_records(b);
+    if ca.len() != cb.len() {
+        return Err(VerifyError::OutputMismatch {
+            position: ca.len().min(cb.len()),
+        });
+    }
+    let mut ba = vec![0u8; R::SIZE];
+    let mut bb = vec![0u8; R::SIZE];
+    for (i, (ra, rb)) in ca.iter().zip(&cb).enumerate() {
+        ra.to_bytes(&mut ba);
+        rb.to_bytes(&mut bb);
+        if ba != bb {
+            return Err(VerifyError::OutputMismatch { position: i });
         }
     }
     Ok(())
@@ -174,6 +224,29 @@ mod tests {
         assert_eq!(
             check_tag_permutation([0, 1, 5], 3),
             Err(VerifyError::NotAPermutation { position: 2 })
+        );
+    }
+
+    #[test]
+    fn canonical_equality_ignores_striping_but_not_content() {
+        let a = vec![stripe(&[0, 1]), stripe(&[2, 3])];
+        let b = vec![stripe(&[2]), stripe(&[0, 3]), stripe(&[1])];
+        assert!(canonical_equal(&a, &b).is_ok());
+        // A missing record is a length mismatch at the shorter length.
+        let short = vec![stripe(&[0, 1, 2])];
+        assert_eq!(
+            canonical_equal(&a, &short),
+            Err(VerifyError::OutputMismatch { position: 3 })
+        );
+        // Same keys, different payload bytes: caught by the byte compare.
+        let mut tweaked = vec![stripe(&[0, 1]), stripe(&[2, 3])];
+        tweaked[1] = Packet::new(vec![
+            Rec8 { key: 2, tag: 9 },
+            Rec8 { key: 3, tag: 3 },
+        ]);
+        assert_eq!(
+            canonical_equal(&a, &tweaked),
+            Err(VerifyError::OutputMismatch { position: 2 })
         );
     }
 }

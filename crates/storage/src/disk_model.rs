@@ -101,6 +101,14 @@ impl DiskSim {
         self.params
     }
 
+    /// Change the media transfer rate mid-run (fault injection: degraded
+    /// nodes keep serving I/O, just slower). Work already issued keeps its
+    /// original timing; only subsequent requests see the new rate.
+    pub fn set_rate(&mut self, rate_bytes_per_sec: f64) {
+        assert!(rate_bytes_per_sec > 0.0, "disk rate must be positive");
+        self.params.rate_bytes_per_sec = rate_bytes_per_sec;
+    }
+
     /// Sequential read of `bytes` requested at `now`; returns when the
     /// data is available to the requester.
     ///

@@ -10,7 +10,10 @@ cargo test -q
 echo "== cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== determinism gate (seeded emulation, run twice, diff) =="
+echo "== determinism gate (seeded emulation + chaos run, twice, diff) =="
+# The determinism binary covers both the fault-free pinned sort and a
+# pinned chaos run (ASU crash + lossy link): bounces, retries, fencing,
+# detection, and repair must all be run-to-run stable.
 cargo build -q --release -p lmas-bench --bin determinism
 run1="$(./target/release/determinism)"
 run2="$(./target/release/determinism)"
@@ -20,5 +23,15 @@ if [ "$run1" != "$run2" ]; then
     exit 1
 fi
 echo "$run1"
+
+echo "== chaos recovery gate (fault sweep at reduced scale) =="
+# Every cell of the sweep verifies its recovered output byte-identical
+# to the fault-free golden run (the binary asserts it).
+cargo build -q --release -p lmas-bench --bin fault_sweep
+# Reduced scale, scratch results dir: don't clobber the full-scale
+# results/BENCH_faults.json artifact.
+LMAS_SCALE="${LMAS_CHAOS_SCALE:-0.25}" LMAS_RESULTS_DIR="$(mktemp -d)" \
+    ./target/release/fault_sweep > /dev/null
+echo "fault sweep verified (every masked run byte-identical after repair)"
 
 echo "check.sh: all green"
