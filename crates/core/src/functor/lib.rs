@@ -259,6 +259,11 @@ impl<R: Record> Functor<R> for DistributeFunctor<R> {
     fn state_bytes(&self) -> usize {
         self.splitters.len() * std::mem::size_of::<R::Key>()
     }
+    fn read_ahead_hint(&self) -> usize {
+        // Distribute is pure streaming — CPU per packet is small, so a
+        // couple of staged packets keep the media ahead of the processor.
+        2
+    }
 }
 
 /// Buffers records to blocks of β, sorts each block, emits sorted-run

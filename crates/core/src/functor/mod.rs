@@ -132,6 +132,14 @@ pub trait Functor<R: Record>: Send {
     fn state_bytes(&self) -> usize {
         0
     }
+
+    /// Prefetch hint: how many input packets beyond the one being
+    /// processed this functor benefits from having staged (drives source
+    /// read-ahead depth when the storage buffer pool is enabled). 0 means
+    /// demand paging is fine.
+    fn read_ahead_hint(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

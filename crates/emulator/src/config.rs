@@ -17,7 +17,7 @@
 
 use lmas_core::CostModel;
 use lmas_sim::SimDuration;
-use lmas_storage::DiskParams;
+use lmas_storage::{DiskParams, StorageSpec};
 
 /// Full parameter set of an emulated active storage cluster.
 #[derive(Debug, Clone, Copy)]
@@ -30,8 +30,12 @@ pub struct ClusterConfig {
     pub cpu_ratio_c: f64,
     /// Cost model converting declared functor work into CPU time.
     pub cost: CostModel,
-    /// Per-node disk timing parameters.
+    /// Per-node disk timing parameters (per spindle when striping).
     pub disk: DiskParams,
+    /// Storage substrate: spindles per ASU, striping, buffer pool,
+    /// scheduler, and read-ahead. The default is the plain single-disk
+    /// model (byte-identical to the pre-substrate emulator).
+    pub storage: StorageSpec,
     /// Host↔ASU link bandwidth, bytes per second (per node NIC).
     pub link_bytes_per_sec: f64,
     /// One-way network latency.
@@ -68,6 +72,7 @@ impl ClusterConfig {
             cpu_ratio_c,
             cost: CostModel::p3_750mhz(),
             disk: DiskParams::asu_brick_2002(),
+            storage: StorageSpec::default(),
             // Gigabit-class SAN per node; fast enough that CPUs, not
             // links, saturate (the paper's stated network assumption).
             link_bytes_per_sec: 1.0e9,
@@ -86,6 +91,15 @@ impl ClusterConfig {
     /// most-recent entries (rendered into the run report).
     pub fn with_trace(mut self, capacity: usize) -> ClusterConfig {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// This cluster with the given storage substrate (striping, buffer
+    /// pool, scheduler, read-ahead). `cfg.disk` then describes one
+    /// spindle, and an ASU's aggregate bandwidth scales with
+    /// `storage.disks`.
+    pub fn with_storage(mut self, storage: StorageSpec) -> ClusterConfig {
+        self.storage = storage;
         self
     }
 
@@ -131,7 +145,10 @@ impl ClusterConfig {
             hosts: self.hosts,
             asus: self.asus,
             cpu_ratio_c: self.effective_cpu_ratio(),
-            disk_rate: self.disk.rate_bytes_per_sec * (1.0 - self.background_asu_disk),
+            // Aggregate ASU bandwidth: per-spindle rate × spindles.
+            disk_rate: self.disk.rate_bytes_per_sec
+                * (1.0 - self.background_asu_disk)
+                * self.storage.disks as f64,
             link_rate: self.link_bytes_per_sec,
             record_size,
         }

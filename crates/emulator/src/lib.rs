@@ -27,6 +27,9 @@ pub mod runtime;
 pub use config::ClusterConfig;
 pub use fault::{asu_index, node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
 pub use node::NodeRes;
+// Storage counter types re-exported from their single source of truth in
+// `lmas-storage` (node reports embed them).
+pub use lmas_storage::{BteStats, PoolStats, StorageSpec};
 pub use report::{render_summary, render_utilization_csv};
 pub use runtime::{
     run_job, run_job_with_faults, EmulationReport, Job, JobError, NodeReport,

@@ -1,15 +1,105 @@
-//! Emulated nodes: a CPU, a NIC, a disk, and a memory budget.
+//! Emulated nodes: a CPU, a NIC, a storage substrate, and a memory
+//! budget.
 //!
 //! Hosts and ASUs share this shape; they differ in CPU speed (`1` vs
-//! `1/c`), memory budget, and role. Each device is an FCFS resource from
+//! `1/c`), memory budget, and role. CPU and NIC are FCFS resources from
 //! `lmas-sim`, so contention between functor instances co-located on one
 //! node emerges from the resource queues rather than from bespoke logic.
+//!
+//! Storage is a [`StripedDisk`] (one spindle by default; `d` per ASU
+//! when the [`StorageSpec`] stripes) optionally fronted by a
+//! [`BufferPool`] and a [`DiskScheduler`]. With the plain default spec
+//! every call delegates straight to the single underlying disk timeline,
+//! byte-identical to the pre-substrate node. With the pool enabled,
+//! reads and sink writes become block-addressed: streams are laid out on
+//! sequential block extents (reads from a low cursor, writes from a high
+//! one, so the regions never collide) and every access goes through the
+//! pool's hit/miss, eviction, and write-behind machinery.
 
 use crate::config::ClusterConfig;
 use crate::fault::NodeHealth;
 use lmas_core::{CostModel, NodeId, Work};
 use lmas_sim::{Grant, Resource, SimDuration, SimTime};
-use lmas_storage::DiskSim;
+use lmas_storage::{
+    BteStats, BufferPool, DiskScheduler, IoReq, PoolParams, PoolStats, StripedDisk,
+};
+
+/// First block of the sink-write extent; far above any read extent so
+/// the two block ranges never alias.
+const WRITE_BASE_BLOCK: u64 = 1 << 40;
+
+/// The storage stack of one node: disk array, optional pool, optional
+/// scheduler, plus the block cursors that lay streams onto extents.
+#[derive(Debug)]
+struct NodeStore {
+    striped: StripedDisk,
+    pool: Option<BufferPool>,
+    sched: Option<DiskScheduler>,
+    block_bytes: u64,
+    /// Next unassigned block of the source-read extent.
+    read_cursor: u64,
+    /// Next unassigned block of the sink-write extent.
+    write_cursor: u64,
+}
+
+impl NodeStore {
+    /// Lay `bytes` onto the next blocks of an extent; returns the
+    /// `(block, bytes)` run (the tail block may be partial).
+    fn alloc_run(cursor: &mut u64, bytes: u64, bb: u64) -> Vec<(u64, u64)> {
+        let nblocks = bytes.div_ceil(bb);
+        let first = *cursor;
+        *cursor += nblocks;
+        (0..nblocks)
+            .map(|i| {
+                let b = if i + 1 == nblocks { bytes - i * bb } else { bb };
+                (first + i, b)
+            })
+            .collect()
+    }
+
+    /// Expand a (possibly merged) scheduler request back into a
+    /// per-block run. A merged request may cover interior partial-tail
+    /// blocks, so the exact per-block byte layout is gone; front-load
+    /// the payload over the block range instead (totals stay exact,
+    /// per-spindle attribution within the run is approximate).
+    fn expand(req: &IoReq, bb: u64) -> Vec<(u64, u64)> {
+        let mut rem = req.bytes;
+        let mut run = Vec::with_capacity(req.blocks as usize);
+        for i in 0..req.blocks {
+            let b = rem.min(bb);
+            rem -= b;
+            if b > 0 {
+                run.push((req.first_block + i, b));
+            }
+        }
+        run
+    }
+
+    /// Drain the scheduler window through the pool (write-behind) or
+    /// straight to the media.
+    fn drain_sched(&mut self, now: SimTime) {
+        let Some(sched) = self.sched.as_mut() else { return };
+        if sched.pending() == 0 {
+            return;
+        }
+        let pool = &mut self.pool;
+        let striped = &mut self.striped;
+        let bb = self.block_bytes;
+        sched.drain_with(|req| {
+            let run = NodeStore::expand(req, bb);
+            match pool {
+                Some(p) => {
+                    let mut t = now;
+                    for &(b, bytes) in &run {
+                        t = t.max(p.write(now, b, bytes, striped));
+                    }
+                    t
+                }
+                None => striped.write_blocks(now, &run),
+            }
+        });
+    }
+}
 
 /// The simulated devices of one node.
 #[derive(Debug)]
@@ -22,7 +112,7 @@ pub struct NodeRes {
     pub mem_bytes: usize,
     cpu: Resource,
     nic: Resource,
-    disk: DiskSim,
+    store: NodeStore,
     cost: CostModel,
     records_processed: u64,
     peak_state_bytes: usize,
@@ -38,8 +128,11 @@ impl NodeRes {
     pub fn new(id: NodeId, cfg: &ClusterConfig) -> NodeRes {
         // Competing tenants steal a fraction of each ASU's CPU and disk
         // (hosts are dedicated, Section 2.2): model as derated devices.
-        let (speed, mem, disk) = match id {
-            NodeId::Host(_) => (cfg.host_speed(), cfg.host_mem_bytes, cfg.disk),
+        // Multi-disk striping is an ASU property (the brick aggregates
+        // spindles); hosts keep one disk.
+        let spec = cfg.storage;
+        let (speed, mem, disk, disks) = match id {
+            NodeId::Host(_) => (cfg.host_speed(), cfg.host_mem_bytes, cfg.disk, 1),
             NodeId::Asu(_) => {
                 let mut disk = cfg.disk;
                 disk.rate_bytes_per_sec *= 1.0 - cfg.background_asu_disk;
@@ -47,8 +140,28 @@ impl NodeRes {
                     cfg.asu_speed() * (1.0 - cfg.background_asu_cpu),
                     cfg.asu_mem_bytes,
                     disk,
+                    spec.disks,
                 )
             }
+        };
+        let store = NodeStore {
+            striped: StripedDisk::new(
+                disk,
+                disks,
+                spec.blocks_per_stripe,
+                spec.block_bytes,
+                cfg.util_bin,
+            ),
+            pool: (spec.pool_frames > 0).then(|| {
+                BufferPool::new(PoolParams {
+                    frames: spec.pool_frames,
+                    shards: spec.pool_shards,
+                })
+            }),
+            sched: (spec.sched_window > 1).then(|| DiskScheduler::new(spec.sched_window)),
+            block_bytes: spec.block_bytes,
+            read_cursor: 0,
+            write_cursor: WRITE_BASE_BLOCK,
         };
         NodeRes {
             id,
@@ -56,7 +169,7 @@ impl NodeRes {
             mem_bytes: mem,
             cpu: Resource::new(format!("{id}.cpu"), cfg.util_bin),
             nic: Resource::new(format!("{id}.nic"), cfg.util_bin),
-            disk: DiskSim::new(disk, cfg.util_bin),
+            store,
             cost: cfg.cost,
             records_processed: 0,
             peak_state_bytes: 0,
@@ -75,11 +188,11 @@ impl NodeRes {
         match health {
             NodeHealth::Up | NodeHealth::Down => {
                 self.speed = self.base_speed;
-                self.disk.set_rate(self.base_disk_rate);
+                self.store.striped.set_rate(self.base_disk_rate);
             }
             NodeHealth::Degraded { cpu_factor, disk_factor } => {
                 self.speed = self.base_speed * cpu_factor;
-                self.disk.set_rate(self.base_disk_rate * disk_factor);
+                self.store.striped.set_rate(self.base_disk_rate * disk_factor);
             }
         }
     }
@@ -120,13 +233,71 @@ impl NodeRes {
     }
 
     /// Sequential disk read of `bytes`; returns data-ready time.
+    ///
+    /// Without a pool this is a plain striped-stream read (one spindle =
+    /// the legacy model, verbatim). With a pool, the stream is laid onto
+    /// the node's read extent block by block and each block goes through
+    /// the pool (misses charge the media; the per-request overhead is
+    /// then honestly paid per block).
     pub fn disk_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.disk.read(now, bytes)
+        if self.store.pool.is_none() {
+            return self.store.striped.read(now, bytes);
+        }
+        let run = NodeStore::alloc_run(&mut self.store.read_cursor, bytes, self.store.block_bytes);
+        let pool = self.store.pool.as_mut().expect("checked above");
+        let mut ready = now;
+        for &(b, bb) in &run {
+            let (r, _hit) = pool.read(now, b, bb, &mut self.store.striped);
+            ready = ready.max(r);
+        }
+        ready
     }
 
     /// Sequential disk write of `bytes`; returns caller-proceed time.
     pub fn disk_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.disk.write(now, bytes)
+        self.store.striped.write(now, bytes)
+    }
+
+    /// Sink write of `bytes` from the output stream `tag` (one tag per
+    /// functor instance). The plain spec charges the media directly;
+    /// otherwise the stream is laid onto the node's write extent and
+    /// staged through the scheduler window (same-tag sequential runs
+    /// coalesce on drain) and/or the pool's write-behind.
+    pub fn disk_write_sink(&mut self, now: SimTime, tag: u64, bytes: u64) -> SimTime {
+        let store = &mut self.store;
+        if store.pool.is_none() && store.sched.is_none() {
+            return store.striped.write(now, bytes);
+        }
+        let run = NodeStore::alloc_run(&mut store.write_cursor, bytes, store.block_bytes);
+        let Some(&(first, _)) = run.first() else {
+            return now; // zero-byte packet: nothing to stage
+        };
+        if let Some(sched) = store.sched.as_mut() {
+            sched.submit(tag, first, run.len() as u64, bytes, true);
+            if sched.is_full() {
+                store.drain_sched(now);
+            }
+            now
+        } else {
+            let pool = store.pool.as_mut().expect("pool or sched is present");
+            let mut t = now;
+            for &(b, bb) in &run {
+                t = t.max(pool.write(now, b, bb, &mut store.striped));
+            }
+            t
+        }
+    }
+
+    /// Flush everything staged in the storage stack (scheduler residue,
+    /// then dirty pool frames) at `now` and return when the media
+    /// quiesces. A no-op returning the plain quiesce time for the
+    /// default spec.
+    pub fn storage_drain(&mut self, now: SimTime) -> SimTime {
+        self.store.drain_sched(now);
+        if let Some(pool) = self.store.pool.as_mut() {
+            pool.flush(now, &mut self.store.striped);
+        }
+        self.store.striped.quiesce_time()
     }
 
     /// Record that `n` records were processed here (progress metric).
@@ -169,14 +340,44 @@ impl NodeRes {
         self.cpu.next_free()
     }
 
-    /// When the disk media quiesces.
+    /// When the disk media quiesces (all spindles).
     pub fn disk_quiesce(&self) -> SimTime {
-        self.disk.quiesce_time()
+        self.store.striped.quiesce_time()
     }
 
-    /// Disk counters: (reads, writes, bytes_read, bytes_written).
+    /// Disk counters: (reads, writes, bytes_read, bytes_written),
+    /// aggregated across spindles.
     pub fn disk_counters(&self) -> (u64, u64, u64, u64) {
-        self.disk.counters()
+        self.store.striped.counters()
+    }
+
+    /// Aggregate transfer counters across spindles.
+    pub fn disk_stats(&self) -> BteStats {
+        self.store.striped.stats()
+    }
+
+    /// Per-spindle transfer counters, in disk order.
+    pub fn per_disk_stats(&self) -> Vec<BteStats> {
+        self.store.striped.per_disk_stats()
+    }
+
+    /// Per-spindle media busy time, in disk order.
+    pub fn per_disk_busy(&self) -> Vec<SimDuration> {
+        self.store.striped.per_disk_busy()
+    }
+
+    /// Number of spindles in this node's array.
+    pub fn disk_count(&self) -> usize {
+        self.store.striped.disk_count()
+    }
+
+    /// Buffer-pool counters (all zero when the pool is disabled).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.store
+            .pool
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
     }
 
     /// NIC busy time.

@@ -26,6 +26,28 @@ pub fn render_summary<R: Record>(r: &EmulationReport<R>) -> String {
             dbw,
             n.nic_busy
         );
+        if n.per_disk.len() > 1 {
+            for (i, (d, busy)) in n.per_disk.iter().zip(&n.per_disk_busy).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "         disk{} r/w {}/{} ({}/{} B)  busy {}",
+                    i, d.reads, d.writes, d.bytes_read, d.bytes_written, busy
+                );
+            }
+        }
+        let pool = n.pool;
+        if pool.hits + pool.misses > 0 {
+            let _ = writeln!(
+                out,
+                "         pool hit {:>5.1}%  ({} hits / {} misses, {} evict, {} wb blocks, {} flushed)",
+                pool.hit_rate() * 100.0,
+                pool.hits,
+                pool.misses,
+                pool.evictions,
+                pool.writeback_blocks,
+                pool.flushed_blocks
+            );
+        }
     }
     let _ = writeln!(out, "-- stages --");
     for (i, (name, w)) in r.stage_work.iter().enumerate() {

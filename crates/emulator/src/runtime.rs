@@ -152,8 +152,16 @@ pub struct NodeReport {
     pub cpu_series: Vec<f64>,
     /// Records processed on this node.
     pub records: u64,
-    /// Disk counters: (reads, writes, bytes read, bytes written).
+    /// Disk counters: (reads, writes, bytes read, bytes written),
+    /// aggregated across the node's spindles.
     pub disk: (u64, u64, u64, u64),
+    /// Per-spindle transfer counters (one entry per disk; a single entry
+    /// for unstriped nodes).
+    pub per_disk: Vec<lmas_storage::BteStats>,
+    /// Per-spindle media busy time, parallel to `per_disk`.
+    pub per_disk_busy: Vec<SimDuration>,
+    /// Buffer-pool counters (all zero when the pool is disabled).
+    pub pool: lmas_storage::PoolStats,
     /// NIC busy time.
     pub nic_busy: SimDuration,
     /// Peak functor-state bytes observed.
@@ -291,6 +299,27 @@ enum Unit<R: Record> {
     Flush,
 }
 
+/// Read-ahead pipeline state of a source instance (present only when the
+/// storage buffer pool is enabled; legacy sources stream unbounded).
+///
+/// The source may hold at most `window = read_ahead + 1` packets between
+/// disk arrival and CPU completion: one being processed plus `read_ahead`
+/// staged in pool frames. A frame is freed only when its packet's
+/// processing unit *completes*, so `read_ahead == 0` is genuinely serial
+/// demand paging (read, process, read, …) while `read_ahead >= 1`
+/// overlaps the next packet's media time with this packet's CPU time.
+#[derive(Debug)]
+struct RaState {
+    /// Staging window in packets (`read_ahead + 1`).
+    window: usize,
+    /// Packets arrived from disk whose processing has not completed.
+    staged: usize,
+    /// A disk read is in flight.
+    pending: bool,
+    /// EOS already sent (the input stream is exhausted).
+    eos_sent: bool,
+}
+
 /// Per-instance fencing/flush flags shared between the instances and
 /// the fault controller.
 #[derive(Debug, Clone, Copy, Default)]
@@ -347,6 +376,11 @@ struct InstanceActor<R: Record> {
     is_source: bool,
     /// False once a crash kills the source read chain.
     source_live: bool,
+    /// Windowed read-ahead staging (pool-enabled sources only).
+    ra: Option<RaState>,
+    /// Globally unique instance tag: identifies this instance's output
+    /// stream to the disk scheduler (runs never merge across tags).
+    global_tag: u64,
     /// Incremented on crash; stale `Work` from a previous life is
     /// discarded by the stamp.
     epoch: u64,
@@ -406,6 +440,11 @@ impl<R: Record> InstanceActor<R> {
         let mut just_flushed = false;
         match unit {
             Unit::Process(p) => {
+                // The packet's staging frame frees only now, at CPU
+                // completion — read-ahead depth really bounds memory.
+                if let Some(ra) = &mut self.ra {
+                    ra.staged = ra.staged.saturating_sub(1);
+                }
                 let n = p.len() as u64;
                 self.node.borrow_mut().note_records(n);
                 let (stage, instance) = (self.stage, self.instance);
@@ -451,6 +490,10 @@ impl<R: Record> InstanceActor<R> {
             self.broadcast_eos(ctx);
         }
         self.try_start(ctx);
+        if self.ra.is_some() {
+            // A frame freed: see whether the read pipeline can refill.
+            self.source_next(ctx);
+        }
     }
 
     fn route_outputs(&mut self, ctx: &mut Ctx<'_, Msg<R>>, outputs: Vec<(usize, Packet<R>)>) {
@@ -459,12 +502,13 @@ impl<R: Record> InstanceActor<R> {
                 self.route_packet(ctx, port, p, 0);
             }
         } else {
-            // Sink: write results to the local disk and capture them.
+            // Sink: write results to the local disk (staged through the
+            // scheduler/pool when the substrate is on) and capture them.
             let now = ctx.now();
             let mut node = self.node.borrow_mut();
             let mut m = self.metrics.borrow_mut();
             for (port, p) in outputs {
-                node.disk_write(now, p.bytes() as u64);
+                node.disk_write_sink(now, self.global_tag, p.bytes() as u64);
                 m.note_activity(now);
                 m.sink_outputs
                     .entry((self.stage, self.instance))
@@ -625,6 +669,28 @@ impl<R: Record> InstanceActor<R> {
         if !self.source_live {
             return;
         }
+        if let Some(ra) = &mut self.ra {
+            // Windowed streaming: at most one read in flight, at most
+            // `window` packets staged between disk arrival and CPU
+            // completion. Called again on every arrival and completion,
+            // so the pipeline refills as frames free up.
+            if ra.pending || ra.staged >= ra.window {
+                return;
+            }
+            if let Some(p) = self.source_data.pop_front() {
+                ra.pending = true;
+                let ready = self
+                    .node
+                    .borrow_mut()
+                    .disk_read(ctx.now(), p.bytes() as u64);
+                self.metrics.borrow_mut().note_activity(ready);
+                ctx.send_at(ctx.me(), ready, Msg::Arrive { p, meta: None });
+            } else if !ra.eos_sent {
+                ra.eos_sent = true;
+                ctx.send_at(ctx.me(), ctx.now(), Msg::Eos);
+            }
+            return;
+        }
         if let Some(p) = self.source_data.pop_front() {
             let ready = self
                 .node
@@ -655,6 +721,12 @@ impl<R: Record> InstanceActor<R> {
             gauge.borrow_mut()[*idx] = 0;
         }
         self.source_live = false;
+        if let Some(ra) = &mut self.ra {
+            // Staged packets died with the node; the read chain is dead
+            // (source_live above), so the pipeline never refills.
+            ra.staged = 0;
+            ra.pending = false;
+        }
         if let Some(f) = &self.fault {
             self.functor = (f.factory)(self.instance);
         }
@@ -706,8 +778,17 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                     }
                     return;
                 }
+                if let Some(ra) = &mut self.ra {
+                    // A source self-delivery: the in-flight read landed
+                    // and now occupies a staging frame.
+                    ra.pending = false;
+                    ra.staged += 1;
+                }
                 self.queue.push_back(p);
                 self.try_start(ctx);
+                if self.ra.is_some() {
+                    self.source_next(ctx);
+                }
             }
             Msg::Nack { p, meta } => {
                 // Roll back the optimistic backlog charge, then retry.
@@ -1061,6 +1142,13 @@ pub fn run_job_with_faults<R: Record>(
                 source_data,
                 is_source: stage.is_source,
                 source_live: true,
+                ra: (cfg.storage.pool_frames > 0 && stage.is_source).then(|| RaState {
+                    window: cfg.storage.read_ahead + 1,
+                    staged: 0,
+                    pending: false,
+                    eos_sent: false,
+                }),
+                global_tag: global_idx,
                 epoch: 0,
                 my_gauge: (!stage.is_source).then(|| (gauges[s].clone(), i)),
                 metrics: metrics.clone(),
@@ -1126,6 +1214,17 @@ pub fn run_job_with_faults<R: Record>(
         let n = n.borrow();
         end = end.max(n.cpu_free_at()).max(n.disk_quiesce());
     }
+    // Flush staged storage (scheduler residue, dirty pool frames): the
+    // job only completes once write-behind data is durable. All nodes
+    // drain from the same base instant so the order of this loop cannot
+    // matter. Skipped entirely for the plain spec (nothing is ever
+    // staged) to keep the legacy path byte-identical.
+    if !cfg.storage.is_plain() {
+        let base = end;
+        for n in &nodes {
+            end = end.max(n.borrow_mut().storage_drain(base));
+        }
+    }
     let makespan = end.since(SimTime::ZERO);
     // Release the actors (and with them their Rc clones of the metrics).
     drop(sim);
@@ -1141,6 +1240,9 @@ pub fn run_job_with_faults<R: Record>(
                 cpu_series: n.cpu_utilization(end),
                 records: n.records_processed(),
                 disk: n.disk_counters(),
+                per_disk: n.per_disk_stats(),
+                per_disk_busy: n.per_disk_busy(),
+                pool: n.pool_stats(),
                 nic_busy: n.nic_busy(),
                 peak_state_bytes: n.peak_state_bytes(),
                 health: n.health(),

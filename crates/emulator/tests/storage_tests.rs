@@ -1,0 +1,157 @@
+//! Integration tests for the storage substrate wired through the
+//! emulator: striped multi-disk ASUs, the buffer pool, and read-ahead.
+
+use lmas_core::functor::lib::MapFunctor;
+use lmas_core::{
+    generate_rec8, packetize, EdgeKind, FlowGraph, Functor, KeyDist, NodeId, Placement, Rec8,
+    RoutingPolicy, Work,
+};
+use lmas_emulator::{run_job, ClusterConfig, Job, StorageSpec};
+use std::collections::BTreeMap;
+
+fn identity_factory() -> impl Fn(usize) -> Box<dyn Functor<Rec8>> + Send + 'static {
+    |_| Box::new(MapFunctor::new("id", Work::ZERO, |r: Rec8| r))
+}
+
+fn sorted_tags(records: &[Rec8]) -> Vec<u32> {
+    let mut t: Vec<u32> = records.iter().map(|r| r.tag).collect();
+    t.sort_unstable();
+    t
+}
+
+/// Build + run a 1-source/1-sink pipeline (ASU → host) under `cfg`.
+fn run_pipeline_cfg(cfg: ClusterConfig, n: u64) -> lmas_emulator::EmulationReport<Rec8> {
+    let data = generate_rec8(n, KeyDist::Uniform, 5);
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, identity_factory());
+    let dst = g.add_stage(1, identity_factory());
+    g.connect(src, dst, RoutingPolicy::Static, EdgeKind::Stream)
+        .unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    placement.assign(dst, 0, NodeId::Host(0));
+    let mut inputs = BTreeMap::new();
+    inputs.insert((0usize, 0usize), packetize(data, 100));
+    run_job(&cfg, Job { graph: g, placement, inputs }).unwrap()
+}
+
+/// [`run_pipeline_cfg`] with 2002-era devices.
+fn run_pipeline(storage: StorageSpec, n: u64) -> lmas_emulator::EmulationReport<Rec8> {
+    run_pipeline_cfg(ClusterConfig::era_2002(1, 1, 8.0).with_storage(storage), n)
+}
+
+/// The pooled, striped, read-ahead path delivers exactly the records the
+/// plain path delivers — the storage substrate changes timing only.
+#[test]
+fn pooled_striped_run_matches_plain_output() {
+    let n = 4_000u64;
+    let plain = run_pipeline(StorageSpec::default(), n);
+    let pooled = run_pipeline(
+        StorageSpec::striped(2).with_pool(64).with_read_ahead(2),
+        n,
+    );
+    assert_eq!(
+        sorted_tags(&plain.sink_records()),
+        sorted_tags(&pooled.sink_records()),
+        "storage substrate must not change dataflow results"
+    );
+    assert!(pooled.makespan.as_nanos() > 0);
+
+    // ASU carries the stripe set; hosts stay single-spindle.
+    let asu = pooled
+        .nodes
+        .iter()
+        .find(|nr| nr.id == NodeId::Asu(0))
+        .unwrap();
+    assert_eq!(asu.per_disk.len(), 2, "ASU should expose 2 spindles");
+    let host = pooled
+        .nodes
+        .iter()
+        .find(|nr| nr.id == NodeId::Host(0))
+        .unwrap();
+    assert_eq!(host.per_disk.len(), 1, "hosts are not multi-disk");
+
+    // The pool saw the source's block traffic.
+    let pool = asu.pool;
+    assert!(pool.hits + pool.misses > 0, "pool stats must be populated");
+
+    // Every stripe took reads: the block run alternates spindles.
+    for (i, d) in asu.per_disk.iter().enumerate() {
+        assert!(d.bytes_read > 0, "spindle {i} never read");
+    }
+    let per_disk_total: u64 = asu.per_disk.iter().map(|d| d.bytes_read).sum();
+    assert_eq!(per_disk_total, asu.disk.2, "per-disk reads must sum to the node total");
+}
+
+/// More spindles shorten a disk-bound ASU→ASU transfer: with a slow
+/// disk and blocks fine enough that each packet spans all spindles, the
+/// stripe's parallel charge dominates the makespan. The sink sits on a
+/// second ASU (hosts always keep one spindle and would cap the run).
+#[test]
+fn striping_scales_a_disk_bound_scan() {
+    let n = 50_000u64;
+    let run = |d: usize| {
+        let mut spec = StorageSpec::striped(d)
+            .with_pool(64)
+            .with_read_ahead(2)
+            // 100-record packets = 800 bytes = 4 blocks, striped one
+            // block per spindle.
+            .with_block_bytes(200);
+        spec.blocks_per_stripe = 1;
+        let mut cfg = ClusterConfig::era_2002(1, 2, 8.0).with_storage(spec);
+        cfg.disk.rate_bytes_per_sec = 0.25e6; // firmly disk-bound
+        let data = generate_rec8(n, KeyDist::Uniform, 5);
+        let mut g: FlowGraph<Rec8> = FlowGraph::new();
+        let src = g.add_source_stage(1, identity_factory());
+        let dst = g.add_stage(1, identity_factory());
+        g.connect(src, dst, RoutingPolicy::Static, EdgeKind::Stream)
+            .unwrap();
+        let mut placement = Placement::new();
+        placement.assign(src, 0, NodeId::Asu(0));
+        placement.assign(dst, 0, NodeId::Asu(1));
+        let mut inputs = BTreeMap::new();
+        inputs.insert((0usize, 0usize), packetize(data, 100));
+        run_job(&cfg, Job { graph: g, placement, inputs })
+            .unwrap()
+            .makespan
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four.as_secs_f64() < 0.5 * one.as_secs_f64(),
+        "4 spindles should clearly beat 1: d=4 {four} vs d=1 {one}"
+    );
+}
+
+/// Read-ahead overlaps media time with CPU time: a pooled source with a
+/// prefetch window finishes no later than the same source without one.
+#[test]
+fn read_ahead_never_slows_a_run() {
+    let n = 100_000u64;
+    let none = run_pipeline(StorageSpec::default().with_pool(64), n).makespan;
+    let ra = run_pipeline(StorageSpec::default().with_pool(64).with_read_ahead(4), n).makespan;
+    assert!(
+        ra <= none,
+        "read-ahead must not slow the pipeline: ra {ra} vs none {none}"
+    );
+}
+
+/// Two identical pooled runs are bit-identical in time and counters.
+#[test]
+fn pooled_runs_are_deterministic() {
+    let spec = StorageSpec::striped(2)
+        .with_pool(32)
+        .with_read_ahead(3)
+        .with_sched_window(8);
+    let a = run_pipeline(spec, 20_000);
+    let b = run_pipeline(spec, 20_000);
+    assert_eq!(a.makespan, b.makespan);
+    let asu = |r: &lmas_emulator::EmulationReport<Rec8>| {
+        r.nodes
+            .iter()
+            .find(|nr| nr.id == NodeId::Asu(0))
+            .map(|nr| (nr.disk, nr.pool, nr.per_disk.clone()))
+            .unwrap()
+    };
+    assert_eq!(asu(&a), asu(&b));
+}

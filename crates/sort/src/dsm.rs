@@ -107,6 +107,18 @@ pub fn static_host_of(subset: usize, alpha: usize, hosts: usize) -> usize {
     (subset * hosts / alpha).min(hosts - 1)
 }
 
+/// When the cluster opted into functor-tuned prefetch
+/// (`auto_read_ahead` with a buffer pool), return a copy of the config
+/// with the read-ahead window set from the pass's source functor hint;
+/// otherwise return the config unchanged.
+fn tuned_cluster(cluster: &ClusterConfig, hint: usize) -> ClusterConfig {
+    let mut c = *cluster;
+    if c.storage.pool_frames > 0 && c.storage.auto_read_ahead {
+        c.storage.read_ahead = hint.max(1);
+    }
+    c
+}
+
 /// Run pass 1 (distribute on ASUs → block-sort on hosts → runs back to
 /// ASUs). `data_per_asu[d]` is ASU `d`'s initially resident input.
 pub fn run_pass1<R: Record>(
@@ -154,6 +166,12 @@ pub fn run_pass1_with<R: Record>(
     let h = cluster.hosts;
     let alpha = dsm.alpha;
     let beta = dsm.beta;
+    // Source functors know their streaming depth: let the distribute
+    // stage pick the ASU read-ahead window when auto-tuning is on.
+    let cluster = tuned_cluster(
+        cluster,
+        DistributeFunctor::<R>::new(splitters.clone()).read_ahead_hint(),
+    );
 
     let mut g: FlowGraph<R> = FlowGraph::new();
     let sp = splitters.clone();
@@ -206,7 +224,7 @@ pub fn run_pass1_with<R: Record>(
         );
     }
 
-    let report = run_job_with_faults(cluster, spec, Job { graph: g, placement, inputs })?;
+    let report = run_job_with_faults(&cluster, spec, Job { graph: g, placement, inputs })?;
     let runs_per_asu = (0..d)
         .map(|asu| {
             report
@@ -250,6 +268,10 @@ pub fn run_pass2_with<R: Record>(
     let alpha = dsm.alpha;
     let (gamma1, gamma2) = (dsm.gamma1, dsm.gamma2);
     let stripe = dsm.stripe_records;
+    let cluster = tuned_cluster(
+        cluster,
+        SubsetMergeFunctor::<R>::new(splitters.clone(), gamma1).read_ahead_hint(),
+    );
 
     let mut g: FlowGraph<R> = FlowGraph::new();
     let sp = splitters.clone();
@@ -278,7 +300,7 @@ pub fn run_pass2_with<R: Record>(
         inputs.insert((asu_merge.0, asu), runs);
     }
 
-    let report = run_job_with_faults(cluster, spec, Job { graph: g, placement, inputs })?;
+    let report = run_job_with_faults(&cluster, spec, Job { graph: g, placement, inputs })?;
     let output = report
         .sink_outputs
         .values()
@@ -323,6 +345,10 @@ pub fn run_intermediate_merge<R: Record>(
             d
         )));
     }
+    let cluster = tuned_cluster(
+        cluster,
+        SubsetMergeFunctor::<R>::new(splitters.clone(), gamma1).read_ahead_hint(),
+    );
     let mut g: FlowGraph<R> = FlowGraph::new();
     let sp = splitters.clone();
     // Source == sink: merged runs stay on their ASU.
@@ -335,7 +361,7 @@ pub fn run_intermediate_merge<R: Record>(
     for (asu, runs) in runs_per_asu.into_iter().enumerate() {
         inputs.insert((merge.0, asu), runs);
     }
-    let report = run_job(cluster, Job { graph: g, placement, inputs })?;
+    let report = run_job(&cluster, Job { graph: g, placement, inputs })?;
     let merged = (0..d)
         .map(|asu| {
             report

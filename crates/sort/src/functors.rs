@@ -229,6 +229,12 @@ impl<R: Record> Functor<R> for SubsetMergeFunctor<R> {
     fn state_bytes(&self) -> usize {
         self.buffered_records * R::SIZE
     }
+    fn read_ahead_hint(&self) -> usize {
+        // A γ₁-way merge consumes one run from each of γ₁ streams per
+        // output run: staging up to γ₁ input packets keeps the media
+        // ahead of the merge loop (capped — deep windows waste frames).
+        self.gamma1.clamp(1, 8)
+    }
 }
 
 /// Host-side final merge: buffers all runs, k-way merges at flush, and

@@ -9,17 +9,44 @@
 use crate::block::{Block, BlockId, Extent};
 use std::io;
 
-/// Counters every engine maintains.
+/// Transfer counters — the single counter type shared by the block
+/// engines, [`DiskSim`](crate::DiskSim), the striped array, and the
+/// emulator's per-node reports.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BteStats {
-    /// Blocks read.
+    /// Read requests (blocks for a block engine, media requests for a
+    /// timing model).
     pub reads: u64,
-    /// Blocks written.
+    /// Write requests.
     pub writes: u64,
     /// Bytes read (valid payload).
     pub bytes_read: u64,
     /// Bytes written (valid payload).
     pub bytes_written: u64,
+}
+
+impl BteStats {
+    /// The counters as a `(reads, writes, bytes_read, bytes_written)`
+    /// tuple (legacy report shape).
+    pub fn as_tuple(&self) -> (u64, u64, u64, u64) {
+        (self.reads, self.writes, self.bytes_read, self.bytes_written)
+    }
+
+    /// Sum of two counter sets (aggregating a disk array).
+    pub fn merged(self, other: BteStats) -> BteStats {
+        BteStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+impl std::ops::AddAssign for BteStats {
+    fn add_assign(&mut self, other: BteStats) {
+        *self = self.merged(other);
+    }
 }
 
 /// A pluggable block store: fixed block size, id-addressed reads/writes.

@@ -18,6 +18,7 @@
 //! the paper ("our current experiments perform all I/O sequentially"); a
 //! per-request overhead knob exists for sensitivity studies.
 
+use crate::bte::BteStats;
 use lmas_sim::{SimDuration, SimTime, UtilizationLedger};
 
 /// Disk timing parameters.
@@ -74,11 +75,13 @@ pub struct DiskSim {
     media_free: SimTime,
     /// Bytes the media has transferred ahead of explicit read requests.
     prefetched_bytes: u64,
+    /// Rate in force when the media last went idle (i.e. when
+    /// `media_free` was last advanced). Idle-gap prefetch is priced at
+    /// this snapshot, so a `set_rate` between requests never reprices
+    /// media work that conceptually already happened.
+    idle_rate: f64,
     ledger: UtilizationLedger,
-    reads: u64,
-    writes: u64,
-    bytes_read: u64,
-    bytes_written: u64,
+    stats: BteStats,
 }
 
 impl DiskSim {
@@ -88,11 +91,9 @@ impl DiskSim {
             params,
             media_free: SimTime::ZERO,
             prefetched_bytes: 0,
+            idle_rate: params.rate_bytes_per_sec,
             ledger: UtilizationLedger::new(bin_width),
-            reads: 0,
-            writes: 0,
-            bytes_read: 0,
-            bytes_written: 0,
+            stats: BteStats::default(),
         }
     }
 
@@ -103,7 +104,10 @@ impl DiskSim {
 
     /// Change the media transfer rate mid-run (fault injection: degraded
     /// nodes keep serving I/O, just slower). Work already issued keeps its
-    /// original timing; only subsequent requests see the new rate.
+    /// original timing — busy bins already in the ledger are never
+    /// repriced, and prefetch accrued during an idle gap is priced at the
+    /// rate that was in force when the gap began (snapshotted per
+    /// request), not at the rate in force when the next request arrives.
     pub fn set_rate(&mut self, rate_bytes_per_sec: f64) {
         assert!(rate_bytes_per_sec > 0.0, "disk rate must be positive");
         self.params.rate_bytes_per_sec = rate_bytes_per_sec;
@@ -116,24 +120,24 @@ impl DiskSim {
     /// all of the data before the request arrives; the requester then
     /// proceeds immediately at `now`.
     pub fn read(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.reads += 1;
-        self.bytes_read += bytes;
+        self.stats.reads += 1;
+        self.stats.bytes_read += bytes;
         // While the requester was away, the media self-initiated reads of
         // the following sequential data, up to the read-ahead window.
+        // That work happened *during the gap*, so it is priced at the rate
+        // snapshotted when the gap began (`idle_rate`) — a `set_rate`
+        // issued meanwhile must not retroactively reprice it.
         if now > self.media_free && self.prefetched_bytes < self.params.readahead_window {
             let idle = now.since(self.media_free);
-            let idle_bytes =
-                (idle.as_secs_f64() * self.params.rate_bytes_per_sec) as u64;
+            let idle_bytes = (idle.as_secs_f64() * self.idle_rate) as u64;
             let added =
                 idle_bytes.min(self.params.readahead_window - self.prefetched_bytes);
             if added > 0 {
                 // Prefetch pays raw media time, no per-request overhead.
-                let t = SimDuration::from_secs_f64(
-                    added as f64 / self.params.rate_bytes_per_sec,
-                );
+                let t = SimDuration::from_secs_f64(added as f64 / self.idle_rate);
                 let pstart = self.media_free;
                 self.ledger.add_busy(pstart, pstart + t);
-                self.media_free = pstart + t;
+                self.advance_media(pstart + t);
                 self.prefetched_bytes += added;
             }
         }
@@ -149,7 +153,7 @@ impl DiskSim {
         let start = now.max(self.media_free);
         let end = start + service;
         self.ledger.add_busy(start, end);
-        self.media_free = end;
+        self.advance_media(end);
         end
     }
 
@@ -157,17 +161,24 @@ impl DiskSim {
     /// caller may proceed (write-behind: once the previous write has been
     /// absorbed, not when this one lands).
     pub fn write(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.writes += 1;
-        self.bytes_written += bytes;
+        self.stats.writes += 1;
+        self.stats.bytes_written += bytes;
         // Wait for the media to absorb everything previously issued.
         let proceed = now.max(self.media_free);
         let service = self.params.transfer_time(bytes);
         let end = proceed + service;
         self.ledger.add_busy(proceed, end);
-        self.media_free = end;
+        self.advance_media(end);
         // A write disrupts the sequential read stream.
         self.prefetched_bytes = 0;
         proceed
+    }
+
+    /// Advance `media_free` and re-snapshot the rate that will govern any
+    /// idle gap starting at that instant.
+    fn advance_media(&mut self, free: SimTime) {
+        self.media_free = free;
+        self.idle_rate = self.params.rate_bytes_per_sec;
     }
 
     /// When all issued media work completes (for drain/makespan).
@@ -175,9 +186,15 @@ impl DiskSim {
         self.media_free
     }
 
+    /// Lifetime transfer counters (the BTE counter type — one source of
+    /// truth shared with the engines and the emulator reports).
+    pub fn stats(&self) -> BteStats {
+        self.stats
+    }
+
     /// Lifetime counters: (reads, writes, bytes_read, bytes_written).
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (self.reads, self.writes, self.bytes_read, self.bytes_written)
+        self.stats.as_tuple()
     }
 
     /// Media utilization series over `[0, horizon]`.
@@ -283,6 +300,45 @@ mod tests {
             p.transfer_time(100_000),
             SimDuration::from_millis(105)
         );
+    }
+
+    #[test]
+    fn set_rate_does_not_reprice_idle_prefetch() {
+        // Media idles 100ms at 1 MB/s, then the rate is raised to 10 MB/s
+        // (a Degrade fault clearing, say). The idle gap must accrue
+        // prefetch at the OLD rate — 100 kB, not 1 MB.
+        let mut d = DiskSim::new(params(1e6), BIN);
+        let t1 = d.read(SimTime::ZERO, 100_000);
+        d.set_rate(10.0e6);
+        let back = t1 + SimDuration::from_millis(100);
+        let t2 = d.read(back, 200_000);
+        // 100 kB prefetched at the old rate; the remaining 100 kB
+        // transfers at the new rate = 10ms.
+        assert_eq!(t2, back + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn set_rate_degrade_does_not_inflate_prior_busy() {
+        // Symmetric case: degrading mid-idle must not make the past idle
+        // gap accrue *less* prefetch than the old rate delivered.
+        let mut d = DiskSim::new(params(1e6), BIN);
+        let t1 = d.read(SimTime::ZERO, 100_000);
+        d.set_rate(0.5e6);
+        let back = t1 + SimDuration::from_millis(100);
+        let t2 = d.read(back, 100_000);
+        // The full 100 kB was prefetched during the gap at the old 1 MB/s.
+        assert_eq!(t2, back, "prefetch accrued at the pre-degrade rate");
+    }
+
+    #[test]
+    fn stats_match_counters_tuple() {
+        let mut d = DiskSim::new(params(1e6), BIN);
+        let _ = d.read(SimTime::ZERO, 1_000);
+        let _ = d.write(SimTime::ZERO, 2_000);
+        let s = d.stats();
+        assert_eq!(d.counters(), s.as_tuple());
+        assert_eq!((s.reads, s.writes), (1, 1));
+        assert_eq!((s.bytes_read, s.bytes_written), (1_000, 2_000));
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Sharded buffer pool with clock-LRU eviction and write-behind
+//! coalescing.
+//!
+//! TPIE's BTE keeps a cache of blocks between the application and the
+//! media; this module is that cache for the emulated substrate. Frames
+//! live in shards so contiguous block runs share a shard (the shard key
+//! is `block / SHARD_SPAN`), which lets eviction coalesce *adjacent*
+//! dirty blocks — found by walking the shard's block map left and right
+//! from the victim — into one sequential disk charge.
+//!
+//! Timing rules, all in virtual time:
+//!
+//! - **Read hit**: the requester proceeds at `now`; no media charge.
+//! - **Read miss**: a frame is claimed (evicting via the clock hand if
+//!   needed) and the block is charged as a media read; the requester
+//!   proceeds when the media delivers.
+//! - **Write**: always write-behind — the frame is marked dirty and the
+//!   requester proceeds at `now`. Media charges happen later, coalesced,
+//!   when the frame is evicted or the pool is flushed.
+//! - **Pinned** frames are never evicted; if every frame of a shard is
+//!   pinned, the access bypasses the pool and is charged directly.
+//!
+//! Everything is deterministic: the clock hand advances by frame index,
+//! shards are scanned in order, and flush writes dirty blocks in sorted
+//! block order — two identical runs evict in identical order (see the
+//! fixed-seed proptest in `tests/pool_properties.rs`).
+
+use crate::stripe::StripedDisk;
+use lmas_sim::SimTime;
+use std::collections::HashMap;
+
+/// Blocks spanned by one shard stride: adjacent blocks map to the same
+/// shard so eviction-time coalescing can see whole runs. This bounds the
+/// coalescing window to 64 blocks.
+pub const SHARD_SPAN: u64 = 64;
+
+/// Buffer pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolParams {
+    /// Total frames across all shards (0 disables pooling — callers gate
+    /// on this before constructing a pool).
+    pub frames: usize,
+    /// Number of shards; clamped to `[1, frames]`.
+    pub shards: usize,
+}
+
+/// Pool activity counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses (reads and writes) satisfied by a resident frame.
+    pub hits: u64,
+    /// Accesses that had to claim a frame.
+    pub misses: u64,
+    /// Valid frames evicted to make room.
+    pub evictions: u64,
+    /// Coalesced write-back events (one sequential media charge each).
+    pub writebacks: u64,
+    /// Dirty blocks written back by eviction-time coalescing.
+    pub writeback_blocks: u64,
+    /// Dirty blocks written out by [`BufferPool::flush`].
+    pub flushed_blocks: u64,
+    /// Accesses that bypassed the pool because every candidate frame was
+    /// pinned.
+    pub bypasses: u64,
+}
+
+impl PoolStats {
+    /// Hit rate over all pooled accesses, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An eviction-order event, recorded only when logging is enabled
+/// (determinism and never-drop-dirty tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A valid frame holding `block` was evicted.
+    Evict {
+        /// The block that lost its frame.
+        block: u64,
+    },
+    /// Eviction coalesced the dirty run `[first, first + blocks)` into
+    /// one media write.
+    Writeback {
+        /// First block of the run.
+        first: u64,
+        /// Run length in blocks.
+        blocks: u64,
+    },
+    /// Flush wrote the dirty run `[first, first + blocks)`.
+    Flush {
+        /// First block of the run.
+        first: u64,
+        /// Run length in blocks.
+        blocks: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    block: u64,
+    bytes: u64,
+    dirty: bool,
+    referenced: bool,
+    pins: u32,
+    valid: bool,
+}
+
+const EMPTY_FRAME: Frame = Frame {
+    block: 0,
+    bytes: 0,
+    dirty: false,
+    referenced: false,
+    pins: 0,
+    valid: false,
+};
+
+#[derive(Debug)]
+struct Shard {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+}
+
+/// The sharded clock-LRU buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    shards: Vec<Shard>,
+    stats: PoolStats,
+    log: Option<Vec<PoolEvent>>,
+}
+
+impl BufferPool {
+    /// New pool with `params.frames` frames spread over `params.shards`
+    /// shards (earlier shards take the remainder).
+    pub fn new(params: PoolParams) -> BufferPool {
+        assert!(params.frames > 0, "a pool needs at least one frame");
+        let nshards = params.shards.clamp(1, params.frames);
+        let base = params.frames / nshards;
+        let rem = params.frames % nshards;
+        let shards = (0..nshards)
+            .map(|i| Shard {
+                frames: vec![EMPTY_FRAME; base + usize::from(i < rem)],
+                map: HashMap::new(),
+                hand: 0,
+            })
+            .collect();
+        BufferPool {
+            shards,
+            stats: PoolStats::default(),
+            log: None,
+        }
+    }
+
+    /// Enable event logging (tests); returns `self` for chaining.
+    pub fn with_logging(mut self) -> BufferPool {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// Drain the recorded event log (empty unless logging is enabled).
+    pub fn take_log(&mut self) -> Vec<PoolEvent> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.shards[self.shard_of(block)].map.contains_key(&block)
+    }
+
+    /// Resident blocks in sorted order (test introspection).
+    pub fn resident_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.map.keys().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Resident *dirty* blocks in sorted order (test introspection).
+    pub fn dirty_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.frames
+                    .iter()
+                    .filter(|f| f.valid && f.dirty)
+                    .map(|f| f.block)
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Read `block` (`bytes` of valid payload) at `now` through the pool;
+    /// returns `(ready, hit)`.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        block: u64,
+        bytes: u64,
+        disk: &mut StripedDisk,
+    ) -> (SimTime, bool) {
+        let si = self.shard_of(block);
+        if let Some(&i) = self.shards[si].map.get(&block) {
+            self.stats.hits += 1;
+            self.shards[si].frames[i].referenced = true;
+            return (now, true);
+        }
+        self.stats.misses += 1;
+        match self.claim_frame(si, now, disk) {
+            Some(i) => {
+                let shard = &mut self.shards[si];
+                shard.frames[i] = Frame {
+                    block,
+                    bytes,
+                    dirty: false,
+                    referenced: true,
+                    pins: 0,
+                    valid: true,
+                };
+                shard.map.insert(block, i);
+                (disk.read_blocks(now, &[(block, bytes)]), false)
+            }
+            // Every frame pinned: charge the media directly.
+            None => {
+                self.stats.bypasses += 1;
+                (disk.read_blocks(now, &[(block, bytes)]), false)
+            }
+        }
+    }
+
+    /// Write `block` (`bytes` of valid payload) at `now` through the pool
+    /// (write-behind); returns when the caller may proceed.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        block: u64,
+        bytes: u64,
+        disk: &mut StripedDisk,
+    ) -> SimTime {
+        let si = self.shard_of(block);
+        if let Some(&i) = self.shards[si].map.get(&block) {
+            self.stats.hits += 1;
+            let f = &mut self.shards[si].frames[i];
+            f.bytes = bytes;
+            f.dirty = true;
+            f.referenced = true;
+            return now;
+        }
+        self.stats.misses += 1;
+        match self.claim_frame(si, now, disk) {
+            Some(i) => {
+                let shard = &mut self.shards[si];
+                shard.frames[i] = Frame {
+                    block,
+                    bytes,
+                    dirty: true,
+                    referenced: true,
+                    pins: 0,
+                    valid: true,
+                };
+                shard.map.insert(block, i);
+                now
+            }
+            None => {
+                self.stats.bypasses += 1;
+                disk.write_blocks(now, &[(block, bytes)]);
+                now
+            }
+        }
+    }
+
+    /// Pin `block` against eviction; returns false if it is not resident.
+    pub fn pin(&mut self, block: u64) -> bool {
+        let si = self.shard_of(block);
+        if let Some(&i) = self.shards[si].map.get(&block) {
+            self.shards[si].frames[i].pins += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop one pin from `block` (no-op if absent or unpinned).
+    pub fn unpin(&mut self, block: u64) {
+        let si = self.shard_of(block);
+        if let Some(&i) = self.shards[si].map.get(&block) {
+            let f = &mut self.shards[si].frames[i];
+            f.pins = f.pins.saturating_sub(1);
+        }
+    }
+
+    /// Write out every dirty block (coalescing contiguous runs into one
+    /// sequential charge each) and return when the media quiesces. Frames
+    /// stay resident and become clean.
+    pub fn flush(&mut self, now: SimTime, disk: &mut StripedDisk) -> SimTime {
+        let dirty = self.dirty_blocks();
+        let mut i = 0;
+        while i < dirty.len() {
+            // Maximal contiguous run starting at dirty[i].
+            let mut j = i + 1;
+            while j < dirty.len() && dirty[j] == dirty[j - 1] + 1 {
+                j += 1;
+            }
+            let run: Vec<(u64, u64)> = dirty[i..j]
+                .iter()
+                .map(|&b| (b, self.frame_bytes(b)))
+                .collect();
+            disk.write_blocks(now, &run);
+            for &b in &dirty[i..j] {
+                self.mark_clean(b);
+            }
+            self.stats.flushed_blocks += (j - i) as u64;
+            if let Some(log) = &mut self.log {
+                log.push(PoolEvent::Flush {
+                    first: dirty[i],
+                    blocks: (j - i) as u64,
+                });
+            }
+            i = j;
+        }
+        disk.quiesce_time()
+    }
+
+    fn shard_of(&self, block: u64) -> usize {
+        ((block / SHARD_SPAN) % self.shards.len() as u64) as usize
+    }
+
+    fn frame_bytes(&self, block: u64) -> u64 {
+        let si = self.shard_of(block);
+        self.shards[si].frames[self.shards[si].map[&block]].bytes
+    }
+
+    fn mark_clean(&mut self, block: u64) {
+        let si = self.shard_of(block);
+        if let Some(&i) = self.shards[si].map.get(&block) {
+            self.shards[si].frames[i].dirty = false;
+        }
+    }
+
+    /// Claim a frame in shard `si` via the clock hand, writing back the
+    /// victim's dirty run if needed. `None` if every frame is pinned.
+    fn claim_frame(&mut self, si: usize, now: SimTime, disk: &mut StripedDisk) -> Option<usize> {
+        let i = {
+            let shard = &mut self.shards[si];
+            let n = shard.frames.len();
+            let mut found = None;
+            // Two sweeps: the first clears reference bits, the second must
+            // then find an unreferenced unpinned frame (unless all pinned).
+            for _ in 0..2 * n {
+                let i = shard.hand;
+                shard.hand = (shard.hand + 1) % n;
+                let f = &mut shard.frames[i];
+                if !f.valid {
+                    found = Some(i);
+                    break;
+                }
+                if f.pins > 0 {
+                    continue;
+                }
+                if f.referenced {
+                    f.referenced = false;
+                    continue;
+                }
+                found = Some(i);
+                break;
+            }
+            found?
+        };
+        let victim = self.shards[si].frames[i];
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.writeback_run(si, victim.block, now, disk);
+            }
+            if let Some(log) = &mut self.log {
+                log.push(PoolEvent::Evict {
+                    block: victim.block,
+                });
+            }
+            self.shards[si].map.remove(&victim.block);
+        }
+        Some(i)
+    }
+
+    /// Coalesce the maximal run of resident dirty unpinned blocks around
+    /// `center` (walking the shard map left and right) into one
+    /// sequential media charge; all blocks in the run become clean.
+    fn writeback_run(&mut self, si: usize, center: u64, now: SimTime, disk: &mut StripedDisk) {
+        let coalescible = |shard: &Shard, b: u64| {
+            shard
+                .map
+                .get(&b)
+                .is_some_and(|&i| shard.frames[i].dirty && shard.frames[i].pins == 0)
+        };
+        let shard = &self.shards[si];
+        let mut lo = center;
+        while lo > 0 && coalescible(shard, lo - 1) {
+            lo -= 1;
+        }
+        let mut hi = center;
+        while hi < u64::MAX && coalescible(shard, hi + 1) {
+            hi += 1;
+        }
+        let run: Vec<(u64, u64)> = (lo..=hi).map(|b| (b, self.frame_bytes(b))).collect();
+        disk.write_blocks(now, &run);
+        for b in lo..=hi {
+            self.mark_clean(b);
+        }
+        self.stats.writebacks += 1;
+        self.stats.writeback_blocks += hi - lo + 1;
+        if let Some(log) = &mut self.log {
+            log.push(PoolEvent::Writeback {
+                first: lo,
+                blocks: hi - lo + 1,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk_model::DiskParams;
+    use lmas_sim::SimDuration;
+
+    fn disk() -> StripedDisk {
+        StripedDisk::new(
+            DiskParams {
+                rate_bytes_per_sec: 1e6,
+                per_request_overhead: SimDuration::ZERO,
+                readahead_window: 0,
+            },
+            1,
+            16,
+            1_000,
+            SimDuration::from_millis(1),
+        )
+    }
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(PoolParams { frames, shards: 1 })
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn read_hit_is_free_and_instant() {
+        let mut d = disk();
+        let mut p = pool(4);
+        let (t1, hit1) = p.read(T0, 7, 1_000, &mut d);
+        assert!(!hit1);
+        assert!(t1 > T0, "miss pays media time");
+        let (t2, hit2) = p.read(t1, 7, 1_000, &mut d);
+        assert!(hit2);
+        assert_eq!(t2, t1, "hit is instant");
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_behind_defers_and_coalesces_on_flush() {
+        let mut d = disk();
+        let mut p = pool(8);
+        for b in 0..4u64 {
+            assert_eq!(p.write(T0, b, 1_000, &mut d), T0, "write-behind");
+        }
+        assert_eq!(d.stats().writes, 0, "no media charge yet");
+        p.flush(T0, &mut d);
+        // One coalesced sequential write of 4 contiguous blocks.
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().bytes_written, 4_000);
+        assert_eq!(p.stats().flushed_blocks, 4);
+        assert!(p.dirty_blocks().is_empty());
+    }
+
+    #[test]
+    fn eviction_coalesces_adjacent_dirty_blocks() {
+        let mut d = disk();
+        let mut p = pool(4).with_logging();
+        for b in 0..4u64 {
+            p.write(T0, b, 1_000, &mut d);
+        }
+        // Fifth write forces an eviction; the victim's whole dirty
+        // neighbourhood (blocks 0..4) goes out as one charge.
+        p.write(T0, 100, 1_000, &mut d);
+        assert_eq!(p.stats().writebacks, 1);
+        assert_eq!(p.stats().writeback_blocks, 4);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().bytes_written, 4_000);
+        assert!(p
+            .take_log()
+            .contains(&PoolEvent::Writeback { first: 0, blocks: 4 }));
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let mut d = disk();
+        let mut p = pool(2);
+        p.write(T0, 1, 1_000, &mut d);
+        assert!(p.pin(1));
+        // Storm of other blocks: block 1 must stay resident.
+        for b in 10..30u64 {
+            p.read(T0, b, 1_000, &mut d);
+        }
+        assert!(p.contains(1));
+        assert!(p.dirty_blocks().contains(&1));
+        p.unpin(1);
+        for b in 30..40u64 {
+            p.read(T0, b, 1_000, &mut d);
+        }
+        assert!(!p.contains(1), "unpinned frame becomes evictable");
+        // Its dirty payload was written back, not dropped.
+        assert_eq!(d.stats().bytes_written, 1_000);
+    }
+
+    #[test]
+    fn all_pinned_shard_bypasses_pool() {
+        let mut d = disk();
+        let mut p = pool(2);
+        p.read(T0, 1, 1_000, &mut d);
+        p.read(T0, 2, 1_000, &mut d);
+        assert!(p.pin(1));
+        assert!(p.pin(2));
+        let (_, hit) = p.read(T0, 3, 1_000, &mut d);
+        assert!(!hit);
+        assert!(!p.contains(3), "bypass does not install a frame");
+        assert_eq!(p.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_accesses() {
+        let mut d = disk();
+        let mut p = pool(4);
+        p.read(T0, 0, 1_000, &mut d);
+        p.read(T0, 0, 1_000, &mut d);
+        p.read(T0, 0, 1_000, &mut d);
+        p.read(T0, 1, 1_000, &mut d);
+        assert!((p.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

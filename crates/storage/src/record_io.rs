@@ -48,6 +48,49 @@ impl RecordCodec {
         n.div_ceil(self.records_per_block() as u64)
     }
 
+    /// Records in the trailing block when storing `n` records: 0 if the
+    /// count divides evenly (the last block is full), otherwise the
+    /// partial block's record count.
+    pub fn tail_records(&self, n: u64) -> usize {
+        (n % self.records_per_block() as u64) as usize
+    }
+
+    /// Valid payload bytes actually transferred for `n` records. Full
+    /// blocks transfer `records_per_block × record_size` each; a partial
+    /// trailing block transfers only its valid records — the slack up to
+    /// the block boundary is *not* charged.
+    pub fn transfer_bytes(&self, n: u64) -> u64 {
+        n * self.record_size as u64
+    }
+
+    /// Valid payload bytes of block `i` (0-based) when storing `n`
+    /// records: the full block payload except for a partial trailing
+    /// block, which carries only its tail records.
+    pub fn block_payload_bytes(&self, i: u64, n: u64) -> u64 {
+        let blocks = self.blocks_for(n);
+        assert!(i < blocks, "block {i} out of range for {n} records");
+        let tail = self.tail_records(n);
+        if i + 1 == blocks && tail != 0 {
+            (tail * self.record_size) as u64
+        } else {
+            (self.records_per_block() * self.record_size) as u64
+        }
+    }
+
+    /// Pack an arbitrary run of records (concatenated in `payload`) into
+    /// as many blocks as needed; the trailing block may be partial (its
+    /// valid prefix covers only the remaining records).
+    pub fn pack_all(&self, payload: &[u8]) -> Vec<Block> {
+        assert!(
+            payload.len().is_multiple_of(self.record_size),
+            "payload is not a whole number of records"
+        );
+        payload
+            .chunks(self.records_per_block() * self.record_size)
+            .map(|chunk| self.pack(chunk).0)
+            .collect()
+    }
+
     /// Pack up to `records_per_block` records (each exactly `record_size`
     /// bytes, concatenated in `payload`) into a block. Returns the block
     /// and the number of records packed.
@@ -113,6 +156,48 @@ mod tests {
         let (b, n) = c.pack(&payload);
         assert_eq!(n, 2);
         assert_eq!(c.unpack_count(&b), 2);
+    }
+
+    #[test]
+    fn partial_trailing_block_transfers_only_valid_bytes() {
+        // 32 records per block; 70 records = 2 full blocks + 6 in a
+        // partial tail. The tail's slack (26 records' worth of zeroes)
+        // must not count toward the transfer.
+        let c = RecordCodec::new(128, 4096);
+        assert_eq!(c.blocks_for(70), 3);
+        assert_eq!(c.tail_records(70), 6);
+        assert_eq!(c.transfer_bytes(70), 70 * 128);
+        assert!(c.transfer_bytes(70) < c.blocks_for(70) * 4096);
+        assert_eq!(c.block_payload_bytes(0, 70), 4096);
+        assert_eq!(c.block_payload_bytes(1, 70), 4096);
+        assert_eq!(c.block_payload_bytes(2, 70), 6 * 128);
+        // An exact multiple has no tail and every block is full.
+        assert_eq!(c.tail_records(64), 0);
+        assert_eq!(c.block_payload_bytes(1, 64), 4096);
+        assert_eq!(c.transfer_bytes(64), c.blocks_for(64) * 4096);
+    }
+
+    #[test]
+    fn pack_all_roundtrips_with_partial_tail() {
+        let c = RecordCodec::new(4, 8); // 2 records per block
+        let payload: Vec<u8> = (0..20).collect(); // 5 records
+        let blocks = c.pack_all(&payload);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(c.unpack_count(&blocks[0]), 2);
+        assert_eq!(c.unpack_count(&blocks[1]), 2);
+        assert_eq!(c.unpack_count(&blocks[2]), 1, "partial tail");
+        assert_eq!(blocks[2].valid_len(), 4);
+        let recovered: Vec<u8> = blocks
+            .iter()
+            .flat_map(|b| c.unpack(b).flatten().copied().collect::<Vec<u8>>())
+            .collect();
+        assert_eq!(recovered, payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_payload_bytes_rejects_out_of_range() {
+        RecordCodec::new(128, 4096).block_payload_bytes(3, 70);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Property tests for the sharded buffer pool: durability of dirty
+//! data under eviction pressure, honest hit accounting, and
+//! deterministic eviction order.
+
+use lmas_sim::{SimDuration, SimTime};
+use lmas_storage::{BufferPool, DiskParams, PoolEvent, PoolParams, StripedDisk};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn disk() -> StripedDisk {
+    StripedDisk::new(
+        DiskParams {
+            rate_bytes_per_sec: 10.0e6,
+            per_request_overhead: SimDuration::ZERO,
+            readahead_window: 0,
+        },
+        1,
+        16,
+        1_000,
+        SimDuration::from_millis(1),
+    )
+}
+
+/// One pooled access, drawn from a small deterministic alphabet.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    Pin(u64),
+    Unpin(u64),
+    Flush,
+}
+
+/// Weighted op mix: 4/12 reads, 4/12 writes, 1/12 pins, 2/12 unpins,
+/// 1/12 flushes.
+fn op_strategy(blocks: u64) -> impl Strategy<Value = Op> {
+    (0u8..12, 0..blocks).prop_map(|(kind, b)| match kind {
+        0..=3 => Op::Read(b),
+        4..=7 => Op::Write(b),
+        8 => Op::Pin(b),
+        9..=10 => Op::Unpin(b),
+        _ => Op::Flush,
+    })
+}
+
+/// Feed `ops` to a fresh pool, tracking which blocks the reference model
+/// says hold unwritten data. Returns (pool, disk) for post-hoc checks.
+fn run_ops(
+    ops: &[Op],
+    frames: usize,
+    shards: usize,
+) -> (BufferPool, StripedDisk, BTreeSet<u64>, BTreeSet<u64>) {
+    let mut p = BufferPool::new(PoolParams { frames, shards }).with_logging();
+    let mut d = disk();
+    let now = SimTime::ZERO;
+    // Reference model: blocks with data not yet on media / already on it.
+    let mut ref_dirty: BTreeSet<u64> = BTreeSet::new();
+    let mut on_media: BTreeSet<u64> = BTreeSet::new();
+    // Live pin ledger so the sequence can never pin a whole shard
+    // (bypass writes are not logged; they are tested separately).
+    let mut pins = 0usize;
+    for &op in ops {
+        match op {
+            Op::Read(b) => {
+                p.read(now, b, 1_000, &mut d);
+            }
+            Op::Write(b) => {
+                let bypasses = p.stats().bypasses;
+                p.write(now, b, 1_000, &mut d);
+                if p.stats().bypasses > bypasses {
+                    // All-pinned shard: the write went straight to media.
+                    on_media.insert(b);
+                } else {
+                    ref_dirty.insert(b);
+                }
+            }
+            Op::Pin(b) => {
+                if pins + 1 < frames && p.pin(b) {
+                    pins += 1;
+                }
+            }
+            Op::Unpin(b) => {
+                if p.contains(b) && pins > 0 {
+                    p.unpin(b);
+                    pins -= 1;
+                }
+            }
+            Op::Flush => {
+                p.flush(now, &mut d);
+            }
+        }
+        for ev in p.take_log() {
+            if let PoolEvent::Writeback { first, blocks } | PoolEvent::Flush { first, blocks } = ev
+            {
+                for b in first..first + blocks {
+                    on_media.insert(b);
+                    ref_dirty.remove(&b);
+                }
+            }
+        }
+    }
+    (p, d, ref_dirty, on_media)
+}
+
+proptest! {
+    /// No sequence of reads, writes, pins, and evictions loses a dirty
+    /// block: data the reference model still considers unwritten must be
+    /// resident and dirty, and a final flush pushes all of it to media.
+    #[test]
+    fn eviction_never_drops_dirty_data(
+        ops in prop::collection::vec(op_strategy(48), 1..200),
+        frames in 2usize..12,
+    ) {
+        let (mut p, mut d, ref_dirty, mut on_media) = run_ops(&ops, frames, 2);
+        let resident_dirty: BTreeSet<u64> = p.dirty_blocks().into_iter().collect();
+        for &b in &ref_dirty {
+            prop_assert!(
+                resident_dirty.contains(&b),
+                "block {b} has unwritten data but is neither on media nor dirty-resident"
+            );
+        }
+        p.flush(SimTime::ZERO, &mut d);
+        for ev in p.take_log() {
+            if let PoolEvent::Flush { first, blocks } = ev {
+                for b in first..first + blocks {
+                    on_media.insert(b);
+                }
+            }
+        }
+        for &b in &ref_dirty {
+            prop_assert!(on_media.contains(&b), "flush failed to write dirty block {b}");
+        }
+        prop_assert!(p.dirty_blocks().is_empty());
+    }
+
+    /// Hit accounting is honest: an access counts as a hit exactly when
+    /// the block was observably resident just before it, matching a
+    /// reference residency check on every access.
+    #[test]
+    fn hit_accounting_matches_reference_residency(
+        ops in prop::collection::vec(op_strategy(48), 1..200),
+        frames in 2usize..12,
+        shards in 1usize..4,
+    ) {
+        let mut p = BufferPool::new(PoolParams { frames, shards });
+        let mut d = disk();
+        let now = SimTime::ZERO;
+        let (mut ref_hits, mut ref_misses) = (0u64, 0u64);
+        for &op in &ops {
+            match op {
+                Op::Read(b) | Op::Write(b) => {
+                    let resident = p.contains(b);
+                    if resident {
+                        ref_hits += 1;
+                    } else {
+                        ref_misses += 1;
+                    }
+                    match op {
+                        Op::Read(_) => {
+                            let (_, hit) = p.read(now, b, 1_000, &mut d);
+                            prop_assert_eq!(hit, resident, "hit flag disagrees with residency");
+                        }
+                        _ => {
+                            p.write(now, b, 1_000, &mut d);
+                        }
+                    }
+                }
+                Op::Pin(_) | Op::Unpin(_) | Op::Flush => {}
+            }
+        }
+        prop_assert_eq!(p.stats().hits, ref_hits);
+        prop_assert_eq!(p.stats().misses, ref_misses);
+    }
+
+    /// Determinism: the same access sequence against two fresh pools
+    /// produces identical eviction/writeback event orders and stats.
+    #[test]
+    fn identical_runs_evict_in_identical_order(
+        ops in prop::collection::vec(op_strategy(64), 1..200),
+        frames in 2usize..10,
+        shards in 1usize..4,
+    ) {
+        let run = |ops: &[Op]| {
+            let mut p = BufferPool::new(PoolParams { frames, shards }).with_logging();
+            let mut d = disk();
+            let mut now = SimTime::ZERO;
+            for &op in ops {
+                match op {
+                    Op::Read(b) => now = p.read(now, b, 1_000, &mut d).0,
+                    Op::Write(b) => now = p.write(now, b, 1_000, &mut d),
+                    Op::Pin(b) => {
+                        p.pin(b);
+                    }
+                    Op::Unpin(b) => p.unpin(b),
+                    Op::Flush => now = p.flush(now, &mut d),
+                }
+            }
+            (p.take_log(), p.stats(), now)
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a.0, b.0, "eviction orders diverged");
+        prop_assert_eq!(a.1, b.1, "stats diverged");
+        prop_assert_eq!(a.2, b.2, "virtual clocks diverged");
+    }
+}

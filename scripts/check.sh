@@ -26,12 +26,29 @@ echo "$run1"
 
 echo "== chaos recovery gate (fault sweep at reduced scale) =="
 # Every cell of the sweep verifies its recovered output byte-identical
-# to the fault-free golden run (the binary asserts it).
+# to the fault-free golden run (the binary asserts it). The storage
+# proptests (pool durability/determinism, disk timing) ride along.
+cargo test -q -p lmas-storage > /dev/null
 cargo build -q --release -p lmas-bench --bin fault_sweep
 # Reduced scale, scratch results dir: don't clobber the full-scale
 # results/BENCH_faults.json artifact.
 LMAS_SCALE="${LMAS_CHAOS_SCALE:-0.25}" LMAS_RESULTS_DIR="$(mktemp -d)" \
     ./target/release/fault_sweep > /dev/null
 echo "fault sweep verified (every masked run byte-identical after repair)"
+
+echo "== storage substrate smoke (disk_scaling at tiny n, twice, diff) =="
+# The multi-disk/pool/read-ahead bench must be run-to-run byte-identical
+# in all printed virtual-time figures and in its JSON artifact.
+cargo build -q --release -p lmas-bench --bin disk_scaling
+ds1="$(mktemp -d)"; ds2="$(mktemp -d)"
+out1="$(LMAS_SCALE=0.05 LMAS_RESULTS_DIR="$ds1" ./target/release/disk_scaling | sed 's|'"$ds1"'|RESULTS|')"
+out2="$(LMAS_SCALE=0.05 LMAS_RESULTS_DIR="$ds2" ./target/release/disk_scaling | sed 's|'"$ds2"'|RESULTS|')"
+if [ "$out1" != "$out2" ] || ! diff -q "$ds1/BENCH_storage.json" "$ds2/BENCH_storage.json" > /dev/null; then
+    echo "storage smoke FAILED: two disk_scaling runs differ" >&2
+    diff <(echo "$out1") <(echo "$out2") >&2 || true
+    diff "$ds1/BENCH_storage.json" "$ds2/BENCH_storage.json" >&2 || true
+    exit 1
+fi
+echo "disk_scaling deterministic (stdout + JSON byte-identical across runs)"
 
 echo "check.sh: all green"
