@@ -8,8 +8,8 @@
 //! rewrites; this binary guards run-to-run stability within one build.
 
 use lmas_core::{generate_rec128, KeyDist, Record, RoutingPolicy};
-use lmas_emulator::{asu_index, ClusterConfig, FaultSpec};
-use lmas_sim::{FaultPlan, SimTime};
+use lmas_emulator::{asu_index, BalanceSpec, ClusterConfig, FaultSpec};
+use lmas_sim::{FaultPlan, SimDuration, SimTime};
 use lmas_sort::{run_dsm_sort, run_dsm_sort_faulty, DsmConfig, LoadMode};
 
 /// FNV-1a over a byte stream; stable and dependency-free.
@@ -100,4 +100,40 @@ fn main() {
     );
     let chaos_records: usize = chaos.output.iter().map(|p| p.len()).sum();
     println!("chaos.output.records {chaos_records} chaos.output.key_fnv {chaos_hash:016x}");
+
+    // Planner section: the same sort with planner-chosen placement and
+    // the runtime balancer armed. The plan search is RNG-free and the
+    // balancer samples at virtual instants, so placement, plan reports,
+    // reweight count, and all makespans must be run-to-run stable.
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_balancer(BalanceSpec::every(SimDuration::from_micros(500)));
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let auto = run_dsm_sort(&cluster, data, &dsm, LoadMode::Auto).expect("pinned auto sort runs");
+    println!("auto.pass1.makespan_ns {}", auto.pass1.makespan.as_nanos());
+    println!("auto.pass2.makespan_ns {}", auto.pass2.makespan.as_nanos());
+    println!("auto.total_ns {}", auto.total.as_nanos());
+    println!(
+        "auto.reweights {} {}",
+        auto.pass1.reweights, auto.pass2.reweights
+    );
+    let plan = auto.plan.as_ref().expect("auto carries its plan");
+    println!(
+        "auto.plan k {} predicted_ns {} {}",
+        plan.sorters_per_subset,
+        plan.pass1_predicted.as_nanos(),
+        plan.pass2_predicted.as_nanos()
+    );
+    println!(
+        "auto.plan.report_fnv {:016x} {:016x}",
+        fnv1a(plan.pass1_report_json.bytes()),
+        fnv1a(plan.pass2_report_json.bytes())
+    );
+    let auto_hash = fnv1a(
+        auto.output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let auto_records: usize = auto.output.iter().map(|p| p.len()).sum();
+    println!("auto.output.records {auto_records} auto.output.key_fnv {auto_hash:016x}");
 }

@@ -16,6 +16,17 @@
 //!   *load-managed* configuration of Figure 10.
 //! - [`RoutingPolicy::LoadAware`] picks the least-loaded instance by
 //!   observed backlog, breaking ties by static capacity weight.
+//! - [`RoutingPolicy::PowerOfTwoChoices`] samples two candidates at
+//!   random and keeps the one with less backlog — the classic
+//!   load-balancing compromise between SR's obliviousness and
+//!   LoadAware's full scan.
+//!
+//! The runtime load balancer (emulator `balance` module) feeds per-edge
+//! *weights* through [`Router::pick_routed`]: a weight scales an
+//! instance's attractiveness, and weight `0.0` excludes the instance
+//! outright — even when every other replica is masked down, a
+//! zero-weight replica is never chosen (the router returns `None`
+//! instead of silently falling back).
 
 use lmas_sim::DetRng;
 
@@ -85,6 +96,9 @@ pub enum RoutingPolicy {
     SimpleRandomization,
     /// Least backlog wins; ties to the higher-capacity, then lower index.
     LoadAware,
+    /// Sample two instances uniformly at random, keep the one with less
+    /// normalized backlog (ties to the lower index).
+    PowerOfTwoChoices,
 }
 
 /// Stateful router for one edge.
@@ -146,7 +160,9 @@ impl Router {
     ///   (with [`UpMask::All`] this makes the identical RNG draw as the
     ///   unmasked path, preserving fault-free determinism);
     /// * **LoadAware** — a down instance is treated as infinite backlog:
-    ///   it can never win the minimum while any live instance exists.
+    ///   it can never win the minimum while any live instance exists;
+    /// * **PowerOfTwoChoices** — both samples are drawn among the live
+    ///   instances only.
     ///
     /// Returns `None` when no instance is live.
     pub fn pick_available(
@@ -188,27 +204,161 @@ impl Router {
                 }
             },
             RoutingPolicy::LoadAware => {
-                let cap = |i: usize| capacity.get(i).copied().unwrap_or(1.0);
-                let load = |i: usize| backlog.get(i).copied().unwrap_or(0);
+                let score = |i: usize| {
+                    normalized_load(i, backlog, capacity, &[])
+                };
+                let capw = |i: usize| {
+                    capacity.get(i).copied().unwrap_or(1.0)
+                };
                 // Least backlog normalized by capacity among live
                 // instances; ties to larger capacity, then lower index
                 // for determinism. Down == infinite backlog == filtered.
-                (0..n)
-                    .filter(|&i| up.is_up(i))
-                    .min_by(|&a, &b| {
-                        let la = load(a) as f64 / cap(a);
-                        let lb = load(b) as f64 / cap(b);
-                        la.partial_cmp(&lb)
-                            .expect("finite loads")
-                            .then(
-                                cap(b)
-                                    .partial_cmp(&cap(a))
-                                    .expect("finite capacities"),
-                            )
-                            .then(a.cmp(&b))
-                    })
+                (0..n).filter(|&i| up.is_up(i)).min_by(|&a, &b| {
+                    score(a)
+                        .total_cmp(&score(b))
+                        .then(capw(b).total_cmp(&capw(a)))
+                        .then(a.cmp(&b))
+                })
+            }
+            RoutingPolicy::PowerOfTwoChoices => {
+                let live: Vec<usize> =
+                    (0..n).filter(|&i| up.is_up(i)).collect();
+                self.two_choices(&live, backlog, capacity, &[])
             }
         }
+    }
+
+    /// Choose a destination with per-instance routing *weights*, as set
+    /// by the runtime load balancer.
+    ///
+    /// * An empty `weights` slice means "unweighted": the call is
+    ///   byte-identical (same RNG draws, same picks) to
+    ///   [`Router::pick_available`], so a balancer that never re-weights
+    ///   perturbs nothing.
+    /// * Weight `0.0` (or negative) makes an instance ineligible — it is
+    ///   never picked, even when every other replica is masked down; the
+    ///   router returns `None` rather than silently falling back.
+    /// * Instances beyond the slice default to weight `1.0`.
+    ///
+    /// Weighted semantics per policy: Static and RoundRobin treat
+    /// weights as eligibility only (probe / cursor skip ineligible);
+    /// SimpleRandomization draws proportionally to weight; LoadAware and
+    /// PowerOfTwoChoices divide backlog by `capacity × weight`, so a
+    /// heavier weight absorbs proportionally more traffic.
+    pub fn pick_routed(
+        &mut self,
+        n: usize,
+        port: usize,
+        backlog: &[u64],
+        capacity: &[f64],
+        weights: &[f64],
+        up: &UpMask,
+    ) -> Option<usize> {
+        if weights.is_empty() {
+            return self.pick_available(n, port, backlog, capacity, up);
+        }
+        if n == 0 {
+            return None;
+        }
+        let w = |i: usize| weights.get(i).copied().unwrap_or(1.0);
+        let eligible = |i: usize| up.is_up(i) && w(i) > 0.0;
+        match self.policy {
+            RoutingPolicy::Static => {
+                let pinned = port % n;
+                (0..n).map(|d| (pinned + d) % n).find(|&i| eligible(i))
+            }
+            RoutingPolicy::RoundRobin => {
+                for _ in 0..n {
+                    let i = self.rr_next % n;
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    if eligible(i) {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            RoutingPolicy::SimpleRandomization => {
+                let total: f64 =
+                    (0..n).filter(|&i| eligible(i)).map(w).sum();
+                if total <= 0.0 || !total.is_finite() {
+                    return None;
+                }
+                let mut x = self.rng.gen_f64() * total;
+                let mut last = None;
+                for i in (0..n).filter(|&i| eligible(i)) {
+                    last = Some(i);
+                    x -= w(i);
+                    if x < 0.0 {
+                        break;
+                    }
+                }
+                last
+            }
+            RoutingPolicy::LoadAware => {
+                let score = |i: usize| {
+                    normalized_load(i, backlog, capacity, weights)
+                };
+                let capw = |i: usize| {
+                    capacity.get(i).copied().unwrap_or(1.0) * w(i)
+                };
+                (0..n).filter(|&i| eligible(i)).min_by(|&a, &b| {
+                    score(a)
+                        .total_cmp(&score(b))
+                        .then(capw(b).total_cmp(&capw(a)))
+                        .then(a.cmp(&b))
+                })
+            }
+            RoutingPolicy::PowerOfTwoChoices => {
+                let live: Vec<usize> =
+                    (0..n).filter(|&i| eligible(i)).collect();
+                self.two_choices(&live, backlog, capacity, weights)
+            }
+        }
+    }
+
+    /// Two uniform samples among `live`, lower normalized backlog wins
+    /// (ties to the lower instance index). Always burns exactly two RNG
+    /// draws when any instance is live, so the stream stays aligned
+    /// regardless of how many candidates remain.
+    fn two_choices(
+        &mut self,
+        live: &[usize],
+        backlog: &[u64],
+        capacity: &[f64],
+        weights: &[f64],
+    ) -> Option<usize> {
+        if live.is_empty() {
+            return None;
+        }
+        let a = live[self.rng.gen_index(live.len())];
+        let b = live[self.rng.gen_index(live.len())];
+        let la = normalized_load(a, backlog, capacity, weights);
+        let lb = normalized_load(b, backlog, capacity, weights);
+        match la.total_cmp(&lb) {
+            std::cmp::Ordering::Greater => Some(b),
+            std::cmp::Ordering::Less => Some(a),
+            std::cmp::Ordering::Equal => Some(a.min(b)),
+        }
+    }
+}
+
+/// Backlog of instance `i` normalized by `capacity × weight`; a
+/// non-positive or non-finite divisor reads as infinite load so the
+/// instance can never win a comparison (and 0-backlog/0-capacity can
+/// never produce a NaN that would poison the ordering).
+fn normalized_load(
+    i: usize,
+    backlog: &[u64],
+    capacity: &[f64],
+    weights: &[f64],
+) -> f64 {
+    let cap = capacity.get(i).copied().unwrap_or(1.0);
+    let w = weights.get(i).copied().unwrap_or(1.0);
+    let div = cap * w;
+    if div > 0.0 && div.is_finite() {
+        backlog.get(i).copied().unwrap_or(0) as f64 / div
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -346,5 +496,160 @@ mod tests {
             Some(0)
         );
         assert_eq!(r.pick_available(3, 0, &[50, 0, 90], &[], &all_down), None);
+
+        // PowerOfTwoChoices: never samples a dead instance.
+        let mut r = Router::new(RoutingPolicy::PowerOfTwoChoices, 9, 1);
+        for _ in 0..300 {
+            let p = r
+                .pick_available(3, 0, &[5, 5, 5], &[], &one_down)
+                .expect("live instances exist");
+            assert_ne!(p, 1, "dead instance sampled");
+        }
+        assert_eq!(r.pick_available(3, 0, &[], &[], &all_down), None);
+    }
+
+    #[test]
+    fn load_aware_survives_zero_and_nan_capacity() {
+        let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
+        // Zero capacity with zero backlog used to compute 0/0 = NaN and
+        // abort inside the comparator; it must instead read as infinitely
+        // loaded and lose to any sane instance.
+        assert_eq!(r.pick(2, 0, &[0, 10], &[0.0, 1.0]), Some(1));
+        assert_eq!(r.pick(2, 0, &[0, 0], &[f64::NAN, 1.0]), Some(1));
+        // All instances broken: a deterministic answer, not a panic.
+        assert_eq!(r.pick(2, 0, &[0, 0], &[0.0, 0.0]), Some(0));
+    }
+
+    #[test]
+    fn two_choices_prefers_less_loaded_and_is_deterministic() {
+        let mut r1 = Router::new(RoutingPolicy::PowerOfTwoChoices, 7, 2);
+        let mut r2 = Router::new(RoutingPolicy::PowerOfTwoChoices, 7, 2);
+        let p1: Vec<_> =
+            (0..500).map(|_| r1.pick(4, 0, &[0, 100, 100, 100], &[])).collect();
+        let p2: Vec<_> =
+            (0..500).map(|_| r2.pick(4, 0, &[0, 100, 100, 100], &[])).collect();
+        assert_eq!(p1, p2, "same seed, same stream");
+        // Instance 0 is idle: it wins every duel it is sampled into, so
+        // it must collect well over its uniform 1/4 share.
+        let zero_share =
+            p1.iter().filter(|&&p| p == Some(0)).count();
+        assert!(zero_share > 200, "idle instance underused: {zero_share}");
+        // Single instance still resolves.
+        let mut r = Router::new(RoutingPolicy::PowerOfTwoChoices, 7, 2);
+        assert_eq!(r.pick(1, 0, &[], &[]), Some(0));
+    }
+
+    /// Empty weights must be byte-identical to the unweighted router —
+    /// same picks *and* same RNG stream positions — for every policy.
+    #[test]
+    fn empty_weights_match_pick_available_exactly() {
+        let policies = [
+            RoutingPolicy::Static,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::SimpleRandomization,
+            RoutingPolicy::LoadAware,
+            RoutingPolicy::PowerOfTwoChoices,
+        ];
+        let masks =
+            [UpMask::all(), UpMask::from_fn(4, |i| i != 2)];
+        for policy in policies {
+            for mask in &masks {
+                let mut weighted = Router::new(policy, 11, 3);
+                let mut plain = Router::new(policy, 11, 3);
+                for port in 0..200 {
+                    let backlog = [port as u64 % 7, 3, 0, 5];
+                    assert_eq!(
+                        weighted.pick_routed(4, port, &backlog, &[], &[], mask),
+                        plain.pick_available(4, port, &backlog, &[], mask),
+                        "{policy:?} diverged with empty weights"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zero-weight replicas are never picked, even when every positive-
+    /// weight replica is masked down — `None`, not a silent fallback.
+    #[test]
+    fn zero_weight_never_picked_across_policies() {
+        let policies = [
+            RoutingPolicy::Static,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::SimpleRandomization,
+            RoutingPolicy::LoadAware,
+            RoutingPolicy::PowerOfTwoChoices,
+        ];
+        // Weight 0 on instance 1; mask kills instances 0 and 2.
+        let weights = [1.0, 0.0, 1.0];
+        let others_down = UpMask::from_fn(3, |i| i == 1);
+        let all_zero = [0.0, 0.0, 0.0];
+        for policy in policies {
+            let mut r = Router::new(policy, 5, 0);
+            for port in 0..20 {
+                assert_eq!(
+                    r.pick_routed(3, port, &[], &[], &weights, &others_down),
+                    None,
+                    "{policy:?} fell back to a zero-weight replica"
+                );
+                assert_eq!(
+                    r.pick_routed(3, port, &[], &[], &all_zero, &UpMask::all()),
+                    None,
+                    "{policy:?} picked from an all-zero weighting"
+                );
+            }
+            // The zero-weight instance is skipped while healthy peers
+            // exist…
+            let mut r = Router::new(policy, 5, 0);
+            for port in 0..200 {
+                let p = r
+                    .pick_routed(3, port, &[1, 1, 1], &[], &weights, &UpMask::all())
+                    .expect("positive-weight replicas exist");
+                assert_ne!(p, 1, "{policy:?} picked the zero-weight replica");
+            }
+            // …and weights compose with the mask: weight selects among
+            // the live instances only.
+            let mut r = Router::new(policy, 5, 0);
+            let up0_only = UpMask::from_fn(3, |i| i == 0);
+            for port in 0..20 {
+                assert_eq!(
+                    r.pick_routed(3, port, &[], &[], &weights, &up0_only),
+                    Some(0),
+                    "{policy:?} ignored the mask under weights"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sr_skews_toward_heavy_weight() {
+        let mut r =
+            Router::new(RoutingPolicy::SimpleRandomization, 13, 4);
+        let weights = [1.0, 3.0];
+        let mut hit = [0usize; 2];
+        for _ in 0..4000 {
+            let p = r
+                .pick_routed(2, 0, &[], &[], &weights, &UpMask::all())
+                .unwrap();
+            hit[p] += 1;
+        }
+        // Expected 1000 / 3000 split; allow generous slack.
+        assert!(hit[1] > 2 * hit[0], "weighted SR not skewed: {hit:?}");
+        assert!(hit[0] > 500, "light replica starved: {hit:?}");
+    }
+
+    #[test]
+    fn weighted_load_aware_divides_backlog_by_weight() {
+        let mut r = Router::new(RoutingPolicy::LoadAware, 0, 0);
+        // Backlog 30 at weight 4 (norm 7.5) beats backlog 10 at
+        // weight 1 (norm 10).
+        assert_eq!(
+            r.pick_routed(2, 0, &[10, 30], &[], &[1.0, 4.0], &UpMask::all()),
+            Some(1)
+        );
+        // Short weight slices default the tail to 1.0.
+        assert_eq!(
+            r.pick_routed(2, 0, &[10, 2], &[], &[1.0], &UpMask::all()),
+            Some(1)
+        );
     }
 }

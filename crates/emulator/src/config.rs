@@ -15,6 +15,7 @@
 //! is passed separately to
 //! [`run_job_with_faults`](crate::run_job_with_faults).
 
+use crate::balance::BalanceSpec;
 use lmas_core::CostModel;
 use lmas_sim::SimDuration;
 use lmas_storage::{DiskParams, StorageSpec};
@@ -58,6 +59,10 @@ pub struct ClusterConfig {
     /// entirely (the dispatch loop then allocates no trace strings —
     /// see [`lmas_sim::Trace::record_with`]).
     pub trace_capacity: usize,
+    /// Runtime load balancer: periodic queue-depth sampling that
+    /// re-weights replica routing. Disabled by default (zero period),
+    /// which keeps runs byte-identical to the balancer-free runtime.
+    pub balance: BalanceSpec,
 }
 
 impl ClusterConfig {
@@ -84,7 +89,15 @@ impl ClusterConfig {
             background_asu_cpu: 0.0,
             background_asu_disk: 0.0,
             trace_capacity: 0,
+            balance: BalanceSpec::disabled(),
         }
+    }
+
+    /// This cluster with the runtime load balancer enabled per `spec`
+    /// (see [`BalanceSpec::every`] for sensible defaults).
+    pub fn with_balancer(mut self, spec: BalanceSpec) -> ClusterConfig {
+        self.balance = spec;
+        self
     }
 
     /// This cluster with an event trace retaining the `capacity`

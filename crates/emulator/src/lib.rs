@@ -13,10 +13,14 @@
 //!   [`run_job_with_faults`]);
 //! - [`fault`]: deterministic fault injection — crash/degrade/lossy
 //!   nodes, heartbeat failure detection, retrying delivery;
+//! - [`balance`]: feedback-driven runtime load balancing — periodic
+//!   virtual-time sampling of queue depths and CPU backlog that
+//!   re-weights replica routing (off by default);
 //! - [`metrics`], [`report`]: instrumentation and rendering.
 
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod config;
 pub mod fault;
 pub mod metrics;
@@ -24,8 +28,10 @@ pub mod node;
 pub mod report;
 pub mod runtime;
 
+pub use balance::BalanceSpec;
 pub use config::ClusterConfig;
 pub use fault::{asu_index, node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
+pub use metrics::{QueueStat, StageGauge, StageQueueStats};
 pub use node::NodeRes;
 // Storage counter types re-exported from their single source of truth in
 // `lmas-storage` (node reports embed them).

@@ -12,6 +12,114 @@ use lmas_core::{Packet, Record, Work};
 use lmas_sim::{SimTime, Trace};
 use std::collections::BTreeMap;
 
+/// Per-stage backlog gauge with time-weighted statistics.
+///
+/// The routers read the instantaneous per-instance depths to make
+/// load-aware picks; every mutation is stamped with the virtual instant
+/// it happens at, so the gauge also integrates depth over time. That
+/// yields the *time-weighted mean* queue depth — the signal the runtime
+/// balancer samples and the run report surfaces next to utilization —
+/// using pure integer arithmetic (a `u128` record·nanosecond integral)
+/// so reports are bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct StageGauge {
+    depth: Vec<u64>,
+    last: Vec<SimTime>,
+    integral: Vec<u128>,
+    peak: Vec<u64>,
+}
+
+impl StageGauge {
+    /// A gauge over `n` instances, all empty at time zero.
+    pub fn new(n: usize) -> StageGauge {
+        StageGauge {
+            depth: vec![0; n],
+            last: vec![SimTime::ZERO; n],
+            integral: vec![0; n],
+            peak: vec![0; n],
+        }
+    }
+
+    /// Accumulate depth·time up to `now` for instance `i`.
+    fn advance(&mut self, i: usize, now: SimTime) {
+        let dt = now.saturating_since(self.last[i]).as_nanos();
+        self.integral[i] += self.depth[i] as u128 * dt as u128;
+        self.last[i] = self.last[i].max(now);
+    }
+
+    /// Records were routed to instance `i` at `now`.
+    pub fn add(&mut self, i: usize, records: u64, now: SimTime) {
+        self.advance(i, now);
+        self.depth[i] += records;
+        self.peak[i] = self.peak[i].max(self.depth[i]);
+    }
+
+    /// Instance `i` started (or lost) records at `now`.
+    pub fn sub(&mut self, i: usize, records: u64, now: SimTime) {
+        self.advance(i, now);
+        self.depth[i] = self.depth[i].saturating_sub(records);
+    }
+
+    /// Instance `i`'s queue vanished at `now` (node crash).
+    pub fn clear(&mut self, i: usize, now: SimTime) {
+        self.advance(i, now);
+        self.depth[i] = 0;
+    }
+
+    /// Instantaneous per-instance depths (what the routers consult).
+    pub fn depths(&self) -> &[u64] {
+        &self.depth
+    }
+
+    /// Per-instance statistics over the horizon `[0, end]`.
+    pub fn stats(&self, end: SimTime) -> Vec<QueueStat> {
+        let horizon = end.as_nanos();
+        (0..self.depth.len())
+            .map(|i| {
+                let tail = end.saturating_since(self.last[i]).as_nanos();
+                let area = self.integral[i] + self.depth[i] as u128 * tail as u128;
+                QueueStat {
+                    mean_depth: if horizon > 0 {
+                        area as f64 / horizon as f64
+                    } else {
+                        0.0
+                    },
+                    peak_depth: self.peak[i],
+                    final_depth: self.depth[i],
+                }
+            })
+            .collect()
+    }
+}
+
+/// Time-weighted queue statistics for one stage instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStat {
+    /// Mean queued records over the run (depth·time / makespan).
+    pub mean_depth: f64,
+    /// Peak queued records.
+    pub peak_depth: u64,
+    /// Records still queued when the run ended (nonzero only after a
+    /// fatal fault).
+    pub final_depth: u64,
+}
+
+/// Queue statistics for every instance of one stage.
+#[derive(Debug, Clone)]
+pub struct StageQueueStats {
+    /// Stage name (from the flow graph).
+    pub stage: String,
+    /// One entry per instance, in instance order.
+    pub instances: Vec<QueueStat>,
+}
+
+impl StageQueueStats {
+    /// Largest peak depth across this stage's instances.
+    pub fn max_peak(&self) -> u64 {
+        self.instances.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+    }
+}
+
 /// Maximum memory-violation notes retained (they repeat).
 const MAX_VIOLATION_NOTES: usize = 16;
 
@@ -52,6 +160,9 @@ pub struct Metrics<R: Record> {
     /// makespan so that late plan events (e.g. a recovery scheduled
     /// after the job drained) don't inflate it.
     pub last_activity: SimTime,
+    /// Times the runtime balancer re-weighted a replica router (zero
+    /// when the balancer is off or never left its deadband).
+    pub reweights: u64,
     violations_total: u64,
 }
 
@@ -68,6 +179,7 @@ impl<R: Record> Metrics<R> {
             fault: FaultStats::default(),
             fatal: None,
             last_activity: SimTime::ZERO,
+            reweights: 0,
             violations_total: 0,
         }
     }
@@ -136,6 +248,47 @@ mod tests {
         }
         assert_eq!(m.mem_violations.len(), MAX_VIOLATION_NOTES);
         assert_eq!(m.violations_total(), 100);
+    }
+
+    #[test]
+    fn gauge_integrates_depth_over_time() {
+        let mut g = StageGauge::new(2);
+        // Instance 0: 10 records queued over [100, 300) of a 400ns run.
+        g.add(0, 10, SimTime(100));
+        g.sub(0, 10, SimTime(300));
+        let s = g.stats(SimTime(400));
+        assert!((s[0].mean_depth - 10.0 * 200.0 / 400.0).abs() < 1e-9);
+        assert_eq!(s[0].peak_depth, 10);
+        assert_eq!(s[0].final_depth, 0);
+        // Instance 1 never saw traffic.
+        assert_eq!(s[1].peak_depth, 0);
+        assert_eq!(s[1].mean_depth, 0.0);
+    }
+
+    #[test]
+    fn gauge_counts_unconsumed_tail_and_peak() {
+        let mut g = StageGauge::new(1);
+        g.add(0, 4, SimTime(0));
+        g.add(0, 4, SimTime(50));
+        g.sub(0, 6, SimTime(100));
+        let s = g.stats(SimTime(200));
+        // 4 over [0,50), 8 over [50,100), 2 over [100,200].
+        let area = 4.0 * 50.0 + 8.0 * 50.0 + 2.0 * 100.0;
+        assert!((s[0].mean_depth - area / 200.0).abs() < 1e-9);
+        assert_eq!(s[0].peak_depth, 8);
+        assert_eq!(s[0].final_depth, 2);
+        assert_eq!(g.depths(), &[2]);
+    }
+
+    #[test]
+    fn gauge_clear_drops_depth_but_keeps_history() {
+        let mut g = StageGauge::new(1);
+        g.add(0, 100, SimTime(0));
+        g.clear(0, SimTime(10));
+        let s = g.stats(SimTime(100));
+        assert_eq!(s[0].final_depth, 0);
+        assert_eq!(s[0].peak_depth, 100);
+        assert!((s[0].mean_depth - 100.0 * 10.0 / 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -57,6 +57,27 @@ pub fn render_summary<R: Record>(r: &EmulationReport<R>) -> String {
             i, name, r.stage_records_in[i], w.compares, w.record_moves, w.bytes
         );
     }
+    let queued: Vec<_> = r.queue_stats.iter().filter(|q| q.max_peak() > 0).collect();
+    if !queued.is_empty() {
+        let _ = writeln!(out, "-- queues (records, time-weighted) --");
+        for q in queued {
+            let means: Vec<String> = q
+                .instances
+                .iter()
+                .map(|i| format!("{:.1}", i.mean_depth))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<24} peak {:>8}  mean/instance [{}]",
+                q.stage,
+                q.max_peak(),
+                means.join(", ")
+            );
+        }
+    }
+    if r.reweights > 0 {
+        let _ = writeln!(out, "balancer reweights: {}", r.reweights);
+    }
     if !r.mem_violations.is_empty() {
         let _ = writeln!(out, "-- memory violations --");
         for v in &r.mem_violations {

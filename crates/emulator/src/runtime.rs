@@ -29,9 +29,10 @@
 //! vanishes: no controller actor, all-up masks (identical RNG draws),
 //! byte-identical virtual times to [`run_job`].
 
+use crate::balance;
 use crate::config::ClusterConfig;
 use crate::fault::{node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
-use crate::metrics::{Metrics, SinkOutputs};
+use crate::metrics::{Metrics, SinkOutputs, StageGauge, StageQueueStats};
 use crate::node::NodeRes;
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
@@ -198,6 +199,14 @@ pub struct EmulationReport<R: Record> {
     pub down_nodes: Vec<NodeId>,
     /// Fault-layer activity counters (all zero on a fault-free run).
     pub fault: FaultStats,
+    /// Time-weighted per-instance queue-depth statistics, one entry per
+    /// stage (sources never queue, so theirs stay zero). This is the
+    /// signal the runtime balancer samples.
+    pub queue_stats: Vec<StageQueueStats>,
+    /// Times the runtime balancer re-weighted replica routing (zero
+    /// when disabled or never outside its deadband — in which case the
+    /// run is byte-identical to a balancer-free one in virtual time).
+    pub reweights: u64,
 }
 
 impl<R: Record> EmulationReport<R> {
@@ -292,6 +301,8 @@ enum Msg<R: Record> {
     FaultStep(usize),
     /// Controller: heartbeat detection sweep.
     FaultTick,
+    /// Balancer: sample backlog and re-weight replica routing.
+    BalanceTick,
 }
 
 enum Unit<R: Record> {
@@ -338,7 +349,11 @@ struct Downstream<R: Record> {
     node_idx: Vec<usize>,
     capacities: Vec<f64>,
     router: Router,
-    gauge: Rc<RefCell<Vec<u64>>>,
+    gauge: Rc<RefCell<StageGauge>>,
+    /// Balancer-set routing weights for the destination stage; empty
+    /// until (unless) the balancer's first reweight, so an untouched
+    /// run draws identically to the weightless router path.
+    weights: Rc<RefCell<Vec<f64>>>,
     /// Instances per port group (= replication for global scope).
     group_size: usize,
     /// Destination stage id (for `AllReplicasDown` reporting).
@@ -384,7 +399,7 @@ struct InstanceActor<R: Record> {
     /// Incremented on crash; stale `Work` from a previous life is
     /// discarded by the stamp.
     epoch: u64,
-    my_gauge: Option<(Rc<RefCell<Vec<u64>>>, usize)>,
+    my_gauge: Option<(Rc<RefCell<StageGauge>>, usize)>,
     metrics: Rc<RefCell<Metrics<R>>>,
     link_rate: f64,
     latency: SimDuration,
@@ -408,8 +423,7 @@ impl<R: Record> InstanceActor<R> {
         }
         if let Some(p) = self.queue.pop_front() {
             if let Some((gauge, idx)) = &self.my_gauge {
-                let mut g = gauge.borrow_mut();
-                g[*idx] = g[*idx].saturating_sub(p.len() as u64);
+                gauge.borrow_mut().sub(*idx, p.len() as u64, ctx.now());
             }
             let cost = self.functor.cost(&p);
             {
@@ -534,12 +548,22 @@ impl<R: Record> InstanceActor<R> {
                 }
                 None => UpMask::All,
             };
-            let backlog = d.gauge.borrow();
-            d.router.pick_available(
+            let gauge = d.gauge.borrow();
+            let backlog = gauge.depths();
+            let weights = d.weights.borrow();
+            // Empty until the balancer's first reweight: `pick_routed`
+            // then takes the exact `pick_available` path (same draws).
+            let wslice: &[f64] = if weights.is_empty() {
+                &[]
+            } else {
+                &weights[base..base + d.group_size]
+            };
+            d.router.pick_routed(
                 d.group_size,
                 port / groups,
                 &backlog[base..base + d.group_size],
                 &d.capacities[base..base + d.group_size],
+                wslice,
                 &up,
             )
         };
@@ -552,7 +576,7 @@ impl<R: Record> InstanceActor<R> {
         };
         let dest = base + rel;
         // Optimistic backlog charge; a NACK rolls it back.
-        d.gauge.borrow_mut()[dest] += p.len() as u64;
+        d.gauge.borrow_mut().add(dest, p.len() as u64, ctx.now());
         let deliver_at = delivery_time(
             ctx.now(),
             &self.node,
@@ -718,7 +742,7 @@ impl<R: Record> InstanceActor<R> {
             lost += p.len() as u64;
         }
         if let Some((gauge, idx)) = &self.my_gauge {
-            gauge.borrow_mut()[*idx] = 0;
+            gauge.borrow_mut().clear(*idx, ctx.now());
         }
         self.source_live = false;
         if let Some(ra) = &mut self.ra {
@@ -794,8 +818,9 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 // Roll back the optimistic backlog charge, then retry.
                 if meta.dest != usize::MAX {
                     if let Some(d) = &self.down {
-                        let mut g = d.gauge.borrow_mut();
-                        g[meta.dest] = g[meta.dest].saturating_sub(p.len() as u64);
+                        d.gauge
+                            .borrow_mut()
+                            .sub(meta.dest, p.len() as u64, ctx.now());
                     }
                 }
                 self.redeliver(ctx, p, meta);
@@ -836,7 +861,7 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 // extent is re-dispatched by orchestration-level repair).
                 self.try_start(ctx);
             }
-            Msg::FaultStep(_) | Msg::FaultTick => {
+            Msg::FaultStep(_) | Msg::FaultTick | Msg::BalanceTick => {
                 unreachable!("controller message delivered to an instance")
             }
         }
@@ -976,6 +1001,84 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for FaultController<R> {
     }
 }
 
+/// One replicated stage the balancer watches: its backlog gauge, the
+/// shared weight vector its upstream routers consult, and the node each
+/// replica lives on (for CPU-backlog sampling).
+struct BalanceTarget {
+    stage: usize,
+    gauge: Rc<RefCell<StageGauge>>,
+    weights: Rc<RefCell<Vec<f64>>>,
+    node_idx: Vec<usize>,
+}
+
+/// The runtime load balancer (Section 8's feedback loop): a periodic
+/// actor that samples per-instance queue depth and per-node CPU backlog
+/// in virtual time and re-weights replica routing by inverse backlog
+/// (see [`crate::balance`]). It writes weights; the fault layer's
+/// detected-up mask stays an independent, composed filter.
+struct BalancerActor<R: Record> {
+    spec: balance::BalanceSpec,
+    targets: Vec<BalanceTarget>,
+    nodes: Vec<Rc<RefCell<NodeRes>>>,
+    metrics: Rc<RefCell<Metrics<R>>>,
+    /// `last_activity` observed at the previous tick; used to stop
+    /// ticking once the job quiesces so the simulation can drain.
+    last_seen: SimTime,
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for BalancerActor<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        debug_assert!(matches!(msg, Msg::BalanceTick));
+        let now = ctx.now();
+        let mut queued = false;
+        for t in &self.targets {
+            let depths = t.gauge.borrow().depths().to_vec();
+            queued |= depths.iter().any(|&d| d > 0);
+            let cpu_backlog: Vec<u64> = t
+                .node_idx
+                .iter()
+                .map(|&ni| {
+                    let free = self.nodes[ni].borrow().cpu_free_at();
+                    free.as_nanos().saturating_sub(now.as_nanos())
+                })
+                .collect();
+            let new = balance::reweight(
+                &depths,
+                &cpu_backlog,
+                self.spec.deadband,
+                self.spec.cpu_deadband.as_nanos(),
+                self.spec.min_weight,
+            );
+            if let Some(w) = new {
+                if *t.weights.borrow() != w {
+                    let stage = t.stage;
+                    let mut m = self.metrics.borrow_mut();
+                    m.reweights += 1;
+                    m.trace.record_with(now, || {
+                        ("balance", format!("reweight stage {stage}: {w:?}"))
+                    });
+                    drop(m);
+                    *t.weights.borrow_mut() = w;
+                }
+            }
+        }
+        // Keep sampling while the job is visibly alive: queued records,
+        // committed CPU time, or progress since the previous tick. Once
+        // all three go quiet the balancer stops re-arming, so a drained
+        // job's event calendar actually empties.
+        let activity = self.metrics.borrow().last_activity;
+        let cpu_busy = self
+            .nodes
+            .iter()
+            .any(|n| n.borrow().cpu_free_at() > now);
+        let alive = queued || cpu_busy || activity > self.last_seen;
+        self.last_seen = activity;
+        if alive {
+            ctx.timer(self.spec.period, Msg::BalanceTick);
+        }
+    }
+}
+
 /// Run `job` on the cluster described by `cfg` with no faults.
 pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationReport<R>, JobError> {
     run_job_with_faults(cfg, &FaultSpec::none(), job)
@@ -1038,10 +1141,18 @@ pub fn run_job_with_faults<R: Record>(
         .iter()
         .map(|s| (0..s.replication).map(|_| sim.reserve_actor()).collect())
         .collect();
-    let gauges: Vec<Rc<RefCell<Vec<u64>>>> = graph
+    let gauges: Vec<Rc<RefCell<StageGauge>>> = graph
         .stages()
         .iter()
-        .map(|s| Rc::new(RefCell::new(vec![0u64; s.replication])))
+        .map(|s| Rc::new(RefCell::new(StageGauge::new(s.replication))))
+        .collect();
+    // Balancer-owned routing weights, one shared vector per stage.
+    // Empty vectors mean "no weighting"; senders then take the exact
+    // weightless router path, so an idle balancer perturbs nothing.
+    let weight_handles: Vec<Rc<RefCell<Vec<f64>>>> = graph
+        .stages()
+        .iter()
+        .map(|_| Rc::new(RefCell::new(Vec::new())))
         .collect();
     let metrics = Rc::new(RefCell::new(Metrics::<R>::new(graph.stages().len())));
     if cfg.trace_capacity > 0 {
@@ -1103,6 +1214,7 @@ pub fn run_job_with_faults<R: Record>(
                         capacities,
                         router: Router::new(e.routing, cfg.seed, global_idx),
                         gauge: gauges[to].clone(),
+                        weights: weight_handles[to].clone(),
                         group_size,
                         dest_stage: to,
                         _marker: std::marker::PhantomData,
@@ -1191,6 +1303,58 @@ pub fn run_job_with_faults<R: Record>(
         );
     }
 
+    // The runtime balancer watches every replicated stage that is fed
+    // through a policy with routing freedom (anything but Static) and
+    // periodically re-weights its upstream routers by inverse backlog.
+    let balance_on = cfg.balance.is_active();
+    if balance_on {
+        let mut watched: Vec<usize> = graph
+            .edges()
+            .iter()
+            .filter(|e| e.routing != lmas_core::RoutingPolicy::Static)
+            .map(|e| e.to.0)
+            .filter(|&to| graph.stages()[to].replication > 1)
+            .collect();
+        watched.sort_unstable();
+        watched.dedup();
+        let targets: Vec<BalanceTarget> = watched
+            .into_iter()
+            .map(|s| {
+                let node_idx = (0..graph.stages()[s].replication)
+                    .map(|j| {
+                        // Already resolved above for every instance.
+                        let nid = placement.node_of(StageId(s), j).expect("validated");
+                        node_index(cfg, nid)
+                    })
+                    .collect();
+                BalanceTarget {
+                    stage: s,
+                    gauge: gauges[s].clone(),
+                    weights: weight_handles[s].clone(),
+                    node_idx,
+                }
+            })
+            .collect();
+        if !targets.is_empty() {
+            let bal = sim.reserve_actor();
+            sim.seed_message(
+                bal,
+                SimTime(cfg.balance.period.as_nanos()),
+                Msg::BalanceTick,
+            );
+            sim.install(
+                bal,
+                Box::new(BalancerActor {
+                    spec: cfg.balance,
+                    targets,
+                    nodes: nodes.clone(),
+                    metrics: metrics.clone(),
+                    last_seen: SimTime::ZERO,
+                }),
+            );
+        }
+    }
+
     let outcome = sim.run();
     let fatal = metrics.borrow().fatal;
     if let Some(FatalFault { stage, at }) = fatal {
@@ -1204,8 +1368,10 @@ pub fn run_job_with_faults<R: Record>(
     // Makespan: last event, all CPU queues drained, all disks quiesced.
     // Under faults, plan events with no application effect (e.g. a
     // recovery after the data drained) should not count: start from the
-    // last *application* activity instead of the last dispatch.
-    let mut end = if active {
+    // last *application* activity instead of the last dispatch. The
+    // same applies to the balancer's trailing sample tick, which lands
+    // one period after the job quiesced.
+    let mut end = if active || balance_on {
         metrics.borrow().last_activity
     } else {
         sim.now()
@@ -1271,6 +1437,15 @@ pub fn run_job_with_faults<R: Record>(
         .zip(&m.stage_work)
         .map(|(s, &w)| (s.name.clone(), w))
         .collect();
+    let queue_stats = graph
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(s, st)| StageQueueStats {
+            stage: st.name.clone(),
+            instances: gauges[s].borrow().stats(end),
+        })
+        .collect();
 
     Ok(EmulationReport {
         makespan,
@@ -1284,5 +1459,7 @@ pub fn run_job_with_faults<R: Record>(
         trace: m.trace,
         down_nodes,
         fault: m.fault,
+        queue_stats,
+        reweights: m.reweights,
     })
 }

@@ -5,7 +5,8 @@ use lmas_core::{
     generate_rec8, packetize, EdgeKind, FlowGraph, Functor, KeyDist, NodeId, Packet, Placement,
     Rec8, RoutingPolicy, StageId, Work,
 };
-use lmas_emulator::{run_job, ClusterConfig, Job, JobError};
+use lmas_emulator::{run_job, BalanceSpec, ClusterConfig, Job, JobError};
+use lmas_sim::SimDuration;
 use std::collections::BTreeMap;
 
 fn identity_factory() -> impl Fn(usize) -> Box<dyn Functor<Rec8>> + Send + 'static {
@@ -364,6 +365,184 @@ fn load_aware_routing_respects_capacity() {
         fast > slow * 3,
         "fast host should absorb most load: fast={fast} slow={slow}"
     );
+}
+
+/// Placement validation error paths surface as typed `JobError`s: an
+/// instance with no node is `Unassigned`; a functor whose declared
+/// state bound exceeds ASU memory cannot land on an ASU.
+#[test]
+fn placement_error_paths_are_typed() {
+    use lmas_core::PlacementError;
+    let cfg = ClusterConfig::era_2002(1, 1, 8.0);
+    // Unassigned: second instance of the sink never placed.
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, identity_factory());
+    let dst = g.add_stage(2, identity_factory());
+    g.connect(src, dst, RoutingPolicy::RoundRobin, EdgeKind::Set).unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    placement.assign(dst, 0, NodeId::Host(0));
+    let err = run_job(&cfg, Job { graph: g, placement, inputs: BTreeMap::new() }).unwrap_err();
+    match err {
+        JobError::Placement(PlacementError::Unassigned { stage, instance }) => {
+            assert_eq!((stage, instance), (StageId(1), 1));
+        }
+        other => panic!("expected Unassigned, got {other}"),
+    }
+
+    // Memory bound: an ASU-eligible functor whose state bound exceeds
+    // ASU memory is not placeable there.
+    struct Fat;
+    impl Functor<Rec8> for Fat {
+        fn name(&self) -> String {
+            "fat".into()
+        }
+        fn kind(&self) -> lmas_core::FunctorKind {
+            lmas_core::FunctorKind::AsuEligible { max_state_bytes: 1 << 40 }
+        }
+        fn process(&mut self, p: Packet<Rec8>, out: &mut lmas_core::Emit<Rec8>) {
+            out.push0(p);
+        }
+        fn flush(&mut self, _out: &mut lmas_core::Emit<Rec8>) {}
+        fn cost(&self, _p: &Packet<Rec8>) -> Work {
+            Work::ZERO
+        }
+    }
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, |_| Box::new(Fat) as Box<dyn Functor<Rec8>>);
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    let err = run_job(&cfg, Job { graph: g, placement, inputs: BTreeMap::new() }).unwrap_err();
+    match err {
+        JobError::Placement(PlacementError::NotAsuEligible { node, .. }) => {
+            assert_eq!(node, NodeId::Asu(0));
+        }
+        other => panic!("expected NotAsuEligible, got {other}"),
+    }
+}
+
+/// Time-weighted queue statistics: a fast source feeding a slow worker
+/// builds queue on the worker; the report surfaces nonzero peak and
+/// mean depth for the worker stage, zero for the source, and all queues
+/// drained at the end of a clean run.
+#[test]
+fn queue_stats_report_time_weighted_depths() {
+    let cfg = ClusterConfig::era_2002(1, 1, 8.0);
+    let data = generate_rec8(10_000, KeyDist::Uniform, 5);
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, identity_factory());
+    let work = g.add_stage(1, |_| {
+        Box::new(MapFunctor::new("burn", Work::compares(128), |r: Rec8| r))
+            as Box<dyn Functor<Rec8>>
+    });
+    g.connect(src, work, RoutingPolicy::Static, EdgeKind::Set).unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    placement.assign(work, 0, NodeId::Host(0));
+    let mut inputs = BTreeMap::new();
+    inputs.insert((0usize, 0usize), packetize(data, 250));
+    let report = run_job(&cfg, Job { graph: g, placement, inputs }).unwrap();
+
+    assert_eq!(report.queue_stats.len(), 2);
+    // Sources pull from disk; they never queue.
+    assert_eq!(report.queue_stats[0].max_peak(), 0);
+    let worker = &report.queue_stats[1].instances[0];
+    assert!(worker.peak_depth > 0, "worker never queued");
+    assert!(worker.mean_depth > 0.0);
+    assert!(
+        worker.mean_depth <= worker.peak_depth as f64,
+        "mean {} cannot exceed peak {}",
+        worker.mean_depth,
+        worker.peak_depth
+    );
+    assert_eq!(worker.final_depth, 0, "clean runs drain");
+    assert_eq!(report.reweights, 0, "balancer is off by default");
+    // The rendered summary carries the queue section.
+    let text = lmas_emulator::render_summary(&report);
+    assert!(text.contains("-- queues"), "{text}");
+}
+
+fn skew_job(cfg: &ClusterConfig) -> Result<lmas_emulator::EmulationReport<Rec8>, JobError> {
+    // Source on ASU 0; two replicas of a hot stage, one on the 8×
+    // slower ASU 1 and one on the host. SR routing splits ~50/50, so
+    // the ASU replica's queue grows without feedback.
+    let data = generate_rec8(30_000, KeyDist::Uniform, 13);
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, identity_factory());
+    let work = g.add_stage(2, |_| {
+        Box::new(MapFunctor::new("burn", Work::compares(64), |r: Rec8| r))
+            as Box<dyn Functor<Rec8>>
+    });
+    g.connect(src, work, RoutingPolicy::SimpleRandomization, EdgeKind::Set).unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    placement.assign(work, 0, NodeId::Asu(1));
+    placement.assign(work, 1, NodeId::Host(0));
+    let mut inputs = BTreeMap::new();
+    inputs.insert((0usize, 0usize), packetize(data, 200));
+    run_job(cfg, Job { graph: g, placement, inputs })
+}
+
+/// The runtime balancer: under a skewed replica set it re-weights
+/// routing toward the faster replica, shifting records and shortening
+/// the makespan versus the unbalanced run.
+#[test]
+fn balancer_shifts_load_and_shortens_makespan() {
+    let base = ClusterConfig::era_2002(1, 2, 8.0);
+    let balanced_cfg = base.with_balancer(
+        BalanceSpec::every(SimDuration::from_micros(500)).with_deadband(256),
+    );
+    let plain = skew_job(&base).unwrap();
+    let balanced = skew_job(&balanced_cfg).unwrap();
+
+    assert!(balanced.reweights > 0, "skew must trigger reweighting");
+    let count = |r: &lmas_emulator::EmulationReport<Rec8>, i: usize| {
+        r.sink_outputs
+            .get(&(1, i))
+            .map(|v| v.iter().map(|(_, p)| p.len()).sum::<usize>())
+            .unwrap_or(0)
+    };
+    // All records still arrive, but the host absorbs a larger share
+    // than under unweighted SR.
+    assert_eq!(count(&balanced, 0) + count(&balanced, 1), 30_000);
+    assert!(
+        count(&balanced, 1) > count(&plain, 1),
+        "host share should grow: balanced {} vs plain {}",
+        count(&balanced, 1),
+        count(&plain, 1)
+    );
+    assert!(
+        balanced.makespan < plain.makespan,
+        "feedback should shorten the run: {} vs {}",
+        balanced.makespan,
+        plain.makespan
+    );
+}
+
+/// A balancer that never leaves its deadband changes nothing: virtual
+/// time and outputs are byte-identical to a balancer-free run.
+#[test]
+fn idle_balancer_is_byte_identical() {
+    let base = ClusterConfig::era_2002(1, 2, 8.0);
+    let idle = base.with_balancer(
+        BalanceSpec::every(SimDuration::from_micros(500))
+            .with_deadband(u64::MAX)
+            .with_cpu_deadband(SimDuration(u64::MAX)),
+    );
+    let plain = skew_job(&base).unwrap();
+    let watched = skew_job(&idle).unwrap();
+    assert_eq!(watched.reweights, 0);
+    assert_eq!(plain.makespan, watched.makespan);
+    let flat = |r: &lmas_emulator::EmulationReport<Rec8>| {
+        r.sink_outputs
+            .iter()
+            .map(|(&k, v)| (k, v.iter().map(|(_, p)| p.len()).sum::<usize>()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(flat(&plain), flat(&watched), "identical packet routing");
+    // Deterministic reruns, balancer on.
+    let again = skew_job(&idle).unwrap();
+    assert_eq!(again.makespan, watched.makespan);
 }
 
 /// The work audit: stage work matches the functor cost declarations.

@@ -252,6 +252,19 @@ mod tests {
     }
 
     #[test]
+    fn terraflow_auto_placement_matches_oracle() {
+        // The sort step under LoadMode::Auto: the planner picks the
+        // block-sort replication and placement, and the pipeline output
+        // must stay oracle-exact, with the plan riding on the outcome.
+        let cluster = ClusterConfig::era_2002(2, 2, 8.0);
+        let grid = fractal_terrain(33, 33, 0.55, 4);
+        let out = run_terraflow(&cluster, &grid, &small_dsm(), LoadMode::Auto).unwrap();
+        assert!(matches_oracle(&grid, &out), "auto placement broke the labels");
+        let plan = out.sort.plan.as_ref().expect("auto sort carries its plan");
+        assert!(plan.sorters_per_subset >= 1);
+    }
+
+    #[test]
     fn terraflow_two_valleys_two_watersheds() {
         let cluster = ClusterConfig::era_2002(1, 2, 8.0);
         let grid = twin_valley_terrain(16, 8);

@@ -1,0 +1,438 @@
+//! Analytic bottleneck-makespan estimator.
+//!
+//! Scores a candidate assignment without running the emulator. The
+//! model is a pipelined critical path over the stage DAG, tightened by
+//! per-node resource bounds:
+//!
+//! * **fill** — `ready(s)`: when the first packet reaches stage `s`
+//!   (source read time, plus one packet of upstream processing and a
+//!   link hop per edge; a *blocking* upstream stage forwards nothing
+//!   until it has drained completely);
+//! * **busy** — `busy(s)`: the stage's steady-state occupancy, the max
+//!   over nodes of the CPU (and, for sources, disk) time its instances
+//!   spend there;
+//! * **drain** — `done(s)`: the later of "filled + busy" and "last
+//!   upstream packet processed and flushed through `s`";
+//! * **node bounds** — no schedule beats the total CPU / disk / NIC
+//!   time any single node must serve, offset by when that node first
+//!   has work.
+//!
+//! All arithmetic is f64 over integer inputs in a fixed order — the
+//! estimate is a pure deterministic function of (spec, shape,
+//! assignment).
+
+use crate::model::{ClusterShape, PlanSpec};
+use lmas_core::placement::NodeId;
+use std::fmt;
+
+/// What binds the predicted makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// The pipelined critical path through a sink stage.
+    Pipeline {
+        /// Name of the binding sink stage.
+        stage: String,
+    },
+    /// Aggregate CPU demand on one node.
+    Cpu {
+        /// The saturated node.
+        node: NodeId,
+    },
+    /// Aggregate disk demand on one node.
+    Disk {
+        /// The saturated node.
+        node: NodeId,
+    },
+    /// Aggregate outbound link demand on one node.
+    Link {
+        /// The saturated node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::Pipeline { stage } => write!(f, "pipeline:{stage}"),
+            Bottleneck::Cpu { node } => write!(f, "cpu:{node}"),
+            Bottleneck::Disk { node } => write!(f, "disk:{node}"),
+            Bottleneck::Link { node } => write!(f, "link:{node}"),
+        }
+    }
+}
+
+/// The estimator's verdict on one assignment.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Predicted makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// The binding resource.
+    pub bottleneck: Bottleneck,
+    /// Per-stage steady-state occupancy (ns), indexed like the spec.
+    pub stage_busy_ns: Vec<f64>,
+    /// Per-stage completion time (ns), indexed like the spec.
+    pub stage_done_ns: Vec<f64>,
+    /// Aggregate CPU time per node (planner node order).
+    pub node_cpu_ns: Vec<(NodeId, f64)>,
+}
+
+impl Estimate {
+    /// Predicted throughput of stage `s` in records/sec (its record
+    /// volume over its occupancy); infinite for stages with no work.
+    pub fn stage_rate(&self, spec: &PlanSpec, s: usize) -> f64 {
+        let busy = self.stage_busy_ns[s];
+        if busy <= 0.0 {
+            f64::INFINITY
+        } else {
+            spec.stages[s].records as f64 / (busy / 1e9)
+        }
+    }
+}
+
+/// Per-instance record share under even dealing.
+fn recs_per_instance(records: u64, replication: usize) -> f64 {
+    records as f64 / replication as f64
+}
+
+/// Score `asg` (node of every `(stage, instance)`) for `spec` on
+/// `shape`. `topo` is the spec's topological order.
+pub fn estimate(
+    spec: &PlanSpec,
+    shape: &ClusterShape,
+    asg: &[Vec<NodeId>],
+    topo: &[usize],
+) -> Estimate {
+    let nstages = spec.stages.len();
+    let nodes = shape.nodes();
+    let node_index = |node: NodeId| -> usize {
+        match node {
+            NodeId::Host(i) => i,
+            NodeId::Asu(i) => shape.hosts + i,
+        }
+    };
+    // Work → ns on a given node, per record and per flush.
+    let per_rec_ns = |s: usize, node: NodeId| -> f64 {
+        shape
+            .cost
+            .charge(spec.stages[s].per_record, shape.node_speed(node))
+            .as_nanos() as f64
+    };
+    let flush_ns = |s: usize, node: NodeId| -> f64 {
+        shape
+            .cost
+            .charge(spec.stages[s].flush_per_instance, shape.node_speed(node))
+            .as_nanos() as f64
+    };
+    let disk_ns_per_byte =
+        |node: NodeId| -> f64 { 1e9 / shape.disk_rate(node) };
+    let link_ns_per_byte = 1e9 / shape.link_rate;
+
+    // Slowest node hosting each stage (the pipeline's pace setter) and
+    // the worst-case flush.
+    let slowest_per_rec: Vec<f64> = (0..nstages)
+        .map(|s| {
+            asg[s]
+                .iter()
+                .map(|&u| per_rec_ns(s, u))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let slowest_flush: Vec<f64> = (0..nstages)
+        .map(|s| {
+            asg[s].iter().map(|&u| flush_ns(s, u)).fold(0.0, f64::max)
+        })
+        .collect();
+
+    // Per-node aggregates: CPU, disk, outbound NIC, across all stages.
+    let mut node_cpu = vec![0.0f64; nodes.len()];
+    let mut node_disk = vec![0.0f64; nodes.len()];
+    let mut node_nic = vec![0.0f64; nodes.len()];
+    for (s, stage_nodes) in asg.iter().enumerate() {
+        let st = &spec.stages[s];
+        let recs = recs_per_instance(st.records, st.replication);
+        for &u in stage_nodes {
+            let ui = node_index(u);
+            node_cpu[ui] += recs * per_rec_ns(s, u) + flush_ns(s, u);
+            if st.bytes_in > 0 {
+                node_disk[ui] += st.bytes_in as f64
+                    / st.replication as f64
+                    * disk_ns_per_byte(u);
+            }
+            if st.bytes_out > 0 {
+                node_disk[ui] += st.bytes_out as f64
+                    / st.replication as f64
+                    * disk_ns_per_byte(u);
+            }
+        }
+    }
+    // Outbound NIC: each record leaving stage `s` for a remote instance
+    // of `t` is charged at the sender. With routing spreading records
+    // across destinations, the remote fraction for a sender on node `u`
+    // is the share of destination instances not on `u`.
+    for e in &spec.edges {
+        let st = &spec.stages[e.from];
+        let recs = recs_per_instance(st.records, st.replication);
+        let dests = &asg[e.to];
+        for &u in &asg[e.from] {
+            let remote =
+                dests.iter().filter(|&&d| d != u).count() as f64
+                    / dests.len() as f64;
+            node_nic[node_index(u)] +=
+                recs * remote * spec.record_bytes as f64 * link_ns_per_byte;
+        }
+    }
+
+    // Per-stage busy: max over nodes of the time this stage's instances
+    // occupy that node (CPU overlapped with local disk for sources).
+    let mut stage_busy = vec![0.0f64; nstages];
+    for s in 0..nstages {
+        let st = &spec.stages[s];
+        let recs = recs_per_instance(st.records, st.replication);
+        let mut cpu_on = vec![0.0f64; nodes.len()];
+        let mut disk_on = vec![0.0f64; nodes.len()];
+        for &u in &asg[s] {
+            let ui = node_index(u);
+            cpu_on[ui] += recs * per_rec_ns(s, u) + flush_ns(s, u);
+            disk_on[ui] += (st.bytes_in + st.bytes_out) as f64
+                / st.replication as f64
+                * disk_ns_per_byte(u);
+        }
+        stage_busy[s] = cpu_on
+            .iter()
+            .zip(&disk_on)
+            .map(|(&c, &d)| c.max(d))
+            .fold(0.0, f64::max);
+    }
+
+    // Fill/drain recurrence in topo order.
+    let mut ready = vec![0.0f64; nstages];
+    let mut done = vec![0.0f64; nstages];
+    for &s in topo {
+        let st = &spec.stages[s];
+        let packet_bytes =
+            st.packet_records as f64 * spec.record_bytes as f64;
+        let mut rdy = 0.0f64;
+        if st.is_source {
+            // First packet is one disk read away on the slowest source
+            // node.
+            rdy = asg[s]
+                .iter()
+                .map(|&u| packet_bytes * disk_ns_per_byte(u))
+                .fold(0.0, f64::max);
+        }
+        let mut drain_floor = 0.0f64;
+        for e in spec.in_edges(s) {
+            let up = e.from;
+            // A packet pays the link in proportion to how often routing
+            // sends it off-node: the fraction of (sender, dest) instance
+            // pairs living on different nodes.
+            let pairs = (asg[up].len() * asg[s].len()) as f64;
+            let remote = asg[up]
+                .iter()
+                .flat_map(|&a| asg[s].iter().map(move |&b| (a, b)))
+                .filter(|(a, b)| a != b)
+                .count() as f64
+                / pairs;
+            let link = remote
+                * (packet_bytes * link_ns_per_byte + shape.link_latency_ns);
+            let step =
+                spec.stages[up].packet_records as f64 * slowest_per_rec[up];
+            let feed = if spec.stages[up].blocking {
+                done[up] + link
+            } else {
+                ready[up] + step + link
+            };
+            rdy = rdy.max(feed);
+            // Last upstream packet still has to pass through `s`.
+            let tail = done[up]
+                + link
+                + st.packet_records as f64 * slowest_per_rec[s]
+                + slowest_flush[s];
+            drain_floor = drain_floor.max(tail);
+        }
+        ready[s] = rdy;
+        done[s] = (rdy + stage_busy[s]).max(drain_floor);
+    }
+
+    // Critical path: sinks plus their final disk write.
+    let mut cp = 0.0f64;
+    let mut cp_stage = 0usize;
+    for s in 0..nstages {
+        if !spec.is_sink(s) {
+            continue;
+        }
+        let st = &spec.stages[s];
+        let tail = if st.bytes_out > 0 {
+            let packet_bytes =
+                st.packet_records as f64 * spec.record_bytes as f64;
+            asg[s]
+                .iter()
+                .map(|&u| packet_bytes * disk_ns_per_byte(u))
+                .fold(0.0, f64::max)
+        } else {
+            0.0
+        };
+        let t = done[s] + tail;
+        if t > cp {
+            cp = t;
+            cp_stage = s;
+        }
+    }
+
+    // Node bounds: a node cannot finish before its first work arrives
+    // plus everything it must serve.
+    let mut first_ready = vec![f64::INFINITY; nodes.len()];
+    for s in 0..nstages {
+        for &u in &asg[s] {
+            let ui = node_index(u);
+            first_ready[ui] = first_ready[ui].min(ready[s]);
+        }
+    }
+    let mut best = cp;
+    let mut bottleneck = Bottleneck::Pipeline {
+        stage: spec.stages[cp_stage].name.clone(),
+    };
+    for (ui, &node) in nodes.iter().enumerate() {
+        if !first_ready[ui].is_finite() {
+            continue;
+        }
+        let base = first_ready[ui];
+        for (total, mk) in [
+            (node_cpu[ui], 0),
+            (node_disk[ui], 1),
+            (node_nic[ui], 2),
+        ] {
+            let bound = base + total;
+            if bound > best {
+                best = bound;
+                bottleneck = match mk {
+                    0 => Bottleneck::Cpu { node },
+                    1 => Bottleneck::Disk { node },
+                    _ => Bottleneck::Link { node },
+                };
+            }
+        }
+    }
+
+    Estimate {
+        makespan_ns: best,
+        bottleneck,
+        stage_busy_ns: stage_busy,
+        stage_done_ns: done,
+        node_cpu_ns: nodes
+            .iter()
+            .copied()
+            .zip(node_cpu.iter().copied())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PlanEdge, StageSpec};
+    use lmas_core::cost::Work;
+    use lmas_core::functor::FunctorKind;
+
+    fn two_stage_spec(records: u64) -> PlanSpec {
+        let eligible = FunctorKind::AsuEligible { max_state_bytes: 0 };
+        PlanSpec {
+            record_bytes: 128,
+            stages: vec![
+                StageSpec::new("read", 1, eligible)
+                    .with_source(records * 128)
+                    .with_work(Work::moves(1), records),
+                StageSpec::new("crunch", 1, FunctorKind::HostOnly)
+                    .with_work(Work::compares(8) + Work::moves(1), records),
+            ],
+            edges: vec![PlanEdge { from: 0, to: 1 }],
+        }
+    }
+
+    #[test]
+    fn offloading_compute_to_slow_node_costs_time() {
+        let spec = two_stage_spec(100_000);
+        let shape = ClusterShape::era_2002(1, 1, 8.0);
+        let topo = spec.topo_order().unwrap();
+        let on_host = vec![vec![NodeId::Asu(0)], vec![NodeId::Host(0)]];
+        let on_asu = vec![vec![NodeId::Asu(0)], vec![NodeId::Asu(0)]];
+        let fast = estimate(&spec, &shape, &on_host, &topo);
+        let slow = estimate(&spec, &shape, &on_asu, &topo);
+        assert!(
+            slow.makespan_ns > 2.0 * fast.makespan_ns,
+            "8× slower CPU must dominate: host {} vs asu {}",
+            fast.makespan_ns,
+            slow.makespan_ns
+        );
+        assert!(matches!(slow.bottleneck, Bottleneck::Cpu { .. }));
+    }
+
+    #[test]
+    fn replication_divides_busy_time() {
+        let eligible = FunctorKind::AsuEligible { max_state_bytes: 0 };
+        let mk = |repl: usize| PlanSpec {
+            record_bytes: 128,
+            stages: vec![
+                StageSpec::new("src", 1, eligible)
+                    .with_source(128 * 1_000_000),
+                StageSpec::new("work", repl, FunctorKind::HostOnly)
+                    .with_work(Work::compares(16), 1_000_000),
+            ],
+            edges: vec![PlanEdge { from: 0, to: 1 }],
+        };
+        let shape = ClusterShape::era_2002(4, 1, 8.0);
+        let s1 = mk(1);
+        let s4 = mk(4);
+        let topo = s1.topo_order().unwrap();
+        let a1 = vec![vec![NodeId::Asu(0)], vec![NodeId::Host(0)]];
+        let a4 = vec![
+            vec![NodeId::Asu(0)],
+            (0..4).map(NodeId::Host).collect(),
+        ];
+        let e1 = estimate(&s1, &shape, &a1, &topo);
+        let e4 = estimate(&s4, &shape, &a4, &topo);
+        assert!(
+            e4.stage_busy_ns[1] < e1.stage_busy_ns[1] / 3.0,
+            "4-way replication must cut stage occupancy"
+        );
+        assert!(e4.makespan_ns < e1.makespan_ns);
+    }
+
+    #[test]
+    fn blocking_stage_serializes_downstream() {
+        let eligible = FunctorKind::AsuEligible { max_state_bytes: 0 };
+        let mk = |blocking: bool| PlanSpec {
+            record_bytes: 128,
+            stages: vec![
+                StageSpec::new("src", 1, eligible)
+                    .with_source(128 * 200_000)
+                    .with_work(Work::moves(1), 200_000)
+                    .with_flush(Work::ZERO, blocking),
+                StageSpec::new("down", 1, FunctorKind::HostOnly)
+                    .with_work(Work::moves(1), 200_000),
+            ],
+            edges: vec![PlanEdge { from: 0, to: 1 }],
+        };
+        let shape = ClusterShape::era_2002(1, 1, 8.0);
+        let topo = mk(false).topo_order().unwrap();
+        let asg = vec![vec![NodeId::Asu(0)], vec![NodeId::Host(0)]];
+        let streamed = estimate(&mk(false), &shape, &asg, &topo);
+        let barrier = estimate(&mk(true), &shape, &asg, &topo);
+        assert!(
+            barrier.makespan_ns > streamed.makespan_ns,
+            "a barrier stage must lengthen the pipeline"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let spec = two_stage_spec(12345);
+        let shape = ClusterShape::era_2002(2, 3, 8.0);
+        let topo = spec.topo_order().unwrap();
+        let asg = vec![vec![NodeId::Asu(2)], vec![NodeId::Host(1)]];
+        let a = estimate(&spec, &shape, &asg, &topo);
+        let b = estimate(&spec, &shape, &asg, &topo);
+        assert_eq!(a.makespan_ns.to_bits(), b.makespan_ns.to_bits());
+        assert_eq!(a.bottleneck, b.bottleneck);
+    }
+}

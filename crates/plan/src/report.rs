@@ -1,0 +1,189 @@
+//! Machine-readable account of a planning decision.
+//!
+//! The report exists so experiments can assert *why* a placement looks
+//! the way it does: predicted phase rates, the binding resource, how
+//! many candidates were weighed and rejected, and the final
+//! per-instance assignment. Rendering is hand-built JSON with fixed
+//! number formatting — byte-identical across same-input runs.
+
+use crate::estimate::Estimate;
+use crate::model::{ClusterShape, PlanSpec};
+use lmas_core::placement::NodeId;
+use std::fmt::Write as _;
+
+/// Predicted throughput of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRate {
+    /// Stage name.
+    pub name: String,
+    /// Chosen replication degree.
+    pub replication: usize,
+    /// Predicted records/sec through the stage (0 for no-work stages).
+    pub records_per_sec: f64,
+    /// Stage occupancy in nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// The planner's decision record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Predicted makespan, nanoseconds.
+    pub predicted_makespan_ns: u64,
+    /// The binding resource, e.g. `cpu:asu0` or `pipeline:collect`.
+    pub bottleneck: String,
+    /// Per-stage predicted rates.
+    pub stage_rates: Vec<StageRate>,
+    /// Aggregate CPU nanoseconds per node (planner node order).
+    pub node_cpu_ns: Vec<(String, u64)>,
+    /// Final assignment: stage name → node name per instance.
+    pub assignments: Vec<(String, Vec<String>)>,
+    /// Candidate specs weighed (≥ 1; > 1 when replication was
+    /// enumerated).
+    pub candidates_considered: usize,
+    /// Candidates discarded for a worse predicted makespan (or a
+    /// planning error).
+    pub candidates_rejected: usize,
+    /// Local-search moves (migrate/swap) the refiner applied.
+    pub moves_applied: usize,
+}
+
+impl PlanReport {
+    /// Build the report for a finished plan.
+    pub fn from_plan(
+        spec: &PlanSpec,
+        _shape: &ClusterShape,
+        asg: &[Vec<NodeId>],
+        est: &Estimate,
+        moves_applied: usize,
+    ) -> PlanReport {
+        let stage_rates = spec
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                let rate = est.stage_rate(spec, s);
+                StageRate {
+                    name: st.name.clone(),
+                    replication: st.replication,
+                    records_per_sec: if rate.is_finite() { rate } else { 0.0 },
+                    busy_ns: est.stage_busy_ns[s] as u64,
+                }
+            })
+            .collect();
+        PlanReport {
+            predicted_makespan_ns: est.makespan_ns as u64,
+            bottleneck: est.bottleneck.to_string(),
+            stage_rates,
+            node_cpu_ns: est
+                .node_cpu_ns
+                .iter()
+                .map(|(n, ns)| (n.to_string(), *ns as u64))
+                .collect(),
+            assignments: spec
+                .stages
+                .iter()
+                .zip(asg)
+                .map(|(st, nodes)| {
+                    (
+                        st.name.clone(),
+                        nodes.iter().map(|n| n.to_string()).collect(),
+                    )
+                })
+                .collect(),
+            candidates_considered: 1,
+            candidates_rejected: 0,
+            moves_applied,
+        }
+    }
+
+    /// Render as deterministic JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"predicted_makespan_ns\": {},",
+            self.predicted_makespan_ns
+        );
+        let _ = writeln!(out, "  \"bottleneck\": \"{}\",", self.bottleneck);
+        let _ = writeln!(
+            out,
+            "  \"candidates\": {{ \"considered\": {}, \"rejected\": {} }},",
+            self.candidates_considered, self.candidates_rejected
+        );
+        let _ = writeln!(out, "  \"moves_applied\": {},", self.moves_applied);
+        out.push_str("  \"stages\": [\n");
+        for (i, r) in self.stage_rates.iter().enumerate() {
+            let comma = if i + 1 < self.stage_rates.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"replication\": {}, \
+                 \"records_per_sec\": {:.1}, \"busy_ns\": {} }}{comma}",
+                r.name, r.replication, r.records_per_sec, r.busy_ns
+            );
+        }
+        out.push_str("  ],\n  \"node_cpu_ns\": {\n");
+        for (i, (n, ns)) in self.node_cpu_ns.iter().enumerate() {
+            let comma = if i + 1 < self.node_cpu_ns.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{n}\": {ns}{comma}");
+        }
+        out.push_str("  },\n  \"assignments\": {\n");
+        for (i, (stage, nodes)) in self.assignments.iter().enumerate() {
+            let comma = if i + 1 < self.assignments.len() { "," } else { "" };
+            let list = nodes
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "    \"{stage}\": [{list}]{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PlanEdge, StageSpec};
+    use crate::search::plan;
+    use lmas_core::cost::Work;
+    use lmas_core::functor::FunctorKind;
+
+    #[test]
+    fn report_json_is_well_formed_and_stable() {
+        let spec = PlanSpec {
+            record_bytes: 128,
+            stages: vec![
+                StageSpec::new(
+                    "src",
+                    2,
+                    FunctorKind::AsuEligible { max_state_bytes: 0 },
+                )
+                .with_source(128 * 10_000)
+                .with_work(Work::moves(1), 10_000)
+                .pinned_per_asu(2),
+                StageSpec::new("sink", 1, FunctorKind::HostOnly)
+                    .with_work(Work::compares(4), 10_000),
+            ],
+            edges: vec![PlanEdge { from: 0, to: 1 }],
+        };
+        let shape = ClusterShape::era_2002(1, 2, 8.0);
+        let out = plan(&spec, &shape).expect("plans");
+        let json = out.report.render_json();
+        for needle in [
+            "\"predicted_makespan_ns\"",
+            "\"bottleneck\"",
+            "\"candidates\"",
+            "\"stages\"",
+            "\"assignments\"",
+            "\"src\": [\"asu0\", \"asu1\"]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        assert_eq!(json, out.report.render_json());
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+    }
+}

@@ -116,6 +116,13 @@ pub enum LoadMode {
     /// the given policy ("each of the α subsets is spread across both
     /// hosts … A simple randomization (SR) policy assigns the records").
     Managed(lmas_core::RoutingPolicy),
+    /// Planner-managed: `lmas-plan` chooses the block-sort replication
+    /// (sorters per subset) and the host/ASU assignment from the
+    /// functors' declared costs, scoring candidates with the analytic
+    /// makespan estimator. With more than one sorter per subset the
+    /// records route by power-of-two-choices; compose with
+    /// `ClusterConfig::with_balancer` for runtime feedback re-weighting.
+    Auto,
 }
 
 impl LoadMode {

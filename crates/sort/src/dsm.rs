@@ -18,10 +18,14 @@
 use crate::config::{DsmConfig, DsmConfigError, LoadMode};
 use crate::functors::{FullMergeFunctor, SubsetMergeFunctor};
 use lmas_core::functor::lib::{BlockSortFunctor, DistributeFunctor, RelayFunctor};
+use lmas_core::functor::FunctorKind;
 use lmas_core::kernels::select_splitters;
 use lmas_core::{
-    packetize, EdgeKind, FlowGraph, Functor, NodeId, Packet, Placement, Record, RouteScope,
-    RoutingPolicy,
+    log2_ceil, packetize, EdgeKind, FlowGraph, Functor, NodeId, Packet, Placement, Record,
+    RouteScope, RoutingPolicy, Work,
+};
+use lmas_plan::{
+    plan, plan_best, ClusterShape, PlanEdge, PlanOutcome, PlanSpec, StageSpec,
 };
 use lmas_emulator::{
     run_job, run_job_with_faults, ClusterConfig, EmulationReport, FaultSpec, Job, JobError,
@@ -39,6 +43,8 @@ pub enum DsmError {
     Job(JobError),
     /// Input shape mismatch.
     InputShape(String),
+    /// The planner could not place a pass (`LoadMode::Auto`).
+    Plan(lmas_plan::PlanError),
 }
 
 impl fmt::Display for DsmError {
@@ -47,6 +53,7 @@ impl fmt::Display for DsmError {
             DsmError::Config(e) => write!(f, "configuration: {e}"),
             DsmError::Job(e) => write!(f, "job: {e}"),
             DsmError::InputShape(s) => write!(f, "input: {s}"),
+            DsmError::Plan(e) => write!(f, "planner: {e}"),
         }
     }
 }
@@ -76,6 +83,9 @@ pub struct Pass1Result<R: Record> {
     pub report: EmulationReport<R>,
     /// Runs stored per ASU (striped round-robin by the collector stage).
     pub runs_per_asu: Vec<Vec<Packet<R>>>,
+    /// The planner's account when the pass ran under
+    /// [`LoadMode::Auto`]; `None` for static/managed placement.
+    pub plan: Option<PlanOutcome>,
 }
 
 /// Result of pass 2: the report and the final sorted stripes.
@@ -84,6 +94,9 @@ pub struct Pass2Result<R: Record> {
     pub report: EmulationReport<R>,
     /// Sorted output stripes as stored across the ASUs.
     pub output: Vec<Packet<R>>,
+    /// The planner's account when the pass ran under
+    /// [`run_pass2_auto`]; `None` for the static layout.
+    pub plan: Option<PlanOutcome>,
 }
 
 /// Outcome of a full two-pass DSM-Sort.
@@ -98,6 +111,28 @@ pub struct DsmOutcome<R: Record> {
     pub output: Vec<Packet<R>>,
     /// The splitters used by the distribute.
     pub splitters: Vec<<R as Record>::Key>,
+    /// Planner decisions and analytic predictions when run under
+    /// [`LoadMode::Auto`]; `None` otherwise.
+    pub plan: Option<DsmPlanInfo>,
+}
+
+/// What the planner decided (and predicted) for an Auto-mode sort.
+/// The predictions are the analytic estimator's makespans for the
+/// placements actually run, so they can be validated against the
+/// measured reports.
+#[derive(Debug, Clone)]
+pub struct DsmPlanInfo {
+    /// Block-sort replicas per subset chosen for pass 1 (the winning
+    /// replication degree of the candidate sweep).
+    pub sorters_per_subset: usize,
+    /// Predicted pass-1 makespan.
+    pub pass1_predicted: SimDuration,
+    /// Predicted pass-2 makespan.
+    pub pass2_predicted: SimDuration,
+    /// Machine-readable pass-1 plan report (JSON).
+    pub pass1_report_json: String,
+    /// Machine-readable pass-2 plan report (JSON).
+    pub pass2_report_json: String,
 }
 
 /// Host index for static subset assignment: subset `i` of α pinned to a
@@ -117,6 +152,137 @@ fn tuned_cluster(cluster: &ClusterConfig, hint: usize) -> ClusterConfig {
         c.storage.read_ahead = hint.max(1);
     }
     c
+}
+
+/// The planner's cluster model for this emulated cluster: same H/D/c
+/// (with background CPU interference folded into the effective ratio),
+/// cost model, aggregate disk rates, and link parameters.
+pub fn planner_shape(cluster: &ClusterConfig) -> ClusterShape {
+    ClusterShape {
+        hosts: cluster.hosts,
+        asus: cluster.asus,
+        cpu_ratio_c: cluster.effective_cpu_ratio(),
+        cost: cluster.cost,
+        asu_disk_rate: cluster.disk.rate_bytes_per_sec
+            * (1.0 - cluster.background_asu_disk)
+            * cluster.storage.disks as f64,
+        host_disk_rate: cluster.disk.rate_bytes_per_sec,
+        link_rate: cluster.link_bytes_per_sec,
+        link_latency_ns: cluster.link_latency.as_nanos() as f64,
+        asu_mem: cluster.asu_mem_bytes,
+    }
+}
+
+/// Pass-1 planner spec with `k` block-sort replicas per subset. The
+/// per-record work mirrors the functors' own `cost()` declarations
+/// (distribute: `log α` compares plus 1 move; block sort: `log β`
+/// compares plus 1 move), distribute and collect are pinned to the
+/// data's ASUs, and the block-sort stage is free for the planner to place.
+fn pass1_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64, k: usize) -> PlanSpec {
+    let bytes = n * R::SIZE as u64;
+    let splitter_bytes = (dsm.alpha - 1) * std::mem::size_of::<R::Key>() + 64;
+    PlanSpec {
+        record_bytes: R::SIZE as u64,
+        stages: vec![
+            StageSpec::new(
+                "distribute",
+                d,
+                FunctorKind::AsuEligible { max_state_bytes: splitter_bytes },
+            )
+            .with_work(Work::compares(log2_ceil(dsm.alpha as u64)) + Work::moves(1), n)
+            .with_source(bytes)
+            .with_packet_records(dsm.input_packet_records as u64)
+            .pinned_per_asu(d),
+            StageSpec::new(
+                "block-sort",
+                dsm.alpha * k,
+                FunctorKind::VerifiedKernel { max_state_bytes: 2 * dsm.beta * R::SIZE },
+            )
+            .with_work(Work::compares(log2_ceil(dsm.beta as u64)) + Work::moves(1), n)
+            .with_packet_records(dsm.input_packet_records as u64),
+            StageSpec::new(
+                "collect-runs",
+                d,
+                FunctorKind::AsuEligible { max_state_bytes: 0 },
+            )
+            .with_work(Work::ZERO, n)
+            .with_sink_bytes(bytes)
+            .with_packet_records(dsm.beta as u64)
+            .pinned_per_asu(d),
+        ],
+        edges: vec![PlanEdge { from: 0, to: 1 }, PlanEdge { from: 1, to: 2 }],
+    }
+}
+
+/// Plan pass 1: one candidate spec per replication degree `k ∈ 1..=H`
+/// (k block-sort replicas per subset), scored by the analytic
+/// estimator; the lowest predicted makespan wins. Returns `(k, plan)`.
+fn plan_pass1<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+) -> Result<(usize, PlanOutcome), DsmError> {
+    let shape = planner_shape(cluster);
+    let specs: Vec<PlanSpec> = (1..=cluster.hosts)
+        .map(|k| pass1_spec::<R>(dsm, cluster.asus, n, k))
+        .collect();
+    let (idx, outcome) = plan_best(&specs, &shape).map_err(DsmError::Plan)?;
+    Ok((idx + 1, outcome))
+}
+
+/// Pass-2 planner spec: γ₁-way ASU merges (source, pinned), the
+/// host-only final merge (a flush-time barrier, free to place), and the
+/// striped collector (sink, pinned).
+fn pass2_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64) -> PlanSpec {
+    let bytes = n * R::SIZE as u64;
+    let per_subset = n / dsm.alpha.max(1) as u64;
+    let merged_run = (dsm.beta * dsm.gamma1) as u64;
+    PlanSpec {
+        record_bytes: R::SIZE as u64,
+        stages: vec![
+            StageSpec::new(
+                "asu-merge",
+                d,
+                FunctorKind::VerifiedKernel { max_state_bytes: usize::MAX },
+            )
+            // Every record is buffered once and merged once: ~2 moves
+            // plus log γ₁ compares, amortized (SubsetMergeFunctor's
+            // trigger-priced cost()).
+            .with_work(Work::compares(log2_ceil(dsm.gamma1 as u64)) + Work::moves(2), n)
+            .with_source(bytes)
+            .with_packet_records(dsm.beta as u64)
+            .pinned_per_asu(d),
+            StageSpec::new("host-merge", dsm.alpha, FunctorKind::HostOnly)
+                .with_work(Work::moves(1), n)
+                .with_packet_records(merged_run.max(1))
+                .with_flush(
+                    Work::compares(per_subset * log2_ceil(dsm.gamma2 as u64))
+                        + Work::moves(per_subset),
+                    true,
+                ),
+            StageSpec::new(
+                "collect-sorted",
+                d,
+                FunctorKind::AsuEligible { max_state_bytes: 0 },
+            )
+            .with_work(Work::ZERO, n)
+            .with_sink_bytes(bytes)
+            .with_packet_records(dsm.stripe_records as u64)
+            .pinned_per_asu(d),
+        ],
+        edges: vec![PlanEdge { from: 0, to: 1 }, PlanEdge { from: 1, to: 2 }],
+    }
+}
+
+/// Plan pass 2 (the host-merge placement; replication is structural —
+/// one final merge per subset).
+fn plan_pass2<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+) -> Result<PlanOutcome, DsmError> {
+    plan(&pass2_spec::<R>(dsm, cluster.asus, n), &planner_shape(cluster))
+        .map_err(DsmError::Plan)
 }
 
 /// Run pass 1 (distribute on ASUs → block-sort on hosts → runs back to
@@ -143,6 +309,47 @@ pub fn run_pass1_with<R: Record>(
     splitters: Vec<R::Key>,
     dsm: &DsmConfig,
     mode: LoadMode,
+) -> Result<Pass1Result<R>, DsmError> {
+    run_pass1_inner(cluster, spec, data_per_asu, splitters, dsm, mode, None)
+}
+
+/// Run pass 1 with an explicit block-sort placement: `sorter_nodes[b]`
+/// hosts the (single) sorter of subset `b`, statically routed. This is
+/// the manual-layout hook the placement sweep benchmarks against the
+/// planner (e.g. all sorters on hosts, or all on ASUs).
+pub fn run_pass1_placed<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    sorter_nodes: &[NodeId],
+) -> Result<Pass1Result<R>, DsmError> {
+    if sorter_nodes.len() != dsm.alpha {
+        return Err(DsmError::InputShape(format!(
+            "{} sorter nodes for α = {} subsets",
+            sorter_nodes.len(),
+            dsm.alpha
+        )));
+    }
+    run_pass1_inner(
+        cluster,
+        &FaultSpec::none(),
+        data_per_asu,
+        splitters,
+        dsm,
+        LoadMode::Static,
+        Some(sorter_nodes),
+    )
+}
+
+fn run_pass1_inner<R: Record>(
+    cluster: &ClusterConfig,
+    spec: &FaultSpec,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+    sorter_nodes: Option<&[NodeId]>,
 ) -> Result<Pass1Result<R>, DsmError> {
     // Pass 1 is γ-independent: validate parameter shape only. The
     // two-pass capacity rule (α·β·γ ≥ n) is enforced by run_dsm_sort.
@@ -173,18 +380,35 @@ pub fn run_pass1_with<R: Record>(
         DistributeFunctor::<R>::new(splitters.clone()).read_ahead_hint(),
     );
 
+    // Auto mode asks the planner first: it sweeps replication degrees
+    // and host/ASU assignments over the declared costs, and the rest of
+    // this function builds the graph the winning candidate describes.
+    let n: u64 = data_per_asu.iter().map(|v| v.len() as u64).sum();
+    let auto_plan = match mode {
+        LoadMode::Auto => Some(plan_pass1::<R>(&cluster, dsm, n)?),
+        _ => None,
+    };
+
     let mut g: FlowGraph<R> = FlowGraph::new();
     let sp = splitters.clone();
     let distribute = g.add_source_stage(d, move |_| {
         Box::new(DistributeFunctor::<R>::new(sp.clone())) as Box<dyn Functor<R>>
     });
-    let (sort_repl, scope, routing) = match mode {
-        LoadMode::Static => (alpha, RouteScope::Global, RoutingPolicy::Static),
-        LoadMode::Managed(policy) => (
+    let (sort_repl, scope, routing) = match (mode, &auto_plan) {
+        // Explicit layout: one sorter per subset on the given node.
+        _ if sorter_nodes.is_some() => (alpha, RouteScope::Global, RoutingPolicy::Static),
+        (LoadMode::Static, _) => (alpha, RouteScope::Global, RoutingPolicy::Static),
+        (LoadMode::Managed(policy), _) => (
             alpha * h,
             RouteScope::PortGroups { group_size: h },
             policy,
         ),
+        (LoadMode::Auto, Some((k, _))) if *k > 1 => (
+            alpha * k,
+            RouteScope::PortGroups { group_size: *k },
+            RoutingPolicy::PowerOfTwoChoices,
+        ),
+        (LoadMode::Auto, _) => (alpha, RouteScope::Global, RoutingPolicy::Static),
     };
     let block_sort = g.add_stage(sort_repl, move |_| {
         Box::new(BlockSortFunctor::<R>::new(beta)) as Box<dyn Functor<R>>
@@ -200,19 +424,33 @@ pub fn run_pass1_with<R: Record>(
 
     let mut placement = Placement::new();
     placement.spread_over_asus(distribute, d, d);
-    match mode {
-        LoadMode::Static => {
+    match (mode, &auto_plan) {
+        _ if sorter_nodes.is_some() => {
+            for (i, &node) in sorter_nodes.unwrap().iter().enumerate() {
+                placement.assign(block_sort, i, node);
+            }
+        }
+        (LoadMode::Static, _) => {
             for i in 0..alpha {
                 placement.assign(block_sort, i, NodeId::Host(static_host_of(i, alpha, h)));
             }
         }
-        LoadMode::Managed(_) => {
+        (LoadMode::Managed(_), _) => {
             // Instance b·H + j runs on host j: every subset has one
             // sorter per host.
             for i in 0..sort_repl {
                 placement.assign(block_sort, i, NodeId::Host(i % h));
             }
         }
+        (LoadMode::Auto, Some((_, out))) => {
+            // The spec listed stages as [distribute, block-sort,
+            // collect]; the block-sort assignment carries over verbatim
+            // (instance b·k + j is sorter j of subset b).
+            for (i, &node) in out.assignment[1].iter().enumerate() {
+                placement.assign(block_sort, i, node);
+            }
+        }
+        (LoadMode::Auto, None) => unreachable!("Auto always plans"),
     }
     placement.spread_over_asus(collect, d, d);
 
@@ -234,7 +472,11 @@ pub fn run_pass1_with<R: Record>(
                 .unwrap_or_default()
         })
         .collect();
-    Ok(Pass1Result { report, runs_per_asu })
+    Ok(Pass1Result {
+        report,
+        runs_per_asu,
+        plan: auto_plan.map(|(_, out)| out),
+    })
 }
 
 /// Run pass 2 (γ₁-way subset merges on ASUs → γ₂-way final merge per
@@ -255,6 +497,44 @@ pub fn run_pass2_with<R: Record>(
     runs_per_asu: Vec<Vec<Packet<R>>>,
     splitters: Vec<R::Key>,
     dsm: &DsmConfig,
+) -> Result<Pass2Result<R>, DsmError> {
+    run_pass2_inner(cluster, spec, runs_per_asu, splitters, dsm, None)
+}
+
+/// [`run_pass2`] with the host-merge placement chosen by the planner
+/// from the declared merge costs — the `LoadMode::Auto` merge phase.
+pub fn run_pass2_auto<R: Record>(
+    cluster: &ClusterConfig,
+    runs_per_asu: Vec<Vec<Packet<R>>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+) -> Result<Pass2Result<R>, DsmError> {
+    let n: u64 = runs_per_asu
+        .iter()
+        .flatten()
+        .map(|p| p.len() as u64)
+        .sum();
+    let outcome = plan_pass2::<R>(cluster, dsm, n)?;
+    let hosts = outcome.assignment[1].clone();
+    let mut res = run_pass2_inner(
+        cluster,
+        &FaultSpec::none(),
+        runs_per_asu,
+        splitters,
+        dsm,
+        Some(&hosts),
+    )?;
+    res.plan = Some(outcome);
+    Ok(res)
+}
+
+fn run_pass2_inner<R: Record>(
+    cluster: &ClusterConfig,
+    spec: &FaultSpec,
+    runs_per_asu: Vec<Vec<Packet<R>>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    host_merge_nodes: Option<&[NodeId]>,
 ) -> Result<Pass2Result<R>, DsmError> {
     if runs_per_asu.len() != cluster.asus {
         return Err(DsmError::InputShape(format!(
@@ -292,7 +572,16 @@ pub fn run_pass2_with<R: Record>(
 
     let mut placement = Placement::new();
     placement.spread_over_asus(asu_merge, d, d);
-    placement.spread_over_hosts(host_merge, alpha, h);
+    match host_merge_nodes {
+        Some(nodes) => {
+            for (i, &node) in nodes.iter().enumerate() {
+                placement.assign(host_merge, i, node);
+            }
+        }
+        None => {
+            placement.spread_over_hosts(host_merge, alpha, h);
+        }
+    }
     placement.spread_over_asus(collect, d, d);
 
     let mut inputs = BTreeMap::new();
@@ -307,7 +596,7 @@ pub fn run_pass2_with<R: Record>(
         .flatten()
         .map(|(_, p)| p.clone())
         .collect();
-    Ok(Pass2Result { report, output })
+    Ok(Pass2Result { report, output, plan: None })
 }
 
 /// Outcome of a multi-pass DSM-Sort (γ too small for two passes).
@@ -440,7 +729,10 @@ pub fn run_dsm_sort_multipass<R: Record>(
             ));
         }
     }
-    let p2 = run_pass2(cluster, runs, splitters.clone(), dsm)?;
+    let p2 = match mode {
+        LoadMode::Auto => run_pass2_auto(cluster, runs, splitters.clone(), dsm)?,
+        _ => run_pass2(cluster, runs, splitters.clone(), dsm)?,
+    };
     total += p2.report.makespan;
     Ok(DsmMultiOutcome {
         pass1: p1.report,
@@ -487,14 +779,36 @@ pub fn run_dsm_sort<R: Record>(
     let per_asu = split_across_asus(&data, cluster.asus);
     drop(data);
     let p1 = run_pass1(cluster, per_asu, splitters.clone(), dsm, mode)?;
-    let p2 = run_pass2(cluster, p1.runs_per_asu, splitters.clone(), dsm)?;
+    let p2 = match mode {
+        LoadMode::Auto => run_pass2_auto(cluster, p1.runs_per_asu, splitters.clone(), dsm)?,
+        _ => run_pass2(cluster, p1.runs_per_asu, splitters.clone(), dsm)?,
+    };
     let total = p1.report.makespan + p2.report.makespan;
+    let plan = plan_info(dsm, p1.plan.as_ref(), p2.plan.as_ref());
     Ok(DsmOutcome {
         pass1: p1.report,
         pass2: p2.report,
         total,
         output: p2.output,
         splitters,
+        plan,
+    })
+}
+
+/// Fold the two pass plans into a [`DsmPlanInfo`] (both present only in
+/// Auto mode).
+fn plan_info(
+    dsm: &DsmConfig,
+    p1: Option<&PlanOutcome>,
+    p2: Option<&PlanOutcome>,
+) -> Option<DsmPlanInfo> {
+    let (p1, p2) = (p1?, p2?);
+    Some(DsmPlanInfo {
+        sorters_per_subset: p1.assignment[1].len() / dsm.alpha.max(1),
+        pass1_predicted: SimDuration::from_nanos(p1.estimate.makespan_ns as u64),
+        pass2_predicted: SimDuration::from_nanos(p2.estimate.makespan_ns as u64),
+        pass1_report_json: p1.report.render_json(),
+        pass2_report_json: p2.report.render_json(),
     })
 }
 

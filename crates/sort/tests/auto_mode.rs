@@ -1,0 +1,114 @@
+//! `LoadMode::Auto`: DSM-Sort with planner-chosen replication and
+//! placement, validated against the analytic predictions.
+
+use lmas_core::{generate_rec128, KeyDist, Rec128};
+use lmas_emulator::ClusterConfig;
+use lmas_sort::{run_dsm_sort, verify_rec128_output, DsmConfig, DsmOutcome, LoadMode};
+
+fn auto_sort(
+    cluster: &ClusterConfig,
+    n: u64,
+    dsm: &DsmConfig,
+    seed: u64,
+) -> DsmOutcome<Rec128> {
+    let data = generate_rec128(n, KeyDist::Uniform, seed);
+    let out = run_dsm_sort(cluster, data, dsm, LoadMode::Auto).expect("auto sort runs");
+    verify_rec128_output(&out.output, n).expect("output is a sorted permutation");
+    out
+}
+
+#[test]
+fn auto_mode_sorts_and_reports_plan() {
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0);
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let out = auto_sort(&cluster, 5_000, &dsm, 2);
+    let plan = out.plan.expect("auto mode carries its plan");
+    assert!(
+        (1..=cluster.hosts).contains(&plan.sorters_per_subset),
+        "replication degree {} out of range",
+        plan.sorters_per_subset
+    );
+    assert!(plan.pass1_predicted.as_nanos() > 0);
+    assert!(plan.pass2_predicted.as_nanos() > 0);
+    // Machine-readable accounts of both decisions ride along.
+    assert!(plan.pass1_report_json.contains("\"predicted_makespan_ns\""));
+    assert!(plan.pass2_report_json.contains("\"predicted_makespan_ns\""));
+}
+
+/// The acceptance bar: on the default DSM-Sort cluster the planner's
+/// analytic pass-1 makespan lands within 10% of what the emulator then
+/// measures for the very placement it chose.
+#[test]
+fn auto_prediction_tracks_measured_pass1() {
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0);
+    let dsm = DsmConfig::new(8, 256, 4, 64);
+    let n = 20_000;
+    let out = auto_sort(&cluster, n, &dsm, 3);
+    let plan = out.plan.expect("plan present");
+    let measured = out.pass1.makespan.as_nanos() as f64;
+    let predicted = plan.pass1_predicted.as_nanos() as f64;
+    let err = (predicted - measured).abs() / measured;
+    eprintln!(
+        "pass1 predicted {predicted} measured {measured} err {:.2}% (k = {})",
+        err * 100.0,
+        plan.sorters_per_subset
+    );
+    let m2 = out.pass2.makespan.as_nanos() as f64;
+    let p2 = plan.pass2_predicted.as_nanos() as f64;
+    eprintln!("pass2 predicted {p2} measured {m2} err {:.2}%", (p2 - m2).abs() / m2 * 100.0);
+    assert!(
+        err <= 0.10,
+        "pass-1 prediction off by {:.1}% (> 10%): predicted {predicted}, measured {measured}",
+        err * 100.0
+    );
+}
+
+/// The planner never loses to the uncontrolled static layout it was
+/// built to replace (Figure 10's baseline) on the cluster it planned for.
+#[test]
+fn auto_plan_not_worse_than_static_layout() {
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0);
+    let dsm = DsmConfig::new(8, 256, 4, 64);
+    let n = 20_000;
+    let auto = auto_sort(&cluster, n, &dsm, 4);
+    let data = generate_rec128(n, KeyDist::Uniform, 4);
+    let stat = run_dsm_sort(&cluster, data, &dsm, LoadMode::Static).expect("static sort");
+    eprintln!(
+        "pass1 auto {} static {}",
+        auto.pass1.makespan.as_nanos(),
+        stat.pass1.makespan.as_nanos()
+    );
+    assert!(
+        auto.pass1.makespan <= stat.pass1.makespan,
+        "planned pass 1 ({}) slower than the static baseline ({})",
+        auto.pass1.makespan,
+        stat.pass1.makespan
+    );
+}
+
+#[test]
+fn auto_mode_is_deterministic() {
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0);
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let run = || {
+        let out = auto_sort(&cluster, 5_000, &dsm, 11);
+        let plan = out.plan.unwrap();
+        (
+            out.pass1.makespan,
+            out.pass2.makespan,
+            plan.sorters_per_subset,
+            plan.pass1_report_json,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn auto_mode_single_host_degenerates_to_static_shape() {
+    // One host: the only feasible degree is k = 1, and the sort must
+    // still be correct end to end.
+    let cluster = ClusterConfig::era_2002(1, 2, 8.0);
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let out = auto_sort(&cluster, 5_000, &dsm, 1);
+    assert_eq!(out.plan.unwrap().sorters_per_subset, 1);
+}

@@ -10,10 +10,11 @@ cargo test -q
 echo "== cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== determinism gate (seeded emulation + chaos run, twice, diff) =="
-# The determinism binary covers both the fault-free pinned sort and a
-# pinned chaos run (ASU crash + lossy link): bounces, retries, fencing,
-# detection, and repair must all be run-to-run stable.
+echo "== determinism gate (seeded emulation + chaos + planned run, twice, diff) =="
+# The determinism binary covers the fault-free pinned sort, a pinned
+# chaos run (ASU crash + lossy link), and a planner-placed run with the
+# balancer armed: bounces, retries, fencing, repair, plan reports, and
+# reweights must all be run-to-run stable.
 cargo build -q --release -p lmas-bench --bin determinism
 run1="$(./target/release/determinism)"
 run2="$(./target/release/determinism)"
@@ -35,6 +36,22 @@ cargo build -q --release -p lmas-bench --bin fault_sweep
 LMAS_SCALE="${LMAS_CHAOS_SCALE:-0.25}" LMAS_RESULTS_DIR="$(mktemp -d)" \
     ./target/release/fault_sweep > /dev/null
 echo "fault sweep verified (every masked run byte-identical after repair)"
+
+echo "== planner smoke (placement sweep at reduced scale, twice, diff) =="
+# Every cell asserts planned <= both naive layouts and that an
+# always-in-deadband balancer leaves the planned run untouched; the
+# JSON artifact must also be byte-identical across runs.
+cargo test -q -p lmas-plan > /dev/null
+cargo build -q --release -p lmas-bench --bin placement_sweep
+ps1="$(mktemp -d)"; ps2="$(mktemp -d)"
+LMAS_SCALE="${LMAS_PLAN_SCALE:-0.25}" LMAS_RESULTS_DIR="$ps1" ./target/release/placement_sweep > /dev/null
+LMAS_SCALE="${LMAS_PLAN_SCALE:-0.25}" LMAS_RESULTS_DIR="$ps2" ./target/release/placement_sweep > /dev/null
+if ! diff -q "$ps1/BENCH_placement.json" "$ps2/BENCH_placement.json" > /dev/null; then
+    echo "planner smoke FAILED: two placement_sweep runs differ" >&2
+    diff "$ps1/BENCH_placement.json" "$ps2/BENCH_placement.json" >&2 || true
+    exit 1
+fi
+echo "placement sweep verified (planned never loses to naive layouts; artifact deterministic)"
 
 echo "== storage substrate smoke (disk_scaling at tiny n, twice, diff) =="
 # The multi-disk/pool/read-ahead bench must be run-to-run byte-identical
