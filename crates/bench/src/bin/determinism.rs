@@ -136,4 +136,42 @@ fn main() {
     );
     let auto_records: usize = auto.output.iter().map(|p| p.len()).sum();
     println!("auto.output.records {auto_records} auto.output.key_fnv {auto_hash:016x}");
+
+    // Parallel section: the pinned multi-host sort pushed through the
+    // partitioned engine (threads=4 on two hosts → two partitions, real
+    // OS threads, real barriers). Every virtual-time observable and the
+    // merged trace render must be identical run to run regardless of
+    // how the threads interleave.
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_trace(4096)
+        .with_threads(4);
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let par = run_dsm_sort(&cluster, data, &dsm, LoadMode::Static).expect("pinned parallel sort runs");
+    let stats = par.pass1.par.expect("multi-host threaded run parallelizes");
+    println!(
+        "par.partitions {} par.windows {} par.remote_messages {}",
+        stats.partitions, stats.windows, stats.remote_messages
+    );
+    println!(
+        "par.dispatched {} par.critical_dispatched {}",
+        par.pass1.dispatched, stats.critical_dispatched
+    );
+    println!("par.pass1.makespan_ns {}", par.pass1.makespan.as_nanos());
+    println!("par.pass2.makespan_ns {}", par.pass2.makespan.as_nanos());
+    println!("par.total_ns {}", par.total.as_nanos());
+    let par_hash = fnv1a(
+        par.output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let par_records: usize = par.output.iter().map(|p| p.len()).sum();
+    println!("par.output.records {par_records} par.output.key_fnv {par_hash:016x}");
+    for (pass, report) in [("pass1", &par.pass1), ("pass2", &par.pass2)] {
+        println!(
+            "par.{pass}.trace lines {} fnv {:016x}",
+            report.trace.len(),
+            fnv1a(report.trace.render().bytes())
+        );
+    }
 }

@@ -1,0 +1,189 @@
+//! **BENCH-par-sim** — partitioned parallel kernel scaling.
+//!
+//! Sweeps an H×D grid of cluster shapes (up to a 256-node emulation)
+//! × worker thread counts {1, 2, 4} over the full two-pass DSM-Sort —
+//! load-managed placement (`Managed` + round-robin routing), so every
+//! host carries sorters and the partitions stay busy — and reports, per
+//! cell:
+//!
+//! * virtual makespan (must be thread-count invariant for a fixed
+//!   partition count — the golden gates enforce the stronger contract),
+//! * total dispatched events and the **critical path** (the busiest
+//!   partition's dispatch count): `dispatch_speedup = dispatched /
+//!   critical_dispatched` is the kernel's virtual parallelism — the
+//!   end-to-end speedup an ideal one-core-per-partition machine gets,
+//!   and the figure the acceptance gate checks (≥2× at 4 threads on the
+//!   256-node cell),
+//! * conservative-window count and the cross-partition message rate
+//!   (remote messages per dispatched event) — the cost side of the
+//!   lookahead protocol.
+//!
+//! All JSON figures are virtual-time quantities and byte-deterministic;
+//! wall-clock timings go to stdout only. `LMAS_SCALE` shrinks the
+//! record counts, `LMAS_RESULTS_DIR` redirects the artifact.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::{generate_rec128, KeyDist, RoutingPolicy};
+use lmas_emulator::ClusterConfig;
+use lmas_sort::{run_dsm_sort, DsmConfig, DsmOutcome, LoadMode};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// (hosts, asus) cells: 20, 64, and 256 emulated nodes.
+const GRID: [(usize, usize); 3] = [(4, 16), (16, 48), (64, 192)];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Cell {
+    label: String,
+    nodes: usize,
+    threads: usize,
+    makespan_ns: u64,
+    dispatched: u64,
+    critical: u64,
+    partitions: u64,
+    windows: u64,
+    remote: u64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.dispatched as f64 / self.critical.max(1) as f64
+    }
+    fn remote_rate(&self) -> f64 {
+        self.remote as f64 / self.dispatched.max(1) as f64
+    }
+}
+
+/// Sum a per-pass figure over both passes of the sort.
+fn per_pass<R: lmas_core::Record>(out: &DsmOutcome<R>, f: impl Fn(&lmas_emulator::EmulationReport<R>) -> u64) -> u64 {
+    f(&out.pass1) + f(&out.pass2)
+}
+
+fn main() {
+    let dsm = DsmConfig::new(4, 256, 8, 64);
+    println!("BENCH-par-sim: partitioned kernel scaling (H×D grid × threads, two-pass DSM-Sort)");
+    let widths = [10usize, 7, 8, 13, 11, 10, 9, 8, 9, 11];
+    println!(
+        "{}",
+        row(
+            &[
+                "cell".into(),
+                "nodes".into(),
+                "threads".into(),
+                "makespan_ns".into(),
+                "dispatched".into(),
+                "critical".into(),
+                "speedup".into(),
+                "windows".into(),
+                "remote".into(),
+                "wall_ms".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &(hosts, asus) in &GRID {
+        // Work scales with the host count so every shape keeps each
+        // node meaningfully busy.
+        let n = scaled_n(8_192 * hosts as u64, 4_096);
+        let data = generate_rec128(n, KeyDist::Uniform, 7);
+        for &threads in &THREADS {
+            let cluster = ClusterConfig::era_2002(hosts, asus, 8.0).with_threads(threads);
+            let wall = Instant::now();
+            let out = run_dsm_sort(&cluster, data.clone(), &dsm, LoadMode::Managed(RoutingPolicy::RoundRobin))
+                .expect("par_scaling sort runs");
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+            let dispatched = per_pass(&out, |r| r.dispatched);
+            // Sequential runs ARE their own critical path; parallel runs
+            // report the busiest partition per pass.
+            let critical = per_pass(&out, |r| {
+                r.par.as_ref().map_or(r.dispatched, |s| s.critical_dispatched)
+            });
+            let partitions = out
+                .pass1
+                .par
+                .as_ref()
+                .map_or(1, |s| s.partitions as u64);
+            let windows = per_pass(&out, |r| r.par.as_ref().map_or(0, |s| s.windows));
+            let remote = per_pass(&out, |r| r.par.as_ref().map_or(0, |s| s.remote_messages));
+            let cell = Cell {
+                label: format!("H{hosts}D{asus}_t{threads}"),
+                nodes: hosts + asus,
+                threads,
+                makespan_ns: out.total.as_nanos(),
+                dispatched,
+                critical,
+                partitions,
+                windows,
+                remote,
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("H{hosts}D{asus}"),
+                        cell.nodes.to_string(),
+                        threads.to_string(),
+                        cell.makespan_ns.to_string(),
+                        dispatched.to_string(),
+                        critical.to_string(),
+                        format!("{:.2}", cell.speedup()),
+                        windows.to_string(),
+                        remote.to_string(),
+                        format!("{wall_ms:.1}"),
+                    ],
+                    &widths
+                )
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Acceptance gate: ≥2× end-to-end dispatch speedup at 4 threads on
+    // the ≥256-node cell.
+    let gate = cells
+        .iter()
+        .find(|c| c.nodes >= 256 && c.threads == 4)
+        .expect("grid carries a 256-node cell");
+    assert!(
+        gate.speedup() >= 2.0,
+        "dispatch speedup {:.2} < 2.0 at 4 threads on the {}-node cell",
+        gate.speedup(),
+        gate.nodes
+    );
+    println!(
+        "acceptance: {} speedup {:.2} (>= 2.0) with {} partitions",
+        gate.label,
+        gate.speedup(),
+        gate.partitions
+    );
+
+    // Deterministic JSON artifact: virtual-time figures only.
+    let mut json = String::from("{\n");
+    // Every cell row ends with a comma: the acceptance key below closes
+    // the object, keeping the artifact valid JSON.
+    for c in cells.iter() {
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{\"nodes\": {}, \"threads\": {}, \"partitions\": {}, \"makespan_ns\": {}, \"dispatched\": {}, \"critical_dispatched\": {}, \"dispatch_speedup\": {:.4}, \"windows\": {}, \"remote_messages\": {}, \"remote_msg_rate\": {:.4}}},",
+            c.label,
+            c.nodes,
+            c.threads,
+            c.partitions,
+            c.makespan_ns,
+            c.dispatched,
+            c.critical,
+            c.speedup(),
+            c.windows,
+            c.remote,
+            c.remote_rate(),
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"verified_speedup_ge_2_at_4_threads_256_nodes\": true\n}}"
+    );
+    write_results("BENCH_par_sim.json", &json);
+}

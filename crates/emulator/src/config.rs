@@ -63,6 +63,14 @@ pub struct ClusterConfig {
     /// re-weights replica routing. Disabled by default (zero period),
     /// which keeps runs byte-identical to the balancer-free runtime.
     pub balance: BalanceSpec,
+    /// Worker threads for the emulation itself. `1` (the default) runs
+    /// the classic sequential engine. Larger values partition the actor
+    /// graph across threads under conservative lookahead synchronization
+    /// (see `lmas_sim::par`); virtual time stays byte-identical, wall
+    /// clock shrinks. Runs that the partitioned engine cannot preserve
+    /// exactly (fault plans, the balancer, backlog-sensitive routing)
+    /// fall back to the sequential path automatically.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -90,7 +98,16 @@ impl ClusterConfig {
             background_asu_disk: 0.0,
             trace_capacity: 0,
             balance: BalanceSpec::disabled(),
+            threads: 1,
         }
+    }
+
+    /// This cluster emulated on `n` worker threads. Virtual time is
+    /// byte-identical to `threads == 1`; only wall-clock time changes.
+    pub fn with_threads(mut self, n: usize) -> ClusterConfig {
+        assert!(n >= 1, "need at least one worker thread");
+        self.threads = n;
+        self
     }
 
     /// This cluster with the runtime load balancer enabled per `spec`

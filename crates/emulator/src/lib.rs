@@ -38,5 +38,5 @@ pub use node::NodeRes;
 pub use lmas_storage::{BteStats, PoolStats, StorageSpec};
 pub use report::{render_summary, render_utilization_csv};
 pub use runtime::{
-    run_job, run_job_with_faults, EmulationReport, Job, JobError, NodeReport,
+    run_job, run_job_with_faults, EmulationReport, Job, JobError, NodeReport, ParRunStats,
 };

@@ -92,6 +92,76 @@ impl StageGauge {
     }
 }
 
+/// One recorded gauge mutation (see [`GaugeJournal`]).
+#[derive(Debug, Clone, Copy)]
+struct GaugeOp {
+    at: SimTime,
+    /// Dispatch ordering key `(sched, packed)` of the event that caused
+    /// the mutation ([`lmas_sim::Ctx::par_key`]).
+    key: (u64, u64),
+    inst: usize,
+    /// `true` adds `records` to the instance's depth, `false` subtracts.
+    add: bool,
+    records: u64,
+}
+
+/// Deferred [`StageGauge`]: partitioned runs record gauge mutations with
+/// their dispatch keys instead of mutating a shared gauge, then
+/// [`GaugeJournal::replay`] merges the per-partition journals in exact
+/// sequential dispatch order. `depths()` returns all-zero backlogs — the
+/// partitioned runtime only engages for routing policies that never read
+/// the backlog, so the zeros are placeholders for slice arithmetic, not
+/// a signal.
+#[derive(Debug, Clone)]
+pub struct GaugeJournal {
+    zeros: Vec<u64>,
+    ops: Vec<GaugeOp>,
+}
+
+impl GaugeJournal {
+    /// A journal for a stage of `n` instances.
+    pub fn new(n: usize) -> GaugeJournal {
+        GaugeJournal { zeros: vec![0; n], ops: Vec::new() }
+    }
+
+    /// Records were routed to instance `i` at `now`.
+    pub fn add(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
+        self.ops.push(GaugeOp { at: now, key, inst: i, add: true, records });
+    }
+
+    /// Instance `i` started records at `now`.
+    pub fn sub(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
+        self.ops.push(GaugeOp { at: now, key, inst: i, add: false, records });
+    }
+
+    /// Placeholder depths (all zero; see the type docs).
+    pub fn depths(&self) -> &[u64] {
+        &self.zeros
+    }
+
+    /// Merge per-partition journals into the [`StageGauge`] an equivalent
+    /// sequential run would have produced: all mutations are replayed in
+    /// `(time, dispatch key)` order — the partitioned engine's total
+    /// dispatch order — with a stable sort, so mutations within one
+    /// dispatch keep their program order and the time-weighted integral,
+    /// peak, and final depths come out bit-identical.
+    pub fn replay(parts: Vec<GaugeJournal>) -> StageGauge {
+        let n = parts.first().map_or(0, |j| j.zeros.len());
+        debug_assert!(parts.iter().all(|j| j.zeros.len() == n));
+        let mut ops: Vec<GaugeOp> = parts.into_iter().flat_map(|j| j.ops).collect();
+        ops.sort_by_key(|o| (o.at, o.key));
+        let mut g = StageGauge::new(n);
+        for o in ops {
+            if o.add {
+                g.add(o.inst, o.records, o.at);
+            } else {
+                g.sub(o.inst, o.records, o.at);
+            }
+        }
+        g
+    }
+}
+
 /// Time-weighted queue statistics for one stage instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueStat {
@@ -164,6 +234,9 @@ pub struct Metrics<R: Record> {
     /// when the balancer is off or never left its deadband).
     pub reweights: u64,
     violations_total: u64,
+    /// Dispatch ordering key per retained violation note (parallel runs
+    /// only; `merge` uses it to keep notes in sequential order).
+    viol_keys: Vec<(SimTime, (u64, u64))>,
 }
 
 impl<R: Record> Metrics<R> {
@@ -181,6 +254,7 @@ impl<R: Record> Metrics<R> {
             last_activity: SimTime::ZERO,
             reweights: 0,
             violations_total: 0,
+            viol_keys: Vec::new(),
         }
     }
 
@@ -191,10 +265,71 @@ impl<R: Record> Metrics<R> {
 
     /// Note a memory violation (bounded retention).
     pub fn note_violation(&mut self, msg: String) {
+        self.note_violation_keyed(SimTime::ZERO, (0, 0), msg);
+    }
+
+    /// [`note_violation`](Metrics::note_violation), stamped with the
+    /// dispatch instant and ordering key so partitioned runs can merge
+    /// notes back into sequential order.
+    pub fn note_violation_keyed(&mut self, at: SimTime, key: (u64, u64), msg: String) {
         self.violations_total += 1;
         if self.mem_violations.len() < MAX_VIOLATION_NOTES {
             self.mem_violations.push(msg);
+            self.viol_keys.push((at, key));
         }
+    }
+
+    /// Merge per-partition metrics into what an equivalent sequential run
+    /// would have recorded. Counters sum; sink captures (keyed by
+    /// `(stage, instance)`, each owned by exactly one partition) union;
+    /// traces interleave by dispatch key ([`Trace::merge`]); violation
+    /// notes re-sort by dispatch key and re-truncate, which is exact
+    /// because the globally-first `MAX_VIOLATION_NOTES` notes are
+    /// contained in the union of the per-partition prefixes.
+    pub fn merge(parts: Vec<Metrics<R>>) -> Metrics<R> {
+        let mut it = parts.into_iter();
+        let mut m = it.next().expect("merge needs at least one partition");
+        let mut traces = vec![std::mem::replace(&mut m.trace, Trace::disabled())];
+        let mut viols: Vec<(SimTime, (u64, u64), String)> = m
+            .viol_keys
+            .drain(..)
+            .zip(m.mem_violations.drain(..))
+            .map(|((at, key), msg)| (at, key, msg))
+            .collect();
+        for mut p in it {
+            assert_eq!(p.stage_work.len(), m.stage_work.len(), "stage count mismatch");
+            for (a, b) in m.stage_work.iter_mut().zip(&p.stage_work) {
+                *a += *b;
+            }
+            for (a, b) in m.stage_records_in.iter_mut().zip(&p.stage_records_in) {
+                *a += *b;
+            }
+            let before = m.sink_outputs.len() + p.sink_outputs.len();
+            m.sink_outputs.append(&mut p.sink_outputs);
+            debug_assert_eq!(m.sink_outputs.len(), before, "sink instance owned twice");
+            m.records_processed += p.records_processed;
+            m.reweights += p.reweights;
+            m.violations_total += p.violations_total;
+            m.last_activity = m.last_activity.max(p.last_activity);
+            if m.fatal.is_none() {
+                m.fatal = p.fatal;
+            }
+            viols.extend(
+                p.viol_keys
+                    .drain(..)
+                    .zip(p.mem_violations.drain(..))
+                    .map(|((at, key), msg)| (at, key, msg)),
+            );
+            traces.push(p.trace);
+        }
+        viols.sort_by_key(|v| (v.0, v.1));
+        viols.truncate(MAX_VIOLATION_NOTES);
+        for (at, key, msg) in viols {
+            m.viol_keys.push((at, key));
+            m.mem_violations.push(msg);
+        }
+        m.trace = Trace::merge(traces);
+        m
     }
 
     /// Total violations seen (including ones not retained).

@@ -32,19 +32,21 @@
 use crate::balance;
 use crate::config::ClusterConfig;
 use crate::fault::{node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
-use crate::metrics::{Metrics, SinkOutputs, StageGauge, StageQueueStats};
+use crate::metrics::{GaugeJournal, Metrics, SinkOutputs, StageGauge, StageQueueStats};
 use crate::node::NodeRes;
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
     Router, StageFactory, StageId, UpMask,
 };
 use lmas_sim::{
-    ActorId, BackoffPolicy, Ctx, FaultEvent, RunOutcome, SimDuration, SimTime, Simulation, Trace,
+    run_partitioned, ActorId, BackoffPolicy, Ctx, FaultEvent, ParOps, PartitionWorker, RunOutcome,
+    SimDuration, SimTime, Simulation, Trace,
 };
-use std::cell::RefCell;
+use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A complete job: what to run, where, and on which data.
 pub struct Job<R: Record> {
@@ -207,6 +209,28 @@ pub struct EmulationReport<R: Record> {
     /// when disabled or never outside its deadband — in which case the
     /// run is byte-identical to a balancer-free one in virtual time).
     pub reweights: u64,
+    /// Parallel-execution counters, present only when the partitioned
+    /// engine ran the job ([`ClusterConfig::threads`] > 1 and the run was
+    /// eligible). Everything *else* in the report is byte-identical
+    /// either way; this field is the only trace the parallel kernel
+    /// leaves.
+    pub par: Option<ParRunStats>,
+}
+
+/// How the partitioned engine executed a run (see
+/// [`ClusterConfig::with_threads`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParRunStats {
+    /// Partitions (worker threads) actually used — `min(threads, hosts)`.
+    pub partitions: usize,
+    /// Conservative lookahead windows executed.
+    pub windows: u64,
+    /// Critical-path dispatches: `Σ_w max_p dispatches(p, w)`. The
+    /// virtual-parallelism floor — `dispatched / critical_dispatched` is
+    /// the model speedup an ideally parallel host could reach.
+    pub critical_dispatched: u64,
+    /// Cross-partition messages exchanged.
+    pub remote_messages: u64,
 }
 
 impl<R: Record> EmulationReport<R> {
@@ -342,14 +366,62 @@ struct InstFlags {
     fenced: bool,
 }
 
+/// The backlog gauge a sender/receiver mutates: a shared live gauge in
+/// sequential mode, or this partition's deferred journal in partitioned
+/// mode (merged into the exact sequential gauge after the run — see
+/// [`GaugeJournal::replay`]).
+#[derive(Clone)]
+enum GaugeHandle {
+    Live(Rc<RefCell<StageGauge>>),
+    Journal(Rc<RefCell<GaugeJournal>>),
+}
+
+impl GaugeHandle {
+    fn add(&self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
+        match self {
+            GaugeHandle::Live(g) => g.borrow_mut().add(i, records, now),
+            GaugeHandle::Journal(j) => j.borrow_mut().add(i, records, now, key),
+        }
+    }
+
+    fn sub(&self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
+        match self {
+            GaugeHandle::Live(g) => g.borrow_mut().sub(i, records, now),
+            GaugeHandle::Journal(j) => j.borrow_mut().sub(i, records, now, key),
+        }
+    }
+
+    fn clear(&self, i: usize, now: SimTime) {
+        match self {
+            GaugeHandle::Live(g) => g.borrow_mut().clear(i, now),
+            GaugeHandle::Journal(_) => {
+                unreachable!("gauge clear is fault-mode-only; faults run sequentially")
+            }
+        }
+    }
+
+    /// Instantaneous per-instance depths. Journals return zeros: the
+    /// partitioned runtime only engages for backlog-insensitive routing,
+    /// so the values feed slice arithmetic, never a pick.
+    fn depths(&self) -> Ref<'_, [u64]> {
+        match self {
+            GaugeHandle::Live(g) => Ref::map(g.borrow(), |g| g.depths()),
+            GaugeHandle::Journal(j) => Ref::map(j.borrow(), |j| j.depths()),
+        }
+    }
+}
+
 struct Downstream<R: Record> {
     actors: Vec<ActorId>,
-    nodes: Vec<Rc<RefCell<NodeRes>>>,
+    /// Node of each destination instance. Identity only — the remote
+    /// node *object* may live on another partition; everything delivery
+    /// needs (same-node test, capacity) derives from the id and config.
+    node_ids: Vec<NodeId>,
     /// Dense node index per destination instance (fault-mask lookups).
     node_idx: Vec<usize>,
     capacities: Vec<f64>,
     router: Router,
-    gauge: Rc<RefCell<StageGauge>>,
+    gauge: GaugeHandle,
     /// Balancer-set routing weights for the destination stage; empty
     /// until (unless) the balancer's first reweight, so an untouched
     /// run draws identically to the weightless router path.
@@ -399,7 +471,7 @@ struct InstanceActor<R: Record> {
     /// Incremented on crash; stale `Work` from a previous life is
     /// discarded by the stamp.
     epoch: u64,
-    my_gauge: Option<(Rc<RefCell<StageGauge>>, usize)>,
+    my_gauge: Option<(GaugeHandle, usize)>,
     metrics: Rc<RefCell<Metrics<R>>>,
     link_rate: f64,
     latency: SimDuration,
@@ -423,7 +495,7 @@ impl<R: Record> InstanceActor<R> {
         }
         if let Some(p) = self.queue.pop_front() {
             if let Some((gauge, idx)) = &self.my_gauge {
-                gauge.borrow_mut().sub(*idx, p.len() as u64, ctx.now());
+                gauge.sub(*idx, p.len() as u64, ctx.now(), par_key(ctx));
             }
             let cost = self.functor.cost(&p);
             {
@@ -462,10 +534,11 @@ impl<R: Record> InstanceActor<R> {
                 let n = p.len() as u64;
                 self.node.borrow_mut().note_records(n);
                 let (stage, instance) = (self.stage, self.instance);
+                let key = par_key(ctx);
                 let mut m = self.metrics.borrow_mut();
                 m.records_processed += n;
                 m.note_activity(ctx.now());
-                m.trace.record_with(ctx.now(), || {
+                m.trace.record_with_key(ctx.now(), key, || {
                     (format!("s{stage}.i{instance}"), format!("proc {n} recs"))
                 });
                 drop(m);
@@ -476,10 +549,13 @@ impl<R: Record> InstanceActor<R> {
                 self.flushed = true;
                 just_flushed = true;
                 let (stage, instance) = (self.stage, self.instance);
+                let key = par_key(ctx);
                 let mut m = self.metrics.borrow_mut();
                 m.note_activity(ctx.now());
                 m.trace
-                    .record_with(ctx.now(), || (format!("s{stage}.i{instance}"), "flush"));
+                    .record_with_key(ctx.now(), key, || {
+                        (format!("s{stage}.i{instance}"), "flush")
+                    });
                 drop(m);
                 if let Some(f) = &self.fault {
                     f.flags.borrow_mut()[f.my_global].flushed = true;
@@ -493,10 +569,14 @@ impl<R: Record> InstanceActor<R> {
             if state > node.mem_bytes {
                 let id = node.id;
                 drop(node);
-                self.metrics.borrow_mut().note_violation(format!(
-                    "stage {} instance {} exceeds {} memory: {} bytes of functor state",
-                    self.stage, self.instance, id, state
-                ));
+                self.metrics.borrow_mut().note_violation_keyed(
+                    ctx.now(),
+                    par_key(ctx),
+                    format!(
+                        "stage {} instance {} exceeds {} memory: {} bytes of functor state",
+                        self.stage, self.instance, id, state
+                    ),
+                );
             }
         }
         self.route_outputs(ctx, emit.take());
@@ -548,8 +628,7 @@ impl<R: Record> InstanceActor<R> {
                 }
                 None => UpMask::All,
             };
-            let gauge = d.gauge.borrow();
-            let backlog = gauge.depths();
+            let backlog = d.gauge.depths();
             let weights = d.weights.borrow();
             // Empty until the balancer's first reweight: `pick_routed`
             // then takes the exact `pick_available` path (same draws).
@@ -576,11 +655,11 @@ impl<R: Record> InstanceActor<R> {
         };
         let dest = base + rel;
         // Optimistic backlog charge; a NACK rolls it back.
-        d.gauge.borrow_mut().add(dest, p.len() as u64, ctx.now());
+        d.gauge.add(dest, p.len() as u64, ctx.now(), par_key(ctx));
         let deliver_at = delivery_time(
             ctx.now(),
             &self.node,
-            &d.nodes[dest],
+            d.node_ids[dest],
             p.bytes() as u64,
             self.link_rate,
             self.latency,
@@ -655,11 +734,7 @@ impl<R: Record> InstanceActor<R> {
             // no busy time either way).
             let now = ctx.now();
             let my_id = self.node.borrow().id;
-            let remote = d
-                .nodes
-                .iter()
-                .filter(|n| n.borrow().id != my_id)
-                .count();
+            let remote = d.node_ids.iter().filter(|&&id| id != my_id).count();
             let deliver_remote = if remote > 0 {
                 let g = self.node.borrow_mut().charge_nic_batch(
                     now,
@@ -672,14 +747,15 @@ impl<R: Record> InstanceActor<R> {
                 now
             };
             let (stage, instance, fanout) = (self.stage, self.instance, d.actors.len());
+            let key = par_key(ctx);
             self.metrics
                 .borrow_mut()
                 .trace
-                .record_with(now, || {
+                .record_with_key(now, key, || {
                     (format!("s{stage}.i{instance}"), format!("eos -> {fanout}"))
                 });
             for i in 0..d.actors.len() {
-                let at = if d.nodes[i].borrow().id == my_id {
+                let at = if d.node_ids[i] == my_id {
                     now
                 } else {
                     deliver_remote
@@ -742,7 +818,7 @@ impl<R: Record> InstanceActor<R> {
             lost += p.len() as u64;
         }
         if let Some((gauge, idx)) = &self.my_gauge {
-            gauge.borrow_mut().clear(*idx, ctx.now());
+            gauge.clear(*idx, ctx.now());
         }
         self.source_live = false;
         if let Some(ra) = &mut self.ra {
@@ -766,17 +842,34 @@ impl<R: Record> InstanceActor<R> {
 fn delivery_time(
     now: SimTime,
     from: &Rc<RefCell<NodeRes>>,
-    to: &Rc<RefCell<NodeRes>>,
+    to: NodeId,
     bytes: u64,
     link_rate: f64,
     latency: SimDuration,
 ) -> SimTime {
-    let same_node = from.borrow().id == to.borrow().id;
+    let same_node = from.borrow().id == to;
     if same_node {
         now
     } else {
         let grant = from.borrow_mut().charge_nic(now, bytes, link_rate);
         grant.end + latency
+    }
+}
+
+/// The dispatch ordering key of the current event — `(0, 0)` in
+/// sequential mode, where side effects are already totally ordered.
+fn par_key<M>(ctx: &Ctx<'_, M>) -> (u64, u64) {
+    ctx.par_key().unwrap_or((0, 0))
+}
+
+/// Relative CPU speed of node `id` under `cfg` — bit-identical to the
+/// `speed` a fresh [`NodeRes::new`] would report, without needing the
+/// node object (partitions instantiate only the nodes they own, but
+/// routing capacities cover remote destinations too).
+fn node_speed(cfg: &ClusterConfig, id: NodeId) -> f64 {
+    match id {
+        NodeId::Host(_) => cfg.host_speed(),
+        NodeId::Asu(_) => cfg.asu_speed() * (1.0 - cfg.background_asu_cpu),
     }
 }
 
@@ -818,9 +911,7 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 // Roll back the optimistic backlog charge, then retry.
                 if meta.dest != usize::MAX {
                     if let Some(d) = &self.down {
-                        d.gauge
-                            .borrow_mut()
-                            .sub(meta.dest, p.len() as u64, ctx.now());
+                        d.gauge.sub(meta.dest, p.len() as u64, ctx.now(), par_key(ctx));
                     }
                 }
                 self.redeliver(ctx, p, meta);
@@ -1127,6 +1218,20 @@ pub fn run_job_with_faults<R: Record>(
         }
     }
 
+    // Hand eligible runs to the partitioned engine. Ineligible shapes —
+    // fault plans (global controller state), the balancer (reads live
+    // backlog), zero link latency (no lookahead), backlog-sensitive
+    // routing — silently keep the sequential path, which is always
+    // byte-identical anyway.
+    if cfg.threads > 1
+        && !active
+        && !cfg.balance.is_active()
+        && cfg.link_latency.as_nanos() > 0
+        && parallel_eligible(&graph)
+    {
+        return run_job_parallel(cfg, graph, placement, inputs);
+    }
+
     // Nodes: hosts 0..H, then ASUs.
     let nodes: Vec<Rc<RefCell<NodeRes>>> = (0..cfg.hosts)
         .map(NodeId::Host)
@@ -1193,27 +1298,27 @@ pub fn run_job_with_faults<R: Record>(
                 Some(e) => {
                     let to = e.to.0;
                     let to_stage = &graph.stages()[to];
-                    let mut dnodes = Vec::with_capacity(to_stage.replication);
+                    let mut node_ids = Vec::with_capacity(to_stage.replication);
                     let mut node_idx = Vec::with_capacity(to_stage.replication);
                     for j in 0..to_stage.replication {
                         let nid = placement
                             .node_of(e.to, j)
                             .ok_or(JobError::UnplacedInstance { stage: to, instance: j })?;
                         node_idx.push(node_index(cfg, nid));
-                        dnodes.push(node_rc(nid));
+                        node_ids.push(nid);
                     }
-                    let capacities = dnodes.iter().map(|n| n.borrow().speed).collect();
+                    let capacities = node_ids.iter().map(|&id| node_speed(cfg, id)).collect();
                     let group_size = match e.scope {
                         lmas_core::RouteScope::Global => to_stage.replication,
                         lmas_core::RouteScope::PortGroups { group_size } => group_size,
                     };
                     Some(Downstream {
                         actors: actor_ids[to].clone(),
-                        nodes: dnodes,
+                        node_ids,
                         node_idx,
                         capacities,
                         router: Router::new(e.routing, cfg.seed, global_idx),
-                        gauge: gauges[to].clone(),
+                        gauge: GaugeHandle::Live(gauges[to].clone()),
                         weights: weight_handles[to].clone(),
                         group_size,
                         dest_stage: to,
@@ -1262,7 +1367,8 @@ pub fn run_job_with_faults<R: Record>(
                 }),
                 global_tag: global_idx,
                 epoch: 0,
-                my_gauge: (!stage.is_source).then(|| (gauges[s].clone(), i)),
+                my_gauge: (!stage.is_source)
+                    .then(|| (GaugeHandle::Live(gauges[s].clone()), i)),
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
@@ -1461,5 +1567,406 @@ pub fn run_job_with_faults<R: Record>(
         fault: m.fault,
         queue_stats,
         reweights: m.reweights,
+        par: None,
+    })
+}
+
+/// Whether the partitioned engine can reproduce this graph's routing
+/// draws bit-for-bit. Backlog-sensitive policies (LoadAware, power of
+/// two choices) read the live cross-partition queue depths at pick time,
+/// which a deferred gauge journal cannot provide; they stay sequential.
+/// Single-instance groups never exercise a choice, so any policy is fine
+/// there.
+fn parallel_eligible<R: Record>(graph: &FlowGraph<R>) -> bool {
+    use lmas_core::RoutingPolicy::{RoundRobin, SimpleRandomization, Static};
+    graph.edges().iter().all(|e| {
+        let group_size = match e.scope {
+            lmas_core::RouteScope::Global => graph.stages()[e.to.0].replication,
+            lmas_core::RouteScope::PortGroups { group_size } => group_size,
+        };
+        group_size <= 1 || matches!(e.routing, Static | RoundRobin | SimpleRandomization)
+    })
+}
+
+/// The partition a node belongs to: hosts are split into `P` contiguous
+/// blocks (host `h` → partition `h·P/H`), and ASU `a` is co-located
+/// with host `a mod H` — the host that era-style placements pair it
+/// with — so the dominant ASU→host data streams stay partition-local
+/// and only inter-host traffic (which always pays
+/// [`ClusterConfig::link_latency`], the lookahead) crosses threads.
+///
+/// Blocks, not `h mod P`: placements that stride hosts (e.g. Static
+/// mode's `α` sorters at hosts `i·H/α`) collide onto one partition
+/// whenever the stride is a multiple of `P`, serialising the run. A
+/// contiguous split spreads any stride narrower than a block evenly.
+/// (For `H ≤ 2` the two mappings coincide.)
+fn node_partition(hosts: usize, nparts: usize, id: NodeId) -> u32 {
+    let h = match id {
+        NodeId::Host(h) => h,
+        NodeId::Asu(a) => a % hosts,
+    };
+    (h * nparts / hosts) as u32
+}
+
+/// One row of the global instance table shared by every partition
+/// worker: the sequential build order (stage-major), so index == global
+/// actor id == global instance tag.
+struct InstSpec {
+    stage: usize,
+    instance: usize,
+    node: NodeId,
+    part: u32,
+}
+
+/// What one partition hands back after the fleet drains.
+struct EmPartOut<R: Record> {
+    /// The run's end instant (identical on every partition — it is the
+    /// result of a collective max-reduction).
+    end: SimTime,
+    /// Reports for the nodes this partition owns, keyed by dense node
+    /// index for the final hosts-then-ASUs ordering.
+    nodes: Vec<(usize, NodeReport)>,
+    metrics: Metrics<R>,
+    /// Per-stage gauge journals (this partition's share of the gauge
+    /// mutations).
+    journals: Vec<GaugeJournal>,
+}
+
+/// Thread-local state carried from build to finish (`Rc` handles shared
+/// with the actors; never crosses threads).
+struct EmBuilt<R: Record> {
+    /// Owned nodes, indexed by dense node index (`None` = another
+    /// partition's node).
+    nodes: Vec<Option<Rc<RefCell<NodeRes>>>>,
+    journals: Vec<Rc<RefCell<GaugeJournal>>>,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+/// Builds and harvests one partition of a parallel emulation.
+struct EmWorker<R: Record> {
+    part: u32,
+    nparts: usize,
+    cfg: ClusterConfig,
+    graph: Arc<FlowGraph<R>>,
+    specs: Arc<Vec<InstSpec>>,
+    /// First global instance index of each stage.
+    stage_base: Arc<Vec<usize>>,
+    eos_expected: Arc<Vec<usize>>,
+    /// Source inputs for instances this partition owns.
+    inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
+}
+
+impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
+    type Built = EmBuilt<R>;
+
+    fn build(&mut self, sim: &mut Simulation<Msg<R>>) -> EmBuilt<R> {
+        let cfg = &self.cfg;
+        let graph = &self.graph;
+        sim.reserve_to(self.specs.len());
+
+        // Every node is instantiated by exactly one partition (reports
+        // cover idle nodes too); only owned actors ever touch it.
+        let mut nodes: Vec<Option<Rc<RefCell<NodeRes>>>> = Vec::new();
+        for id in (0..cfg.hosts).map(NodeId::Host).chain((0..cfg.asus).map(NodeId::Asu)) {
+            nodes.push(
+                (node_partition(cfg.hosts, self.nparts, id) == self.part)
+                    .then(|| Rc::new(RefCell::new(NodeRes::new(id, cfg)))),
+            );
+        }
+        let journals: Vec<Rc<RefCell<GaugeJournal>>> = graph
+            .stages()
+            .iter()
+            .map(|s| Rc::new(RefCell::new(GaugeJournal::new(s.replication))))
+            .collect();
+        let metrics = Rc::new(RefCell::new(Metrics::<R>::new(graph.stages().len())));
+        if cfg.trace_capacity > 0 {
+            // Full capacity per partition: each ring then retains a
+            // suffix of its own pushes that is guaranteed to cover its
+            // share of the global tail window (see `Trace::merge`).
+            metrics.borrow_mut().trace = Trace::enabled(cfg.trace_capacity);
+        }
+
+        for (idx, sp) in self.specs.iter().enumerate() {
+            if sp.part != self.part {
+                continue;
+            }
+            let stage = &graph.stages()[sp.stage];
+            let down = graph.out_edge(StageId(sp.stage)).map(|e| {
+                let to = e.to.0;
+                let to_stage = &graph.stages()[to];
+                let base = self.stage_base[to];
+                let node_ids: Vec<NodeId> = (0..to_stage.replication)
+                    .map(|j| self.specs[base + j].node)
+                    .collect();
+                let node_idx = node_ids.iter().map(|&id| node_index(cfg, id)).collect();
+                let capacities = node_ids.iter().map(|&id| node_speed(cfg, id)).collect();
+                let group_size = match e.scope {
+                    lmas_core::RouteScope::Global => to_stage.replication,
+                    lmas_core::RouteScope::PortGroups { group_size } => group_size,
+                };
+                Downstream {
+                    actors: (0..to_stage.replication).map(|j| ActorId(base + j)).collect(),
+                    node_ids,
+                    node_idx,
+                    capacities,
+                    // Same per-sender stream index as the sequential
+                    // build (global instance order), so SR draws align.
+                    router: Router::new(e.routing, cfg.seed, idx as u64),
+                    gauge: GaugeHandle::Journal(journals[to].clone()),
+                    // Never written without the balancer; stays empty,
+                    // exactly like the sequential shared vector.
+                    weights: Rc::new(RefCell::new(Vec::new())),
+                    group_size,
+                    dest_stage: to,
+                    _marker: std::marker::PhantomData,
+                }
+            });
+            let source_data: VecDeque<Packet<R>> = self
+                .inputs
+                .remove(&(sp.stage, sp.instance))
+                .map(Into::into)
+                .unwrap_or_default();
+            let actor = InstanceActor {
+                stage: sp.stage,
+                instance: sp.instance,
+                functor: stage.instantiate(sp.instance),
+                node: nodes[node_index(cfg, sp.node)]
+                    .as_ref()
+                    .expect("instance placed on an owned node")
+                    .clone(),
+                queue: VecDeque::new(),
+                pending: None,
+                eos_expected: self.eos_expected[sp.stage],
+                eos_seen: 0,
+                flushed: false,
+                down,
+                source_data,
+                is_source: stage.is_source,
+                source_live: true,
+                ra: (cfg.storage.pool_frames > 0 && stage.is_source).then(|| RaState {
+                    window: cfg.storage.read_ahead + 1,
+                    staged: 0,
+                    pending: false,
+                    eos_sent: false,
+                }),
+                global_tag: idx as u64,
+                epoch: 0,
+                my_gauge: (!stage.is_source)
+                    .then(|| (GaugeHandle::Journal(journals[sp.stage].clone()), sp.instance)),
+                metrics: metrics.clone(),
+                link_rate: cfg.link_bytes_per_sec,
+                latency: cfg.link_latency,
+                fault: None,
+            };
+            sim.install(ActorId(idx), Box::new(actor));
+            if stage.is_source {
+                // Ascending actor-id order (the iteration order), as the
+                // partitioned seeding contract requires.
+                sim.seed_message(ActorId(idx), SimTime::ZERO, Msg::SourceNext);
+            }
+        }
+        EmBuilt { nodes, journals, metrics }
+    }
+
+    fn finish(
+        self,
+        built: EmBuilt<R>,
+        sim: Simulation<Msg<R>>,
+        ops: &ParOps<'_>,
+    ) -> EmPartOut<R> {
+        // Same horizon algebra as the sequential path, with collective
+        // max-reductions standing in for the global scans: last dispatch
+        // anywhere, every CPU queue drained, every disk quiesced.
+        let mut local = sim.now();
+        for n in built.nodes.iter().flatten() {
+            let n = n.borrow();
+            local = local.max(n.cpu_free_at()).max(n.disk_quiesce());
+        }
+        let mut end = SimTime(ops.allreduce_max(local.as_nanos()));
+        if !self.cfg.storage.is_plain() {
+            // All nodes drain from the same (agreed) base instant, so
+            // partition order cannot matter — same argument as the
+            // sequential loop.
+            let base = end;
+            let mut local = end;
+            for n in built.nodes.iter().flatten() {
+                local = local.max(n.borrow_mut().storage_drain(base));
+            }
+            end = SimTime(ops.allreduce_max(local.as_nanos()));
+        }
+        // Release the actors (and their Rc clones of metrics/journals).
+        drop(sim);
+
+        let nodes = built
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(ni, n)| n.as_ref().map(|n| (ni, n)))
+            .map(|(ni, n)| {
+                let n = n.borrow();
+                (
+                    ni,
+                    NodeReport {
+                        id: n.id,
+                        mean_cpu_util: n.mean_cpu_utilization(end),
+                        cpu_busy: n.cpu_busy(),
+                        cpu_series: n.cpu_utilization(end),
+                        records: n.records_processed(),
+                        disk: n.disk_counters(),
+                        per_disk: n.per_disk_stats(),
+                        per_disk_busy: n.per_disk_busy(),
+                        pool: n.pool_stats(),
+                        nic_busy: n.nic_busy(),
+                        peak_state_bytes: n.peak_state_bytes(),
+                        health: n.health(),
+                    },
+                )
+            })
+            .collect();
+        let metrics = match Rc::try_unwrap(built.metrics) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => {
+                debug_assert!(false, "metrics still shared after the simulation dropped");
+                rc.borrow().clone()
+            }
+        };
+        let journals = built
+            .journals
+            .into_iter()
+            .map(|j| match Rc::try_unwrap(j) {
+                Ok(cell) => cell.into_inner(),
+                Err(rc) => rc.borrow().clone(),
+            })
+            .collect();
+        EmPartOut { end, nodes, metrics, journals }
+    }
+}
+
+/// Execute an eligible fault-free job on the partitioned engine. The
+/// report is byte-identical to the sequential path's — same virtual
+/// times, same dispatch counts, same trace — except for
+/// [`EmulationReport::par`], which records how the run was parallelized.
+fn run_job_parallel<R: Record>(
+    cfg: &ClusterConfig,
+    graph: FlowGraph<R>,
+    placement: Placement,
+    mut inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
+) -> Result<EmulationReport<R>, JobError> {
+    let nparts = cfg.threads.min(cfg.hosts).max(1);
+
+    // Global instance table in sequential build order; index == actor id.
+    let mut specs: Vec<InstSpec> = Vec::new();
+    let mut stage_base: Vec<usize> = Vec::with_capacity(graph.stages().len());
+    for (s, stage) in graph.stages().iter().enumerate() {
+        stage_base.push(specs.len());
+        for i in 0..stage.replication {
+            let node = placement
+                .node_of(StageId(s), i)
+                .ok_or(JobError::UnplacedInstance { stage: s, instance: i })?;
+            let part = node_partition(cfg.hosts, nparts, node);
+            specs.push(InstSpec { stage: s, instance: i, node, part });
+        }
+    }
+    let owners: Arc<Vec<u32>> = Arc::new(specs.iter().map(|sp| sp.part).collect());
+    let eos_expected: Vec<usize> = (0..graph.stages().len())
+        .map(|s| {
+            let stage = &graph.stages()[s];
+            let from_edges: usize = graph
+                .edges()
+                .iter()
+                .filter(|e| e.to == StageId(s))
+                .map(|e| graph.stages()[e.from.0].replication)
+                .sum();
+            from_edges + usize::from(stage.is_source)
+        })
+        .collect();
+
+    // Split the source inputs by owning partition.
+    type PartInputs<R> = BTreeMap<(usize, usize), Vec<Packet<R>>>;
+    let mut inputs_by_part: Vec<PartInputs<R>> =
+        (0..nparts).map(|_| BTreeMap::new()).collect();
+    for sp in &specs {
+        if let Some(v) = inputs.remove(&(sp.stage, sp.instance)) {
+            inputs_by_part[sp.part as usize].insert((sp.stage, sp.instance), v);
+        }
+    }
+
+    let nstages = graph.stages().len();
+    let graph = Arc::new(graph);
+    let specs = Arc::new(specs);
+    let stage_base = Arc::new(stage_base);
+    let eos_expected = Arc::new(eos_expected);
+    let workers: Vec<EmWorker<R>> = inputs_by_part
+        .into_iter()
+        .enumerate()
+        .map(|(p, inputs)| EmWorker {
+            part: p as u32,
+            nparts,
+            cfg: *cfg,
+            graph: graph.clone(),
+            specs: specs.clone(),
+            stage_base: stage_base.clone(),
+            eos_expected: eos_expected.clone(),
+            inputs,
+        })
+        .collect();
+
+    let outcome = run_partitioned(cfg.seed, owners, cfg.link_latency, workers);
+
+    // Merge the partition shares back into the sequential report shape.
+    let end = outcome.results.first().map_or(SimTime::ZERO, |r| r.end);
+    debug_assert!(outcome.results.iter().all(|r| r.end == end));
+    let mut node_reports: Vec<(usize, NodeReport)> = Vec::with_capacity(cfg.total_nodes());
+    let mut metrics_parts: Vec<Metrics<R>> = Vec::with_capacity(nparts);
+    let mut journal_parts: Vec<Vec<GaugeJournal>> = (0..nstages).map(|_| Vec::new()).collect();
+    for part in outcome.results {
+        node_reports.extend(part.nodes);
+        metrics_parts.push(part.metrics);
+        for (s, j) in part.journals.into_iter().enumerate() {
+            journal_parts[s].push(j);
+        }
+    }
+    node_reports.sort_by_key(|&(ni, _)| ni);
+    debug_assert_eq!(node_reports.len(), cfg.total_nodes(), "every node reported once");
+    let m = Metrics::merge(metrics_parts);
+
+    let stage_work = graph
+        .stages()
+        .iter()
+        .zip(&m.stage_work)
+        .map(|(s, &w)| (s.name.clone(), w))
+        .collect();
+    let queue_stats = graph
+        .stages()
+        .iter()
+        .enumerate()
+        .zip(journal_parts)
+        .map(|((_, st), parts)| StageQueueStats {
+            stage: st.name.clone(),
+            instances: GaugeJournal::replay(parts).stats(end),
+        })
+        .collect();
+
+    Ok(EmulationReport {
+        makespan: end.since(SimTime::ZERO),
+        nodes: node_reports.into_iter().map(|(_, r)| r).collect(),
+        stage_work,
+        stage_records_in: m.stage_records_in,
+        sink_outputs: m.sink_outputs,
+        records_processed: m.records_processed,
+        mem_violations: m.mem_violations,
+        dispatched: outcome.dispatched,
+        trace: m.trace,
+        // Fault-free by eligibility: nothing can be down.
+        down_nodes: Vec::new(),
+        fault: m.fault,
+        queue_stats,
+        reweights: m.reweights,
+        par: Some(ParRunStats {
+            partitions: nparts,
+            windows: outcome.windows,
+            critical_dispatched: outcome.critical_dispatched,
+            remote_messages: outcome.remote_messages,
+        }),
     })
 }

@@ -10,10 +10,25 @@
 //! — nodes make progress only when the calendar says so, in causal order —
 //! but express each node as an explicit state machine, which needs no
 //! threads and is deterministic by construction.
+//!
+//! # Partitioned mode
+//!
+//! A `Simulation` can alternatively be created as one *partition* of a
+//! parallel run (see the [`crate::par`] coordinator). The actor-id space is
+//! global — every partition calls [`Simulation::reserve_to`] so ids agree —
+//! but each partition installs only the actors it owns and runs its own
+//! keyed calendar ([`crate::event::KeyedQueue`]). Sends to non-owned actors
+//! are buffered in an outbox and flushed between lookahead windows; the
+//! composite [`crate::event::EventKey`] reproduces the sequential
+//! dispatch order exactly, so virtual time is byte-identical to a
+//! single-threaded run. Cancellation and `request_stop` are not available
+//! in this mode (the conservative window protocol cannot retract or halt
+//! remote progress); both panic.
 
-use crate::event::{EventQueue, EventToken};
+use crate::event::{EventKey, EventQueue, EventToken, KeyedQueue};
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Identifies an actor registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,11 +53,72 @@ struct Envelope<M> {
     msg: M,
 }
 
+/// A cross-partition message in flight: the destination partition pushes
+/// it into its keyed calendar at the next window boundary.
+pub(crate) struct RemoteEvent<M> {
+    pub(crate) key: EventKey,
+    pub(crate) to: ActorId,
+    pub(crate) msg: M,
+}
+
+/// Partitioned-mode calendar state: a keyed queue for owned events plus
+/// the bookkeeping that makes locally-computed keys globally consistent.
+struct ParCal<M> {
+    queue: KeyedQueue<Envelope<M>>,
+    /// This partition's index.
+    part: u32,
+    /// Owning partition of every actor id (global, shared).
+    owners: Arc<Vec<u32>>,
+    /// Minimum virtual latency of any cross-partition send.
+    lookahead: SimDuration,
+    /// Partition-chronological send counter (bits 15..63 of the event
+    /// key). Increments on *every* send this partition makes, in dispatch
+    /// order — the local restriction of the sequential engine's global
+    /// sequence number, and exactly that number when the run has a
+    /// single partition.
+    ctr: u64,
+    /// Key `(sched, packed)` of the event currently being dispatched.
+    cur: (u64, u64),
+    /// Cross-partition sends buffered until the window boundary.
+    outbox: Vec<(u32, RemoteEvent<M>)>,
+    remote_sent: u64,
+}
+
+impl<M> ParCal<M> {
+    fn send(&mut self, now: SimTime, _from: ActorId, to: ActorId, at: SimTime, msg: M) {
+        let c = self.ctr;
+        self.ctr += 1;
+        assert!(c < 1 << 48, "partition send counter overflows the event key");
+        let packed = (1u64 << 63) | (c << 15) | self.part as u64;
+        let key = EventKey { at, sched: now.as_nanos(), packed };
+        let dest = self.owners[to.0];
+        if dest == self.part {
+            self.queue.push(key, Envelope { to, msg });
+        } else {
+            // Conservative synchronization is only sound if every remote
+            // arrival lands beyond the current lookahead window.
+            assert!(
+                at >= now + self.lookahead,
+                "cross-partition send violates the lookahead bound"
+            );
+            self.remote_sent += 1;
+            self.outbox.push((dest, RemoteEvent { key, to, msg }));
+        }
+    }
+}
+
+/// The event calendar: a sequential queue with tokens and cancellation,
+/// or one partition's keyed calendar in parallel mode.
+enum Calendar<M> {
+    Seq(EventQueue<Envelope<M>>),
+    Par(Box<ParCal<M>>),
+}
+
 /// Handle through which an actor interacts with the engine during dispatch.
 pub struct Ctx<'a, M> {
     now: SimTime,
     me: ActorId,
-    queue: &'a mut EventQueue<Envelope<M>>,
+    cal: &'a mut Calendar<M>,
     rng: &'a mut DetRng,
     stop: &'a mut bool,
 }
@@ -62,7 +138,7 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Send `msg` to `to` after `delay`.
     pub fn send(&mut self, to: ActorId, delay: SimDuration, msg: M) -> EventToken {
-        self.queue.schedule(self.now + delay, Envelope { to, msg })
+        self.send_at(to, self.now + delay, msg)
     }
 
     /// Send `msg` to `to` at the current instant (fires after all messages
@@ -74,7 +150,13 @@ impl<'a, M> Ctx<'a, M> {
     /// Send `msg` to `to` at absolute time `at` (must be >= now).
     pub fn send_at(&mut self, to: ActorId, at: SimTime, msg: M) -> EventToken {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.queue.schedule(at, Envelope { to, msg })
+        match self.cal {
+            Calendar::Seq(ref mut q) => q.schedule(at, Envelope { to, msg }),
+            Calendar::Par(ref mut p) => {
+                p.send(self.now, self.me, to, at, msg);
+                EventToken::NULL
+            }
+        }
     }
 
     /// Schedule a message to self.
@@ -84,11 +166,16 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Cancel a previously scheduled message.
     pub fn cancel(&mut self, token: EventToken) {
-        self.queue.cancel(token);
+        match self.cal {
+            Calendar::Seq(ref mut q) => q.cancel(token),
+            Calendar::Par(_) => panic!("event cancellation is unsupported in partitioned mode"),
+        }
     }
 
     /// Engine-level RNG stream (distinct from per-component streams an
-    /// actor may own). Deterministic across runs.
+    /// actor may own). Deterministic across runs. In partitioned mode each
+    /// partition owns an independent stream (partition 0 matches the
+    /// sequential stream).
     pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
@@ -96,7 +183,22 @@ impl<'a, M> Ctx<'a, M> {
     /// Ask the engine to stop after this dispatch completes; pending
     /// events stay in the calendar.
     pub fn request_stop(&mut self) {
-        *self.stop = true;
+        match self.cal {
+            Calendar::Seq(_) => *self.stop = true,
+            Calendar::Par(_) => panic!("request_stop is unsupported in partitioned mode"),
+        }
+    }
+
+    /// In partitioned mode, the composite ordering key `(sched, packed)` of
+    /// the event being dispatched; `None` sequentially. Higher layers tag
+    /// order-sensitive side effects (trace lines, gauge journal entries)
+    /// with it so per-partition logs merge back into the exact sequential
+    /// order.
+    pub fn par_key(&self) -> Option<(u64, u64)> {
+        match self.cal {
+            Calendar::Seq(_) => None,
+            Calendar::Par(ref p) => Some(p.cur),
+        }
     }
 }
 
@@ -115,7 +217,7 @@ pub enum RunOutcome {
 /// messages of type `M`.
 pub struct Simulation<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
-    queue: EventQueue<Envelope<M>>,
+    cal: Calendar<M>,
     now: SimTime,
     rng: DetRng,
     dispatched: u64,
@@ -126,9 +228,43 @@ impl<M> Simulation<M> {
     pub fn new(seed: u64) -> Self {
         Simulation {
             actors: Vec::new(),
-            queue: EventQueue::new(),
+            cal: Calendar::Seq(EventQueue::new()),
             now: SimTime::ZERO,
             rng: DetRng::stream(seed, u64::MAX),
+            dispatched: 0,
+        }
+    }
+
+    /// New simulation acting as partition `part` of a parallel run (see
+    /// [`crate::par::run_partitioned`]): keyed calendar, outbox for
+    /// cross-partition sends, per-partition RNG stream.
+    pub(crate) fn new_partition(
+        seed: u64,
+        part: u32,
+        owners: Arc<Vec<u32>>,
+        lookahead: SimDuration,
+    ) -> Self {
+        assert!(
+            lookahead.as_nanos() > 0,
+            "partitioned mode needs a positive lookahead"
+        );
+        assert!(part < 1 << 15, "partition index overflows the event key");
+        Simulation {
+            actors: Vec::new(),
+            cal: Calendar::Par(Box::new(ParCal {
+                queue: KeyedQueue::new(),
+                part,
+                owners,
+                lookahead,
+                ctr: 0,
+                cur: (0, 0),
+                outbox: Vec::new(),
+                remote_sent: 0,
+            })),
+            now: SimTime::ZERO,
+            // Partition 0's stream coincides with the sequential engine
+            // stream; others are disjoint SplitMix64 streams.
+            rng: DetRng::stream(seed, u64::MAX ^ part as u64),
             dispatched: 0,
         }
     }
@@ -149,6 +285,16 @@ impl<M> Simulation<M> {
         id
     }
 
+    /// Grow the actor-id space to at least `n` reserved slots (installing
+    /// none). Partitioned builds call this so every partition agrees on
+    /// the global id assignment while instantiating only the actors it
+    /// owns; non-owned slots simply stay empty.
+    pub fn reserve_to(&mut self, n: usize) {
+        while self.actors.len() < n {
+            self.actors.push(None);
+        }
+    }
+
     /// Fill a slot created by [`Simulation::reserve_actor`].
     pub fn install(&mut self, id: ActorId, actor: Box<dyn Actor<M>>) {
         assert!(
@@ -159,8 +305,28 @@ impl<M> Simulation<M> {
     }
 
     /// Schedule an initial message before the run starts.
+    ///
+    /// Partitioned runs may only seed actors the partition owns, and every
+    /// partition must issue its seeds in ascending actor-id order (the
+    /// natural build order) so the composite keys reproduce the sequential
+    /// seeding sequence.
     pub fn seed_message(&mut self, to: ActorId, at: SimTime, msg: M) -> EventToken {
-        self.queue.schedule(at, Envelope { to, msg })
+        match &mut self.cal {
+            Calendar::Seq(q) => q.schedule(at, Envelope { to, msg }),
+            Calendar::Par(p) => {
+                assert_eq!(p.owners[to.0], p.part, "seeded a non-owned actor");
+                assert!(to.0 < 1 << 48, "actor id overflows the seed key");
+                // Kind bit 0: seeds order before any runtime send at the
+                // same instant, exactly like pre-run sequence numbers.
+                // Seeds tiebreak on the destination actor id — globally
+                // unique, and the ascending order the build loops issue
+                // them in — so the partition tag is padding, not order.
+                let packed = ((to.0 as u64) << 15) | p.part as u64;
+                p.queue
+                    .push(EventKey { at, sched: 0, packed }, Envelope { to, msg });
+                EventToken::NULL
+            }
+        }
     }
 
     /// Current virtual time.
@@ -183,8 +349,18 @@ impl<M> Simulation<M> {
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let mut stop = false;
         loop {
-            let Some((t, env)) = self.queue.pop_not_after(horizon) else {
-                return if self.queue.is_empty() {
+            let popped = match &mut self.cal {
+                Calendar::Seq(queue) => queue.pop_not_after(horizon),
+                Calendar::Par(_) => {
+                    panic!("run_until is sequential-only; partitions advance via the coordinator")
+                }
+            };
+            let Some((t, env)) = popped else {
+                let empty = match &mut self.cal {
+                    Calendar::Seq(queue) => queue.is_empty(),
+                    Calendar::Par(_) => unreachable!(),
+                };
+                return if empty {
                     RunOutcome::Drained
                 } else {
                     RunOutcome::HorizonReached
@@ -200,7 +376,7 @@ impl<M> Simulation<M> {
                 let mut ctx = Ctx {
                     now: self.now,
                     me: env.to,
-                    queue: &mut self.queue,
+                    cal: &mut self.cal,
                     rng: &mut self.rng,
                     stop: &mut stop,
                 };
@@ -217,6 +393,84 @@ impl<M> Simulation<M> {
     pub fn run(&mut self) -> RunOutcome {
         // NEVER-1 keeps the horizon comparison strict but unreachable.
         self.run_until(SimTime(u64::MAX - 1))
+    }
+
+    /// Partitioned mode: dispatch every owned event arriving at or before
+    /// `horizon` (inclusive), in composite-key order. Cross-partition sends
+    /// accumulate in the outbox. Returns the number of dispatches.
+    pub(crate) fn run_window(&mut self, horizon: SimTime) -> u64 {
+        let mut count = 0u64;
+        loop {
+            let popped = match &mut self.cal {
+                Calendar::Par(p) => match p.queue.pop_not_after(horizon) {
+                    Some((key, env)) => {
+                        p.cur = (key.sched, key.packed);
+                        Some((key.at, env))
+                    }
+                    None => None,
+                },
+                Calendar::Seq(_) => unreachable!("run_window on a sequential calendar"),
+            };
+            let Some((t, env)) = popped else {
+                return count;
+            };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatched += 1;
+            count += 1;
+            let mut actor = self.actors[env.to.0]
+                .take()
+                .unwrap_or_else(|| panic!("message to uninstalled actor {:?}", env.to));
+            {
+                let mut stop = false;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: env.to,
+                    cal: &mut self.cal,
+                    rng: &mut self.rng,
+                    stop: &mut stop,
+                };
+                actor.on_message(&mut ctx, env.msg);
+            }
+            self.actors[env.to.0] = Some(actor);
+        }
+    }
+
+    /// Partitioned mode: arrival time of this partition's earliest pending
+    /// event in nanoseconds, or `u64::MAX` when idle.
+    pub(crate) fn par_next_time(&self) -> u64 {
+        match &self.cal {
+            Calendar::Par(p) => p.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos()),
+            Calendar::Seq(_) => unreachable!("par_next_time on a sequential calendar"),
+        }
+    }
+
+    /// Partitioned mode: accept a cross-partition message routed here by
+    /// the coordinator.
+    pub(crate) fn par_push_remote(&mut self, ev: RemoteEvent<M>) {
+        match &mut self.cal {
+            Calendar::Par(p) => {
+                debug_assert_eq!(p.owners[ev.to.0], p.part, "remote event misrouted");
+                p.queue.push(ev.key, Envelope { to: ev.to, msg: ev.msg });
+            }
+            Calendar::Seq(_) => unreachable!("par_push_remote on a sequential calendar"),
+        }
+    }
+
+    /// Partitioned mode: drain the buffered cross-partition sends.
+    pub(crate) fn par_take_outbox(&mut self) -> Vec<(u32, RemoteEvent<M>)> {
+        match &mut self.cal {
+            Calendar::Par(p) => std::mem::take(&mut p.outbox),
+            Calendar::Seq(_) => unreachable!("par_take_outbox on a sequential calendar"),
+        }
+    }
+
+    /// Partitioned mode: lifetime count of cross-partition sends.
+    pub(crate) fn par_remote_sent(&self) -> u64 {
+        match &self.cal {
+            Calendar::Par(p) => p.remote_sent,
+            Calendar::Seq(_) => unreachable!("par_remote_sent on a sequential calendar"),
+        }
     }
 
     /// Mutable access to a registered actor between runs (e.g. to harvest
@@ -376,5 +630,17 @@ mod tests {
         sim.seed_message(a, SimTime(0), "start");
         sim.run();
         assert_eq!(*fired.borrow(), 1);
+    }
+
+    #[test]
+    fn reserve_to_grows_without_installing() {
+        let mut sim: Simulation<()> = Simulation::new(0);
+        let a = sim.reserve_actor();
+        sim.reserve_to(5);
+        sim.reserve_to(3); // never shrinks
+        let b = sim.add_actor(Box::new(|_: &mut Ctx<'_, ()>, ()| {}));
+        assert_eq!(a, ActorId(0));
+        assert_eq!(b, ActorId(5));
+        sim.install(a, Box::new(|_: &mut Ctx<'_, ()>, ()| {}));
     }
 }

@@ -45,6 +45,10 @@ use std::collections::VecDeque;
 pub struct EventToken(pub(crate) u64);
 
 impl EventToken {
+    /// Sentinel returned by sends in partitioned mode, where events are
+    /// not cancellable. Never matches a live slot.
+    pub(crate) const NULL: EventToken = EventToken(u64::MAX);
+
     fn pack(slot: u32, gen: u32) -> EventToken {
         EventToken(((gen as u64) << 32) | slot as u64)
     }
@@ -357,6 +361,156 @@ impl<M> EventQueue<M> {
                 self.heap.swap(i, min);
                 self.slots[self.heap[i].slot as usize].pos = i as u32;
                 self.slots[self.heap[min].slot as usize].pos = min as u32;
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Composite ordering key for events in **partitioned** mode (see
+/// `engine` / `par`): events are totally ordered by
+/// `(arrival time, schedule time, packed chronological tiebreak)`.
+///
+/// The sequential calendar orders same-instant events by a global
+/// sequence number assigned at scheduling time. Worker threads cannot
+/// share such a counter without re-serializing the run, so partitioned
+/// mode replaces it with a key every partition can compute locally:
+///
+/// - `at` — the arrival instant (the primary sort, as before);
+/// - `sched` — the virtual instant the event was *scheduled* at. Runs
+///   execute in virtual-time order, so sequence numbers are assigned in
+///   ascending `sched` order; sorting by `sched` reproduces the seq
+///   order across scheduling instants exactly.
+/// - `packed` — a tiebreak within one scheduling instant: one bit of
+///   *kind* (seed messages sort below runtime sends, as their seqs are
+///   assigned before the run starts; seeds tiebreak on destination actor
+///   id, the order the build loop issues them in), then a 48-bit
+///   **partition-chronological send counter** and the 15-bit sending
+///   partition index.
+///
+/// The counter increments on every send a partition makes, in dispatch
+/// order — it is the partition-local restriction of the sequential
+/// engine's global sequence number. With **one** partition it *is* that
+/// sequence number, so single-partition parallel runs reproduce the
+/// sequential dispatch order exactly, same-instant FIFO cascades
+/// included. Across partitions, two events tie on `(at, sched)` only
+/// when they were scheduled concurrently in different workers — an
+/// ordering the sequential engine resolves by global chronology, which
+/// no local key can reconstruct; the counter-then-partition tiebreak
+/// keeps that residual case deterministic.
+///
+/// Keys are unique per event, so heap pop order is a pure function of
+/// the key set — independent of insertion order, and therefore of
+/// thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Scheduling instant (nanoseconds).
+    pub sched: u64,
+    /// `kind:1 | partition-send-counter:48 | partition:15`.
+    pub packed: u64,
+}
+
+/// A deterministic calendar ordered by [`EventKey`], used by partitioned
+/// workers. Same 4-ary layout as [`EventQueue`], but with explicit keys
+/// and no cancellation or same-instant lane (partitioned mode derives
+/// its total order from keys alone, so no structural fast path may
+/// reorder it).
+pub struct KeyedQueue<M> {
+    heap: Vec<(EventKey, M)>,
+    scheduled: u64,
+    fired: u64,
+}
+
+impl<M> Default for KeyedQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> KeyedQueue<M> {
+    /// An empty keyed calendar.
+    pub fn new() -> Self {
+        KeyedQueue { heap: Vec::new(), scheduled: 0, fired: 0 }
+    }
+
+    /// Insert an event. Keys must be unique (the engine constructs them
+    /// so by including a chronological send counter); `at` must be finite.
+    pub fn push(&mut self, key: EventKey, payload: M) {
+        assert!(key.at != SimTime::NEVER, "cannot schedule at t=∞");
+        self.scheduled += 1;
+        self.heap.push((key, payload));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Remove and return the smallest-key event if it arrives at or
+    /// before `horizon` (inclusive).
+    pub fn pop_not_after(&mut self, horizon: SimTime) -> Option<(EventKey, M)> {
+        if self.heap.first().is_none_or(|(k, _)| k.at > horizon) {
+            return None;
+        }
+        self.fired += 1;
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let out = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(out)
+    }
+
+    /// Arrival time of the earliest event, if any. O(1).
+    pub fn peek_at(&self) -> Option<SimTime> {
+        self.heap.first().map(|(k, _)| k.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Lifetime counters: (scheduled, fired).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.scheduled, self.fired)
+    }
+
+    // ---- 4-ary heap primitives (children of i: 4i+1 ..= 4i+4) ----
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[i].0 < self.heap[parent].0 {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = 4 * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + 4).min(self.heap.len());
+            let mut min = first;
+            for c in first + 1..last {
+                if self.heap[c].0 < self.heap[min].0 {
+                    min = c;
+                }
+            }
+            if self.heap[min].0 < self.heap[i].0 {
+                self.heap.swap(i, min);
                 i = min;
             } else {
                 break;

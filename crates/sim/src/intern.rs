@@ -6,14 +6,19 @@
 //! pointers, so stamping a name is a pointer copy instead of a `String`
 //! allocation, and equality checks usually resolve on the pointer.
 //!
-//! The intern table is thread-local: sweeps that fan emulations out
-//! across threads (`lmas-par`) each keep their own small table, which
-//! avoids any locking on the hot path.
+//! The intern table is global and sharded: partitioned simulation runs
+//! (`lmas-sim`'s parallel kernel, `lmas-par` sweeps) intern names from
+//! many threads at once, and merged reports compare names across the
+//! threads that created them. A name's text picks its shard, so equal
+//! text always lands in the same shard and resolves to the *same*
+//! allocation regardless of thread — `Name` equality stays a pointer
+//! comparison in the common case. Shard locks are uncontended in
+//! sequential runs and name creation is rare (names repeat; the table
+//! hit path is one short critical section).
 
-use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock, Mutex};
 
 /// A cheaply clonable, interned, immutable string.
 #[derive(Clone)]
@@ -27,22 +32,32 @@ impl Name {
     }
 }
 
-/// Intern `s`, returning a shared handle. Repeated calls with equal text
-/// on the same thread return clones of one allocation.
-pub fn intern(s: &str) -> Name {
-    thread_local! {
-        static TABLE: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+const SHARD_COUNT: usize = 16;
+
+static SHARDS: LazyLock<Vec<Mutex<HashSet<Arc<str>>>>> =
+    LazyLock::new(|| (0..SHARD_COUNT).map(|_| Mutex::new(HashSet::new())).collect());
+
+/// FNV-1a shard selector: equal text → equal shard, on every thread.
+fn shard_of(s: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
     }
-    TABLE.with(|table| {
-        let mut table = table.borrow_mut();
-        if let Some(existing) = table.get(s) {
-            Name(existing.clone())
-        } else {
-            let arc: Arc<str> = Arc::from(s);
-            table.insert(arc.clone());
-            Name(arc)
-        }
-    })
+    (h as usize) & (SHARD_COUNT - 1)
+}
+
+/// Intern `s`, returning a shared handle. Repeated calls with equal text
+/// — from any thread — return clones of one allocation.
+pub fn intern(s: &str) -> Name {
+    let mut table = SHARDS[shard_of(s)].lock().unwrap();
+    if let Some(existing) = table.get(s) {
+        Name(existing.clone())
+    } else {
+        let arc: Arc<str> = Arc::from(s);
+        table.insert(arc.clone());
+        Name(arc)
+    }
 }
 
 impl std::ops::Deref for Name {
@@ -62,7 +77,8 @@ impl AsRef<str> for Name {
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        // Same-thread interned names with equal text share one Arc.
+        // Interned names with equal text share one Arc, whichever
+        // threads created them.
         Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
@@ -109,6 +125,33 @@ mod tests {
         assert!(Arc::ptr_eq(&a.0, &b.0));
         assert_eq!(a, b);
         assert_eq!(a, "host0.cpu");
+    }
+
+    #[test]
+    fn concurrent_interning_round_trips() {
+        // Many threads intern overlapping name sets; every handle must
+        // round-trip to its text, and equal text must share one
+        // allocation across threads (stable global identity).
+        let texts: Vec<String> = (0..64).map(|i| format!("par{}.cpu", i % 12)).collect();
+        let per_thread: Vec<Vec<Name>> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..4)
+                .map(|_| {
+                    let texts = &texts;
+                    s.spawn(move || texts.iter().map(|t| intern(t)).collect::<Vec<Name>>())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        for names in &per_thread {
+            for (name, text) in names.iter().zip(&texts) {
+                assert_eq!(name.as_str(), text.as_str());
+            }
+        }
+        for names in &per_thread[1..] {
+            for (a, b) in per_thread[0].iter().zip(names) {
+                assert!(Arc::ptr_eq(&a.0, &b.0), "cross-thread interning must dedupe");
+            }
+        }
     }
 
     #[test]

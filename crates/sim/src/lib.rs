@@ -11,6 +11,8 @@
 //! - [`resource`]: FCFS servers with utilization accounting — the CPUs,
 //!   disks and links of an emulated cluster;
 //! - [`intern`]: interned resource/metric names (allocation-free stamping);
+//! - [`par`]: a conservative partitioned parallel coordinator — the same
+//!   virtual time, byte for byte, across worker threads;
 //! - [`rng`]: seed-derived deterministic random streams;
 //! - [`stats`]: counters, time-weighted values, utilization ledgers;
 //! - [`trace`]: an optional bounded event trace.
@@ -44,6 +46,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod intern;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -51,7 +54,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
-pub use event::{EventQueue, EventToken};
+pub use event::{EventKey, EventQueue, EventToken, KeyedQueue};
+pub use par::{run_partitioned, ParOps, ParOutcome, PartitionWorker};
 pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer};
 pub use intern::{intern, Name};
 pub use resource::{Grant, MultiResource, Resource};

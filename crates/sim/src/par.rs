@@ -1,0 +1,425 @@
+//! Conservative parallel coordinator: bounded-lag windows over
+//! partitioned [`Simulation`]s.
+//!
+//! The actor graph is split across worker threads; each partition runs a
+//! private keyed calendar over the *global* actor-id space (non-owned
+//! slots stay empty). Synchronization is conservative, in the
+//! null-message tradition but window-based so no protocol events pollute
+//! dispatch counts: each round, every partition publishes the arrival
+//! time of its earliest pending event, the fleet agrees on the global
+//! minimum `T`, and — because every cross-partition send carries at least
+//! `L` (the lookahead) of virtual latency — each partition can safely
+//! dispatch everything in `[T, T+L)` without hearing from its peers.
+//! Cross-partition sends buffered during the window are exchanged at the
+//! boundary; they all arrive at `T+L` or later, beyond the window just
+//! run.
+//!
+//! Determinism does not depend on thread interleaving: events carry
+//! composite keys ([`crate::event::EventKey`]) that totally order them
+//! exactly as the sequential engine's `(time, seq)` order would, and keys
+//! are unique, so each partition's dispatch order is a pure function of
+//! the event set. The two barriers per round make the slot reads/writes
+//! race-free (slots are written only before barrier A and read only
+//! between A and B).
+
+use crate::engine::{RemoteEvent, Simulation};
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A reusable barrier that can be *poisoned* by a panicking partition.
+/// `std::sync::Barrier` would leave the surviving partitions deadlocked
+/// mid-round; this one wakes them so the whole run fails loudly instead
+/// of hanging the test suite.
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState { count: 0, generation: 0, poisoned: false }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        // A panicking waiter std-poisons the inner mutex; our own flag is
+        // the signal that matters, so recover the guard in that case.
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poisoned {
+            panic!("a peer partition panicked");
+        }
+        let generation = st.generation;
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cvar.notify_all();
+        } else {
+            while st.generation == generation && !st.poisoned {
+                st = self.cvar.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.poisoned {
+                panic!("a peer partition panicked");
+            }
+        }
+    }
+
+    /// Never panics: called from `Drop` during unwinding.
+    fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// Poisons the shared barrier if its thread unwinds, releasing peers
+/// parked mid-round.
+struct PoisonOnPanic<'a>(&'a PoisonBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// One partition's build/finish hooks for [`run_partitioned`].
+///
+/// `build` runs on the worker thread before the clock starts: reserve the
+/// global id space, install owned actors, seed initial messages (in
+/// ascending actor-id order). `finish` runs after the fleet drains, still
+/// on the worker thread, and may use [`ParOps`] for collective reductions
+/// (every partition must issue the same sequence of collectives).
+///
+/// `Built` carries thread-local state (e.g. `Rc` handles shared with the
+/// actors) from `build` to `finish`; it never crosses threads, so it need
+/// not be `Send`.
+pub trait PartitionWorker<M, T>: Send {
+    /// Thread-local state handed from `build` to `finish`.
+    type Built;
+
+    /// Install this partition's actors and seeds.
+    fn build(&mut self, sim: &mut Simulation<M>) -> Self::Built;
+
+    /// Harvest results once the fleet has drained.
+    fn finish(self, built: Self::Built, sim: Simulation<M>, ops: &ParOps<'_>) -> T;
+}
+
+/// Collective operations available to [`PartitionWorker::finish`].
+pub struct ParOps<'a> {
+    me: usize,
+    slots: &'a [AtomicU64],
+    barrier: &'a PoisonBarrier,
+}
+
+impl ParOps<'_> {
+    /// This partition's index.
+    pub fn partition(&self) -> usize {
+        self.me
+    }
+
+    /// Barrier-synchronized max-reduction over all partitions. Every
+    /// partition must call this the same number of times, in the same
+    /// order.
+    pub fn allreduce_max(&self, v: u64) -> u64 {
+        self.slots[self.me].store(v, Ordering::SeqCst);
+        self.barrier.wait();
+        let m = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        self.barrier.wait();
+        m
+    }
+}
+
+/// What a partitioned run produced, plus fleet-level counters.
+#[derive(Debug)]
+pub struct ParOutcome<T> {
+    /// Per-partition results, in partition order.
+    pub results: Vec<T>,
+    /// Total dispatches across all partitions (equals the sequential
+    /// dispatch count for an equivalent run).
+    pub dispatched: u64,
+    /// Number of lookahead windows executed.
+    pub windows: u64,
+    /// Critical-path dispatches: `Σ_w max_p dispatches(p, w)`. The
+    /// virtual-parallelism analogue of wall-clock — what a `P`-core
+    /// machine cannot go below. `dispatched / critical_dispatched` is the
+    /// model speedup.
+    pub critical_dispatched: u64,
+    /// Cross-partition messages exchanged.
+    pub remote_messages: u64,
+}
+
+/// Run one partitioned simulation to completion.
+///
+/// `owners[actor_id]` names the partition owning each global actor id;
+/// `workers[p]` builds and harvests partition `p`. `lookahead` must be a
+/// positive lower bound on the virtual latency of every cross-partition
+/// send (enforced per send; violations panic).
+pub fn run_partitioned<M, T, W>(
+    seed: u64,
+    owners: Arc<Vec<u32>>,
+    lookahead: SimDuration,
+    workers: Vec<W>,
+) -> ParOutcome<T>
+where
+    M: Send,
+    T: Send,
+    W: PartitionWorker<M, T>,
+{
+    let nparts = workers.len();
+    assert!(nparts > 0, "need at least one partition");
+    assert!(
+        owners.iter().all(|&o| (o as usize) < nparts),
+        "actor owner out of partition range"
+    );
+    let la = lookahead.as_nanos();
+    assert!(la > 0, "lookahead must be positive");
+
+    let slots: Vec<AtomicU64> = (0..nparts).map(|_| AtomicU64::new(0)).collect();
+    let barrier = PoisonBarrier::new(nparts);
+    let mailboxes: Vec<Mutex<Vec<RemoteEvent<M>>>> =
+        (0..nparts).map(|_| Mutex::new(Vec::new())).collect();
+
+    let per_part: Vec<(T, u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(p, mut worker)| {
+                let owners = owners.clone();
+                let slots = &slots;
+                let barrier = &barrier;
+                let mailboxes = &mailboxes;
+                scope.spawn(move || {
+                    let _guard = PoisonOnPanic(barrier);
+                    let mut sim =
+                        Simulation::new_partition(seed, p as u32, owners, lookahead);
+                    let built = worker.build(&mut sim);
+                    let mut per_window: Vec<u64> = Vec::new();
+                    loop {
+                        // Accept mail posted at the previous boundary, then
+                        // publish our next-event time.
+                        for ev in std::mem::take(&mut *mailboxes[p].lock().unwrap()) {
+                            sim.par_push_remote(ev);
+                        }
+                        slots[p].store(sim.par_next_time(), Ordering::SeqCst);
+                        barrier.wait(); // A: all slots published
+                        let t = slots
+                            .iter()
+                            .map(|s| s.load(Ordering::SeqCst))
+                            .min()
+                            .expect("non-empty fleet");
+                        if t == u64::MAX {
+                            // Every calendar is empty and (by protocol
+                            // phasing) no mail is in flight: drained. The
+                            // extra barrier keeps peers from reusing the
+                            // slots (finish-time collectives) while
+                            // laggards are still reading them.
+                            barrier.wait();
+                            break;
+                        }
+                        // No remote arrival can land inside [t, t+L):
+                        // every one is at >= sender_now + L >= t + L.
+                        let horizon = SimTime(t.saturating_add(la - 1));
+                        per_window.push(sim.run_window(horizon));
+                        for (dest, ev) in sim.par_take_outbox() {
+                            mailboxes[dest as usize].lock().unwrap().push(ev);
+                        }
+                        barrier.wait(); // B: all mail delivered before next round
+                    }
+                    let dispatched = sim.dispatched();
+                    let remote = sim.par_remote_sent();
+                    let ops = ParOps { me: p, slots, barrier };
+                    let result = worker.finish(built, sim, &ops);
+                    (result, dispatched, remote, per_window)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("partition worker panicked"))
+            .collect()
+    });
+
+    let windows = per_part[0].3.len();
+    debug_assert!(per_part.iter().all(|(_, _, _, w)| w.len() == windows));
+    let critical_dispatched: u64 = (0..windows)
+        .map(|w| per_part.iter().map(|(_, _, _, pw)| pw[w]).max().unwrap_or(0))
+        .sum();
+    ParOutcome {
+        dispatched: per_part.iter().map(|(_, d, _, _)| d).sum(),
+        remote_messages: per_part.iter().map(|(_, _, r, _)| r).sum(),
+        windows: windows as u64,
+        critical_dispatched,
+        results: per_part.into_iter().map(|(t, _, _, _)| t).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ActorId, Ctx, RunOutcome};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const RING: usize = 4;
+    const HOPS: u32 = 40;
+    const DELAY: u64 = 100;
+    const LOOKAHEAD: u64 = 50;
+
+    type Log = Vec<(u64, usize, u32)>;
+
+    /// Install ring actor `i` (forwards a countdown token to `(i+1)%RING`
+    /// after DELAY ns) into `sim`, logging every visit.
+    type RingActor = Box<dyn FnMut(&mut Ctx<'_, u32>, u32)>;
+
+    fn ring_actor(i: usize, log: Rc<RefCell<Log>>) -> RingActor {
+        Box::new(move |ctx: &mut Ctx<'_, u32>, hops: u32| {
+            log.borrow_mut().push((ctx.now().as_nanos(), i, hops));
+            if hops > 0 {
+                ctx.send(
+                    ActorId((i + 1) % RING),
+                    SimDuration::from_nanos(DELAY),
+                    hops - 1,
+                );
+            }
+        })
+    }
+
+    fn sequential_log() -> Log {
+        let log: Rc<RefCell<Log>> = Rc::default();
+        let mut sim: Simulation<u32> = Simulation::new(9);
+        for i in 0..RING {
+            let l = log.clone();
+            sim.add_actor(Box::new(ring_actor(i, l)));
+        }
+        sim.seed_message(ActorId(0), SimTime(0), HOPS);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        let out = log.borrow().clone();
+        out
+    }
+
+    struct RingWorker {
+        part: u32,
+        owners: Arc<Vec<u32>>,
+    }
+
+    impl PartitionWorker<u32, Log> for RingWorker {
+        type Built = Rc<RefCell<Log>>;
+
+        fn build(&mut self, sim: &mut Simulation<u32>) -> Self::Built {
+            let log: Rc<RefCell<Log>> = Rc::default();
+            sim.reserve_to(RING);
+            for i in 0..RING {
+                if self.owners[i] == self.part {
+                    sim.install(ActorId(i), Box::new(ring_actor(i, log.clone())));
+                }
+            }
+            if self.owners[0] == self.part {
+                sim.seed_message(ActorId(0), SimTime(0), HOPS);
+            }
+            log
+        }
+
+        fn finish(self, built: Self::Built, sim: Simulation<u32>, ops: &ParOps<'_>) -> Log {
+            let end = ops.allreduce_max(sim.now().as_nanos());
+            assert_eq!(end, (HOPS as u64) * DELAY);
+            drop(sim); // actors (and their Rc clones) die with the engine
+            Rc::try_unwrap(built).expect("sole owner").into_inner()
+        }
+    }
+
+    fn parallel_log(owners: Vec<u32>, nparts: usize) -> (Log, ParOutcome<()>) {
+        let owners = Arc::new(owners);
+        let workers: Vec<RingWorker> = (0..nparts)
+            .map(|p| RingWorker { part: p as u32, owners: owners.clone() })
+            .collect();
+        let outcome = run_partitioned(9, owners, SimDuration::from_nanos(LOOKAHEAD), workers);
+        let mut merged: Log = outcome.results.iter().flatten().copied().collect();
+        merged.sort_unstable();
+        let stats = ParOutcome {
+            results: vec![],
+            dispatched: outcome.dispatched,
+            windows: outcome.windows,
+            critical_dispatched: outcome.critical_dispatched,
+            remote_messages: outcome.remote_messages,
+        };
+        (merged, stats)
+    }
+
+    #[test]
+    fn partitioned_ring_matches_sequential() {
+        let seq = sequential_log();
+        for (owners, nparts) in [
+            (vec![0, 0, 0, 0], 1),
+            (vec![0, 1, 0, 1], 2),
+            (vec![0, 1, 2, 3], 4),
+        ] {
+            let (par, stats) = parallel_log(owners, nparts);
+            assert_eq!(par, seq, "{nparts}-way partition diverged");
+            assert_eq!(stats.dispatched, (HOPS as u64) + 1);
+            if nparts > 1 {
+                assert!(stats.remote_messages > 0, "ring must cross partitions");
+            } else {
+                assert_eq!(stats.remote_messages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_run_is_repeatable() {
+        let (a, sa) = parallel_log(vec![0, 1, 0, 1], 2);
+        let (b, sb) = parallel_log(vec![0, 1, 0, 1], 2);
+        assert_eq!(a, b);
+        assert_eq!(sa.windows, sb.windows);
+        assert_eq!(sa.critical_dispatched, sb.critical_dispatched);
+        assert_eq!(sa.remote_messages, sb.remote_messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition worker panicked")]
+    fn lookahead_violation_is_fatal() {
+        struct Eager {
+            part: u32,
+        }
+        impl PartitionWorker<(), ()> for Eager {
+            type Built = ();
+            fn build(&mut self, sim: &mut Simulation<()>) {
+                sim.reserve_to(2);
+                if self.part == 0 {
+                    // Sends to the remote actor with zero delay: inside
+                    // the lookahead window, which the engine must reject.
+                    sim.install(
+                        ActorId(0),
+                        Box::new(|ctx: &mut Ctx<'_, ()>, ()| {
+                            ctx.send_now(ActorId(1), ());
+                        }),
+                    );
+                    sim.seed_message(ActorId(0), SimTime(0), ());
+                } else {
+                    sim.install(ActorId(1), Box::new(|_: &mut Ctx<'_, ()>, ()| {}));
+                }
+            }
+            fn finish(self, _: (), _: Simulation<()>, _: &ParOps<'_>) {}
+        }
+        let owners = Arc::new(vec![0u32, 1]);
+        let workers = vec![Eager { part: 0 }, Eager { part: 1 }];
+        run_partitioned::<(), (), _>(0, owners, SimDuration::from_nanos(50), workers);
+    }
+}

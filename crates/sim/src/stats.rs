@@ -27,6 +27,11 @@ impl Counter {
     pub fn get(self) -> u64 {
         self.0
     }
+    /// Fold another partition's counter into this one.
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
 }
 
 /// Integral of a piecewise-constant value over virtual time; yields the
@@ -178,6 +183,25 @@ impl UtilizationLedger {
         }
         self.total_busy.as_nanos() as f64 / horizon.as_nanos() as f64
     }
+
+    /// Fold another ledger (same bin width) into this one, bin-wise.
+    /// Busy intervals are disjoint facts about virtual time, so the merge
+    /// of per-partition ledgers equals the sequential ledger exactly —
+    /// bins are integer nanosecond sums, with no float accumulation
+    /// order to worry about.
+    pub fn merge(&mut self, other: &UtilizationLedger) {
+        assert_eq!(
+            self.bin_width, other.bin_width,
+            "cannot merge ledgers with different bin widths"
+        );
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.total_busy += other.total_busy;
+    }
 }
 
 /// A power-of-two bucketed histogram of durations (latency distributions).
@@ -227,6 +251,20 @@ impl DurationHistogram {
     /// Largest sample.
     pub fn max(&self) -> SimDuration {
         SimDuration(self.max)
+    }
+
+    /// Fold another histogram into this one, bucket-wise. Exact: buckets,
+    /// counts, sums, and maxima are all order-independent.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile (upper edge of the bucket containing it).
@@ -326,6 +364,54 @@ mod tests {
         h.record(SimDuration::ZERO);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merges_equal_the_unpartitioned_aggregates() {
+        // Counter: partition sums == whole.
+        let mut c = Counter(3);
+        c.merge(Counter(4));
+        assert_eq!(c.get(), 7);
+
+        // Ledger: splitting the busy intervals across two ledgers and
+        // merging reproduces the single-ledger series bit-for-bit.
+        let mut whole = UtilizationLedger::new(SimDuration(10));
+        whole.add_busy(SimTime(5), SimTime(25));
+        whole.add_busy(SimTime(30), SimTime(31));
+        let mut a = UtilizationLedger::new(SimDuration(10));
+        let mut b = UtilizationLedger::new(SimDuration(10));
+        a.add_busy(SimTime(5), SimTime(25));
+        b.add_busy(SimTime(30), SimTime(31));
+        a.merge(&b);
+        assert_eq!(a.series(SimTime(35)), whole.series(SimTime(35)));
+        assert_eq!(a.total_busy(), whole.total_busy());
+
+        // Histogram: bucket-wise merge matches recording everything in one.
+        let mut whole_h = DurationHistogram::new();
+        let mut ha = DurationHistogram::new();
+        let mut hb = DurationHistogram::new();
+        for ns in [1u64, 2, 4, 8, 1024] {
+            whole_h.record(SimDuration(ns));
+        }
+        for ns in [1u64, 4, 1024] {
+            ha.record(SimDuration(ns));
+        }
+        for ns in [2u64, 8] {
+            hb.record(SimDuration(ns));
+        }
+        ha.merge(&hb);
+        assert_eq!(ha.count(), whole_h.count());
+        assert_eq!(ha.mean(), whole_h.mean());
+        assert_eq!(ha.max(), whole_h.max());
+        assert_eq!(ha.quantile(0.5), whole_h.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn ledger_merge_rejects_mismatched_bins() {
+        let mut a = UtilizationLedger::new(SimDuration(10));
+        let b = UtilizationLedger::new(SimDuration(20));
+        a.merge(&b);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// One recorded occurrence.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TraceEntry {
     /// When it happened.
     pub at: SimTime,
@@ -22,7 +22,28 @@ pub struct TraceEntry {
     pub subject: Name,
     /// Free-form description.
     pub detail: String,
+    /// Dispatch ordering key within the instant, `(sched, packed)` from
+    /// the partitioned engine ([`crate::engine::Ctx::par_key`]); `(0, 0)`
+    /// for sequential runs. Lets [`Trace::merge`] interleave per-partition
+    /// traces back into the exact sequential order. Bookkeeping only —
+    /// excluded from equality and rendering.
+    key: (u64, u64),
 }
+
+impl TraceEntry {
+    /// The entry's dispatch ordering key (see the field doc). Exposed
+    /// for diagnostics; not part of the entry's identity.
+    pub fn order_key(&self) -> (u64, u64) {
+        self.key
+    }
+}
+
+impl PartialEq for TraceEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.subject == other.subject && self.detail == other.detail
+    }
+}
+impl Eq for TraceEntry {}
 
 /// A bounded in-memory event trace.
 #[derive(Debug, Clone)]
@@ -68,7 +89,7 @@ impl Trace {
         if !self.enabled {
             return;
         }
-        self.push(at, intern(subject.as_ref()), detail.into());
+        self.push(at, (0, 0), intern(subject.as_ref()), detail.into());
     }
 
     /// Record an entry built lazily: `f` runs — and its strings are
@@ -80,19 +101,63 @@ impl Trace {
         D: Into<String>,
         F: FnOnce() -> (S, D),
     {
+        self.record_with_key(at, (0, 0), f)
+    }
+
+    /// [`Trace::record_with`], additionally stamping the entry with its
+    /// dispatch ordering key so per-partition traces can be merged in
+    /// exact sequential order. Sequential callers pass `(0, 0)` (or use
+    /// `record_with`).
+    pub fn record_with_key<S, D, F>(&mut self, at: SimTime, key: (u64, u64), f: F)
+    where
+        S: AsRef<str>,
+        D: Into<String>,
+        F: FnOnce() -> (S, D),
+    {
         if !self.enabled {
             return;
         }
         let (subject, detail) = f();
-        self.push(at, intern(subject.as_ref()), detail.into());
+        self.push(at, key, intern(subject.as_ref()), detail.into());
     }
 
-    fn push(&mut self, at: SimTime, subject: Name, detail: String) {
+    fn push(&mut self, at: SimTime, key: (u64, u64), subject: Name, detail: String) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry { at, subject, detail });
+        self.entries.push_back(TraceEntry { at, subject, detail, key });
+    }
+
+    /// Merge per-partition traces into the trace an equivalent sequential
+    /// run would have produced.
+    ///
+    /// Entries are ordered canonically by `(time, dispatch key)` — the
+    /// partitioned engine's total dispatch order — with a stable sort, so
+    /// entries recorded in one dispatch keep their emission order. Each
+    /// partition's ring buffer retains a *suffix* of its own (ordered)
+    /// pushes, and the global tail window of `capacity` entries is
+    /// contained in the union of those suffixes, so the merged trace is
+    /// byte-identical to the sequential ring buffer, including the
+    /// dropped count.
+    pub fn merge(parts: Vec<Trace>) -> Trace {
+        if !parts.iter().any(|t| t.enabled) {
+            return Trace::disabled();
+        }
+        let capacity = parts.iter().map(|t| t.capacity).max().expect("non-empty parts");
+        let pushes: u64 = parts
+            .iter()
+            .map(|t| t.entries.len() as u64 + t.dropped)
+            .sum();
+        let mut all: Vec<TraceEntry> = Vec::new();
+        for t in parts {
+            all.extend(t.entries);
+        }
+        all.sort_by_key(|e| (e.at, e.key));
+        let skip = all.len().saturating_sub(capacity);
+        let entries: VecDeque<TraceEntry> = all.into_iter().skip(skip).collect();
+        let dropped = pushes - entries.len() as u64;
+        Trace { entries, capacity, enabled: true, dropped }
     }
 
     /// Entries currently retained, oldest first.
@@ -176,6 +241,64 @@ mod tests {
         let e = t.entries().next().unwrap();
         assert_eq!(e.subject, "s1");
         assert_eq!(e.detail, "n=42");
+    }
+
+    #[test]
+    fn merge_reconstructs_sequential_order() {
+        // Two partitions record interleaved instants; within one instant
+        // the dispatch key decides. The merge must equal a single trace
+        // that saw every record in (at, key) order.
+        let mut a = Trace::enabled(16);
+        let mut b = Trace::enabled(16);
+        a.record_with_key(SimTime(1), (0, 2), || ("p0", "e1"));
+        a.record_with_key(SimTime(3), (1, 0), || ("p0", "e3"));
+        b.record_with_key(SimTime(1), (0, 7), || ("p1", "e2"));
+        b.record_with_key(SimTime(2), (1, 1), || ("p1", "early"));
+        let merged = Trace::merge(vec![a, b]);
+        let got: Vec<(u64, String)> = merged
+            .entries()
+            .map(|e| (e.at.as_nanos(), e.detail.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, "e1".into()),
+                (1, "e2".into()),
+                (2, "early".into()),
+                (3, "e3".into())
+            ]
+        );
+        assert_eq!(merged.dropped(), 0);
+    }
+
+    #[test]
+    fn merge_respects_capacity_and_counts_drops() {
+        // Global capacity 2: merging 4 retained entries keeps the last
+        // two in canonical order and accounts the rest (plus any entries
+        // the partitions had already evicted) as dropped.
+        let mut a = Trace::enabled(2);
+        let mut b = Trace::enabled(2);
+        for t in [1u64, 5, 9] {
+            a.record_with_key(SimTime(t), (t, 0), || ("a", "x")); // t=1 evicted locally
+        }
+        b.record_with_key(SimTime(3), (3, 0), || ("b", "y"));
+        b.record_with_key(SimTime(7), (7, 0), || ("b", "y"));
+        let merged = Trace::merge(vec![a, b]);
+        let ats: Vec<u64> = merged.entries().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(ats, [7, 9]);
+        assert_eq!(merged.dropped(), 3);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_of_single_partition_is_identity() {
+        let mut a = Trace::enabled(4);
+        a.record(SimTime(1), "s", "d1");
+        a.record(SimTime(2), "s", "d2");
+        let before = a.render();
+        let merged = Trace::merge(vec![a]);
+        assert_eq!(merged.render(), before);
+        assert!(Trace::merge(vec![Trace::disabled(), Trace::disabled()]).is_empty());
     }
 
     #[test]

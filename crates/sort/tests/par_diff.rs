@@ -1,0 +1,134 @@
+//! Differential property tests for the partitioned parallel kernel:
+//! random cluster shapes × random fault plans, run at
+//! `threads ∈ {1, 2, 4}`, must satisfy the determinism contract spelled
+//! out in `tests/common` — bit-for-bit sequential equality at one
+//! partition, byte-identity between equal partition counts, conserved
+//! aggregates plus an exact final output across partition counts.
+//! `scripts/check.sh` runs this suite as part of the parallel gate.
+
+mod common;
+
+use common::{
+    assert_equiv_report, assert_same_faulty_sort, assert_same_sort, output_keys_fnv, TraceEq,
+};
+use lmas_core::{generate_rec128, KeyDist, RoutingPolicy};
+use lmas_emulator::{asu_index, ClusterConfig, FaultSpec};
+use lmas_sim::{FaultPlan, SimDuration, SimTime};
+use lmas_sort::{run_dsm_sort, run_dsm_sort_faulty, DsmConfig, LoadMode};
+use proptest::prelude::*;
+
+fn dsm() -> DsmConfig {
+    DsmConfig::new(4, 256, 4, 64)
+}
+
+fn mode_for(routing: usize) -> LoadMode {
+    match routing {
+        0 => LoadMode::Static,
+        1 => LoadMode::Managed(RoutingPolicy::RoundRobin),
+        _ => LoadMode::Managed(RoutingPolicy::SimpleRandomization),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any eligible cluster shape, at any thread count, reproduces the
+    /// sequential run: bit-for-bit at one partition, conserved
+    /// aggregates + exact final output at several, byte-identical
+    /// whenever two thread counts resolve to the same partition count.
+    #[test]
+    fn random_shapes_match_sequential_at_every_thread_count(
+        hosts in 1usize..4,
+        extra_asus in 0usize..3,
+        n in 1_000u64..3_000,
+        seed in 0u64..1_000,
+        routing in 0usize..3,
+    ) {
+        let asus = hosts + extra_asus;
+        let mode = mode_for(routing);
+        let mut base = ClusterConfig::era_2002(hosts, asus, 8.0).with_trace(4096);
+        base.seed = seed;
+        let data = generate_rec128(n, KeyDist::Uniform, seed);
+
+        let seq = run_dsm_sort(&base, data.clone(), &dsm(), mode).unwrap();
+        prop_assert!(seq.pass1.par.is_none(), "threads=1 stays sequential");
+
+        let par2 = run_dsm_sort(&base.with_threads(2), data.clone(), &dsm(), mode).unwrap();
+        let par4 = run_dsm_sort(&base.with_threads(4), data.clone(), &dsm(), mode).unwrap();
+        for (threads, par) in [(2usize, &par2), (4, &par4)] {
+            let stats = par.pass1.par.as_ref().expect("eligible run parallelizes");
+            prop_assert_eq!(
+                stats.partitions,
+                threads.min(hosts),
+                "partition count is bounded by hosts"
+            );
+            if stats.partitions <= 1 {
+                assert_same_sort(&seq, par, TraceEq::Exact);
+            } else {
+                assert_equiv_report(&seq.pass1, &par.pass1, "pass1");
+                assert_equiv_report(&seq.pass2, &par.pass2, "pass2");
+                prop_assert_eq!(
+                    output_keys_fnv(&seq),
+                    output_keys_fnv(par),
+                    "final sorted output diverges"
+                );
+            }
+        }
+        // threads=2 and threads=4 resolve to the same partitioning when
+        // hosts <= 2, so those two runs must be byte-identical.
+        if 2usize.min(hosts) == 4usize.min(hosts) {
+            assert_same_sort(&par2, &par4, TraceEq::Exact);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A run with an active fault plan keeps its faulted pass on the
+    /// sequential path at any thread count; recovery accounting and the
+    /// repaired output never change under `with_threads`.
+    #[test]
+    fn fault_plans_keep_faulted_pass_sequential_and_output_stable(
+        victim in 0usize..3,
+        crash_frac in 0.2f64..0.8,
+        recovers in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let mut base = ClusterConfig::era_2002(2, 3, 8.0).with_trace(2048);
+        base.seed = seed;
+        let mode = LoadMode::Managed(RoutingPolicy::SimpleRandomization);
+        let data = generate_rec128(2_000, KeyDist::Uniform, seed);
+
+        // Fault-free run fixes the pass-1 makespan the crash is scaled by.
+        let golden = run_dsm_sort(&base, data.clone(), &dsm(), mode).unwrap();
+        let t_crash =
+            SimTime((golden.pass1.makespan.as_secs_f64() * crash_frac * 1e9) as u64);
+        let mut plan = FaultPlan::new().crash(asu_index(&base, victim), t_crash);
+        if recovers {
+            plan = plan.recover(
+                asu_index(&base, victim),
+                t_crash + SimDuration::from_millis(40),
+            );
+        }
+        let spec = FaultSpec::with_plan(plan);
+
+        let seq = run_dsm_sort_faulty(&base, &spec, data.clone(), &dsm(), mode).unwrap();
+        prop_assert!(seq.pass1.par.is_none());
+        for threads in [2usize, 4] {
+            let fell_back = run_dsm_sort_faulty(
+                &base.with_threads(threads),
+                &spec,
+                data.clone(),
+                &dsm(),
+                mode,
+            )
+            .unwrap();
+            prop_assert!(
+                fell_back.pass1.par.is_none(),
+                "the faulted pass must not use the partitioned engine"
+            );
+            assert_same_faulty_sort(&seq, &fell_back);
+        }
+    }
+}

@@ -5,16 +5,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo test (workspace) =="
-cargo test -q
+cargo test -q --workspace
 
 echo "== cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== determinism gate (seeded emulation + chaos + planned run, twice, diff) =="
+echo "== determinism gate (seeded emulation + chaos + planned + parallel run, twice, diff) =="
 # The determinism binary covers the fault-free pinned sort, a pinned
-# chaos run (ASU crash + lossy link), and a planner-placed run with the
-# balancer armed: bounces, retries, fencing, repair, plan reports, and
-# reweights must all be run-to-run stable.
+# chaos run (ASU crash + lossy link), a planner-placed run with the
+# balancer armed, and a threads=4 partitioned run: bounces, retries,
+# fencing, repair, plan reports, reweights, and the parallel kernel's
+# merged reports must all be run-to-run stable despite real thread
+# interleaving.
 cargo build -q --release -p lmas-bench --bin determinism
 run1="$(./target/release/determinism)"
 run2="$(./target/release/determinism)"
@@ -24,6 +26,16 @@ if [ "$run1" != "$run2" ]; then
     exit 1
 fi
 echo "$run1"
+
+echo "== parallel kernel gate (goldens at 1/2/4 threads, byte-diffed) =="
+# par_golden re-runs the frozen sequential pins of tests/golden.rs at
+# threads 2 and 4 (makespans, dispatch counts, trace FNVs — all must
+# match the pre-parallel constants byte-for-byte) and pins
+# representative multi-host partitioned runs; par_diff fuzzes random
+# cluster shapes × random fault plans across thread counts. Named here
+# so a parallel-kernel regression fails loudly in its own step.
+cargo test -q -p lmas-sort --test par_golden --test par_diff > /dev/null
+echo "parallel gate verified (sequential pins hold at threads 1/2/4; fault plans fall back)"
 
 echo "== chaos recovery gate (fault sweep at reduced scale) =="
 # Every cell of the sweep verifies its recovered output byte-identical
