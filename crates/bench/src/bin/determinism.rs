@@ -174,4 +174,109 @@ fn main() {
             fnv1a(report.trace.render().bytes())
         );
     }
+
+    // Faulted-parallel section: a pinned chaos plan (ASU crash +
+    // recovery + lossy link) through the partitioned engine. Fault
+    // injection runs as static timelines and per-partition controllers,
+    // so every fault observable — bounces, retries, fencing, detection,
+    // repair — must be identical run to run under real threads. The
+    // window-width histogram is a virtual-time quantity and diffs too;
+    // the barrier-wait histogram is wall-clock and is deliberately NOT
+    // printed.
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0).with_trace(4096).with_threads(4);
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let t_crash = SimTime(par.pass1.makespan.0 / 3);
+    let plan = FaultPlan::new()
+        .crash(asu_index(&cluster, 1), t_crash)
+        .recover(asu_index(&cluster, 1), t_crash + SimDuration::from_millis(40))
+        .link_loss(0, asu_index(&cluster, 0), SimTime::ZERO, 0.05);
+    let spec = FaultSpec::with_plan(plan);
+    let pf = run_dsm_sort_faulty(
+        &cluster,
+        &spec,
+        data,
+        &dsm,
+        LoadMode::Managed(RoutingPolicy::SimpleRandomization),
+    )
+    .expect("pinned faulted parallel sort runs");
+    let stats = pf.pass1.par.as_ref().expect("faulted run uses the partitioned engine");
+    assert!(pf.pass1.par_fallback.is_none(), "no fallback reason on an eligible faulted run");
+    println!(
+        "parfault.partitions {} parfault.windows {} parfault.remote_messages {}",
+        stats.partitions, stats.windows, stats.remote_messages
+    );
+    println!(
+        "parfault.dispatched {} parfault.critical_dispatched {}",
+        pf.pass1.dispatched, stats.critical_dispatched
+    );
+    println!(
+        "parfault.window_width_fnv {:016x}",
+        fnv1a(stats.window_width_hist.buckets.iter().flat_map(|c| c.to_le_bytes()))
+    );
+    println!("parfault.pass1.makespan_ns {}", pf.pass1.makespan.as_nanos());
+    println!("parfault.total_ns {}", pf.total.as_nanos());
+    let s = pf.pass1.fault;
+    println!(
+        "parfault.fault retries {} nacks {} drops {} lost {} abandoned {} fenced {} detections {}",
+        s.retries, s.nacks, s.drops, s.lost_queued_records, s.abandoned_records,
+        s.fenced_instances, s.detections
+    );
+    println!("parfault.recovered_records {}", pf.recovered_records);
+    let pf_hash = fnv1a(
+        pf.output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let pf_records: usize = pf.output.iter().map(|p| p.len()).sum();
+    println!("parfault.output.records {pf_records} parfault.output.key_fnv {pf_hash:016x}");
+    for (pass, report) in [("pass1", &pf.pass1), ("pass2", &pf.pass2)] {
+        println!(
+            "parfault.{pass}.trace lines {} fnv {:016x}",
+            report.trace.len(),
+            fnv1a(report.trace.render().bytes())
+        );
+    }
+
+    // Balanced-parallel section: the snapshot balancer through the
+    // partitioned engine. Instances self-report backlog on the sampling
+    // grid and the single balancer actor reweights from the previous
+    // window's snapshot, so the reweight count and every downstream
+    // observable must be run-to-run stable under real threads.
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_trace(4096)
+        .with_threads(4)
+        .with_balancer(BalanceSpec::every(SimDuration::from_micros(500)));
+    let data = generate_rec128(n, KeyDist::Uniform, 1);
+    let pb = run_dsm_sort(
+        &cluster,
+        data,
+        &dsm,
+        LoadMode::Managed(RoutingPolicy::SimpleRandomization),
+    )
+    .expect("pinned balanced parallel sort runs");
+    let stats = pb.pass1.par.as_ref().expect("balanced run uses the partitioned engine");
+    assert!(pb.pass1.par_fallback.is_none(), "no fallback reason on a snapshot-balanced run");
+    println!(
+        "parbal.partitions {} parbal.windows {} parbal.remote_messages {}",
+        stats.partitions, stats.windows, stats.remote_messages
+    );
+    println!("parbal.reweights {} {}", pb.pass1.reweights, pb.pass2.reweights);
+    println!("parbal.pass1.makespan_ns {}", pb.pass1.makespan.as_nanos());
+    println!("parbal.total_ns {}", pb.total.as_nanos());
+    let pb_hash = fnv1a(
+        pb.output
+            .iter()
+            .flat_map(|p| p.records())
+            .flat_map(|r| r.key().to_le_bytes()),
+    );
+    let pb_records: usize = pb.output.iter().map(|p| p.len()).sum();
+    println!("parbal.output.records {pb_records} parbal.output.key_fnv {pb_hash:016x}");
+    for (pass, report) in [("pass1", &pb.pass1), ("pass2", &pb.pass2)] {
+        println!(
+            "parbal.{pass}.trace lines {} fnv {:016x}",
+            report.trace.len(),
+            fnv1a(report.trace.render().bytes())
+        );
+    }
 }

@@ -41,6 +41,15 @@ pub struct BalanceSpec {
     /// Weight floor for live replicas, in (0, 1]. Keeps every replica
     /// reachable so a transiently slow node can recover its share.
     pub min_weight: f64,
+    /// Compat mode: sample backlog *live* at the balancer instead of
+    /// through the snapshot protocol. The pre-snapshot semantics — the
+    /// balancer actor reads the shared gauges and node clocks directly at
+    /// its tick — which cannot run partitioned, so it forces the
+    /// sequential engine (`par_fallback = "balancer"`). Default `false`
+    /// (snapshot mode: instances self-report depth on the sampling grid,
+    /// the balancer reweights from the previous window's reports, one
+    /// window delayed, identical in both engines).
+    pub live: bool,
 }
 
 impl BalanceSpec {
@@ -52,6 +61,7 @@ impl BalanceSpec {
             deadband: 0,
             cpu_deadband: SimDuration::ZERO,
             min_weight: 0.0,
+            live: false,
         }
     }
 
@@ -64,6 +74,7 @@ impl BalanceSpec {
             deadband: 2048,
             cpu_deadband: SimDuration::from_millis(20),
             min_weight: 0.05,
+            live: false,
         }
     }
 
@@ -76,6 +87,13 @@ impl BalanceSpec {
     /// This spec with the given CPU-backlog deadband.
     pub const fn with_cpu_deadband(mut self, spread: SimDuration) -> BalanceSpec {
         self.cpu_deadband = spread;
+        self
+    }
+
+    /// This spec in live-read compat mode (see the `live` field):
+    /// pre-snapshot semantics, sequential engine only.
+    pub const fn live_sampling(mut self) -> BalanceSpec {
+        self.live = true;
         self
     }
 

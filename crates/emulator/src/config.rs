@@ -41,6 +41,12 @@ pub struct ClusterConfig {
     pub link_bytes_per_sec: f64,
     /// One-way network latency.
     pub link_latency: SimDuration,
+    /// Fixed per-frame NIC bytes charged on every transfer (headers,
+    /// preamble). Zero by default. Together with `link_latency` it sets
+    /// the *minimum cross-node delay* the partitioned engine uses as its
+    /// lookahead, so zero-latency links with a positive per-hop charge
+    /// still parallelize.
+    pub nic_frame_overhead_bytes: u64,
     /// ASU memory available for functor state and buffers.
     pub asu_mem_bytes: usize,
     /// Host memory available for functor state and buffers.
@@ -67,9 +73,12 @@ pub struct ClusterConfig {
     /// the classic sequential engine. Larger values partition the actor
     /// graph across threads under conservative lookahead synchronization
     /// (see `lmas_sim::par`); virtual time stays byte-identical, wall
-    /// clock shrinks. Runs that the partitioned engine cannot preserve
-    /// exactly (fault plans, the balancer, backlog-sensitive routing)
-    /// fall back to the sequential path automatically.
+    /// clock shrinks. Fault plans and the (snapshot-mode) balancer run
+    /// partitioned too; the few shapes the partitioned engine cannot
+    /// preserve exactly (backlog-sensitive routing, zero cross-node
+    /// delay, `fail_fast` fault specs, the live-read balancer compat
+    /// mode) fall back to the sequential path, recording the reason in
+    /// `EmulationReport::par_fallback`.
     pub threads: usize,
 }
 
@@ -90,6 +99,7 @@ impl ClusterConfig {
             // links, saturate (the paper's stated network assumption).
             link_bytes_per_sec: 1.0e9,
             link_latency: SimDuration::from_micros(50),
+            nic_frame_overhead_bytes: 0,
             asu_mem_bytes: 32 << 20,
             host_mem_bytes: 512 << 20,
             util_bin: SimDuration::from_millis(100),
@@ -107,6 +117,13 @@ impl ClusterConfig {
     pub fn with_threads(mut self, n: usize) -> ClusterConfig {
         assert!(n >= 1, "need at least one worker thread");
         self.threads = n;
+        self
+    }
+
+    /// This cluster with `bytes` of per-frame NIC overhead charged on
+    /// every transfer (and folded into the parallel engine's lookahead).
+    pub fn with_nic_frame_overhead(mut self, bytes: u64) -> ClusterConfig {
+        self.nic_frame_overhead_bytes = bytes;
         self
     }
 

@@ -30,7 +30,7 @@
 
 use crate::config::ClusterConfig;
 use lmas_core::NodeId;
-use lmas_sim::{BackoffPolicy, FaultPlan, SimDuration, SimTime};
+use lmas_sim::{BackoffPolicy, FaultEvent, FaultPlan, SimDuration, SimTime};
 
 /// Health of one emulated node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +138,176 @@ impl FaultStats {
     pub fn is_quiet(&self) -> bool {
         *self == FaultStats::default()
     }
+
+    /// Fold another partition's counters into this one (all fields are
+    /// sums, so absorption is order-independent).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.nacks += other.nacks;
+        self.drops += other.drops;
+        self.lost_queued_records += other.lost_queued_records;
+        self.abandoned_records += other.abandoned_records;
+        self.fenced_instances += other.fenced_instances;
+        self.detections += other.detections;
+    }
+}
+
+/// The failure detector's verdict over time, precomputed from the plan.
+///
+/// Detection timing is a pure function of the plan and the protocol
+/// knobs: a crash at `tc` is detected at `td = tc + k·period` where
+/// `k = max(1, ceil(timeout / period))` — the first heartbeat tick (on
+/// a grid anchored at the crash) at or after the silence threshold —
+/// *unless* the node recovers at some `tr ≤ td`, in which case the
+/// detector never fires (recovery is announced, not timed out, so the
+/// detected mask flips back up at `tr` itself). Precomputing the
+/// timeline turns the detector from a live ticking actor into static
+/// data every partition can consult without synchronizing, which is
+/// what lets faulted runs use the partitioned engine.
+#[derive(Debug, Clone)]
+pub struct DetectedTimeline {
+    /// Per node: time-sorted `(at_ns, up)` flips of the *detected*
+    /// status. A flip takes effect at `t >= at_ns`. Empty = always up.
+    flips: Vec<Vec<(u64, bool)>>,
+    /// Valid detections as `(node, at)`, sorted by `(at, node)` — one
+    /// entry per crash that outlives its detection window. Harnesses
+    /// seed exactly one detection event per entry, so the dispatch
+    /// count is independent of the partition count.
+    detections: Vec<(usize, SimTime)>,
+}
+
+impl DetectedTimeline {
+    /// Build the timeline for `total_nodes` nodes from the plan's
+    /// crash/recover events under the given heartbeat knobs.
+    pub fn build(
+        plan: &FaultPlan,
+        period: SimDuration,
+        timeout: SimDuration,
+        total_nodes: usize,
+    ) -> DetectedTimeline {
+        let p = period.as_nanos().max(1);
+        let k = timeout.as_nanos().div_ceil(p).max(1);
+        let delay = k.saturating_mul(p);
+        let mut flips: Vec<Vec<(u64, bool)>> = vec![Vec::new(); total_nodes];
+        let mut detections: Vec<(usize, SimTime)> = Vec::new();
+        // Per-node replay of the controller's state machine: `pending`
+        // is the outstanding detection deadline, `detected_up` the mask.
+        let mut pending: Vec<Option<u64>> = vec![None; total_nodes];
+        let mut detected_up: Vec<bool> = vec![true; total_nodes];
+        let mut fire = |node: usize,
+                        td: u64,
+                        flips: &mut Vec<Vec<(u64, bool)>>,
+                        detected_up: &mut Vec<bool>| {
+            flips[node].push((td, false));
+            detections.push((node, SimTime(td)));
+            detected_up[node] = false;
+        };
+        for ev in plan.sorted_events() {
+            let node = ev.node();
+            if node >= total_nodes {
+                continue;
+            }
+            let te = ev.at().0;
+            match ev {
+                FaultEvent::Crash { .. } => {
+                    // A deadline that expired strictly before (or at)
+                    // this re-crash fires first; otherwise the restart
+                    // of the down clock supersedes it.
+                    if let Some(td) = pending[node].take() {
+                        if td <= te {
+                            fire(node, td, &mut flips, &mut detected_up);
+                        }
+                    }
+                    if detected_up[node] {
+                        pending[node] = Some(te.saturating_add(delay));
+                    }
+                }
+                FaultEvent::Recover { .. } => {
+                    // Recovery at the deadline itself beats the
+                    // detector (`tr <= td` cancels).
+                    if let Some(td) = pending[node].take() {
+                        if td < te {
+                            fire(node, td, &mut flips, &mut detected_up);
+                        }
+                    }
+                    if !detected_up[node] {
+                        detected_up[node] = true;
+                        flips[node].push((te, true));
+                    }
+                }
+                FaultEvent::Degrade { .. } | FaultEvent::LinkLoss { .. } => {
+                    // Slowness is not failure; links are not nodes.
+                }
+            }
+        }
+        for (node, slot) in pending.iter_mut().enumerate() {
+            if let Some(td) = slot.take() {
+                fire(node, td, &mut flips, &mut detected_up);
+            }
+        }
+        detections.sort_by_key(|&(n, at)| (at, n));
+        DetectedTimeline { flips, detections }
+    }
+
+    /// Does the detector consider `node` up at `t`?
+    pub fn is_up(&self, node: usize, t: SimTime) -> bool {
+        let flips = &self.flips[node];
+        let i = flips.partition_point(|&(at, _)| at <= t.0);
+        i == 0 || flips[i - 1].1
+    }
+
+    /// The valid detections, `(node, at)` sorted by `(at, node)`.
+    pub fn detections(&self) -> &[(usize, SimTime)] {
+        &self.detections
+    }
+}
+
+/// Per-directed-link packet-loss probability over time, precomputed
+/// from the plan's `LinkLoss` events. Like [`DetectedTimeline`], static
+/// data replaces a live mutation so every partition can sample loss at
+/// send time without a shared cell.
+#[derive(Debug, Clone)]
+pub struct LossTimeline {
+    total_nodes: usize,
+    /// `from * total_nodes + to` → time-sorted `(at_ns, drop_prob)`
+    /// steps; the rate in force at `t` is the last step with
+    /// `at_ns <= t`. Same-instant duplicates keep plan insertion order,
+    /// so the later entry wins — matching live replay.
+    steps: Vec<Vec<(u64, f64)>>,
+    lossless: bool,
+}
+
+impl LossTimeline {
+    /// Build the timeline for `total_nodes` nodes.
+    pub fn build(plan: &FaultPlan, total_nodes: usize) -> LossTimeline {
+        let mut steps: Vec<Vec<(u64, f64)>> = vec![Vec::new(); total_nodes * total_nodes];
+        let mut lossless = true;
+        for ev in plan.sorted_events() {
+            if let FaultEvent::LinkLoss { from, to, at, drop_prob } = ev {
+                if from >= total_nodes || to >= total_nodes {
+                    continue;
+                }
+                steps[from * total_nodes + to].push((at.0, drop_prob));
+                if drop_prob > 0.0 {
+                    lossless = false;
+                }
+            }
+        }
+        LossTimeline { total_nodes, steps, lossless }
+    }
+
+    /// The drop probability in force on `from → to` at `t`.
+    pub fn prob(&self, from: usize, to: usize, t: SimTime) -> f64 {
+        let steps = &self.steps[from * self.total_nodes + to];
+        let i = steps.partition_point(|&(at, _)| at <= t.0);
+        if i == 0 { 0.0 } else { steps[i - 1].1 }
+    }
+
+    /// True when no link ever drops (senders can skip the loss draw
+    /// entirely — byte-identical to a plan with no `LinkLoss` events).
+    pub fn is_lossless(&self) -> bool {
+        self.lossless
+    }
 }
 
 /// The dense node index the fault layer uses: hosts first (`0..H`),
@@ -174,5 +344,87 @@ mod tests {
             FaultSpec::with_plan(FaultPlan::new().crash(0, SimTime(5))).failing_fast(true);
         assert!(spec.is_active());
         assert!(spec.fail_fast);
+    }
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn detection_lands_on_the_first_tick_past_the_timeout() {
+        // 5 ms heartbeats, 15 ms timeout → detection at crash + 15 ms;
+        // a 7 ms timeout rounds up to the 10 ms tick.
+        let plan = FaultPlan::new().crash(1, SimTime(ms(2).as_nanos()));
+        let t = DetectedTimeline::build(&plan, ms(5), ms(15), 3);
+        assert_eq!(t.detections(), &[(1, SimTime(ms(17).as_nanos()))]);
+        assert!(t.is_up(1, SimTime(ms(17).as_nanos() - 1)));
+        assert!(!t.is_up(1, SimTime(ms(17).as_nanos())));
+        assert!(t.is_up(0, SimTime(u64::MAX)), "unfaulted node stays up");
+
+        let t = DetectedTimeline::build(&plan, ms(5), SimDuration::from_millis(7), 3);
+        assert_eq!(t.detections(), &[(1, SimTime(ms(12).as_nanos()))]);
+    }
+
+    #[test]
+    fn fast_recovery_cancels_detection_and_slow_recovery_flips_back() {
+        // Recover inside the window (even exactly at the deadline):
+        // never detected.
+        let fast = FaultPlan::new()
+            .crash(0, SimTime(0))
+            .recover(0, SimTime(ms(15).as_nanos()));
+        let t = DetectedTimeline::build(&fast, ms(5), ms(15), 1);
+        assert!(t.detections().is_empty());
+        assert!(t.is_up(0, SimTime(u64::MAX)));
+
+        // Recover after the deadline: down in [td, tr), up from tr.
+        let slow = FaultPlan::new()
+            .crash(0, SimTime(0))
+            .recover(0, SimTime(ms(40).as_nanos()));
+        let t = DetectedTimeline::build(&slow, ms(5), ms(15), 1);
+        assert_eq!(t.detections(), &[(0, SimTime(ms(15).as_nanos()))]);
+        assert!(!t.is_up(0, SimTime(ms(20).as_nanos())));
+        assert!(t.is_up(0, SimTime(ms(40).as_nanos())));
+    }
+
+    #[test]
+    fn recrash_restarts_the_detection_clock() {
+        // Second crash before the first deadline supersedes it; one
+        // detection, anchored at the re-crash.
+        let plan = FaultPlan::new()
+            .crash(0, SimTime(0))
+            .crash(0, SimTime(ms(10).as_nanos()));
+        let t = DetectedTimeline::build(&plan, ms(5), ms(15), 1);
+        assert_eq!(t.detections(), &[(0, SimTime(ms(25).as_nanos()))]);
+        // Crash while already detected down adds nothing.
+        let plan = FaultPlan::new()
+            .crash(0, SimTime(0))
+            .crash(0, SimTime(ms(20).as_nanos()));
+        let t = DetectedTimeline::build(&plan, ms(5), ms(15), 1);
+        assert_eq!(t.detections(), &[(0, SimTime(ms(15).as_nanos()))]);
+    }
+
+    #[test]
+    fn loss_timeline_steps_and_restores() {
+        let plan = FaultPlan::new()
+            .link_loss(0, 1, SimTime(100), 0.5)
+            .link_loss(0, 1, SimTime(200), 0.0);
+        let t = LossTimeline::build(&plan, 2);
+        assert!(!t.is_lossless());
+        assert_eq!(t.prob(0, 1, SimTime(99)), 0.0);
+        assert_eq!(t.prob(0, 1, SimTime(100)), 0.5);
+        assert_eq!(t.prob(0, 1, SimTime(250)), 0.0, "zero restores the link");
+        assert_eq!(t.prob(1, 0, SimTime(150)), 0.0, "links are directed");
+        assert!(LossTimeline::build(&FaultPlan::new(), 2).is_lossless());
+    }
+
+    #[test]
+    fn fault_stats_absorb_sums_fieldwise() {
+        let mut a = FaultStats { retries: 1, nacks: 2, ..FaultStats::default() };
+        let b = FaultStats { retries: 10, detections: 3, ..FaultStats::default() };
+        a.absorb(&b);
+        assert_eq!(a.retries, 11);
+        assert_eq!(a.nacks, 2);
+        assert_eq!(a.detections, 3);
+        assert!(!a.is_quiet());
     }
 }

@@ -92,6 +92,17 @@ impl StageGauge {
     }
 }
 
+/// What a recorded gauge mutation does on replay.
+#[derive(Debug, Clone, Copy)]
+enum GaugeOpKind {
+    /// Add `records` to the instance's depth.
+    Add,
+    /// Subtract `records` from the instance's depth.
+    Sub,
+    /// Zero the instance's depth (node crash dropping its queue).
+    Clear,
+}
+
 /// One recorded gauge mutation (see [`GaugeJournal`]).
 #[derive(Debug, Clone, Copy)]
 struct GaugeOp {
@@ -100,8 +111,7 @@ struct GaugeOp {
     /// the mutation ([`lmas_sim::Ctx::par_key`]).
     key: (u64, u64),
     inst: usize,
-    /// `true` adds `records` to the instance's depth, `false` subtracts.
-    add: bool,
+    kind: GaugeOpKind,
     records: u64,
 }
 
@@ -126,12 +136,20 @@ impl GaugeJournal {
 
     /// Records were routed to instance `i` at `now`.
     pub fn add(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
-        self.ops.push(GaugeOp { at: now, key, inst: i, add: true, records });
+        self.ops
+            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Add, records });
     }
 
     /// Instance `i` started records at `now`.
     pub fn sub(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
-        self.ops.push(GaugeOp { at: now, key, inst: i, add: false, records });
+        self.ops
+            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Sub, records });
+    }
+
+    /// Instance `i`'s queue vanished at `now` (node crash).
+    pub fn clear(&mut self, i: usize, now: SimTime, key: (u64, u64)) {
+        self.ops
+            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Clear, records: 0 });
     }
 
     /// Placeholder depths (all zero; see the type docs).
@@ -152,10 +170,10 @@ impl GaugeJournal {
         ops.sort_by_key(|o| (o.at, o.key));
         let mut g = StageGauge::new(n);
         for o in ops {
-            if o.add {
-                g.add(o.inst, o.records, o.at);
-            } else {
-                g.sub(o.inst, o.records, o.at);
+            match o.kind {
+                GaugeOpKind::Add => g.add(o.inst, o.records, o.at),
+                GaugeOpKind::Sub => g.sub(o.inst, o.records, o.at),
+                GaugeOpKind::Clear => g.clear(o.inst, o.at),
             }
         }
         g
@@ -309,6 +327,7 @@ impl<R: Record> Metrics<R> {
             debug_assert_eq!(m.sink_outputs.len(), before, "sink instance owned twice");
             m.records_processed += p.records_processed;
             m.reweights += p.reweights;
+            m.fault.absorb(&p.fault);
             m.violations_total += p.violations_total;
             m.last_activity = m.last_activity.max(p.last_activity);
             if m.fatal.is_none() {

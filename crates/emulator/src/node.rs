@@ -28,6 +28,16 @@ use lmas_storage::{
 /// the two block ranges never alias.
 const WRITE_BASE_BLOCK: u64 = 1 << 40;
 
+/// NIC serialization time for `bytes` at `rate` bytes/sec.
+///
+/// The one formula every NIC charge goes through. The parallel runtime
+/// derives its lookahead from the same expression (frame overhead over
+/// the link rate), so the bound it enforces bit-matches what the nodes
+/// actually charge.
+pub fn nic_service(bytes: u64, rate: f64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / rate)
+}
+
 /// The storage stack of one node: disk array, optional pool, optional
 /// scheduler, plus the block cursors that lay streams onto extents.
 #[derive(Debug)]
@@ -121,6 +131,9 @@ pub struct NodeRes {
     /// Healthy-state disk rate, restored on recovery.
     base_disk_rate: f64,
     health: NodeHealth,
+    /// Fixed per-frame NIC bytes added to every transfer (zero by
+    /// default; gives zero-latency links a positive per-hop charge).
+    nic_frame_overhead_bytes: u64,
 }
 
 impl NodeRes {
@@ -176,6 +189,7 @@ impl NodeRes {
             base_speed: speed,
             base_disk_rate: disk.rate_bytes_per_sec,
             health: NodeHealth::Up,
+            nic_frame_overhead_bytes: cfg.nic_frame_overhead_bytes,
         }
     }
 
@@ -213,14 +227,16 @@ impl NodeRes {
         self.cpu.acquire(now, service)
     }
 
-    /// Book NIC serialization for `bytes` at `now`.
+    /// Book NIC serialization for `bytes` (plus the per-frame overhead)
+    /// at `now`.
     pub fn charge_nic(&mut self, now: SimTime, bytes: u64, link_rate: f64) -> Grant {
-        let service = SimDuration::from_secs_f64(bytes as f64 / link_rate);
+        let service = nic_service(bytes + self.nic_frame_overhead_bytes, link_rate);
         self.nic.acquire(now, service)
     }
 
-    /// Book `count` back-to-back NIC serializations of `bytes` each at
-    /// `now` in one batched ledger update; returns the combined window.
+    /// Book `count` back-to-back NIC serializations of `bytes` each
+    /// (plus the per-frame overhead) at `now` in one batched ledger
+    /// update; returns the combined window.
     pub fn charge_nic_batch(
         &mut self,
         now: SimTime,
@@ -228,7 +244,7 @@ impl NodeRes {
         link_rate: f64,
         count: u64,
     ) -> Grant {
-        let service = SimDuration::from_secs_f64(bytes as f64 / link_rate);
+        let service = nic_service(bytes + self.nic_frame_overhead_bytes, link_rate);
         self.nic.acquire_batch(now, count, service)
     }
 
@@ -430,6 +446,17 @@ mod tests {
         let mut h = NodeRes::new(NodeId::Host(0), &cfg());
         let g = h.charge_nic(SimTime::ZERO, 1_000_000, 1.0e9);
         assert_eq!(g.end.since(g.start), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn nic_frame_overhead_adds_to_every_charge() {
+        let c = cfg().with_nic_frame_overhead(1_000);
+        let mut h = NodeRes::new(NodeId::Host(0), &c);
+        let g = h.charge_nic(SimTime::ZERO, 1_000_000, 1.0e9);
+        assert_eq!(g.end.since(g.start), nic_service(1_001_000, 1.0e9));
+        // Even a zero-byte frame (e.g. an EOS marker) pays the overhead.
+        let g = h.charge_nic(g.end, 0, 1.0e9);
+        assert_eq!(g.end.since(g.start), SimDuration::from_micros(1));
     }
 
     #[test]

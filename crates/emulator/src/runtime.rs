@@ -19,28 +19,40 @@
 //! ## Fault-masked delivery
 //!
 //! [`run_job_with_faults`] layers a failure model on top (see
-//! [`crate::fault`]): a controller actor replays the [`FaultSpec`]'s
-//! plan in virtual time, flipping node health and driving a heartbeat
-//! failure detector. Delivery becomes optimistic-with-recovery: a packet
+//! [`crate::fault`]): a controller replays the [`FaultSpec`]'s plan in
+//! virtual time, flipping node health, and a precomputed
+//! [`DetectedTimeline`] stands in for the heartbeat failure detector
+//! (detections land on the first heartbeat tick past the timeout after
+//! each crash). Delivery becomes optimistic-with-recovery: a packet
 //! arriving at a down node bounces back as a NACK; the sender re-routes
 //! it through [`Router::pick_available`] masked by the *detected* node
 //! health, after a deterministic exponential backoff. Down nodes are
 //! thus masked, not fatal — and with an empty plan the whole layer
 //! vanishes: no controller actor, all-up masks (identical RNG draws),
 //! byte-identical virtual times to [`run_job`].
+//!
+//! Because the detector and link-loss schedules are static timelines and
+//! every remaining protocol message (NACK bounces, fence EOS, balancer
+//! reports and weight updates) travels with at least the minimum
+//! cross-node delay, faulted and balanced runs partition cleanly: the
+//! parallel engine replays them byte-identically (see
+//! [`EmulationReport::par_fallback`] for the few shapes that still
+//! route sequentially).
 
 use crate::balance;
 use crate::config::ClusterConfig;
-use crate::fault::{node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
+use crate::fault::{
+    node_index, DetectedTimeline, FatalFault, FaultSpec, FaultStats, LossTimeline, NodeHealth,
+};
 use crate::metrics::{GaugeJournal, Metrics, SinkOutputs, StageGauge, StageQueueStats};
-use crate::node::NodeRes;
+use crate::node::{nic_service, NodeRes};
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
     Router, StageFactory, StageId, UpMask,
 };
 use lmas_sim::{
-    run_partitioned, ActorId, BackoffPolicy, Ctx, FaultEvent, ParOps, PartitionWorker, RunOutcome,
-    SimDuration, SimTime, Simulation, Trace,
+    run_partitioned, ActorId, BackoffPolicy, Ctx, DetRng, FaultEvent, LogHist, ParOps,
+    PartitionWorker, RunOutcome, SimDuration, SimTime, Simulation, Trace,
 };
 use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, VecDeque};
@@ -215,6 +227,14 @@ pub struct EmulationReport<R: Record> {
     /// either way; this field is the only trace the parallel kernel
     /// leaves.
     pub par: Option<ParRunStats>,
+    /// Why a `threads > 1` run routed to the sequential engine anyway,
+    /// or `None` when it ran partitioned (or never asked to). The
+    /// reasons: `"backlog routing"` (a backlog-sensitive policy reads
+    /// live cross-partition queue depths), `"zero latency"` (no minimum
+    /// cross-node delay, hence no lookahead), `"fault plan"` (a
+    /// `fail_fast` spec needs a global early stop), `"balancer"` (the
+    /// live-read compat sampler). Always `None` at `threads == 1`.
+    pub par_fallback: Option<&'static str>,
 }
 
 /// How the partitioned engine executed a run (see
@@ -231,6 +251,12 @@ pub struct ParRunStats {
     pub critical_dispatched: u64,
     /// Cross-partition messages exchanged.
     pub remote_messages: u64,
+    /// Log2 histogram of conservative window widths (virtual ns).
+    /// Deterministic: same run, same histogram.
+    pub window_width_hist: LogHist,
+    /// Log2 histogram of per-window barrier waits (wall-clock ns).
+    /// **Not** deterministic — scheduling noise; never diff it.
+    pub barrier_wait_hist: LogHist,
 }
 
 impl<R: Record> EmulationReport<R> {
@@ -323,9 +349,31 @@ enum Msg<R: Record> {
     Revive,
     /// Controller: apply plan event `i`.
     FaultStep(usize),
-    /// Controller: heartbeat detection sweep.
-    FaultTick,
-    /// Balancer: sample backlog and re-weight replica routing.
+    /// Controller: the failure detector's (precomputed) verdict that
+    /// `node` is down lands now — fence its unflushed instances.
+    Detect(usize),
+    /// Instance: sample own backlog and report it to the balancer.
+    SampleTick,
+    /// Instance → balancer: one backlog sample, taken on the sampling
+    /// grid and shipped with a fixed delay (snapshot protocol).
+    DepthReport {
+        /// Reporting stage.
+        stage: usize,
+        /// Reporting replica within the stage.
+        replica: usize,
+        /// Queued records at the replica when sampled.
+        depth: u64,
+        /// Node CPU backlog (ns past the sampling instant).
+        cpu_ns: u64,
+    },
+    /// Balancer → senders: new routing weights for a stage.
+    WeightUpdate {
+        /// Destination stage the weights apply to.
+        stage: usize,
+        /// One weight per replica.
+        weights: Vec<f64>,
+    },
+    /// Balancer: a snapshot batch landed; recompute weights.
     BalanceTick,
 }
 
@@ -391,12 +439,10 @@ impl GaugeHandle {
         }
     }
 
-    fn clear(&self, i: usize, now: SimTime) {
+    fn clear(&self, i: usize, now: SimTime, key: (u64, u64)) {
         match self {
             GaugeHandle::Live(g) => g.borrow_mut().clear(i, now),
-            GaugeHandle::Journal(_) => {
-                unreachable!("gauge clear is fault-mode-only; faults run sequentially")
-            }
+            GaugeHandle::Journal(j) => j.borrow_mut().clear(i, now, key),
         }
     }
 
@@ -436,16 +482,39 @@ struct Downstream<R: Record> {
 /// Fault-layer state held by each instance actor (present only when the
 /// spec is active — `None` keeps the fault-free path allocation- and
 /// draw-identical to the pre-fault runtime).
+///
+/// Detector verdicts and link-loss probabilities are *timelines* —
+/// immutable, precomputed, shared by `Arc` — so an instance samples
+/// them at any virtual instant without cross-partition state. The loss
+/// and backoff draws come from a per-instance seed stream (derived from
+/// the global instance index), identical however the run is
+/// partitioned.
 struct InstanceFault<R: Record> {
-    detected_up: Rc<RefCell<Vec<bool>>>,
-    link_loss: Rc<RefCell<Vec<f64>>>,
+    detected: Arc<DetectedTimeline>,
+    loss: Arc<LossTimeline>,
     flags: Rc<RefCell<Vec<InstFlags>>>,
     backoff: BackoffPolicy,
     fail_fast: bool,
-    total_nodes: usize,
     my_node: usize,
     my_global: usize,
     factory: StageFactory<R>,
+    /// Private stream: loss draws and backoff jitter.
+    rng: DetRng,
+}
+
+/// Snapshot-balancer sampling state of one watched instance: it samples
+/// its own backlog on the `k·period` grid and ships the reading to the
+/// balancer with a fixed delay, so the balancer reweights from the
+/// *previous* window's snapshot in both engines.
+struct SampleState {
+    period: SimDuration,
+    /// Shipping delay of a report: `period.max(ctl)` — uniform for all
+    /// replicas, and at least the cross-partition lookahead.
+    report_delay: SimDuration,
+    balancer: ActorId,
+    /// A `SampleTick` is in flight (guards against double-arming on
+    /// revive).
+    armed: bool,
 }
 
 struct InstanceActor<R: Record> {
@@ -475,7 +544,14 @@ struct InstanceActor<R: Record> {
     metrics: Rc<RefCell<Metrics<R>>>,
     link_rate: f64,
     latency: SimDuration,
+    /// Minimum cross-node delay (latency + NIC frame-overhead service):
+    /// every control message (NACK bounce, fence EOS, weight update)
+    /// travels with at least this much, which is exactly the parallel
+    /// engine's lookahead.
+    ctl: SimDuration,
     fault: Option<InstanceFault<R>>,
+    /// Snapshot-balancer sampling (watched instances only).
+    sample: Option<SampleState>,
 }
 
 impl<R: Record> InstanceActor<R> {
@@ -621,10 +697,10 @@ impl<R: Record> InstanceActor<R> {
         let groups = d.actors.len() / d.group_size;
         let base = (port % groups) * d.group_size;
         let picked = {
+            let now = ctx.now();
             let up = match &self.fault {
                 Some(f) => {
-                    let det = f.detected_up.borrow();
-                    UpMask::from_fn(d.group_size, |j| det[d.node_idx[base + j]])
+                    UpMask::from_fn(d.group_size, |j| f.detected.is_up(d.node_idx[base + j], now))
                 }
                 None => UpMask::All,
             };
@@ -665,20 +741,20 @@ impl<R: Record> InstanceActor<R> {
             self.latency,
         );
         let to_actor = d.actors[dest];
-        match &self.fault {
+        match &mut self.fault {
             None => {
                 ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: None });
             }
             Some(f) => {
                 let meta = DeliveryMeta { sender: ctx.me(), port, dest, attempt };
-                let prob = f.link_loss.borrow()[f.my_node * f.total_nodes + d.node_idx[dest]];
-                if prob > 0.0 && ctx.rng().gen_f64() < prob {
+                let prob = f.loss.prob(f.my_node, d.node_idx[dest], ctx.now());
+                if prob > 0.0 && f.rng.gen_f64() < prob {
                     // The frame left the NIC but never arrived; the loss
-                    // surfaces as a NACK one extra latency later (the
+                    // surfaces as a NACK one control delay later (the
                     // receiver's link-level reject), and the retry path
                     // takes over.
                     self.metrics.borrow_mut().fault.drops += 1;
-                    ctx.send_at(ctx.me(), deliver_at + self.latency, Msg::Nack { p, meta });
+                    ctx.send_at(ctx.me(), deliver_at + self.ctl, Msg::Nack { p, meta });
                 } else {
                     ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: Some(meta) });
                 }
@@ -695,9 +771,9 @@ impl<R: Record> InstanceActor<R> {
             self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
             return;
         }
-        let f = self.fault.as_ref().expect("redeliver requires fault mode");
+        let f = self.fault.as_mut().expect("redeliver requires fault mode");
         meta.attempt += 1;
-        match f.backoff.delay(meta.attempt, ctx.rng()) {
+        match f.backoff.delay(meta.attempt, &mut f.rng) {
             Some(delay) => {
                 self.metrics.borrow_mut().fault.retries += 1;
                 ctx.send(ctx.me(), delay, Msg::Retry { p, meta });
@@ -818,7 +894,7 @@ impl<R: Record> InstanceActor<R> {
             lost += p.len() as u64;
         }
         if let Some((gauge, idx)) = &self.my_gauge {
-            gauge.clear(*idx, ctx.now());
+            gauge.clear(*idx, ctx.now(), par_key(ctx));
         }
         self.source_live = false;
         if let Some(ra) = &mut self.ra {
@@ -831,11 +907,40 @@ impl<R: Record> InstanceActor<R> {
             self.functor = (f.factory)(self.instance);
         }
         let (stage, instance) = (self.stage, self.instance);
+        let key = par_key(ctx);
         let mut m = self.metrics.borrow_mut();
         m.fault.lost_queued_records += lost;
-        m.trace.record_with(ctx.now(), || {
+        m.trace.record_with_key(ctx.now(), key, || {
             (format!("s{stage}.i{instance}"), format!("killed, lost {lost} recs"))
         });
+    }
+
+    /// `SampleTick`: sample own backlog and ship a `DepthReport` to the
+    /// balancer; re-arm on the sampling grid. Stops (without reporting
+    /// or re-arming) once the instance has flushed or its node went
+    /// down, so a drained job's calendar actually empties. Sampling
+    /// never restarts after a crash — see the `Revive` handler.
+    fn sample_tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        let s = self.sample.as_mut().expect("SampleTick without sampling state");
+        s.armed = false;
+        if self.node.borrow().is_down() || self.flushed {
+            return;
+        }
+        let depth: u64 = self.queue.iter().map(|p| p.len() as u64).sum();
+        let now = ctx.now();
+        let cpu_ns = self
+            .node
+            .borrow()
+            .cpu_free_at()
+            .as_nanos()
+            .saturating_sub(now.as_nanos());
+        ctx.send(
+            s.balancer,
+            s.report_delay,
+            Msg::DepthReport { stage: self.stage, replica: self.instance, depth, cpu_ns },
+        );
+        ctx.send(ctx.me(), s.period, Msg::SampleTick);
+        s.armed = true;
     }
 }
 
@@ -881,9 +986,11 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                     match meta {
                         Some(meta) => {
                             // Bounce: a control-plane NACK back to the
-                            // sender, one link latency later.
+                            // sender, one control delay later (the
+                            // minimum cross-node delay, so the parallel
+                            // engine's lookahead always covers it).
                             self.metrics.borrow_mut().fault.nacks += 1;
-                            ctx.send(meta.sender, self.latency, Msg::Nack { p, meta });
+                            ctx.send(meta.sender, self.ctl, Msg::Nack { p, meta });
                         }
                         None => {
                             // A source self-delivery racing the crash;
@@ -951,44 +1058,62 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 // on. Source read chains do not resume (their unread
                 // extent is re-dispatched by orchestration-level repair).
                 self.try_start(ctx);
+                // Sampling does NOT resume: a revived instance may
+                // never see another EOS (its pre-crash incarnation
+                // consumed them), so a perpetual sampling chain would
+                // keep the calendar alive forever. The balancer's
+                // zero-filled snapshot reads the revived replica as
+                // unloaded — the clean slate it actually has.
             }
-            Msg::FaultStep(_) | Msg::FaultTick | Msg::BalanceTick => {
+            Msg::SampleTick => self.sample_tick(ctx),
+            Msg::WeightUpdate { stage, weights } => {
+                if let Some(d) = &mut self.down {
+                    debug_assert_eq!(d.dest_stage, stage, "weight update for the wrong stage");
+                    *d.weights.borrow_mut() = weights;
+                }
+            }
+            Msg::FaultStep(_) | Msg::Detect(_) | Msg::BalanceTick | Msg::DepthReport { .. } => {
                 unreachable!("controller message delivered to an instance")
             }
         }
     }
 }
 
-/// The fault controller: replays the plan and runs failure detection.
+/// The fault controller: replays the plan's node-health steps and the
+/// detector timeline's precomputed verdicts. The parallel engine runs
+/// one controller per partition, each seeded only with the events whose
+/// node it owns; the sequential engine runs a single instance owning
+/// every node. Every send it makes is either node-local (`send_now` to
+/// instances resident on the event's node) or carries the control
+/// delay, so replay is byte-identical however the actors partition.
 struct FaultController<R: Record> {
     events: Vec<FaultEvent>,
-    period: SimDuration,
-    timeout: SimDuration,
-    nodes: Vec<Rc<RefCell<NodeRes>>>,
-    detected_up: Rc<RefCell<Vec<bool>>>,
-    link_loss: Rc<RefCell<Vec<f64>>>,
+    /// Node objects this controller owns (dense index; `None` = another
+    /// partition's node, which this controller is never asked about).
+    nodes: Vec<Option<Rc<RefCell<NodeRes>>>>,
     flags: Rc<RefCell<Vec<InstFlags>>>,
     /// Global instance indices resident on each node.
     instances_on: Vec<Vec<usize>>,
     inst_actor: Vec<ActorId>,
-    /// Downstream instance actors per global instance (fencing targets).
-    inst_downstream: Vec<Option<Vec<ActorId>>>,
-    down_since: Vec<Option<SimTime>>,
-    tick_armed: bool,
-    total_nodes: usize,
+    /// Downstream `(actor, dense node)` fencing targets per global
+    /// instance.
+    inst_downstream: Vec<Option<Vec<(ActorId, usize)>>>,
+    /// Minimum cross-node delay (the parallel lookahead); fence EOS to
+    /// other nodes travels with it.
+    ctl: SimDuration,
     metrics: Rc<RefCell<Metrics<R>>>,
 }
 
 impl<R: Record> FaultController<R> {
-    fn arm_tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
-        if !self.tick_armed {
-            ctx.timer(self.period, Msg::FaultTick);
-            self.tick_armed = true;
-        }
+    fn node(&self, n: usize) -> &Rc<RefCell<NodeRes>> {
+        self.nodes[n].as_ref().expect("fault event on an unowned node")
     }
 
     /// EOS on behalf of every unflushed instance on a detected-down
-    /// node, so downstream consumers stop waiting for the dead.
+    /// node, so downstream consumers stop waiting for the dead. Marks
+    /// for consumers on the dead node itself land immediately (the
+    /// node-local convention); marks for other nodes travel one control
+    /// delay, like any cross-node control message.
     fn fence_node(&mut self, ctx: &mut Ctx<'_, Msg<R>>, node: usize) {
         for i in 0..self.instances_on[node].len() {
             let gi = self.instances_on[node][i];
@@ -1002,8 +1127,12 @@ impl<R: Record> FaultController<R> {
             self.flags.borrow_mut()[gi].fenced = true;
             self.metrics.borrow_mut().fault.fenced_instances += 1;
             if let Some(targets) = &self.inst_downstream[gi] {
-                for &a in targets {
-                    ctx.send_now(a, Msg::Eos);
+                for &(a, target_node) in targets {
+                    if target_node == node {
+                        ctx.send_now(a, Msg::Eos);
+                    } else {
+                        ctx.send(a, self.ctl, Msg::Eos);
+                    }
                 }
             }
         }
@@ -1011,10 +1140,10 @@ impl<R: Record> FaultController<R> {
 
     fn apply(&mut self, ctx: &mut Ctx<'_, Msg<R>>, i: usize) {
         let now = ctx.now();
+        let key = par_key(ctx);
         match self.events[i] {
             FaultEvent::Crash { node, .. } => {
-                self.nodes[node].borrow_mut().set_health(NodeHealth::Down);
-                self.down_since[node] = Some(now);
+                self.node(node).borrow_mut().set_health(NodeHealth::Down);
                 for j in 0..self.instances_on[node].len() {
                     let gi = self.instances_on[node][j];
                     ctx.send_now(self.inst_actor[gi], Msg::Kill);
@@ -1022,15 +1151,10 @@ impl<R: Record> FaultController<R> {
                 self.metrics
                     .borrow_mut()
                     .trace
-                    .record_with(now, || ("fault", format!("crash node {node}")));
-                self.arm_tick(ctx);
+                    .record_with_key(now, key, || ("fault", format!("crash node {node}")));
             }
             FaultEvent::Recover { node, .. } => {
-                self.nodes[node].borrow_mut().set_health(NodeHealth::Up);
-                self.down_since[node] = None;
-                // Recovery is announced, not timed out: the mask flips
-                // immediately.
-                self.detected_up.borrow_mut()[node] = true;
+                self.node(node).borrow_mut().set_health(NodeHealth::Up);
                 for j in 0..self.instances_on[node].len() {
                     let gi = self.instances_on[node][j];
                     ctx.send_now(self.inst_actor[gi], Msg::Revive);
@@ -1038,47 +1162,37 @@ impl<R: Record> FaultController<R> {
                 self.metrics
                     .borrow_mut()
                     .trace
-                    .record_with(now, || ("fault", format!("recover node {node}")));
+                    .record_with_key(now, key, || ("fault", format!("recover node {node}")));
             }
             FaultEvent::Degrade { node, cpu_factor, disk_factor, .. } => {
-                self.nodes[node]
+                self.node(node)
                     .borrow_mut()
                     .set_health(NodeHealth::Degraded { cpu_factor, disk_factor });
                 self.metrics
                     .borrow_mut()
                     .trace
-                    .record_with(now, || ("fault", format!("degrade node {node}")));
+                    .record_with_key(now, key, || ("fault", format!("degrade node {node}")));
             }
-            FaultEvent::LinkLoss { from, to, drop_prob, .. } => {
-                self.link_loss.borrow_mut()[from * self.total_nodes + to] = drop_prob;
+            FaultEvent::LinkLoss { .. } => {
+                // Senders sample the loss timeline directly; loss steps
+                // are never seeded as controller events.
+                unreachable!("LinkLoss is not a controller step")
             }
         }
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
-        self.tick_armed = false;
+    /// A precomputed detection verdict lands: count it and fence. The
+    /// routing masks flip on their own (instances sample the timeline).
+    fn detect(&mut self, ctx: &mut Ctx<'_, Msg<R>>, node: usize) {
         let now = ctx.now();
-        let mut awaiting = false;
-        for n in 0..self.total_nodes {
-            let Some(t0) = self.down_since[n] else { continue };
-            if !self.detected_up.borrow()[n] {
-                continue;
-            }
-            if now.saturating_since(t0) >= self.timeout {
-                self.detected_up.borrow_mut()[n] = false;
-                self.metrics.borrow_mut().fault.detections += 1;
-                self.metrics
-                    .borrow_mut()
-                    .trace
-                    .record_with(now, || ("fault", format!("detected node {n} down")));
-                self.fence_node(ctx, n);
-            } else {
-                awaiting = true;
-            }
+        let key = par_key(ctx);
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.fault.detections += 1;
+            m.trace
+                .record_with_key(now, key, || ("fault", format!("detected node {node} down")));
         }
-        if awaiting {
-            self.arm_tick(ctx);
-        }
+        self.fence_node(ctx, node);
     }
 }
 
@@ -1086,7 +1200,7 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for FaultController<R> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
         match msg {
             Msg::FaultStep(i) => self.apply(ctx, i),
-            Msg::FaultTick => self.tick(ctx),
+            Msg::Detect(n) => self.detect(ctx, n),
             _ => unreachable!("non-fault message delivered to the controller"),
         }
     }
@@ -1170,6 +1284,104 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for BalancerActor<R> {
     }
 }
 
+/// One stage the snapshot balancer re-weights: its replication (for
+/// zero-filling missing reports) and the upstream sender instances that
+/// receive `WeightUpdate`s.
+struct SnapTarget {
+    stage: usize,
+    replication: usize,
+    senders: Vec<ActorId>,
+}
+
+/// The snapshot-mode balancer (the default; see [`BalanceSpec::live`]
+/// for the sequential-only compat sampler). Purely reactive — it holds
+/// no timer and reads no shared state: watched instances self-sample on
+/// the `k·period` grid and ship [`Msg::DepthReport`]s with a fixed
+/// delay; a batch of reports triggers one reweight from the snapshot
+/// they form, and changed weights travel to the senders as
+/// [`Msg::WeightUpdate`]s with the control delay. The balancer thus
+/// always acts on the *previous* window's backlog — one window of
+/// staleness buys an actor protocol the partitioned engine replays
+/// byte-identically.
+struct SnapshotBalancer<R: Record> {
+    spec: balance::BalanceSpec,
+    targets: Vec<SnapTarget>,
+    /// Latest report per `(stage, replica)`: `(depth, cpu_ns)`.
+    snap: BTreeMap<(usize, usize), (u64, u64)>,
+    /// A `BalanceTick` is queued for the batch currently landing.
+    pending: bool,
+    /// Minimum cross-node delay; weight updates travel with it.
+    ctl: SimDuration,
+    /// Weights currently in force per stage (absent = never reweighted).
+    cur: BTreeMap<usize, Vec<f64>>,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+impl<R: Record> SnapshotBalancer<R> {
+    fn rebalance(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        let now = ctx.now();
+        for t in &self.targets {
+            let mut depths = Vec::with_capacity(t.replication);
+            let mut cpu = Vec::with_capacity(t.replication);
+            for j in 0..t.replication {
+                let (d, c) = self.snap.get(&(t.stage, j)).copied().unwrap_or((0, 0));
+                depths.push(d);
+                cpu.push(c);
+            }
+            let new = balance::reweight(
+                &depths,
+                &cpu,
+                self.spec.deadband,
+                self.spec.cpu_deadband.as_nanos(),
+                self.spec.min_weight,
+            );
+            if let Some(w) = new {
+                if self.cur.get(&t.stage) != Some(&w) {
+                    let stage = t.stage;
+                    let key = par_key(ctx);
+                    let mut m = self.metrics.borrow_mut();
+                    m.reweights += 1;
+                    m.trace.record_with_key(now, key, || {
+                        ("balance", format!("reweight stage {stage}: {w:?}"))
+                    });
+                    drop(m);
+                    for &a in &t.senders {
+                        ctx.send(
+                            a,
+                            self.ctl,
+                            Msg::WeightUpdate { stage, weights: w.clone() },
+                        );
+                    }
+                    self.cur.insert(stage, w);
+                }
+            }
+        }
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for SnapshotBalancer<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::DepthReport { stage, replica, depth, cpu_ns } => {
+                self.snap.insert((stage, replica), (depth, cpu_ns));
+                if !self.pending {
+                    // Reweight once the whole batch is in: reports of a
+                    // grid instant all arrive at the same virtual time
+                    // (uniform shipping delay), so a 1 ns deferral runs
+                    // after the last of them and before anything else.
+                    self.pending = true;
+                    ctx.send(ctx.me(), SimDuration::from_nanos(1), Msg::BalanceTick);
+                }
+            }
+            Msg::BalanceTick => {
+                self.pending = false;
+                self.rebalance(ctx);
+            }
+            _ => unreachable!("non-balance message delivered to the balancer"),
+        }
+    }
+}
+
 /// Run `job` on the cluster described by `cfg` with no faults.
 pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationReport<R>, JobError> {
     run_job_with_faults(cfg, &FaultSpec::none(), job)
@@ -1218,18 +1430,40 @@ pub fn run_job_with_faults<R: Record>(
         }
     }
 
-    // Hand eligible runs to the partitioned engine. Ineligible shapes —
-    // fault plans (global controller state), the balancer (reads live
-    // backlog), zero link latency (no lookahead), backlog-sensitive
-    // routing — silently keep the sequential path, which is always
-    // byte-identical anyway.
-    if cfg.threads > 1
-        && !active
-        && !cfg.balance.is_active()
-        && cfg.link_latency.as_nanos() > 0
-        && parallel_eligible(&graph)
-    {
-        return run_job_parallel(cfg, graph, placement, inputs);
+    // The control delay: the minimum cross-node delay (link latency
+    // plus the NIC's per-frame overhead service), which is exactly the
+    // partitioned engine's lookahead. Every cross-node control message
+    // (NACK bounce, fence EOS, depth report, weight update) travels
+    // with at least this much, so the protocol partitions cleanly.
+    let ctl = SimDuration::from_nanos(
+        cfg.link_latency.as_nanos()
+            + nic_service(cfg.nic_frame_overhead_bytes, cfg.link_bytes_per_sec).as_nanos(),
+    );
+    let balance_on = cfg.balance.is_active();
+    // Hand eligible runs to the partitioned engine; the few shapes it
+    // cannot reproduce keep the (always byte-identical) sequential path
+    // and record why. Faulted and snapshot-balanced runs partition
+    // fine; the holdouts are backlog-sensitive routing (reads live
+    // cross-partition queue depths), a zero minimum cross-node delay
+    // (no lookahead), `fail_fast` specs (a global early stop), and the
+    // live-read balancer compat sampler.
+    let par_fallback: Option<&'static str> = if cfg.threads > 1 {
+        if !parallel_eligible(&graph) {
+            Some("backlog routing")
+        } else if ctl.as_nanos() == 0 {
+            Some("zero latency")
+        } else if active && spec.fail_fast {
+            Some("fault plan")
+        } else if balance_on && cfg.balance.live {
+            Some("balancer")
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    if cfg.threads > 1 && par_fallback.is_none() {
+        return run_job_parallel(cfg, spec, graph, placement, inputs);
     }
 
     // Nodes: hosts 0..H, then ASUs.
@@ -1265,13 +1499,30 @@ pub fn run_job_with_faults<R: Record>(
     }
 
     // Fault-layer shared state (cheap to build; unused when inactive).
+    // The detector and loss schedules are precomputed timelines — the
+    // exact artifacts the parallel build shares across partitions.
     let total_instances: usize = graph.stages().iter().map(|s| s.replication).sum();
-    let detected_up = Rc::new(RefCell::new(vec![true; total_nodes]));
-    let link_loss = Rc::new(RefCell::new(vec![0.0f64; total_nodes * total_nodes]));
+    let detected = Arc::new(DetectedTimeline::build(
+        &spec.plan,
+        spec.heartbeat_period,
+        spec.heartbeat_timeout,
+        total_nodes,
+    ));
+    let loss = Arc::new(LossTimeline::build(&spec.plan, total_nodes));
     let flags = Rc::new(RefCell::new(vec![InstFlags::default(); total_instances]));
     let mut instances_on: Vec<Vec<usize>> = vec![Vec::new(); total_nodes];
     let mut inst_actor: Vec<ActorId> = Vec::with_capacity(total_instances);
-    let mut inst_downstream: Vec<Option<Vec<ActorId>>> = Vec::with_capacity(total_instances);
+    let mut inst_downstream: Vec<Option<Vec<(ActorId, usize)>>> =
+        Vec::with_capacity(total_instances);
+
+    // Snapshot-mode balancer (the default): watched stages are known up
+    // front so instances can be armed as they are built. Reserving the
+    // controller slot first keeps actor ids identical to the live-mode
+    // layout (instances, controller, balancer).
+    let snapshot_bal = balance_on && !cfg.balance.live;
+    let watched: Vec<usize> = if balance_on { watched_stages(&graph) } else { Vec::new() };
+    let ctrl_id = active.then(|| sim.reserve_actor());
+    let bal_id = (snapshot_bal && !watched.is_empty()).then(|| sim.reserve_actor());
 
     // Upstream EOS expectations.
     let eos_expected: Vec<usize> = (0..graph.stages().len())
@@ -1319,7 +1570,18 @@ pub fn run_job_with_faults<R: Record>(
                         capacities,
                         router: Router::new(e.routing, cfg.seed, global_idx),
                         gauge: GaugeHandle::Live(gauges[to].clone()),
-                        weights: weight_handles[to].clone(),
+                        // Snapshot mode: each sender owns its weights
+                        // and receives `WeightUpdate`s individually —
+                        // the same per-sender channel the partitioned
+                        // build uses, so same-instant interleavings
+                        // cannot diverge between the engines. Live
+                        // compat mode keeps the shared per-stage cell
+                        // the `BalancerActor` writes directly.
+                        weights: if snapshot_bal {
+                            Rc::new(RefCell::new(Vec::new()))
+                        } else {
+                            weight_handles[to].clone()
+                        },
                         group_size,
                         dest_stage: to,
                         _marker: std::marker::PhantomData,
@@ -1329,22 +1591,27 @@ pub fn run_job_with_faults<R: Record>(
             };
             instances_on[my_node].push(inst_actor.len());
             inst_actor.push(actor_ids[s][i]);
-            inst_downstream.push(down.as_ref().map(|d| d.actors.clone()));
+            inst_downstream.push(down.as_ref().map(|d| {
+                d.actors.iter().copied().zip(d.node_idx.iter().copied()).collect()
+            }));
             let source_data: VecDeque<Packet<R>> = inputs
                 .remove(&(s, i))
                 .map(Into::into)
                 .unwrap_or_default();
             let fault = active.then(|| InstanceFault {
-                detected_up: detected_up.clone(),
-                link_loss: link_loss.clone(),
+                detected: detected.clone(),
+                loss: loss.clone(),
                 flags: flags.clone(),
                 backoff: spec.backoff,
                 fail_fast: spec.fail_fast,
-                total_nodes,
                 my_node,
                 my_global: inst_actor.len() - 1,
                 factory: stage.factory_handle(),
+                // Keyed by global instance index: the same stream
+                // whichever partition (or engine) hosts the instance.
+                rng: DetRng::stream(cfg.seed, (1u64 << 62) | global_idx),
             });
+            let watched_here = bal_id.is_some() && watched.binary_search(&s).is_ok();
             let actor = InstanceActor {
                 stage: s,
                 instance: i,
@@ -1372,38 +1639,58 @@ pub fn run_job_with_faults<R: Record>(
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
+                ctl,
                 fault,
+                sample: watched_here.then(|| SampleState {
+                    period: cfg.balance.period,
+                    report_delay: cfg.balance.period.max(ctl),
+                    balancer: bal_id.expect("watched implies a balancer"),
+                    armed: true,
+                }),
             };
             sim.install(actor_ids[s][i], Box::new(actor));
             if stage.is_source {
                 sim.seed_message(actor_ids[s][i], SimTime::ZERO, Msg::SourceNext);
+            }
+            if watched_here {
+                // First sample lands one period in; the partitioned
+                // build seeds the identical grid per owned instance.
+                sim.seed_message(
+                    actor_ids[s][i],
+                    SimTime(cfg.balance.period.as_nanos()),
+                    Msg::SampleTick,
+                );
             }
             global_idx += 1;
         }
     }
 
     if active {
-        let ctrl = sim.reserve_actor();
+        let ctrl = ctrl_id.expect("reserved when active");
         let events = spec.plan.sorted_events();
+        // Health steps first, then the precomputed detection verdicts —
+        // the same phase order every parallel partition uses, so
+        // same-instant steps tiebreak identically. Link-loss steps are
+        // never seeded: senders sample the loss timeline directly.
         for (i, ev) in events.iter().enumerate() {
+            if matches!(ev, FaultEvent::LinkLoss { .. }) {
+                continue;
+            }
             sim.seed_message(ctrl, ev.at(), Msg::FaultStep(i));
+        }
+        for &(node, at) in detected.detections() {
+            sim.seed_message(ctrl, at, Msg::Detect(node));
         }
         sim.install(
             ctrl,
             Box::new(FaultController {
                 events,
-                period: spec.heartbeat_period,
-                timeout: spec.heartbeat_timeout,
-                nodes: nodes.clone(),
-                detected_up: detected_up.clone(),
-                link_loss: link_loss.clone(),
+                nodes: nodes.iter().map(|n| Some(n.clone())).collect(),
                 flags: flags.clone(),
                 instances_on,
                 inst_actor,
                 inst_downstream,
-                down_since: vec![None; total_nodes],
-                tick_armed: false,
-                total_nodes,
+                ctl,
                 metrics: metrics.clone(),
             }),
         );
@@ -1411,21 +1698,39 @@ pub fn run_job_with_faults<R: Record>(
 
     // The runtime balancer watches every replicated stage that is fed
     // through a policy with routing freedom (anything but Static) and
-    // periodically re-weights its upstream routers by inverse backlog.
-    let balance_on = cfg.balance.is_active();
-    if balance_on {
-        let mut watched: Vec<usize> = graph
-            .edges()
+    // re-weights its upstream routers by inverse backlog. Snapshot mode
+    // (the default) is purely reactive — the watched instances seeded
+    // above drive it; the live compat sampler keeps its own timer.
+    if let Some(bal) = bal_id {
+        let targets: Vec<SnapTarget> = watched
             .iter()
-            .filter(|e| e.routing != lmas_core::RoutingPolicy::Static)
-            .map(|e| e.to.0)
-            .filter(|&to| graph.stages()[to].replication > 1)
+            .map(|&s| SnapTarget {
+                stage: s,
+                replication: graph.stages()[s].replication,
+                senders: graph
+                    .edges()
+                    .iter()
+                    .filter(|e| e.to.0 == s)
+                    .flat_map(|e| actor_ids[e.from.0].iter().copied())
+                    .collect(),
+            })
             .collect();
-        watched.sort_unstable();
-        watched.dedup();
+        sim.install(
+            bal,
+            Box::new(SnapshotBalancer {
+                spec: cfg.balance,
+                targets,
+                snap: BTreeMap::new(),
+                pending: false,
+                ctl,
+                cur: BTreeMap::new(),
+                metrics: metrics.clone(),
+            }),
+        );
+    } else if balance_on && cfg.balance.live {
         let targets: Vec<BalanceTarget> = watched
-            .into_iter()
-            .map(|s| {
+            .iter()
+            .map(|&s| {
                 let node_idx = (0..graph.stages()[s].replication)
                     .map(|j| {
                         // Already resolved above for every instance.
@@ -1568,7 +1873,24 @@ pub fn run_job_with_faults<R: Record>(
         queue_stats,
         reweights: m.reweights,
         par: None,
+        par_fallback,
     })
+}
+
+/// The stages the runtime balancer watches: replicated stages fed
+/// through a policy with routing freedom (anything but Static), sorted
+/// and deduped.
+fn watched_stages<R: Record>(graph: &FlowGraph<R>) -> Vec<usize> {
+    let mut watched: Vec<usize> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.routing != lmas_core::RoutingPolicy::Static)
+        .map(|e| e.to.0)
+        .filter(|&to| graph.stages()[to].replication > 1)
+        .collect();
+    watched.sort_unstable();
+    watched.dedup();
+    watched
 }
 
 /// Whether the partitioned engine can reproduce this graph's routing
@@ -1647,6 +1969,16 @@ struct EmWorker<R: Record> {
     part: u32,
     nparts: usize,
     cfg: ClusterConfig,
+    spec: FaultSpec,
+    /// The fault layer is on (a controller slot exists per partition).
+    active: bool,
+    /// Shared precomputed fault timelines (identical to sequential's).
+    detected: Arc<DetectedTimeline>,
+    loss: Arc<LossTimeline>,
+    /// Snapshot-balancer watched stages (empty = balancer off).
+    watched: Arc<Vec<usize>>,
+    /// Minimum cross-node delay — the lookahead and control delay.
+    ctl: SimDuration,
     graph: Arc<FlowGraph<R>>,
     specs: Arc<Vec<InstSpec>>,
     /// First global instance index of each stage.
@@ -1656,13 +1988,32 @@ struct EmWorker<R: Record> {
     inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
 }
 
+impl<R: Record> EmWorker<R> {
+    /// Does this partition own dense node index `n`?
+    fn owns_node(&self, n: usize) -> bool {
+        let id = if n < self.cfg.hosts {
+            NodeId::Host(n)
+        } else {
+            NodeId::Asu(n - self.cfg.hosts)
+        };
+        node_partition(self.cfg.hosts, self.nparts, id) == self.part
+    }
+}
+
 impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
     type Built = EmBuilt<R>;
 
     fn build(&mut self, sim: &mut Simulation<Msg<R>>) -> EmBuilt<R> {
         let cfg = &self.cfg;
         let graph = &self.graph;
-        sim.reserve_to(self.specs.len());
+        let n_inst = self.specs.len();
+        let n_ctrl = if self.active { self.nparts } else { 0 };
+        let has_bal = !self.watched.is_empty();
+        sim.reserve_to(n_inst + n_ctrl + usize::from(has_bal));
+        // One fault-controller slot per partition right after the
+        // instances, then the (partition-0-owned) balancer slot — the
+        // same relative layout as the sequential build.
+        let bal_actor = ActorId(n_inst + n_ctrl);
 
         // Every node is instantiated by exactly one partition (reports
         // cover idle nodes too); only owned actors ever touch it.
@@ -1685,6 +2036,11 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
             // share of the global tail window (see `Trace::merge`).
             metrics.borrow_mut().trace = Trace::enabled(cfg.trace_capacity);
         }
+        // Fencing/flush flags: global-length per partition, but only
+        // owned instances (and the partition's own controller) ever
+        // read or write an entry — instance partition == node partition
+        // by construction, so every flag access stays partition-local.
+        let flags = Rc::new(RefCell::new(vec![InstFlags::default(); n_inst]));
 
         for (idx, sp) in self.specs.iter().enumerate() {
             if sp.part != self.part {
@@ -1713,8 +2069,11 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                     // build (global instance order), so SR draws align.
                     router: Router::new(e.routing, cfg.seed, idx as u64),
                     gauge: GaugeHandle::Journal(journals[to].clone()),
-                    // Never written without the balancer; stays empty,
-                    // exactly like the sequential shared vector.
+                    // Per-sender weights, fed by `WeightUpdate`s from
+                    // the snapshot balancer — the identical channel the
+                    // sequential snapshot build uses. Empty until the
+                    // first reweight (if ever), like the weightless
+                    // sequential vector.
                     weights: Rc::new(RefCell::new(Vec::new())),
                     group_size,
                     dest_stage: to,
@@ -1756,14 +2115,128 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
-                fault: None,
+                ctl: self.ctl,
+                fault: self.active.then(|| InstanceFault {
+                    detected: self.detected.clone(),
+                    loss: self.loss.clone(),
+                    flags: flags.clone(),
+                    backoff: self.spec.backoff,
+                    fail_fast: self.spec.fail_fast,
+                    my_node: node_index(cfg, sp.node),
+                    my_global: idx,
+                    factory: stage.factory_handle(),
+                    // Same global-index-keyed stream as sequential.
+                    rng: DetRng::stream(cfg.seed, (1u64 << 62) | idx as u64),
+                }),
+                sample: (has_bal && self.watched.binary_search(&sp.stage).is_ok()).then(
+                    || SampleState {
+                        period: cfg.balance.period,
+                        report_delay: cfg.balance.period.max(self.ctl),
+                        balancer: bal_actor,
+                        armed: true,
+                    },
+                ),
             };
+            let watched_here = actor.sample.is_some();
             sim.install(ActorId(idx), Box::new(actor));
             if stage.is_source {
                 // Ascending actor-id order (the iteration order), as the
                 // partitioned seeding contract requires.
                 sim.seed_message(ActorId(idx), SimTime::ZERO, Msg::SourceNext);
             }
+            if watched_here {
+                sim.seed_message(
+                    ActorId(idx),
+                    SimTime(cfg.balance.period.as_nanos()),
+                    Msg::SampleTick,
+                );
+            }
+        }
+
+        if self.active {
+            // This partition's fault controller: seeded only with the
+            // plan steps and detection verdicts whose node it owns, so
+            // every event is dispatched exactly once globally and all
+            // node/instance touches are partition-local.
+            let ctrl = ActorId(n_inst + self.part as usize);
+            let events = self.spec.plan.sorted_events();
+            for (i, ev) in events.iter().enumerate() {
+                if matches!(ev, FaultEvent::LinkLoss { .. }) {
+                    continue;
+                }
+                if self.owns_node(ev.node()) {
+                    sim.seed_message(ctrl, ev.at(), Msg::FaultStep(i));
+                }
+            }
+            for &(node, at) in self.detected.detections() {
+                if self.owns_node(node) {
+                    sim.seed_message(ctrl, at, Msg::Detect(node));
+                }
+            }
+            let total_nodes = cfg.total_nodes();
+            let mut instances_on: Vec<Vec<usize>> = vec![Vec::new(); total_nodes];
+            let mut inst_actor: Vec<ActorId> = Vec::with_capacity(n_inst);
+            let mut inst_downstream: Vec<Option<Vec<(ActorId, usize)>>> =
+                Vec::with_capacity(n_inst);
+            for (gi, sp) in self.specs.iter().enumerate() {
+                instances_on[node_index(cfg, sp.node)].push(gi);
+                inst_actor.push(ActorId(gi));
+                inst_downstream.push(graph.out_edge(StageId(sp.stage)).map(|e| {
+                    let to = e.to.0;
+                    let base = self.stage_base[to];
+                    (0..graph.stages()[to].replication)
+                        .map(|j| {
+                            (ActorId(base + j), node_index(cfg, self.specs[base + j].node))
+                        })
+                        .collect()
+                }));
+            }
+            sim.install(
+                ctrl,
+                Box::new(FaultController {
+                    events,
+                    nodes: nodes.clone(),
+                    flags: flags.clone(),
+                    instances_on,
+                    inst_actor,
+                    inst_downstream,
+                    ctl: self.ctl,
+                    metrics: metrics.clone(),
+                }),
+            );
+        }
+
+        if has_bal && self.part == 0 {
+            let targets: Vec<SnapTarget> = self
+                .watched
+                .iter()
+                .map(|&s| SnapTarget {
+                    stage: s,
+                    replication: graph.stages()[s].replication,
+                    senders: graph
+                        .edges()
+                        .iter()
+                        .filter(|e| e.to.0 == s)
+                        .flat_map(|e| {
+                            let base = self.stage_base[e.from.0];
+                            (0..graph.stages()[e.from.0].replication)
+                                .map(move |j| ActorId(base + j))
+                        })
+                        .collect(),
+                })
+                .collect();
+            sim.install(
+                bal_actor,
+                Box::new(SnapshotBalancer {
+                    spec: cfg.balance,
+                    targets,
+                    snap: BTreeMap::new(),
+                    pending: false,
+                    ctl: self.ctl,
+                    cur: BTreeMap::new(),
+                    metrics: metrics.clone(),
+                }),
+            );
         }
         EmBuilt { nodes, journals, metrics }
     }
@@ -1776,8 +2249,16 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
     ) -> EmPartOut<R> {
         // Same horizon algebra as the sequential path, with collective
         // max-reductions standing in for the global scans: last dispatch
-        // anywhere, every CPU queue drained, every disk quiesced.
-        let mut local = sim.now();
+        // anywhere, every CPU queue drained, every disk quiesced. Under
+        // faults or a balancer, start from the last *application*
+        // activity instead of the last dispatch (the sequential rule):
+        // the global last activity is the max of the partition-local
+        // ones, which the reduction folds in.
+        let mut local = if self.active || self.cfg.balance.is_active() {
+            built.metrics.borrow().last_activity
+        } else {
+            sim.now()
+        };
         for n in built.nodes.iter().flatten() {
             let n = n.borrow();
             local = local.max(n.cpu_free_at()).max(n.disk_quiesce());
@@ -1842,17 +2323,40 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
     }
 }
 
-/// Execute an eligible fault-free job on the partitioned engine. The
-/// report is byte-identical to the sequential path's — same virtual
-/// times, same dispatch counts, same trace — except for
+/// Execute an eligible job on the partitioned engine — including
+/// faulted and (snapshot-)balanced runs. The report is equivalent to
+/// the sequential path's — same virtual times, same dispatch counts,
+/// same merged trace and gauge history — except for
 /// [`EmulationReport::par`], which records how the run was parallelized.
 fn run_job_parallel<R: Record>(
     cfg: &ClusterConfig,
+    spec: &FaultSpec,
     graph: FlowGraph<R>,
     placement: Placement,
     mut inputs: BTreeMap<(usize, usize), Vec<Packet<R>>>,
 ) -> Result<EmulationReport<R>, JobError> {
     let nparts = cfg.threads.min(cfg.hosts).max(1);
+    let active = spec.is_active();
+    let total_nodes = cfg.total_nodes();
+    // Same control delay the eligibility gate computed: the lookahead.
+    let ctl = SimDuration::from_nanos(
+        cfg.link_latency.as_nanos()
+            + nic_service(cfg.nic_frame_overhead_bytes, cfg.link_bytes_per_sec).as_nanos(),
+    );
+    let detected = Arc::new(DetectedTimeline::build(
+        &spec.plan,
+        spec.heartbeat_period,
+        spec.heartbeat_timeout,
+        total_nodes,
+    ));
+    let loss = Arc::new(LossTimeline::build(&spec.plan, total_nodes));
+    // Eligibility already rejected the live compat sampler, so an
+    // active balancer here is snapshot-mode by construction.
+    let watched: Arc<Vec<usize>> = Arc::new(if cfg.balance.is_active() {
+        watched_stages(&graph)
+    } else {
+        Vec::new()
+    });
 
     // Global instance table in sequential build order; index == actor id.
     let mut specs: Vec<InstSpec> = Vec::new();
@@ -1867,7 +2371,18 @@ fn run_job_parallel<R: Record>(
             specs.push(InstSpec { stage: s, instance: i, node, part });
         }
     }
-    let owners: Arc<Vec<u32>> = Arc::new(specs.iter().map(|sp| sp.part).collect());
+    // Actor-ownership table: the instances, then (under faults) one
+    // controller slot per partition, then the balancer slot on
+    // partition 0.
+    let mut owner_vec: Vec<u32> = specs.iter().map(|sp| sp.part).collect();
+    if active {
+        owner_vec.extend(0..nparts as u32);
+    }
+    let has_bal = !watched.is_empty();
+    if has_bal {
+        owner_vec.push(0);
+    }
+    let owners: Arc<Vec<u32>> = Arc::new(owner_vec);
     let eos_expected: Vec<usize> = (0..graph.stages().len())
         .map(|s| {
             let stage = &graph.stages()[s];
@@ -1903,6 +2418,12 @@ fn run_job_parallel<R: Record>(
             part: p as u32,
             nparts,
             cfg: *cfg,
+            spec: spec.clone(),
+            active,
+            detected: detected.clone(),
+            loss: loss.clone(),
+            watched: watched.clone(),
+            ctl,
             graph: graph.clone(),
             specs: specs.clone(),
             stage_base: stage_base.clone(),
@@ -1911,7 +2432,7 @@ fn run_job_parallel<R: Record>(
         })
         .collect();
 
-    let outcome = run_partitioned(cfg.seed, owners, cfg.link_latency, workers);
+    let outcome = run_partitioned(cfg.seed, owners, ctl, workers);
 
     // Merge the partition shares back into the sequential report shape.
     let end = outcome.results.first().map_or(SimTime::ZERO, |r| r.end);
@@ -1929,6 +2450,14 @@ fn run_job_parallel<R: Record>(
     node_reports.sort_by_key(|&(ni, _)| ni);
     debug_assert_eq!(node_reports.len(), cfg.total_nodes(), "every node reported once");
     let m = Metrics::merge(metrics_parts);
+    // `fail_fast` specs fall back to the sequential engine, so a
+    // partitioned run can never hit the global early stop.
+    debug_assert!(m.fatal.is_none(), "fatal fault on the partitioned path");
+    let down_nodes: Vec<NodeId> = node_reports
+        .iter()
+        .filter(|(_, r)| matches!(r.health, NodeHealth::Down))
+        .map(|(_, r)| r.id)
+        .collect();
 
     let stage_work = graph
         .stages()
@@ -1957,8 +2486,7 @@ fn run_job_parallel<R: Record>(
         mem_violations: m.mem_violations,
         dispatched: outcome.dispatched,
         trace: m.trace,
-        // Fault-free by eligibility: nothing can be down.
-        down_nodes: Vec::new(),
+        down_nodes,
         fault: m.fault,
         queue_stats,
         reweights: m.reweights,
@@ -1967,6 +2495,9 @@ fn run_job_parallel<R: Record>(
             windows: outcome.windows,
             critical_dispatched: outcome.critical_dispatched,
             remote_messages: outcome.remote_messages,
+            window_width_hist: outcome.window_width_hist,
+            barrier_wait_hist: outcome.barrier_wait_hist,
         }),
+        par_fallback: None,
     })
 }

@@ -1,0 +1,129 @@
+//! Unit tests for the partitioned engine's sequential-fallback
+//! reasons (`EmulationReport::par_fallback`). Each of the four reasons
+//! — `"backlog routing"`, `"zero latency"`, `"fault plan"`,
+//! `"balancer"` — is pinned by a run that triggers exactly it, and the
+//! zero-latency eligibility boundary is tested from both sides: a zero
+//! `link_latency` with a positive NIC frame overhead still yields a
+//! positive minimum cross-node delay and parallelizes, while a truly
+//! zero delay cannot support conservative lookahead and falls back.
+
+use lmas_core::functor::lib::MapFunctor;
+use lmas_core::{
+    generate_rec8, packetize, EdgeKind, FlowGraph, Functor, KeyDist, NodeId, Placement, Rec8,
+    RoutingPolicy, Work,
+};
+use lmas_emulator::{
+    asu_index, run_job, run_job_with_faults, BalanceSpec, ClusterConfig, EmulationReport,
+    FaultSpec, Job,
+};
+use lmas_sim::{FaultPlan, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+fn identity_factory() -> impl Fn(usize) -> Box<dyn Functor<Rec8>> + Send + 'static {
+    |_| Box::new(MapFunctor::new("id", Work::compares(8), |r: Rec8| r))
+}
+
+/// Two-host job with a replicated downstream stage so every routing
+/// policy (and the balancer) has freedom to exercise.
+fn job(routing: RoutingPolicy) -> Job<Rec8> {
+    let data = generate_rec8(4_000, KeyDist::Uniform, 9);
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(2, identity_factory());
+    let dst = g.add_stage(2, identity_factory());
+    g.connect(src, dst, routing, EdgeKind::Set).unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Asu(0));
+    placement.assign(src, 1, NodeId::Asu(1));
+    placement.assign(dst, 0, NodeId::Host(0));
+    placement.assign(dst, 1, NodeId::Host(1));
+    let mut inputs = BTreeMap::new();
+    inputs.insert((0usize, 0usize), packetize(data.clone(), 100));
+    inputs.insert((0usize, 1usize), packetize(data, 100));
+    Job { graph: g, placement, inputs }
+}
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::era_2002(2, 2, 8.0).with_threads(4)
+}
+
+fn expect_sequential(r: &EmulationReport<Rec8>, reason: &str) {
+    assert!(r.par.is_none(), "run must stay sequential ({reason})");
+    assert_eq!(r.par_fallback, Some(reason), "fallback reason");
+}
+
+fn expect_parallel(r: &EmulationReport<Rec8>) {
+    let stats = r.par.as_ref().expect("run must use the partitioned engine");
+    assert_eq!(stats.partitions, 2, "two hosts bound the partition count");
+    assert_eq!(r.par_fallback, None);
+}
+
+#[test]
+fn backlog_routing_falls_back() {
+    let r = run_job(&cfg(), job(RoutingPolicy::PowerOfTwoChoices)).unwrap();
+    expect_sequential(&r, "backlog routing");
+    let r = run_job(&cfg(), job(RoutingPolicy::LoadAware)).unwrap();
+    expect_sequential(&r, "backlog routing");
+    // Partition-local policies stay eligible.
+    let r = run_job(&cfg(), job(RoutingPolicy::SimpleRandomization)).unwrap();
+    expect_parallel(&r);
+}
+
+#[test]
+fn zero_latency_falls_back_only_when_the_minimum_delay_is_truly_zero() {
+    // Zero propagation latency AND zero per-frame NIC overhead: no
+    // cross-node message can be bounded away from "now" — no lookahead.
+    let mut zero = cfg();
+    zero.link_latency = SimDuration::ZERO;
+    zero.nic_frame_overhead_bytes = 0;
+    let r = run_job(&zero, job(RoutingPolicy::RoundRobin)).unwrap();
+    expect_sequential(&r, "zero latency");
+
+    // Zero propagation latency but a positive per-frame overhead: the
+    // minimum cross-node delay is the NIC service time of an empty
+    // frame, which is a valid (if narrow) conservative lookahead.
+    let framed = zero.with_nic_frame_overhead(64);
+    let seq = run_job(&framed.with_threads(1), job(RoutingPolicy::RoundRobin)).unwrap();
+    let par = run_job(&framed, job(RoutingPolicy::RoundRobin)).unwrap();
+    expect_parallel(&par);
+    assert_eq!(seq.makespan, par.makespan, "virtual time is engine-invariant");
+    assert_eq!(seq.dispatched, par.dispatched);
+    assert_eq!(seq.stage_records_in, par.stage_records_in);
+}
+
+#[test]
+fn fail_fast_fault_plans_fall_back_but_ordinary_plans_do_not() {
+    let plan = || FaultPlan::new().crash(asu_index(&cfg(), 0), SimTime(200_000));
+    let fast = FaultSpec::with_plan(plan()).failing_fast(true);
+    let r = run_job_with_faults(&cfg(), &fast, job(RoutingPolicy::RoundRobin)).unwrap();
+    expect_sequential(&r, "fault plan");
+
+    // The same plan without fail_fast runs partitioned.
+    let spec = FaultSpec::with_plan(plan());
+    let r = run_job_with_faults(&cfg(), &spec, job(RoutingPolicy::RoundRobin)).unwrap();
+    expect_parallel(&r);
+}
+
+#[test]
+fn live_balancer_falls_back_but_snapshot_mode_does_not() {
+    let live = cfg().with_balancer(
+        BalanceSpec::every(SimDuration::from_micros(500)).live_sampling(),
+    );
+    let r = run_job(&live, job(RoutingPolicy::SimpleRandomization)).unwrap();
+    expect_sequential(&r, "balancer");
+
+    // Snapshot mode (the default) runs partitioned.
+    let snap = cfg().with_balancer(BalanceSpec::every(SimDuration::from_micros(500)));
+    let r = run_job(&snap, job(RoutingPolicy::SimpleRandomization)).unwrap();
+    expect_parallel(&r);
+}
+
+#[test]
+fn sequential_runs_never_carry_a_fallback_reason() {
+    // threads == 1 never consults the eligibility chain — even a run
+    // that would be ineligible reports None.
+    let mut one = cfg();
+    one.threads = 1;
+    let r = run_job(&one, job(RoutingPolicy::PowerOfTwoChoices)).unwrap();
+    assert!(r.par.is_none());
+    assert_eq!(r.par_fallback, None);
+}

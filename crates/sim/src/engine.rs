@@ -79,8 +79,15 @@ struct ParCal<M> {
     ctr: u64,
     /// Key `(sched, packed)` of the event currently being dispatched.
     cur: (u64, u64),
-    /// Cross-partition sends buffered until the window boundary.
-    outbox: Vec<(u32, RemoteEvent<M>)>,
+    /// Partition-chronological *seed* counter (bits 15..63 of a seed's
+    /// event key, kind bit clear). Same-instant seeds to one actor would
+    /// collide under any id-derived tiebreak; issuance order is the
+    /// sequential insertion order, so the counter reproduces it exactly.
+    seed_ctr: u64,
+    /// Cross-partition sends buffered until the window boundary, bucketed
+    /// by destination partition so the coordinator can hand each bucket
+    /// over with a single lock acquisition.
+    outbox: Vec<Vec<RemoteEvent<M>>>,
     remote_sent: u64,
 }
 
@@ -102,7 +109,7 @@ impl<M> ParCal<M> {
                 "cross-partition send violates the lookahead bound"
             );
             self.remote_sent += 1;
-            self.outbox.push((dest, RemoteEvent { key, to, msg }));
+            self.outbox[dest as usize].push(RemoteEvent { key, to, msg });
         }
     }
 }
@@ -243,6 +250,7 @@ impl<M> Simulation<M> {
         part: u32,
         owners: Arc<Vec<u32>>,
         lookahead: SimDuration,
+        nparts: usize,
     ) -> Self {
         assert!(
             lookahead.as_nanos() > 0,
@@ -258,7 +266,8 @@ impl<M> Simulation<M> {
                 lookahead,
                 ctr: 0,
                 cur: (0, 0),
-                outbox: Vec::new(),
+                seed_ctr: 0,
+                outbox: (0..nparts).map(|_| Vec::new()).collect(),
                 remote_sent: 0,
             })),
             now: SimTime::ZERO,
@@ -307,21 +316,24 @@ impl<M> Simulation<M> {
     /// Schedule an initial message before the run starts.
     ///
     /// Partitioned runs may only seed actors the partition owns, and every
-    /// partition must issue its seeds in ascending actor-id order (the
-    /// natural build order) so the composite keys reproduce the sequential
-    /// seeding sequence.
+    /// partition must issue its seeds in the same relative order the
+    /// sequential build does (the natural build order), so the per-partition
+    /// seed counter reproduces the sequential insertion sequence at one
+    /// partition and a stable total order at several.
     pub fn seed_message(&mut self, to: ActorId, at: SimTime, msg: M) -> EventToken {
         match &mut self.cal {
             Calendar::Seq(q) => q.schedule(at, Envelope { to, msg }),
             Calendar::Par(p) => {
                 assert_eq!(p.owners[to.0], p.part, "seeded a non-owned actor");
-                assert!(to.0 < 1 << 48, "actor id overflows the seed key");
+                let c = p.seed_ctr;
+                p.seed_ctr += 1;
+                assert!(c < 1 << 48, "partition seed counter overflows the event key");
                 // Kind bit 0: seeds order before any runtime send at the
                 // same instant, exactly like pre-run sequence numbers.
-                // Seeds tiebreak on the destination actor id — globally
-                // unique, and the ascending order the build loops issue
-                // them in — so the partition tag is padding, not order.
-                let packed = ((to.0 as u64) << 15) | p.part as u64;
+                // Same-instant seeds tiebreak on (issuance order, partition)
+                // — unique even when one actor is seeded twice at the same
+                // instant (e.g. several fault-plan events firing together).
+                let packed = (c << 15) | p.part as u64;
                 p.queue
                     .push(EventKey { at, sched: 0, packed }, Envelope { to, msg });
                 EventToken::NULL
@@ -457,11 +469,14 @@ impl<M> Simulation<M> {
         }
     }
 
-    /// Partitioned mode: drain the buffered cross-partition sends.
-    pub(crate) fn par_take_outbox(&mut self) -> Vec<(u32, RemoteEvent<M>)> {
+    /// Partitioned mode: the buffered cross-partition sends, bucketed by
+    /// destination partition. The coordinator swaps each non-empty bucket
+    /// into the matching `(src, dst)` mailbox slot at the window boundary
+    /// (recycling the slot's empty allocation back into the bucket).
+    pub(crate) fn par_outbox_mut(&mut self) -> &mut Vec<Vec<RemoteEvent<M>>> {
         match &mut self.cal {
-            Calendar::Par(p) => std::mem::take(&mut p.outbox),
-            Calendar::Seq(_) => unreachable!("par_take_outbox on a sequential calendar"),
+            Calendar::Par(p) => &mut p.outbox,
+            Calendar::Seq(_) => unreachable!("par_outbox_mut on a sequential calendar"),
         }
     }
 

@@ -385,9 +385,10 @@ impl<M> EventQueue<M> {
 ///   order across scheduling instants exactly.
 /// - `packed` — a tiebreak within one scheduling instant: one bit of
 ///   *kind* (seed messages sort below runtime sends, as their seqs are
-///   assigned before the run starts; seeds tiebreak on destination actor
-///   id, the order the build loop issues them in), then a 48-bit
-///   **partition-chronological send counter** and the 15-bit sending
+///   assigned before the run starts; seeds tiebreak on a per-partition
+///   issuance counter, the order the build loop schedules them in), then
+///   a 48-bit **partition-chronological counter** (send counter for
+///   runtime sends, seed counter for seeds) and the 15-bit issuing
 ///   partition index.
 ///
 /// The counter increments on every send a partition makes, in dispatch

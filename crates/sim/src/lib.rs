@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
 pub use event::{EventKey, EventQueue, EventToken, KeyedQueue};
-pub use par::{run_partitioned, ParOps, ParOutcome, PartitionWorker};
+pub use par::{run_partitioned, LogHist, ParOps, ParOutcome, PartitionWorker};
 pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer};
 pub use intern::{intern, Name};
 pub use resource::{Grant, MultiResource, Resource};

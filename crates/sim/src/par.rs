@@ -6,13 +6,31 @@
 //! slots stay empty). Synchronization is conservative, in the
 //! null-message tradition but window-based so no protocol events pollute
 //! dispatch counts: each round, every partition publishes the arrival
-//! time of its earliest pending event, the fleet agrees on the global
-//! minimum `T`, and — because every cross-partition send carries at least
-//! `L` (the lookahead) of virtual latency — each partition can safely
-//! dispatch everything in `[T, T+L)` without hearing from its peers.
-//! Cross-partition sends buffered during the window are exchanged at the
-//! boundary; they all arrive at `T+L` or later, beyond the window just
-//! run.
+//! time of its earliest pending event and — because every cross-partition
+//! send carries at least `L` (the lookahead) of virtual latency — derives
+//! a safe per-partition dispatch horizon from the published vector (see
+//! *Adaptive lookahead* below). Cross-partition sends buffered during the
+//! window are exchanged at the boundary through per-`(src, dst)` mailbox
+//! slots, each touched by exactly one writer and one reader per round.
+//!
+//! # Adaptive lookahead
+//!
+//! With `NT_q` the published next-event time of partition `q`, any event
+//! partition `p` has not yet heard about must travel a chain of one or
+//! more cross-partition hops starting from some partition's current
+//! calendar, so its arrival time is bounded below by
+//!
+//! * `min_{q≠p} NT_q + L` — a direct send out of a peer's pending work
+//!   (one hop), and
+//! * `NT_p + 2L` — any longer chain, including responses bounced back to
+//!   `p`'s own outgoing mail: two or more hops from a calendar whose
+//!   earliest entry is at least the global minimum.
+//!
+//! `p` may therefore dispatch through
+//! `min(min_{q≠p} NT_q + L, NT_p + 2L) − 1` — never narrower than the
+//! classic fleet-wide `[T, T+L)` window, and much wider whenever peers
+//! are ahead of the global minimum, which is what lets faulted and
+//! rebalanced runs amortize barriers past four threads.
 //!
 //! Determinism does not depend on thread interleaving: events carry
 //! composite keys ([`crate::event::EventKey`]) that totally order them
@@ -147,6 +165,55 @@ impl ParOps<'_> {
     }
 }
 
+/// A log₂-bucketed histogram: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i` (zero lands in bucket 0). Cheap enough to
+/// record per window, merges by bucket-wise sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHist {
+    /// Bucket counts, index = floor(log2(value)).
+    pub buckets: [u64; 64],
+}
+
+impl LogHist {
+    /// All-zero histogram.
+    pub fn new() -> Self {
+        LogHist { buckets: [0; 64] }
+    }
+
+    /// Count one value.
+    pub fn record(&mut self, v: u64) {
+        let i = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[i] += 1;
+    }
+
+    /// Bucket-wise accumulate another histogram.
+    pub fn absorb(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total count across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// What a partitioned run produced, plus fleet-level counters.
 #[derive(Debug)]
 pub struct ParOutcome<T> {
@@ -164,6 +231,14 @@ pub struct ParOutcome<T> {
     pub critical_dispatched: u64,
     /// Cross-partition messages exchanged.
     pub remote_messages: u64,
+    /// Adaptive window widths (virtual nanoseconds past the round's
+    /// global minimum), one sample per partition per window.
+    /// Deterministic: a pure function of the event set.
+    pub window_width_hist: LogHist,
+    /// Wall-clock nanoseconds spent parked at barriers, one sample per
+    /// partition per barrier. *Not* deterministic — never diff it; it
+    /// exists to make synchronization cost measurable in benches.
+    pub barrier_wait_hist: LogHist,
 }
 
 /// Run one partitioned simulation to completion.
@@ -194,10 +269,22 @@ where
 
     let slots: Vec<AtomicU64> = (0..nparts).map(|_| AtomicU64::new(0)).collect();
     let barrier = PoisonBarrier::new(nparts);
+    // One slot per (src, dst) pair: src writes between the barriers, dst
+    // drains at the top of the next round, so each lock is uncontended
+    // and a whole window's mail moves with one swap per pair.
     let mailboxes: Vec<Mutex<Vec<RemoteEvent<M>>>> =
-        (0..nparts).map(|_| Mutex::new(Vec::new())).collect();
+        (0..nparts * nparts).map(|_| Mutex::new(Vec::new())).collect();
 
-    let per_part: Vec<(T, u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+    struct PartOut<T> {
+        result: T,
+        dispatched: u64,
+        remote: u64,
+        per_window: Vec<u64>,
+        width_hist: LogHist,
+        wait_hist: LogHist,
+    }
+
+    let per_part: Vec<PartOut<T>> = std::thread::scope(|scope| {
         let joins: Vec<_> = workers
             .into_iter()
             .enumerate()
@@ -209,22 +296,37 @@ where
                 scope.spawn(move || {
                     let _guard = PoisonOnPanic(barrier);
                     let mut sim =
-                        Simulation::new_partition(seed, p as u32, owners, lookahead);
+                        Simulation::new_partition(seed, p as u32, owners, lookahead, nparts);
                     let built = worker.build(&mut sim);
                     let mut per_window: Vec<u64> = Vec::new();
+                    let mut width_hist = LogHist::new();
+                    let mut wait_hist = LogHist::new();
+                    let timed_wait = |h: &mut LogHist| {
+                        let t0 = std::time::Instant::now();
+                        barrier.wait();
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    };
                     loop {
                         // Accept mail posted at the previous boundary, then
                         // publish our next-event time.
-                        for ev in std::mem::take(&mut *mailboxes[p].lock().unwrap()) {
-                            sim.par_push_remote(ev);
+                        for q in 0..nparts {
+                            let slot = &mailboxes[q * nparts + p];
+                            for ev in std::mem::take(&mut *slot.lock().unwrap()) {
+                                sim.par_push_remote(ev);
+                            }
                         }
-                        slots[p].store(sim.par_next_time(), Ordering::SeqCst);
-                        barrier.wait(); // A: all slots published
-                        let t = slots
-                            .iter()
-                            .map(|s| s.load(Ordering::SeqCst))
-                            .min()
-                            .expect("non-empty fleet");
+                        let nt = sim.par_next_time();
+                        slots[p].store(nt, Ordering::SeqCst);
+                        timed_wait(&mut wait_hist); // A: all slots published
+                        let mut t = nt;
+                        let mut peer_min = u64::MAX;
+                        for (q, s) in slots.iter().enumerate() {
+                            let v = s.load(Ordering::SeqCst);
+                            t = t.min(v);
+                            if q != p {
+                                peer_min = peer_min.min(v);
+                            }
+                        }
                         if t == u64::MAX {
                             // Every calendar is empty and (by protocol
                             // phasing) no mail is in flight: drained. The
@@ -234,20 +336,38 @@ where
                             barrier.wait();
                             break;
                         }
-                        // No remote arrival can land inside [t, t+L):
-                        // every one is at >= sender_now + L >= t + L.
-                        let horizon = SimTime(t.saturating_add(la - 1));
-                        per_window.push(sim.run_window(horizon));
-                        for (dest, ev) in sim.par_take_outbox() {
-                            mailboxes[dest as usize].lock().unwrap().push(ev);
+                        // Adaptive horizon (module docs): unheard-of events
+                        // reach us at >= min(min_{q!=p} NT_q + L, NT_p + 2L).
+                        // Never narrower than the classic [t, t+L) window.
+                        let horizon = if nparts == 1 {
+                            u64::MAX - 1
+                        } else {
+                            // bound >= t + L >= 1, so the -1 cannot wrap.
+                            peer_min
+                                .saturating_add(la)
+                                .min(nt.saturating_add(la).saturating_add(la))
+                                - 1
+                        };
+                        debug_assert!(horizon >= t, "horizon below the global minimum");
+                        width_hist.record(horizon.saturating_sub(t).saturating_add(1));
+                        per_window.push(sim.run_window(SimTime(horizon)));
+                        for (dst, bucket) in sim.par_outbox_mut().iter_mut().enumerate() {
+                            if !bucket.is_empty() {
+                                let mut slot =
+                                    mailboxes[p * nparts + dst].lock().unwrap();
+                                debug_assert!(slot.is_empty(), "mailbox not drained");
+                                // The drained slot's allocation swaps back
+                                // into the bucket for reuse next window.
+                                std::mem::swap(&mut *slot, bucket);
+                            }
                         }
-                        barrier.wait(); // B: all mail delivered before next round
+                        timed_wait(&mut wait_hist); // B: all mail delivered
                     }
                     let dispatched = sim.dispatched();
                     let remote = sim.par_remote_sent();
                     let ops = ParOps { me: p, slots, barrier };
                     let result = worker.finish(built, sim, &ops);
-                    (result, dispatched, remote, per_window)
+                    PartOut { result, dispatched, remote, per_window, width_hist, wait_hist }
                 })
             })
             .collect();
@@ -257,17 +377,25 @@ where
             .collect()
     });
 
-    let windows = per_part[0].3.len();
-    debug_assert!(per_part.iter().all(|(_, _, _, w)| w.len() == windows));
+    let windows = per_part[0].per_window.len();
+    debug_assert!(per_part.iter().all(|o| o.per_window.len() == windows));
     let critical_dispatched: u64 = (0..windows)
-        .map(|w| per_part.iter().map(|(_, _, _, pw)| pw[w]).max().unwrap_or(0))
+        .map(|w| per_part.iter().map(|o| o.per_window[w]).max().unwrap_or(0))
         .sum();
+    let mut window_width_hist = LogHist::new();
+    let mut barrier_wait_hist = LogHist::new();
+    for o in &per_part {
+        window_width_hist.absorb(&o.width_hist);
+        barrier_wait_hist.absorb(&o.wait_hist);
+    }
     ParOutcome {
-        dispatched: per_part.iter().map(|(_, d, _, _)| d).sum(),
-        remote_messages: per_part.iter().map(|(_, _, r, _)| r).sum(),
+        dispatched: per_part.iter().map(|o| o.dispatched).sum(),
+        remote_messages: per_part.iter().map(|o| o.remote).sum(),
         windows: windows as u64,
         critical_dispatched,
-        results: per_part.into_iter().map(|(t, _, _, _)| t).collect(),
+        window_width_hist,
+        barrier_wait_hist,
+        results: per_part.into_iter().map(|o| o.result).collect(),
     }
 }
 
@@ -345,22 +473,17 @@ mod tests {
         }
     }
 
-    fn parallel_log(owners: Vec<u32>, nparts: usize) -> (Log, ParOutcome<()>) {
+    fn parallel_log(owners: Vec<u32>, nparts: usize) -> (Log, ParOutcome<Log>) {
         let owners = Arc::new(owners);
         let workers: Vec<RingWorker> = (0..nparts)
             .map(|p| RingWorker { part: p as u32, owners: owners.clone() })
             .collect();
-        let outcome = run_partitioned(9, owners, SimDuration::from_nanos(LOOKAHEAD), workers);
+        let mut outcome =
+            run_partitioned(9, owners, SimDuration::from_nanos(LOOKAHEAD), workers);
         let mut merged: Log = outcome.results.iter().flatten().copied().collect();
         merged.sort_unstable();
-        let stats = ParOutcome {
-            results: vec![],
-            dispatched: outcome.dispatched,
-            windows: outcome.windows,
-            critical_dispatched: outcome.critical_dispatched,
-            remote_messages: outcome.remote_messages,
-        };
-        (merged, stats)
+        outcome.results = vec![];
+        (merged, outcome)
     }
 
     #[test]
@@ -390,6 +513,62 @@ mod tests {
         assert_eq!(sa.windows, sb.windows);
         assert_eq!(sa.critical_dispatched, sb.critical_dispatched);
         assert_eq!(sa.remote_messages, sb.remote_messages);
+        // Window widths are virtual quantities: deterministic across runs
+        // (barrier waits are wall-clock and deliberately not compared).
+        assert_eq!(sa.window_width_hist.buckets, sb.window_width_hist.buckets);
+        assert_eq!(sa.window_width_hist.total(), sa.windows * 2);
+    }
+
+    #[test]
+    fn adaptive_horizon_widens_past_the_static_window() {
+        // Partition 0 runs a dense local chain (hops every 10 ns) while
+        // partition 1 stays idle: its published next-event time is MAX, so
+        // partition 0's horizon stretches to NT_p + 2L = NT_p + 100 each
+        // round instead of the static NT_p + 50 — half the rounds.
+        const CHAIN: u32 = 50;
+        const STEP: u64 = 10;
+        struct ChainWorker {
+            part: u32,
+        }
+        impl PartitionWorker<u32, u64> for ChainWorker {
+            type Built = ();
+            fn build(&mut self, sim: &mut Simulation<u32>) {
+                sim.reserve_to(2);
+                if self.part == 0 {
+                    sim.install(
+                        ActorId(0),
+                        Box::new(|ctx: &mut Ctx<'_, u32>, hops: u32| {
+                            if hops > 0 {
+                                let me = ctx.me();
+                                ctx.send(me, SimDuration::from_nanos(STEP), hops - 1);
+                            }
+                        }),
+                    );
+                    sim.seed_message(ActorId(0), SimTime(0), CHAIN);
+                } else {
+                    sim.install(ActorId(1), Box::new(|_: &mut Ctx<'_, u32>, _| {}));
+                }
+            }
+            fn finish(self, (): (), sim: Simulation<u32>, _: &ParOps<'_>) -> u64 {
+                sim.dispatched()
+            }
+        }
+        let owners = Arc::new(vec![0u32, 1]);
+        let workers = vec![ChainWorker { part: 0 }, ChainWorker { part: 1 }];
+        let outcome = run_partitioned(
+            3,
+            owners,
+            SimDuration::from_nanos(LOOKAHEAD),
+            workers,
+        );
+        assert_eq!(outcome.dispatched, CHAIN as u64 + 1);
+        let static_rounds = (CHAIN as u64 * STEP).div_ceil(LOOKAHEAD);
+        assert!(
+            outcome.windows <= static_rounds / 2 + 1,
+            "adaptive lookahead used {} rounds; static would need {}",
+            outcome.windows,
+            static_rounds
+        );
     }
 
     #[test]

@@ -170,11 +170,11 @@ pub fn assert_equiv_report<R: Record>(a: &EmulationReport<R>, b: &EmulationRepor
 }
 
 /// [`assert_same_sort`] for fault-plan runs (which also carry a repair
-/// pass and recovery accounting). The faulted pass is always
-/// sequential, but the repair and second passes run fault-free and may
-/// parallelize, so each report is compared at the strictness its
-/// partitioning admits; recovery accounting and the final output must
-/// match exactly regardless.
+/// pass and recovery accounting). Every pass — the faulted first pass
+/// included, now that fault plans run as static timelines in both
+/// engines — is compared at the strictness its partitioning admits;
+/// recovery accounting and the final output must match exactly
+/// regardless.
 pub fn assert_same_faulty_sort<R: Record>(a: &FaultyDsmOutcome<R>, b: &FaultyDsmOutcome<R>) {
     assert_eq!(keys_fnv(&a.output), keys_fnv(&b.output), "emitted key streams diverge");
     assert_eq!(a.recovered_records, b.recovered_records);
@@ -184,6 +184,22 @@ pub fn assert_same_faulty_sort<R: Record>(a: &FaultyDsmOutcome<R>, b: &FaultyDsm
     assert_eq!(a.repair.is_some(), b.repair.is_some(), "repair presence diverges");
     if let (Some(ra), Some(rb)) = (&a.repair, &b.repair) {
         assert_equiv_report(ra, rb, "repair");
+    }
+}
+
+/// Byte-identity between two fault-plan runs that resolved to the same
+/// partitioning (two thread counts bounded by the same host count, or
+/// one configuration run twice): every pass's state *and* trace render
+/// must be byte-for-byte equal.
+pub fn assert_identical_faulty_sort<R: Record>(a: &FaultyDsmOutcome<R>, b: &FaultyDsmOutcome<R>) {
+    assert_eq!(keys_fnv(&a.output), keys_fnv(&b.output), "emitted key streams diverge");
+    assert_eq!(a.recovered_records, b.recovered_records);
+    assert_eq!(a.lost_asus, b.lost_asus);
+    assert_same_report(&a.pass1, &b.pass1, TraceEq::Exact, "pass1");
+    assert_same_report(&a.pass2, &b.pass2, TraceEq::Exact, "pass2");
+    assert_eq!(a.repair.is_some(), b.repair.is_some(), "repair presence diverges");
+    if let (Some(ra), Some(rb)) = (&a.repair, &b.repair) {
+        assert_same_report(ra, rb, TraceEq::Exact, "repair");
     }
 }
 

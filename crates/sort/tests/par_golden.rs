@@ -24,10 +24,14 @@
 
 mod common;
 
-use common::{assert_same_sort, fnv1a, TraceEq};
+use common::{
+    assert_identical_faulty_sort, assert_same_faulty_sort, assert_same_sort, fnv1a, keys_fnv,
+    TraceEq,
+};
 use lmas_core::{generate_rec128, KeyDist, Record, RoutingPolicy};
-use lmas_emulator::ClusterConfig;
-use lmas_sort::{run_dsm_sort, DsmConfig, DsmOutcome, LoadMode};
+use lmas_emulator::{asu_index, BalanceSpec, ClusterConfig, FaultSpec};
+use lmas_sim::{FaultPlan, SimDuration, SimTime};
+use lmas_sort::{run_dsm_sort, run_dsm_sort_faulty, DsmConfig, DsmOutcome, LoadMode};
 
 #[test]
 fn pinned_golden_holds_at_every_thread_count() {
@@ -127,6 +131,125 @@ fn randomized_routing_parallel_matches_sequential() {
     assert!(par.pass1.par.is_some());
 }
 
+/// Faulted multi-host pinned golden: a fixed crash+recovery plan with
+/// a lossy link, run partitioned at `threads ∈ {2, 4}` (both resolve
+/// to two partitions on two hosts, so the runs must be byte-identical
+/// to each other), frozen as exact constants and cross-checked against
+/// the sequential engine under the conserved-equivalence contract.
+#[test]
+fn pinned_faulted_multi_host_golden() {
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let base = ClusterConfig::era_2002(2, 4, 8.0).with_trace(2048);
+    let data = generate_rec128(4_000, KeyDist::Uniform, 3);
+    let mode = LoadMode::Managed(RoutingPolicy::SimpleRandomization);
+
+    // The crash lands mid-pass-1 of the fault-free run; the recovery 40
+    // virtual ms later exercises detection-cancel and revive fencing.
+    let golden = run_dsm_sort(&base, data.clone(), &dsm, mode).expect("fault-free golden runs");
+    let t_crash = SimTime(golden.pass1.makespan.0 / 2);
+    let plan = FaultPlan::new()
+        .crash(asu_index(&base, 1), t_crash)
+        .recover(asu_index(&base, 1), t_crash + SimDuration::from_millis(40))
+        .link_loss(0, asu_index(&base, 0), SimTime::ZERO, 0.05);
+    let spec = FaultSpec::with_plan(plan);
+
+    let seq = run_dsm_sort_faulty(&base, &spec, data.clone(), &dsm, mode).expect("runs");
+    assert!(seq.pass1.par.is_none(), "threads=1 stays sequential");
+
+    let par2 = run_dsm_sort_faulty(&base.with_threads(2), &spec, data.clone(), &dsm, mode)
+        .expect("runs");
+    let par4 = run_dsm_sort_faulty(&base.with_threads(4), &spec, data, &dsm, mode).expect("runs");
+    let stats = par4.pass1.par.as_ref().expect("faulted run uses the partitioned engine");
+    assert_eq!(stats.partitions, 2, "two hosts bound the partition count");
+    assert_eq!(par4.pass1.par_fallback, None);
+    assert!(stats.remote_messages > 0, "fence/NACK traffic crosses partitions");
+    assert_identical_faulty_sort(&par2, &par4);
+    assert_same_faulty_sort(&seq, &par4);
+
+    // The frozen constants of the threads=4 faulted run.
+    let s = par4.pass1.fault;
+    let pinned = format!(
+        "pass1_ns={} pass2_ns={} dispatched={} {}\n\
+         fault retries={} nacks={} drops={} lost={} abandoned={} fenced={} detections={}\n\
+         recovered={} lost_asus={} out_fnv={:#018x}\n\
+         trace1={} {:#018x} trace2={} {:#018x}",
+        par4.pass1.makespan.as_nanos(),
+        par4.pass2.makespan.as_nanos(),
+        par4.pass1.dispatched,
+        par4.pass2.dispatched,
+        s.retries,
+        s.nacks,
+        s.drops,
+        s.lost_queued_records,
+        s.abandoned_records,
+        s.fenced_instances,
+        s.detections,
+        par4.recovered_records,
+        par4.lost_asus.len(),
+        keys_fnv(&par4.output),
+        par4.pass1.trace.len(),
+        fnv1a(par4.pass1.trace.render().bytes()),
+        par4.pass2.trace.len(),
+        fnv1a(par4.pass2.trace.render().bytes()),
+    );
+    assert_eq!(
+        pinned,
+        "pass1_ns=22063514 pass2_ns=14078252 dispatched=163 151\n\
+         fault retries=3 nacks=2 drops=1 lost=1000 abandoned=0 fenced=2 detections=1\n\
+         recovered=1000 lost_asus=0 out_fnv=0x5fe79c496c69d09c\n\
+         trace1=58 0x4cc9cf9d8b2d0b80 trace2=59 0x95d28d5930442e8a",
+        "faulted multi-host golden drifted"
+    );
+}
+
+/// Snapshot-balancer multi-host pinned golden: the balancer armed at a
+/// fixed period, run partitioned at threads=4 and frozen byte-exact;
+/// the sequential run must agree on every conserved aggregate
+/// (reweight count included) and the final output.
+#[test]
+fn pinned_balanced_multi_host_golden() {
+    let dsm = DsmConfig::new(4, 256, 4, 64);
+    let base = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_trace(2048)
+        .with_balancer(BalanceSpec::every(SimDuration::from_micros(500)).with_deadband(256));
+    let data = generate_rec128(4_000, KeyDist::Exponential { rate: 4.0 }, 11);
+    let mode = LoadMode::Managed(RoutingPolicy::SimpleRandomization);
+
+    let seq = run_dsm_sort(&base, data.clone(), &dsm, mode).expect("runs");
+    assert!(seq.pass1.par.is_none(), "threads=1 stays sequential");
+    let par = run_dsm_sort(&base.with_threads(4), data, &dsm, mode).expect("runs");
+    let stats = par.pass1.par.as_ref().expect("balanced run uses the partitioned engine");
+    assert_eq!(stats.partitions, 2);
+    assert_eq!(par.pass1.par_fallback, None);
+
+    assert_eq!(
+        (seq.pass1.reweights, seq.pass2.reweights),
+        (par.pass1.reweights, par.pass2.reweights),
+        "snapshot balancer reweights identically in both engines"
+    );
+    common::assert_equiv_report(&seq.pass1, &par.pass1, "pass1");
+    common::assert_equiv_report(&seq.pass2, &par.pass2, "pass2");
+    assert_eq!(common::output_keys_fnv(&seq), common::output_keys_fnv(&par));
+
+    let pinned = format!(
+        "pass1_ns={} pass2_ns={} total_ns={} dispatched={} {} reweights={} {} out_fnv={:#018x}",
+        par.pass1.makespan.as_nanos(),
+        par.pass2.makespan.as_nanos(),
+        par.total.as_nanos(),
+        par.pass1.dispatched,
+        par.pass2.dispatched,
+        par.pass1.reweights,
+        par.pass2.reweights,
+        common::output_keys_fnv(&par),
+    );
+    assert_eq!(
+        pinned,
+        "pass1_ns=10095572 pass2_ns=8869056 total_ns=18964628 dispatched=627 280 \
+         reweights=3 0 out_fnv=0x4f6435715012d220",
+        "balanced multi-host golden drifted"
+    );
+}
+
 #[test]
 fn backlog_sensitive_routing_falls_back_to_sequential() {
     // LoadAware/PowerOfTwoChoices read live queue depths at pick time,
@@ -144,4 +267,6 @@ fn backlog_sensitive_routing_falls_back_to_sequential() {
         par.pass1.par.is_none(),
         "backlog-sensitive routing must not use the partitioned engine"
     );
+    assert_eq!(par.pass1.par_fallback, Some("backlog routing"));
+    assert_eq!(seq.pass1.par_fallback, None, "threads=1 never records a reason");
 }

@@ -10,13 +10,14 @@ cargo test -q --workspace
 echo "== cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== determinism gate (seeded emulation + chaos + planned + parallel run, twice, diff) =="
+echo "== determinism gate (seeded emulation + chaos + planned + parallel runs, twice, diff) =="
 # The determinism binary covers the fault-free pinned sort, a pinned
 # chaos run (ASU crash + lossy link), a planner-placed run with the
-# balancer armed, and a threads=4 partitioned run: bounces, retries,
-# fencing, repair, plan reports, reweights, and the parallel kernel's
-# merged reports must all be run-to-run stable despite real thread
-# interleaving.
+# balancer armed, a threads=4 partitioned run, a faulted partitioned
+# run (static timelines + per-partition controllers), and a
+# snapshot-balanced partitioned run: bounces, retries, fencing, repair,
+# plan reports, reweights, and the parallel kernel's merged reports
+# must all be run-to-run stable despite real thread interleaving.
 cargo build -q --release -p lmas-bench --bin determinism
 run1="$(./target/release/determinism)"
 run2="$(./target/release/determinism)"
@@ -27,15 +28,48 @@ if [ "$run1" != "$run2" ]; then
 fi
 echo "$run1"
 
-echo "== parallel kernel gate (goldens at 1/2/4 threads, byte-diffed) =="
+echo "== parallel kernel gate (goldens at 1/2/4/8 threads, byte-diffed) =="
 # par_golden re-runs the frozen sequential pins of tests/golden.rs at
 # threads 2 and 4 (makespans, dispatch counts, trace FNVs — all must
 # match the pre-parallel constants byte-for-byte) and pins
-# representative multi-host partitioned runs; par_diff fuzzes random
-# cluster shapes × random fault plans across thread counts. Named here
-# so a parallel-kernel regression fails loudly in its own step.
+# representative multi-host partitioned runs, faulted ones included;
+# par_diff fuzzes random cluster shapes × random fault plans × the
+# snapshot balancer across thread counts — faulted and balanced runs go
+# through the partitioned engine and must reproduce the sequential run.
+# Named here so a parallel-kernel regression fails loudly in its own
+# step.
 cargo test -q -p lmas-sort --test par_golden --test par_diff > /dev/null
-echo "parallel gate verified (sequential pins hold at threads 1/2/4; fault plans fall back)"
+echo "parallel gate verified (pins hold at threads 1/2/4/8; faulted+balanced runs partition)"
+
+echo "== parallel scaling gate (par_scaling at reduced scale, twice, diff; speedup regression guard) =="
+# Faulted-parallel determinism: the BENCH-par-sim sweep (fault-free,
+# faulted, and faulted+balanced variants at threads 1/2/4/8) must be
+# byte-identical across two runs. barrier_wait_hist is wall-clock
+# scheduling noise — stripped before the diff; every other figure is
+# virtual time and must be stable.
+cargo build -q --release -p lmas-bench --bin par_scaling
+pg1="$(mktemp -d)"; pg2="$(mktemp -d)"
+LMAS_SCALE="${LMAS_PAR_SCALE:-0.1}" LMAS_RESULTS_DIR="$pg1" ./target/release/par_scaling > /dev/null
+LMAS_SCALE="${LMAS_PAR_SCALE:-0.1}" LMAS_RESULTS_DIR="$pg2" ./target/release/par_scaling > /dev/null
+if ! diff -q <(grep -v barrier_wait_hist "$pg1/BENCH_par_sim.json") \
+             <(grep -v barrier_wait_hist "$pg2/BENCH_par_sim.json") > /dev/null; then
+    echo "parallel scaling gate FAILED: two par_scaling runs differ" >&2
+    diff <(grep -v barrier_wait_hist "$pg1/BENCH_par_sim.json") \
+         <(grep -v barrier_wait_hist "$pg2/BENCH_par_sim.json") >&2 || true
+    exit 1
+fi
+# Bench-regression guard: the checked-in full-scale artifact must still
+# assert both dispatch-speedup gates (the binary writes `false` — and
+# aborts — when a gate misses at full scale).
+grep -q '"verified_speedup_ge_4_5_at_8_threads_256_nodes": true' results/BENCH_par_sim.json || {
+    echo "bench regression: fault-free 8-thread speedup gate missing from results/BENCH_par_sim.json" >&2
+    exit 1
+}
+grep -q '"verified_faulted_balanced_speedup_ge_2_at_4_threads_256_nodes": true' results/BENCH_par_sim.json || {
+    echo "bench regression: faulted 4-thread speedup gate missing from results/BENCH_par_sim.json" >&2
+    exit 1
+}
+echo "parallel scaling verified (artifact deterministic; speedup gates hold in checked-in results)"
 
 echo "== chaos recovery gate (fault sweep at reduced scale) =="
 # Every cell of the sweep verifies its recovered output byte-identical
