@@ -7,10 +7,18 @@
 //! (`crates/emulator/tests/golden.rs`), which pins them across simulator
 //! rewrites; this binary guards run-to-run stability within one build.
 
-use lmas_core::{generate_rec128, KeyDist, Record, RoutingPolicy};
-use lmas_emulator::{asu_index, BalanceSpec, ClusterConfig, FaultSpec};
+use lmas_core::functor::lib::MapFunctor;
+use lmas_core::{
+    generate_rec128, packetize, EdgeKind, FlowGraph, Functor, KeyDist, NodeId, Placement, Rec8,
+    Record, RoutingPolicy, Work,
+};
+use lmas_emulator::{
+    asu_index, run_job_with_faults, BalanceSpec, ClusterConfig, EmulationReport, FaultSpec, Job,
+    RepairSpec,
+};
 use lmas_sim::{FaultPlan, SimDuration, SimTime};
 use lmas_sort::{run_dsm_sort, run_dsm_sort_faulty, DsmConfig, LoadMode};
+use std::collections::BTreeMap;
 
 /// FNV-1a over a byte stream; stable and dependency-free.
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
@@ -81,14 +89,22 @@ fn main() {
         LoadMode::Managed(RoutingPolicy::SimpleRandomization),
     )
     .expect("pinned chaos sort runs");
-    println!("chaos.pass1.makespan_ns {}", chaos.pass1.makespan.as_nanos());
+    println!(
+        "chaos.pass1.makespan_ns {}",
+        chaos.pass1.makespan.as_nanos()
+    );
     println!("chaos.total_ns {}", chaos.total.as_nanos());
     println!("chaos.pass1.dispatched {}", chaos.pass1.dispatched);
     let s = chaos.pass1.fault;
     println!(
         "chaos.fault retries {} nacks {} drops {} lost {} abandoned {} fenced {} detections {}",
-        s.retries, s.nacks, s.drops, s.lost_queued_records, s.abandoned_records,
-        s.fenced_instances, s.detections
+        s.retries,
+        s.nacks,
+        s.drops,
+        s.lost_queued_records,
+        s.abandoned_records,
+        s.fenced_instances,
+        s.detections
     );
     println!("chaos.recovered_records {}", chaos.recovered_records);
     let chaos_hash = fnv1a(
@@ -146,7 +162,8 @@ fn main() {
         .with_trace(4096)
         .with_threads(4);
     let data = generate_rec128(n, KeyDist::Uniform, 1);
-    let par = run_dsm_sort(&cluster, data, &dsm, LoadMode::Static).expect("pinned parallel sort runs");
+    let par =
+        run_dsm_sort(&cluster, data, &dsm, LoadMode::Static).expect("pinned parallel sort runs");
     let stats = par.pass1.par.expect("multi-host threaded run parallelizes");
     println!(
         "par.partitions {} par.windows {} par.remote_messages {}",
@@ -183,12 +200,17 @@ fn main() {
     // window-width histogram is a virtual-time quantity and diffs too;
     // the barrier-wait histogram is wall-clock and is deliberately NOT
     // printed.
-    let cluster = ClusterConfig::era_2002(2, 4, 8.0).with_trace(4096).with_threads(4);
+    let cluster = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_trace(4096)
+        .with_threads(4);
     let data = generate_rec128(n, KeyDist::Uniform, 1);
     let t_crash = SimTime(par.pass1.makespan.0 / 3);
     let plan = FaultPlan::new()
         .crash(asu_index(&cluster, 1), t_crash)
-        .recover(asu_index(&cluster, 1), t_crash + SimDuration::from_millis(40))
+        .recover(
+            asu_index(&cluster, 1),
+            t_crash + SimDuration::from_millis(40),
+        )
         .link_loss(0, asu_index(&cluster, 0), SimTime::ZERO, 0.05);
     let spec = FaultSpec::with_plan(plan);
     let pf = run_dsm_sort_faulty(
@@ -199,8 +221,15 @@ fn main() {
         LoadMode::Managed(RoutingPolicy::SimpleRandomization),
     )
     .expect("pinned faulted parallel sort runs");
-    let stats = pf.pass1.par.as_ref().expect("faulted run uses the partitioned engine");
-    assert!(pf.pass1.par_fallback.is_none(), "no fallback reason on an eligible faulted run");
+    let stats = pf
+        .pass1
+        .par
+        .as_ref()
+        .expect("faulted run uses the partitioned engine");
+    assert!(
+        pf.pass1.par_fallback.is_none(),
+        "no fallback reason on an eligible faulted run"
+    );
     println!(
         "parfault.partitions {} parfault.windows {} parfault.remote_messages {}",
         stats.partitions, stats.windows, stats.remote_messages
@@ -211,15 +240,29 @@ fn main() {
     );
     println!(
         "parfault.window_width_fnv {:016x}",
-        fnv1a(stats.window_width_hist.buckets.iter().flat_map(|c| c.to_le_bytes()))
+        fnv1a(
+            stats
+                .window_width_hist
+                .buckets
+                .iter()
+                .flat_map(|c| c.to_le_bytes())
+        )
     );
-    println!("parfault.pass1.makespan_ns {}", pf.pass1.makespan.as_nanos());
+    println!(
+        "parfault.pass1.makespan_ns {}",
+        pf.pass1.makespan.as_nanos()
+    );
     println!("parfault.total_ns {}", pf.total.as_nanos());
     let s = pf.pass1.fault;
     println!(
         "parfault.fault retries {} nacks {} drops {} lost {} abandoned {} fenced {} detections {}",
-        s.retries, s.nacks, s.drops, s.lost_queued_records, s.abandoned_records,
-        s.fenced_instances, s.detections
+        s.retries,
+        s.nacks,
+        s.drops,
+        s.lost_queued_records,
+        s.abandoned_records,
+        s.fenced_instances,
+        s.detections
     );
     println!("parfault.recovered_records {}", pf.recovered_records);
     let pf_hash = fnv1a(
@@ -255,13 +298,23 @@ fn main() {
         LoadMode::Managed(RoutingPolicy::SimpleRandomization),
     )
     .expect("pinned balanced parallel sort runs");
-    let stats = pb.pass1.par.as_ref().expect("balanced run uses the partitioned engine");
-    assert!(pb.pass1.par_fallback.is_none(), "no fallback reason on a snapshot-balanced run");
+    let stats = pb
+        .pass1
+        .par
+        .as_ref()
+        .expect("balanced run uses the partitioned engine");
+    assert!(
+        pb.pass1.par_fallback.is_none(),
+        "no fallback reason on a snapshot-balanced run"
+    );
     println!(
         "parbal.partitions {} parbal.windows {} parbal.remote_messages {}",
         stats.partitions, stats.windows, stats.remote_messages
     );
-    println!("parbal.reweights {} {}", pb.pass1.reweights, pb.pass2.reweights);
+    println!(
+        "parbal.reweights {} {}",
+        pb.pass1.reweights, pb.pass2.reweights
+    );
     println!("parbal.pass1.makespan_ns {}", pb.pass1.makespan.as_nanos());
     println!("parbal.total_ns {}", pb.total.as_nanos());
     let pb_hash = fnv1a(
@@ -279,4 +332,104 @@ fn main() {
             fnv1a(report.trace.render().bytes())
         );
     }
+
+    // Repair section: a seeded Poisson fault schedule with the
+    // background re-replication engine on, sequentially and through the
+    // partitioned kernel. Engine decisions are pure functions of its
+    // load state, same-instant completions and destination writes are
+    // applied in canonical assignment-id order, and the coordinator
+    // coalesces same-instant trajectory samples, so every repair
+    // observable — counters, final replica histogram, the whole
+    // trajectory, per-node source bytes — must be identical run to run
+    // and across thread counts.
+    for (tag, threads) in [("repair", 1usize), ("parrepair", 4)] {
+        let r = repair_run(threads);
+        if threads > 1 {
+            assert!(
+                r.par.is_some(),
+                "multi-host threaded repair run parallelizes"
+            );
+            assert!(
+                r.par_fallback.is_none(),
+                "no fallback reason on a repair run"
+            );
+        }
+        println!("{tag}.makespan_ns {}", r.makespan.as_nanos());
+        println!("{tag}.dispatched {}", r.dispatched);
+        let s = r.repair;
+        println!(
+            "{tag}.repair enqueued {} completed {} cancelled {} reassigned {} wasted {} \
+             blocks_lost {} bytes_repaired {}",
+            s.enqueued,
+            s.completed,
+            s.cancelled,
+            s.reassigned,
+            s.wasted,
+            s.blocks_lost,
+            s.bytes_repaired
+        );
+        println!("{tag}.replica_hist {:?}", r.replica_hist);
+        let traj_fnv = fnv1a(r.repair_trajectory.iter().flat_map(|p| {
+            p.at.0
+                .to_le_bytes()
+                .into_iter()
+                .chain(p.hist.iter().flat_map(|c| c.to_le_bytes()))
+        }));
+        println!(
+            "{tag}.trajectory points {} fnv {traj_fnv:016x}",
+            r.repair_trajectory.len()
+        );
+        println!("{tag}.src_bytes {:?}", r.repair_src_bytes);
+        println!("{tag}.detections {}", r.fault.detections);
+    }
+}
+
+/// The repair scenario: source on host 0 → relay on every ASU → sink on
+/// the last host, a seeded Poisson crash/recovery schedule, and repair
+/// at 256 MiB/s over 96 × 256 KiB blocks at replication target 3.
+fn repair_run(threads: usize) -> EmulationReport<Rec8> {
+    const HOSTS: usize = 4;
+    const ASUS: usize = 8;
+    let cfg = ClusterConfig::era_2002(HOSTS, ASUS, 8.0).with_threads(threads);
+    let plan = FaultPlan::poisson(
+        0xD15C,
+        HOSTS..HOSTS + ASUS,
+        SimDuration::from_millis(200),
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(160),
+    );
+    let rs = RepairSpec::new(96, 3, 256 << 10, 256.0 * (1u64 << 20) as f64)
+        .with_sampling(SimDuration::from_millis(10));
+    let spec = FaultSpec::with_plan(plan).with_repair(rs);
+
+    let relay = |_| -> Box<dyn Functor<Rec8>> {
+        Box::new(MapFunctor::new("relay", Work::compares(4), |r: Rec8| r))
+    };
+    let data: Vec<Rec8> = (0..2_000u32).map(|i| Rec8 { key: i, tag: i }).collect();
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, relay);
+    let mid = g.add_stage(ASUS, relay);
+    let dst = g.add_stage(1, relay);
+    g.connect(src, mid, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .unwrap();
+    g.connect(mid, dst, RoutingPolicy::Static, EdgeKind::Set)
+        .unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Host(0));
+    for i in 0..ASUS {
+        placement.assign(mid, i, NodeId::Asu(i));
+    }
+    placement.assign(dst, 0, NodeId::Host(HOSTS - 1));
+    let mut inputs = BTreeMap::new();
+    inputs.insert((src.0, 0usize), packetize(data, 50));
+    run_job_with_faults(
+        &cfg,
+        &spec,
+        Job {
+            graph: g,
+            placement,
+            inputs,
+        },
+    )
+    .expect("pinned repair run succeeds")
 }

@@ -1,0 +1,344 @@
+//! **F-RF** — fleet-scale durability under background re-replication:
+//! measured replica-distribution trajectories vs the mean-field ODE.
+//!
+//! Sweeps fleet size × per-node repair bandwidth under seeded Poisson
+//! crash/recovery schedules (`FaultPlan::poisson`) with the repair
+//! engine on, averages the measured replica histogram trajectory over a
+//! few seeds, and compares mean available copies and the absorbed
+//! (data-loss) fraction against `mean_field_trajectory` (Sun et al.,
+//! arXiv 1701.00335). The sweep spans an undersized repair tier — where
+//! the fleet cannot keep up and blocks drain to zero copies — through a
+//! comfortable one where the distribution hugs the replication target.
+//!
+//! Every cell asserts the model error bounds before the artifact is
+//! written: the bench is a *validation gate*, not just a figure.
+//!
+//! Output: `results/BENCH_repair.json` with per-(fleet, bandwidth)
+//! trajectory errors, loss fractions, and repair counters.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::functor::lib::MapFunctor;
+use lmas_core::{
+    packetize, EdgeKind, FlowGraph, Functor, NodeId, Placement, Rec8, RoutingPolicy, Work,
+};
+use lmas_emulator::{
+    mean_copies, mean_field_trajectory, run_job_with_faults, ClusterConfig, EmulationReport,
+    FaultSpec, Job, MeanFieldParams, RepairSpec,
+};
+use lmas_sim::{FaultPlan, SimDuration, SimTime};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+const MIB: u64 = 1 << 20;
+/// Replication target.
+const TARGET: u32 = 3;
+/// Blocks per fleet node (population scales with the fleet).
+const BLOCKS_PER_NODE: u64 = 10;
+const BLOCK_BYTES: u64 = 64 * MIB;
+/// Mean node lifetime / downtime of the Poisson schedule.
+const MTTF_SECS: u64 = 1_800;
+const MTTR_SECS: u64 = 120;
+/// Trajectory comparison grid.
+const SAMPLE_SECS: u64 = 60;
+/// Seeds averaged per cell (the ODE is the N→∞ mean; a finite fleet
+/// fluctuates around it).
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Fleet sizes × per-node repair bandwidth (MiB/s). At 1 MiB/s one
+/// block takes 64 s to re-replicate — against a 1 800 s node lifetime
+/// the fleet falls behind and loses data; at 16 MiB/s repair wins.
+const FLEETS: [usize; 2] = [16, 32];
+const BW_MIB: [u64; 3] = [1, 4, 16];
+
+/// Error tolerances (absolute, in copies against a target of 3, and in
+/// absorbed block fraction). The fluid model is an *optimistic* bound:
+/// it assumes any up node can source any degraded block with perfect
+/// pacing, while the engine binds each repair to an up holder, loses
+/// in-flight work to crashes, and drains bursty per-node queues — so
+/// measured mean copies sit at or below the ODE everywhere
+/// (`SLACK_ABOVE` absorbs finite-fleet fluctuation). While repair
+/// capacity exceeds failure demand the gap stays small (`TIGHT_TOL`);
+/// in the saturated tier (ρ > 1) the ~15 % effective-capacity loss
+/// compounds over the horizon — queues outlive their source nodes and
+/// bounce — so the binding checks there are the one-sided ones
+/// (measured never beats the fluid bound, loss at least the ODE's) and
+/// `SAT_TOL` is only a sanity cap on the divergence.
+const SLACK_ABOVE: f64 = 0.15;
+const TIGHT_TOL: f64 = 0.35;
+const SAT_TOL: f64 = 1.6;
+const LOSS_TOL: f64 = 0.12;
+
+struct Cell {
+    fleet: usize,
+    bw_mib: u64,
+    /// Repair utilization: copy-destruction demand over fluid capacity.
+    rho: f64,
+    /// max_t |measured mean copies − ODE mean copies| (seed-averaged).
+    max_err: f64,
+    /// max_t (measured − ODE): how far the fleet ever beats the bound.
+    max_above: f64,
+    loss_measured: f64,
+    loss_ode: f64,
+    enqueued: u64,
+    completed: u64,
+    reassigned: u64,
+    bytes_repaired: u64,
+}
+
+/// One seeded fleet run: a tiny foreground relay job (repair dominates
+/// the calendar) on a 1-host × `fleet`-ASU cluster, the Poisson fault
+/// schedule over every ASU, and the repair engine on.
+fn fleet_run(fleet: usize, bw: f64, seed: u64, horizon: SimDuration) -> EmulationReport<Rec8> {
+    let mut cfg = ClusterConfig::era_2002(1, fleet, 8.0);
+    // Multi-hour horizons: bin utilization by the minute, or the
+    // per-node ledgers dwarf the simulation itself.
+    cfg.util_bin = SimDuration::from_secs(60);
+    let plan = FaultPlan::poisson(
+        seed,
+        cfg.hosts..cfg.hosts + cfg.asus,
+        SimDuration::from_secs(MTTF_SECS),
+        SimDuration::from_secs(MTTR_SECS),
+        horizon,
+    );
+    let rs = RepairSpec::new(BLOCKS_PER_NODE * fleet as u64, TARGET, BLOCK_BYTES, bw)
+        .with_sampling(SimDuration::from_secs(SAMPLE_SECS));
+    let spec = FaultSpec::with_plan(plan).with_repair(rs);
+
+    let relay = |_| -> Box<dyn Functor<Rec8>> {
+        Box::new(MapFunctor::new("relay", Work::compares(4), |r: Rec8| r))
+    };
+    let data: Vec<Rec8> = (0..200u32).map(|i| Rec8 { key: i, tag: i }).collect();
+    let mut g: FlowGraph<Rec8> = FlowGraph::new();
+    let src = g.add_source_stage(1, relay);
+    let mid = g.add_stage(fleet, relay);
+    g.connect(src, mid, RoutingPolicy::RoundRobin, EdgeKind::Set)
+        .unwrap();
+    let mut placement = Placement::new();
+    placement.assign(src, 0, NodeId::Host(0));
+    for i in 0..fleet {
+        placement.assign(mid, i, NodeId::Asu(i));
+    }
+    let mut inputs = BTreeMap::new();
+    inputs.insert((src.0, 0usize), packetize(data, 50));
+    run_job_with_faults(
+        &cfg,
+        &spec,
+        Job {
+            graph: g,
+            placement,
+            inputs,
+        },
+    )
+    .expect("fleet run completes")
+}
+
+/// Evaluate a piecewise-constant sampled trajectory at `t`: the last
+/// sample at or before `t` (the initial state before the first sample).
+fn hist_at(report: &EmulationReport<Rec8>, t: SimTime, blocks: u64) -> Vec<f64> {
+    let mut last: Option<&Vec<u64>> = None;
+    for s in &report.repair_trajectory {
+        if s.at > t {
+            break;
+        }
+        last = Some(&s.hist);
+    }
+    match last {
+        Some(h) => h.iter().map(|&c| c as f64 / blocks as f64).collect(),
+        None => {
+            let mut x = vec![0.0; TARGET as usize + 1];
+            x[TARGET as usize] = 1.0;
+            x
+        }
+    }
+}
+
+fn main() {
+    // `LMAS_SCALE` shrinks the horizon for smoke runs (check.sh).
+    let horizon_secs = scaled_n(6 * 3600, 1_200);
+    let horizon = SimDuration::from_secs(horizon_secs);
+    let grid: Vec<SimTime> = (0..=horizon_secs / SAMPLE_SECS)
+        .map(|k| SimTime(k * SAMPLE_SECS * 1_000_000_000))
+        .collect();
+
+    println!(
+        "F-RF: replica durability vs mean-field ODE (r={TARGET}, {BLOCKS_PER_NODE} blocks/node, \
+         {}MiB blocks, mttf={MTTF_SECS}s, mttr={MTTR_SECS}s, horizon={horizon_secs}s, \
+         {} seeds/cell)",
+        BLOCK_BYTES / MIB,
+        SEEDS.len()
+    );
+
+    let jobs: Vec<(usize, u64)> = FLEETS
+        .iter()
+        .flat_map(|&fleet| BW_MIB.iter().map(move |&bw_mib| (fleet, bw_mib)))
+        .collect();
+    let cells: Vec<Cell> = jobs
+        .par_iter()
+        .map(|&(fleet, bw_mib)| {
+            let bw = bw_mib as f64 * MIB as f64;
+            let blocks = BLOCKS_PER_NODE * fleet as u64;
+            let runs: Vec<EmulationReport<Rec8>> = SEEDS
+                .par_iter()
+                .map(|&seed| fleet_run(fleet, bw, seed, horizon))
+                .collect();
+
+            let ode = mean_field_trajectory(
+                &MeanFieldParams {
+                    nodes: fleet,
+                    target: TARGET,
+                    blocks,
+                    mttf: SimDuration::from_secs(MTTF_SECS),
+                    mttr: SimDuration::from_secs(MTTR_SECS),
+                    block_repair: SimDuration::from_secs_f64(BLOCK_BYTES as f64 / bw),
+                },
+                &grid,
+            );
+
+            let mut max_err = 0.0f64;
+            let mut max_above = f64::MIN;
+            for (i, &t) in grid.iter().enumerate() {
+                let measured: f64 = runs
+                    .iter()
+                    .map(|r| mean_copies(&hist_at(r, t, blocks)))
+                    .sum::<f64>()
+                    / runs.len() as f64;
+                let diff = measured - mean_copies(&ode[i]);
+                max_err = max_err.max(diff.abs());
+                max_above = max_above.max(diff);
+            }
+            let t_end = *grid.last().expect("non-empty grid");
+            let loss_measured: f64 = runs
+                .iter()
+                .map(|r| hist_at(r, t_end, blocks)[0])
+                .sum::<f64>()
+                / runs.len() as f64;
+            let loss_ode = ode.last().expect("non-empty ode")[0];
+
+            let sum = |f: fn(&EmulationReport<Rec8>) -> u64| -> u64 {
+                runs.iter().map(f).sum::<u64>() / runs.len() as u64
+            };
+            // Copy-destruction demand (each node destroys its
+            // `BLOCKS_PER_NODE · r` copies every mttf) over the fluid
+            // repair capacity (one block per `block_repair` per up node).
+            let up_frac = MTTF_SECS as f64 / (MTTF_SECS + MTTR_SECS) as f64;
+            let block_repair = BLOCK_BYTES as f64 / bw;
+            let rho = BLOCKS_PER_NODE as f64 * TARGET as f64 * block_repair
+                / (MTTF_SECS as f64 * up_frac);
+            Cell {
+                fleet,
+                bw_mib,
+                rho,
+                max_err,
+                max_above,
+                loss_measured,
+                loss_ode,
+                enqueued: sum(|r| r.repair.enqueued),
+                completed: sum(|r| r.repair.completed),
+                reassigned: sum(|r| r.repair.reassigned),
+                bytes_repaired: sum(|r| r.repair.bytes_repaired),
+            }
+        })
+        .collect();
+
+    let widths = [6usize, 8, 6, 10, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "fleet",
+                "bw",
+                "rho",
+                "max_err",
+                "max_abv",
+                "loss_sim",
+                "loss_ode",
+                "enq/seed",
+                "comp/seed"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    let mut json = String::from("{\n");
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.fleet.to_string(),
+                    format!("{}MiB", c.bw_mib),
+                    format!("{:.2}", c.rho),
+                    format!("{:.3}", c.max_err),
+                    format!("{:.3}", c.max_above),
+                    format!("{:.3}", c.loss_measured),
+                    format!("{:.3}", c.loss_ode),
+                    c.enqueued.to_string(),
+                    c.completed.to_string(),
+                ],
+                &widths
+            )
+        );
+        json.push_str(&format!(
+            "  \"d{}/bw{}\": {{\"rho\": {:.4}, \"max_mean_copy_err\": {:.4}, \
+             \"max_above_ode\": {:.4}, \"loss_measured\": {:.4}, \"loss_ode\": {:.4}, \
+             \"enqueued\": {}, \"completed\": {}, \"reassigned\": {}, \"bytes_repaired\": {}}},\n",
+            c.fleet,
+            c.bw_mib,
+            c.rho,
+            c.max_err,
+            c.max_above,
+            c.loss_measured,
+            c.loss_ode,
+            c.enqueued,
+            c.completed,
+            c.reassigned,
+            c.bytes_repaired
+        ));
+    }
+
+    // The validation gate. Everywhere: the fleet never beats the fluid
+    // bound by more than fluctuation slack. Unsaturated (ρ < 0.8):
+    // trajectory and terminal loss track the ODE tightly. Saturated:
+    // the known capacity gap compounds, so only the loose cap applies —
+    // but loss must be at least the ODE's (repair cannot do better than
+    // the fluid limit says).
+    for c in &cells {
+        let id = format!("d{}/bw{}", c.fleet, c.bw_mib);
+        assert!(
+            c.max_above <= SLACK_ABOVE,
+            "{id}: measured beats the fluid bound by {:.3} (> {SLACK_ABOVE})",
+            c.max_above
+        );
+        if c.rho < 0.8 {
+            assert!(
+                c.max_err <= TIGHT_TOL,
+                "{id}: mean-copies error {:.3} exceeds {TIGHT_TOL} at rho {:.2}",
+                c.max_err,
+                c.rho
+            );
+            assert!(
+                (c.loss_measured - c.loss_ode).abs() <= LOSS_TOL,
+                "{id}: loss fraction {:.3} vs ODE {:.3} exceeds {LOSS_TOL}",
+                c.loss_measured,
+                c.loss_ode
+            );
+        } else {
+            assert!(
+                c.max_err <= SAT_TOL,
+                "{id}: saturated-tier error {:.3} exceeds {SAT_TOL}",
+                c.max_err
+            );
+            assert!(
+                c.loss_measured >= c.loss_ode - LOSS_TOL,
+                "{id}: measured loss {:.3} implausibly below ODE {:.3}",
+                c.loss_measured,
+                c.loss_ode
+            );
+        }
+    }
+    json.push_str(&format!(
+        "  \"verified_mean_field\": {{\"slack_above\": {SLACK_ABOVE}, \"tight_tol\": {TIGHT_TOL}, \
+         \"sat_tol\": {SAT_TOL}, \"loss_tol\": {LOSS_TOL}}}\n}}\n"
+    ));
+    write_results("BENCH_repair.json", &json);
+}

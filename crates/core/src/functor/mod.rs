@@ -72,7 +72,11 @@ impl<R: Record> Emit<R> {
 
     /// Emit `packet` on `port`. Empty packets are dropped silently.
     pub fn push(&mut self, port: usize, packet: Packet<R>) {
-        assert!(port < self.ports, "port {port} out of range ({})", self.ports);
+        assert!(
+            port < self.ports,
+            "port {port} out of range ({})",
+            self.ports
+        );
         if !packet.is_empty() {
             self.outputs.push((port, packet));
         }
@@ -203,8 +207,12 @@ mod tests {
 
     #[test]
     fn kind_placement_rules() {
-        let small = FunctorKind::AsuEligible { max_state_bytes: 1024 };
-        let kernel = FunctorKind::VerifiedKernel { max_state_bytes: 4096 };
+        let small = FunctorKind::AsuEligible {
+            max_state_bytes: 1024,
+        };
+        let kernel = FunctorKind::VerifiedKernel {
+            max_state_bytes: 4096,
+        };
         let host = FunctorKind::HostOnly;
         assert!(small.asu_placeable(2048));
         assert!(!small.asu_placeable(512));

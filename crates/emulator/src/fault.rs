@@ -29,6 +29,7 @@
 //!   is surfaced as a NACK after a round trip and retried.
 
 use crate::config::ClusterConfig;
+use crate::repair::RepairSpec;
 use lmas_core::NodeId;
 use lmas_sim::{BackoffPolicy, FaultEvent, FaultPlan, SimDuration, SimTime};
 
@@ -68,6 +69,12 @@ pub struct FaultSpec {
     /// [`FaultStats`]) and the run drains — degraded-mode operation for
     /// callers with an orchestration-level repair path.
     pub fail_fast: bool,
+    /// Background re-replication of durable blocks (see
+    /// [`RepairSpec`]). `None` (the default) leaves the runtime exactly
+    /// as before; `Some` tracks a replicated block population across
+    /// the plan's crashes and repairs it under per-node bandwidth caps
+    /// that contend with the foreground job.
+    pub repair: Option<RepairSpec>,
 }
 
 impl FaultSpec {
@@ -86,12 +93,19 @@ impl FaultSpec {
             heartbeat_timeout: SimDuration::from_millis(15),
             backoff: BackoffPolicy::default_2002(),
             fail_fast: false,
+            repair: None,
         }
     }
 
     /// This spec with `fail_fast` set.
     pub fn failing_fast(mut self, yes: bool) -> FaultSpec {
         self.fail_fast = yes;
+        self
+    }
+
+    /// This spec with background re-replication enabled per `repair`.
+    pub fn with_repair(mut self, repair: RepairSpec) -> FaultSpec {
+        self.repair = Some(repair);
         self
     }
 
@@ -283,7 +297,13 @@ impl LossTimeline {
         let mut steps: Vec<Vec<(u64, f64)>> = vec![Vec::new(); total_nodes * total_nodes];
         let mut lossless = true;
         for ev in plan.sorted_events() {
-            if let FaultEvent::LinkLoss { from, to, at, drop_prob } = ev {
+            if let FaultEvent::LinkLoss {
+                from,
+                to,
+                at,
+                drop_prob,
+            } = ev
+            {
                 if from >= total_nodes || to >= total_nodes {
                     continue;
                 }
@@ -293,14 +313,22 @@ impl LossTimeline {
                 }
             }
         }
-        LossTimeline { total_nodes, steps, lossless }
+        LossTimeline {
+            total_nodes,
+            steps,
+            lossless,
+        }
     }
 
     /// The drop probability in force on `from → to` at `t`.
     pub fn prob(&self, from: usize, to: usize, t: SimTime) -> f64 {
         let steps = &self.steps[from * self.total_nodes + to];
         let i = steps.partition_point(|&(at, _)| at <= t.0);
-        if i == 0 { 0.0 } else { steps[i - 1].1 }
+        if i == 0 {
+            0.0
+        } else {
+            steps[i - 1].1
+        }
     }
 
     /// True when no link ever drops (senders can skip the loss draw
@@ -340,8 +368,7 @@ mod tests {
     #[test]
     fn empty_plan_is_inactive() {
         assert!(!FaultSpec::none().is_active());
-        let spec =
-            FaultSpec::with_plan(FaultPlan::new().crash(0, SimTime(5))).failing_fast(true);
+        let spec = FaultSpec::with_plan(FaultPlan::new().crash(0, SimTime(5))).failing_fast(true);
         assert!(spec.is_active());
         assert!(spec.fail_fast);
     }
@@ -419,8 +446,16 @@ mod tests {
 
     #[test]
     fn fault_stats_absorb_sums_fieldwise() {
-        let mut a = FaultStats { retries: 1, nacks: 2, ..FaultStats::default() };
-        let b = FaultStats { retries: 10, detections: 3, ..FaultStats::default() };
+        let mut a = FaultStats {
+            retries: 1,
+            nacks: 2,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            retries: 10,
+            detections: 3,
+            ..FaultStats::default()
+        };
         a.absorb(&b);
         assert_eq!(a.retries, 11);
         assert_eq!(a.nacks, 2);

@@ -25,6 +25,7 @@ pub mod config;
 pub mod fault;
 pub mod metrics;
 pub mod node;
+pub mod repair;
 pub mod report;
 pub mod runtime;
 
@@ -33,6 +34,9 @@ pub use config::ClusterConfig;
 pub use fault::{asu_index, node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
 pub use metrics::{QueueStat, StageGauge, StageQueueStats};
 pub use node::NodeRes;
+pub use repair::{
+    mean_copies, mean_field_trajectory, MeanFieldParams, RepairSample, RepairSpec, RepairStats,
+};
 // Storage counter types re-exported from their single source of truth in
 // `lmas-storage` (node reports embed them).
 pub use lmas_storage::{BteStats, PoolStats, StorageSpec};

@@ -8,6 +8,7 @@
 //! progress, and contract violations.
 
 use crate::fault::{FatalFault, FaultStats};
+use crate::repair::{RepairSample, RepairStats};
 use lmas_core::{Packet, Record, Work};
 use lmas_sim::{SimTime, Trace};
 use std::collections::BTreeMap;
@@ -131,25 +132,43 @@ pub struct GaugeJournal {
 impl GaugeJournal {
     /// A journal for a stage of `n` instances.
     pub fn new(n: usize) -> GaugeJournal {
-        GaugeJournal { zeros: vec![0; n], ops: Vec::new() }
+        GaugeJournal {
+            zeros: vec![0; n],
+            ops: Vec::new(),
+        }
     }
 
     /// Records were routed to instance `i` at `now`.
     pub fn add(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
-        self.ops
-            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Add, records });
+        self.ops.push(GaugeOp {
+            at: now,
+            key,
+            inst: i,
+            kind: GaugeOpKind::Add,
+            records,
+        });
     }
 
     /// Instance `i` started records at `now`.
     pub fn sub(&mut self, i: usize, records: u64, now: SimTime, key: (u64, u64)) {
-        self.ops
-            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Sub, records });
+        self.ops.push(GaugeOp {
+            at: now,
+            key,
+            inst: i,
+            kind: GaugeOpKind::Sub,
+            records,
+        });
     }
 
     /// Instance `i`'s queue vanished at `now` (node crash).
     pub fn clear(&mut self, i: usize, now: SimTime, key: (u64, u64)) {
-        self.ops
-            .push(GaugeOp { at: now, key, inst: i, kind: GaugeOpKind::Clear, records: 0 });
+        self.ops.push(GaugeOp {
+            at: now,
+            key,
+            inst: i,
+            kind: GaugeOpKind::Clear,
+            records: 0,
+        });
     }
 
     /// Placeholder depths (all zero; see the type docs).
@@ -204,7 +223,11 @@ pub struct StageQueueStats {
 impl StageQueueStats {
     /// Largest peak depth across this stage's instances.
     pub fn max_peak(&self) -> u64 {
-        self.instances.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+        self.instances
+            .iter()
+            .map(|q| q.peak_depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -251,6 +274,19 @@ pub struct Metrics<R: Record> {
     /// Times the runtime balancer re-weighted a replica router (zero
     /// when the balancer is off or never left its deadband).
     pub reweights: u64,
+    /// Repair-engine activity counters (quiet unless the fault spec
+    /// carries a [`RepairSpec`](crate::repair::RepairSpec)). Only the
+    /// coordinator's partition writes these; merge absorbs.
+    pub repair: RepairStats,
+    /// Replica-distribution trajectory samples (coordinator partition
+    /// only; ascending in time).
+    pub repair_samples: Vec<RepairSample>,
+    /// Final replica histogram, `hist[k]` = blocks with `k` available
+    /// copies (empty when repair is off).
+    pub replica_hist: Vec<u64>,
+    /// Bytes of repair traffic *sourced* per ASU ordinal (the pacing
+    /// cap audit; summed across partitions).
+    pub repair_src_bytes: Vec<u64>,
     violations_total: u64,
     /// Dispatch ordering key per retained violation note (parallel runs
     /// only; `merge` uses it to keep notes in sequential order).
@@ -271,6 +307,10 @@ impl<R: Record> Metrics<R> {
             fatal: None,
             last_activity: SimTime::ZERO,
             reweights: 0,
+            repair: RepairStats::default(),
+            repair_samples: Vec::new(),
+            replica_hist: Vec::new(),
+            repair_src_bytes: Vec::new(),
             violations_total: 0,
             viol_keys: Vec::new(),
         }
@@ -315,7 +355,11 @@ impl<R: Record> Metrics<R> {
             .map(|((at, key), msg)| (at, key, msg))
             .collect();
         for mut p in it {
-            assert_eq!(p.stage_work.len(), m.stage_work.len(), "stage count mismatch");
+            assert_eq!(
+                p.stage_work.len(),
+                m.stage_work.len(),
+                "stage count mismatch"
+            );
             for (a, b) in m.stage_work.iter_mut().zip(&p.stage_work) {
                 *a += *b;
             }
@@ -328,6 +372,21 @@ impl<R: Record> Metrics<R> {
             m.records_processed += p.records_processed;
             m.reweights += p.reweights;
             m.fault.absorb(&p.fault);
+            m.repair.absorb(&p.repair);
+            // Trajectory and final histogram live on the coordinator's
+            // partition only; take whichever partition has them.
+            if m.repair_samples.is_empty() {
+                m.repair_samples = std::mem::take(&mut p.repair_samples);
+            }
+            if m.replica_hist.is_empty() {
+                m.replica_hist = std::mem::take(&mut p.replica_hist);
+            }
+            if m.repair_src_bytes.len() < p.repair_src_bytes.len() {
+                m.repair_src_bytes.resize(p.repair_src_bytes.len(), 0);
+            }
+            for (a, b) in m.repair_src_bytes.iter_mut().zip(&p.repair_src_bytes) {
+                *a += *b;
+            }
             m.violations_total += p.violations_total;
             m.last_activity = m.last_activity.max(p.last_activity);
             if m.fatal.is_none() {
@@ -358,9 +417,7 @@ impl<R: Record> Metrics<R> {
 
     /// Total declared work across stages.
     pub fn total_work(&self) -> Work {
-        self.stage_work
-            .iter()
-            .fold(Work::ZERO, |acc, &w| acc + w)
+        self.stage_work.iter().fold(Work::ZERO, |acc, &w| acc + w)
     }
 
     /// The captured sink packets in `(stage, instance)` then emission

@@ -46,6 +46,9 @@ use crate::fault::{
 };
 use crate::metrics::{GaugeJournal, Metrics, SinkOutputs, StageGauge, StageQueueStats};
 use crate::node::{nic_service, NodeRes};
+use crate::repair::{
+    repair_timeline, RepairCmd, RepairEngine, RepairEv, RepairJob, RepairSample, RepairStats,
+};
 use lmas_core::{
     Emit, FlowGraph, Functor, GraphError, NodeId, Packet, Placement, PlacementError, Record,
     Router, StageFactory, StageId, UpMask,
@@ -101,6 +104,9 @@ pub enum JobError {
         /// `0..hosts + asus`).
         node: usize,
     },
+    /// The repair spec does not fit the cluster (see
+    /// [`RepairSpec::validate`](crate::repair::RepairSpec::validate)).
+    RepairConfig(&'static str),
     /// Every replica of a stage was unreachable and the retry budget was
     /// exhausted with [`FaultSpec::fail_fast`] set. Partial progress is
     /// reported so callers can decide how much work was lost.
@@ -120,7 +126,10 @@ impl fmt::Display for JobError {
             JobError::Graph(e) => write!(f, "graph error: {e}"),
             JobError::Placement(e) => write!(f, "placement error: {e}"),
             JobError::InputForNonSource { stage, instance } => {
-                write!(f, "input supplied for non-source stage {stage} instance {instance}")
+                write!(
+                    f,
+                    "input supplied for non-source stage {stage} instance {instance}"
+                )
             }
             JobError::DisconnectedStage(s) => {
                 write!(f, "non-source stage {s:?} has no incoming edge")
@@ -129,9 +138,17 @@ impl fmt::Display for JobError {
                 write!(f, "stage {stage} instance {instance} has no node assigned")
             }
             JobError::FaultPlanNode { node } => {
-                write!(f, "fault plan names node {node}, which is not in the cluster")
+                write!(
+                    f,
+                    "fault plan names node {node}, which is not in the cluster"
+                )
             }
-            JobError::AllReplicasDown { stage, at, records_processed } => write!(
+            JobError::RepairConfig(why) => write!(f, "repair spec invalid: {why}"),
+            JobError::AllReplicasDown {
+                stage,
+                at,
+                records_processed,
+            } => write!(
                 f,
                 "all replicas of stage {stage} down at t={}ns after {records_processed} records",
                 at.as_nanos()
@@ -221,6 +238,20 @@ pub struct EmulationReport<R: Record> {
     /// when disabled or never outside its deadband — in which case the
     /// run is byte-identical to a balancer-free one in virtual time).
     pub reweights: u64,
+    /// Background re-replication counters (quiet unless the fault spec
+    /// carried a [`RepairSpec`](crate::repair::RepairSpec)).
+    pub repair: RepairStats,
+    /// Replica-distribution trajectory: the blocks-per-copy-count
+    /// histogram sampled every
+    /// [`RepairSpec::sample_every`](crate::repair::RepairSpec::sample_every)
+    /// (empty when sampling is off or repair never ran).
+    pub repair_trajectory: Vec<RepairSample>,
+    /// Final replica histogram, `hist[k]` = blocks with `k` available
+    /// copies for `k = 0..=target` (empty when repair is off).
+    pub replica_hist: Vec<u64>,
+    /// Repair bytes *sourced* per ASU ordinal — the quantity the
+    /// per-node repair-bandwidth cap paces (empty when repair is off).
+    pub repair_src_bytes: Vec<u64>,
     /// Parallel-execution counters, present only when the partitioned
     /// engine ran the job ([`ClusterConfig::threads`] > 1 and the run was
     /// eligible). Everything *else* in the report is byte-identical
@@ -335,9 +366,15 @@ enum Msg<R: Record> {
         meta: Option<DeliveryMeta>,
     },
     /// A delivery bounced (down node or lossy link); returned to sender.
-    Nack { p: Packet<R>, meta: DeliveryMeta },
+    Nack {
+        p: Packet<R>,
+        meta: DeliveryMeta,
+    },
     /// Backoff expired: sender re-routes the packet.
-    Retry { p: Packet<R>, meta: DeliveryMeta },
+    Retry {
+        p: Packet<R>,
+        meta: DeliveryMeta,
+    },
     Eos,
     /// A CPU service window completed. The epoch stamp discards windows
     /// that belonged to a life of this instance before a crash.
@@ -375,6 +412,56 @@ enum Msg<R: Record> {
     },
     /// Balancer: a snapshot batch landed; recompute weights.
     BalanceTick,
+    /// Repair coordinator: apply precomputed timeline entry `i` (a
+    /// crash / recover / detect on a replica-holding ASU).
+    RepairStep(usize),
+    /// Coordinator → source agent: queue this transfer.
+    RepairFetch(RepairJob),
+    /// Coordinator → source agent: drop the queued assignment with this
+    /// id, if it is still queued (a timely recovery made it moot).
+    RepairCancel(u64),
+    /// Repair agent self-message: dispatch the next queued transfer
+    /// (the pacing chain).
+    RepairNext,
+    /// Source agent → destination agent: the block's bytes arrive.
+    RepairWrite(RepairJob),
+    /// Destination agent → coordinator: the transfer landed (`ok`) or
+    /// bounced off a down destination (`!ok`).
+    RepairDone {
+        /// Assignment id.
+        id: u64,
+        /// Block repaired.
+        block: u64,
+        /// Destination ASU ordinal.
+        dest: u32,
+        /// Whether the copy was written.
+        ok: bool,
+    },
+    /// Source agent → coordinator: a queued assignment bounced off this
+    /// (now down) source; pick another.
+    RepairBounce {
+        /// Assignment id.
+        id: u64,
+        /// Block whose repair bounced.
+        block: u64,
+    },
+    /// Coordinator: record one replica-histogram trajectory sample.
+    RepairSampleTick,
+    /// Coordinator self-message: apply the completions buffered at this
+    /// instant in canonical (assignment-id) order. Engine decisions
+    /// depend on mutable load state, so same-instant completions must
+    /// reach it in an arrival-order-independent sequence — the flush
+    /// fires after every other message at the instant in both engines
+    /// (seeds sort first; runtime sends carry strictly earlier send
+    /// times because the control delay is positive).
+    RepairFlush,
+    /// Agent self-message: charge the destination writes that arrived
+    /// at this instant through the disk in canonical (assignment-id)
+    /// order. The disk ledger is FCFS, so same-instant arrivals from
+    /// different sources must charge it in an arrival-order-independent
+    /// sequence — like [`Msg::RepairFlush`], the sentinel fires after
+    /// every other message at the instant in both engines.
+    RepairWriteFlush,
 }
 
 enum Unit<R: Record> {
@@ -628,10 +715,9 @@ impl<R: Record> InstanceActor<R> {
                 let key = par_key(ctx);
                 let mut m = self.metrics.borrow_mut();
                 m.note_activity(ctx.now());
-                m.trace
-                    .record_with_key(ctx.now(), key, || {
-                        (format!("s{stage}.i{instance}"), "flush")
-                    });
+                m.trace.record_with_key(ctx.now(), key, || {
+                    (format!("s{stage}.i{instance}"), "flush")
+                });
                 drop(m);
                 if let Some(f) = &self.fault {
                     f.flags.borrow_mut()[f.my_global].flushed = true;
@@ -691,7 +777,15 @@ impl<R: Record> InstanceActor<R> {
     /// Route one packet downstream. `attempt` is 0 for fresh emissions
     /// and counts prior failed deliveries for retries.
     fn route_packet(&mut self, ctx: &mut Ctx<'_, Msg<R>>, port: usize, p: Packet<R>, attempt: u32) {
-        let d = self.down.as_mut().expect("route_packet needs a downstream");
+        // Invariant, not user input: emissions only route here when the
+        // stage has an out edge (sink outputs go to disk in `emit`), and
+        // the graph is validated before any actor exists. A miss would
+        // be a runtime bug; degrade by dropping the packet rather than
+        // aborting a run that is otherwise healthy.
+        let Some(d) = self.down.as_mut() else {
+            debug_assert!(false, "route_packet needs a downstream");
+            return;
+        };
         // A port is confined to its instance group; the policy picks
         // within it (group == whole stage for Global).
         let groups = d.actors.len() / d.group_size;
@@ -699,9 +793,9 @@ impl<R: Record> InstanceActor<R> {
         let picked = {
             let now = ctx.now();
             let up = match &self.fault {
-                Some(f) => {
-                    UpMask::from_fn(d.group_size, |j| f.detected.is_up(d.node_idx[base + j], now))
-                }
+                Some(f) => UpMask::from_fn(d.group_size, |j| {
+                    f.detected.is_up(d.node_idx[base + j], now)
+                }),
                 None => UpMask::All,
             };
             let backlog = d.gauge.depths();
@@ -725,7 +819,12 @@ impl<R: Record> InstanceActor<R> {
         let Some(rel) = picked else {
             // No replica is (detected) live. Hold the packet through the
             // backoff schedule — a recovery may land — then give up.
-            let meta = DeliveryMeta { sender: ctx.me(), port, dest: usize::MAX, attempt };
+            let meta = DeliveryMeta {
+                sender: ctx.me(),
+                port,
+                dest: usize::MAX,
+                attempt,
+            };
             self.redeliver(ctx, p, meta);
             return;
         };
@@ -746,7 +845,12 @@ impl<R: Record> InstanceActor<R> {
                 ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: None });
             }
             Some(f) => {
-                let meta = DeliveryMeta { sender: ctx.me(), port, dest, attempt };
+                let meta = DeliveryMeta {
+                    sender: ctx.me(),
+                    port,
+                    dest,
+                    attempt,
+                };
                 let prob = f.loss.prob(f.my_node, d.node_idx[dest], ctx.now());
                 if prob > 0.0 && f.rng.gen_f64() < prob {
                     // The frame left the NIC but never arrived; the loss
@@ -756,7 +860,14 @@ impl<R: Record> InstanceActor<R> {
                     self.metrics.borrow_mut().fault.drops += 1;
                     ctx.send_at(ctx.me(), deliver_at + self.ctl, Msg::Nack { p, meta });
                 } else {
-                    ctx.send_at(to_actor, deliver_at, Msg::Arrive { p, meta: Some(meta) });
+                    ctx.send_at(
+                        to_actor,
+                        deliver_at,
+                        Msg::Arrive {
+                            p,
+                            meta: Some(meta),
+                        },
+                    );
                 }
             }
         }
@@ -771,7 +882,17 @@ impl<R: Record> InstanceActor<R> {
             self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
             return;
         }
-        let f = self.fault.as_mut().expect("redeliver requires fault mode");
+        // Invariant, not user input: NACKs and retries carry delivery
+        // metadata, which is only ever attached under an active fault
+        // spec — the same condition that populates `self.fault`. If the
+        // pairing ever broke, the honest degradation is the one the
+        // fault layer already defines for undeliverable packets: count
+        // the records lost and move on.
+        let Some(f) = self.fault.as_mut() else {
+            debug_assert!(false, "redeliver requires fault mode");
+            self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
+            return;
+        };
         meta.attempt += 1;
         match f.backoff.delay(meta.attempt, &mut f.rng) {
             Some(delay) => {
@@ -788,7 +909,10 @@ impl<R: Record> InstanceActor<R> {
                 let mut m = self.metrics.borrow_mut();
                 m.fault.abandoned_records += p.len() as u64;
                 if fail_fast && m.fatal.is_none() {
-                    m.fatal = Some(FatalFault { stage, at: ctx.now() });
+                    m.fatal = Some(FatalFault {
+                        stage,
+                        at: ctx.now(),
+                    });
                     drop(m);
                     ctx.request_stop();
                 }
@@ -812,12 +936,10 @@ impl<R: Record> InstanceActor<R> {
             let my_id = self.node.borrow().id;
             let remote = d.node_ids.iter().filter(|&&id| id != my_id).count();
             let deliver_remote = if remote > 0 {
-                let g = self.node.borrow_mut().charge_nic_batch(
-                    now,
-                    0,
-                    self.link_rate,
-                    remote as u64,
-                );
+                let g =
+                    self.node
+                        .borrow_mut()
+                        .charge_nic_batch(now, 0, self.link_rate, remote as u64);
                 g.end + self.latency
             } else {
                 now
@@ -911,7 +1033,10 @@ impl<R: Record> InstanceActor<R> {
         let mut m = self.metrics.borrow_mut();
         m.fault.lost_queued_records += lost;
         m.trace.record_with_key(ctx.now(), key, || {
-            (format!("s{stage}.i{instance}"), format!("killed, lost {lost} recs"))
+            (
+                format!("s{stage}.i{instance}"),
+                format!("killed, lost {lost} recs"),
+            )
         });
     }
 
@@ -921,7 +1046,10 @@ impl<R: Record> InstanceActor<R> {
     /// down, so a drained job's calendar actually empties. Sampling
     /// never restarts after a crash — see the `Revive` handler.
     fn sample_tick(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
-        let s = self.sample.as_mut().expect("SampleTick without sampling state");
+        let s = self
+            .sample
+            .as_mut()
+            .expect("SampleTick without sampling state");
         s.armed = false;
         if self.node.borrow().is_down() || self.flushed {
             return;
@@ -937,7 +1065,12 @@ impl<R: Record> InstanceActor<R> {
         ctx.send(
             s.balancer,
             s.report_delay,
-            Msg::DepthReport { stage: self.stage, replica: self.instance, depth, cpu_ns },
+            Msg::DepthReport {
+                stage: self.stage,
+                replica: self.instance,
+                depth,
+                cpu_ns,
+            },
         );
         ctx.send(ctx.me(), s.period, Msg::SampleTick);
         s.armed = true;
@@ -996,8 +1129,7 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                             // A source self-delivery racing the crash;
                             // the records stay durable on disk and are
                             // recovered by a repair pass.
-                            self.metrics.borrow_mut().fault.lost_queued_records +=
-                                p.len() as u64;
+                            self.metrics.borrow_mut().fault.lost_queued_records += p.len() as u64;
                         }
                     }
                     return;
@@ -1018,7 +1150,8 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                 // Roll back the optimistic backlog charge, then retry.
                 if meta.dest != usize::MAX {
                     if let Some(d) = &self.down {
-                        d.gauge.sub(meta.dest, p.len() as u64, ctx.now(), par_key(ctx));
+                        d.gauge
+                            .sub(meta.dest, p.len() as u64, ctx.now(), par_key(ctx));
                     }
                 }
                 self.redeliver(ctx, p, meta);
@@ -1072,7 +1205,20 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
                     *d.weights.borrow_mut() = weights;
                 }
             }
-            Msg::FaultStep(_) | Msg::Detect(_) | Msg::BalanceTick | Msg::DepthReport { .. } => {
+            Msg::FaultStep(_)
+            | Msg::Detect(_)
+            | Msg::BalanceTick
+            | Msg::DepthReport { .. }
+            | Msg::RepairStep(_)
+            | Msg::RepairFetch(_)
+            | Msg::RepairCancel(_)
+            | Msg::RepairNext
+            | Msg::RepairWrite(_)
+            | Msg::RepairDone { .. }
+            | Msg::RepairBounce { .. }
+            | Msg::RepairSampleTick
+            | Msg::RepairFlush
+            | Msg::RepairWriteFlush => {
                 unreachable!("controller message delivered to an instance")
             }
         }
@@ -1105,8 +1251,16 @@ struct FaultController<R: Record> {
 }
 
 impl<R: Record> FaultController<R> {
-    fn node(&self, n: usize) -> &Rc<RefCell<NodeRes>> {
-        self.nodes[n].as_ref().expect("fault event on an unowned node")
+    /// The node a step names — always owned by this controller: plan
+    /// events are bounds-checked against the cluster before the run
+    /// starts, the sequential controller owns every node, and a
+    /// partition's controller is seeded only with steps for nodes it
+    /// owns. A miss is a seeding bug, not a user-reachable state, so it
+    /// degrades to skipping the step instead of aborting the run.
+    fn node(&self, n: usize) -> Option<&Rc<RefCell<NodeRes>>> {
+        let nd = self.nodes[n].as_ref();
+        debug_assert!(nd.is_some(), "fault event on an unowned node");
+        nd
     }
 
     /// EOS on behalf of every unflushed instance on a detected-down
@@ -1143,7 +1297,8 @@ impl<R: Record> FaultController<R> {
         let key = par_key(ctx);
         match self.events[i] {
             FaultEvent::Crash { node, .. } => {
-                self.node(node).borrow_mut().set_health(NodeHealth::Down);
+                let Some(nd) = self.node(node) else { return };
+                nd.borrow_mut().set_health(NodeHealth::Down);
                 for j in 0..self.instances_on[node].len() {
                     let gi = self.instances_on[node][j];
                     ctx.send_now(self.inst_actor[gi], Msg::Kill);
@@ -1154,7 +1309,8 @@ impl<R: Record> FaultController<R> {
                     .record_with_key(now, key, || ("fault", format!("crash node {node}")));
             }
             FaultEvent::Recover { node, .. } => {
-                self.node(node).borrow_mut().set_health(NodeHealth::Up);
+                let Some(nd) = self.node(node) else { return };
+                nd.borrow_mut().set_health(NodeHealth::Up);
                 for j in 0..self.instances_on[node].len() {
                     let gi = self.instances_on[node][j];
                     ctx.send_now(self.inst_actor[gi], Msg::Revive);
@@ -1164,10 +1320,17 @@ impl<R: Record> FaultController<R> {
                     .trace
                     .record_with_key(now, key, || ("fault", format!("recover node {node}")));
             }
-            FaultEvent::Degrade { node, cpu_factor, disk_factor, .. } => {
-                self.node(node)
-                    .borrow_mut()
-                    .set_health(NodeHealth::Degraded { cpu_factor, disk_factor });
+            FaultEvent::Degrade {
+                node,
+                cpu_factor,
+                disk_factor,
+                ..
+            } => {
+                let Some(nd) = self.node(node) else { return };
+                nd.borrow_mut().set_health(NodeHealth::Degraded {
+                    cpu_factor,
+                    disk_factor,
+                });
                 self.metrics
                     .borrow_mut()
                     .trace
@@ -1272,10 +1435,7 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for BalancerActor<R> {
         // all three go quiet the balancer stops re-arming, so a drained
         // job's event calendar actually empties.
         let activity = self.metrics.borrow().last_activity;
-        let cpu_busy = self
-            .nodes
-            .iter()
-            .any(|n| n.borrow().cpu_free_at() > now);
+        let cpu_busy = self.nodes.iter().any(|n| n.borrow().cpu_free_at() > now);
         let alive = queued || cpu_busy || activity > self.last_seen;
         self.last_seen = activity;
         if alive {
@@ -1349,7 +1509,10 @@ impl<R: Record> SnapshotBalancer<R> {
                         ctx.send(
                             a,
                             self.ctl,
-                            Msg::WeightUpdate { stage, weights: w.clone() },
+                            Msg::WeightUpdate {
+                                stage,
+                                weights: w.clone(),
+                            },
                         );
                     }
                     self.cur.insert(stage, w);
@@ -1362,7 +1525,12 @@ impl<R: Record> SnapshotBalancer<R> {
 impl<R: Record> lmas_sim::Actor<Msg<R>> for SnapshotBalancer<R> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
         match msg {
-            Msg::DepthReport { stage, replica, depth, cpu_ns } => {
+            Msg::DepthReport {
+                stage,
+                replica,
+                depth,
+                cpu_ns,
+            } => {
                 self.snap.insert((stage, replica), (depth, cpu_ns));
                 if !self.pending {
                     // Reweight once the whole batch is in: reports of a
@@ -1382,8 +1550,326 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for SnapshotBalancer<R> {
     }
 }
 
+/// The background re-replication coordinator (see [`crate::repair`]):
+/// replays the precomputed repair timeline through the pure
+/// [`RepairEngine`] and exchanges transfer commands with the per-ASU
+/// repair agents. Exactly like the fault controller, every input is
+/// either pre-seeded static data or a message that travelled at least
+/// one control delay, so repair runs partition cleanly (the coordinator
+/// lives on partition 0).
+///
+/// The engine is the ground truth for replica state; transfers are
+/// *optimistic* — a source that crashes after dispatch still delivers
+/// (the bytes were on the wire), and completions are validated by
+/// assignment id at credit time. A crashed agent hands its queue back
+/// within one pacing interval, so no assignment is ever stranded.
+/// A completion buffered at the coordinator until the instant's
+/// [`Msg::RepairFlush`]: either a landed/failed transfer or a bounce.
+enum RepairOutcome {
+    Done {
+        id: u64,
+        block: u64,
+        dest: u32,
+        ok: bool,
+    },
+    Bounce {
+        id: u64,
+        block: u64,
+    },
+}
+
+impl RepairOutcome {
+    /// Assignment id — unique per outcome, the canonical flush order.
+    fn id(&self) -> u64 {
+        match *self {
+            RepairOutcome::Done { id, .. } | RepairOutcome::Bounce { id, .. } => id,
+        }
+    }
+}
+
+struct RepairCoordinator<R: Record> {
+    engine: RepairEngine,
+    timeline: Arc<Vec<(SimTime, RepairEv)>>,
+    /// Repair agent of ASU ordinal `d`.
+    agents: Vec<ActorId>,
+    ctl: SimDuration,
+    /// Trajectory recording on (`RepairSpec::sample_every > 0`).
+    sampling: bool,
+    /// Completions awaiting this instant's flush. The engine's source
+    /// and destination choices read mutable load state, so same-instant
+    /// completions are applied in assignment-id order at the flush —
+    /// never in arrival order, which the sequential and partitioned
+    /// engines do not agree on.
+    buf: Vec<RepairOutcome>,
+    /// Instant the pending [`Msg::RepairFlush`] was scheduled for (at
+    /// most one is ever in flight).
+    flush_at: SimTime,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+impl<R: Record> RepairCoordinator<R> {
+    /// Ship the engine's commands and mirror its state into the run
+    /// metrics (the report reads the mirror after the drain).
+    fn emit(&mut self, ctx: &mut Ctx<'_, Msg<R>>, cmds: Vec<RepairCmd>) {
+        for c in cmds {
+            match c {
+                RepairCmd::Fetch { src, job } => {
+                    ctx.send(self.agents[src as usize], self.ctl, Msg::RepairFetch(job));
+                }
+                RepairCmd::Cancel { src, id } => {
+                    ctx.send(self.agents[src as usize], self.ctl, Msg::RepairCancel(id));
+                }
+            }
+        }
+        let mut m = self.metrics.borrow_mut();
+        m.repair = self.engine.stats;
+        m.replica_hist = self.engine.hist().to_vec();
+    }
+
+    /// Buffer a completion and make sure this instant's flush is
+    /// scheduled. The flush self-message fires after every other repair
+    /// message at the instant in both engines, so applying the buffer
+    /// there (in id order) erases any arrival-order difference between
+    /// the sequential and partitioned runs.
+    fn defer(&mut self, ctx: &mut Ctx<'_, Msg<R>>, o: RepairOutcome) {
+        self.buf.push(o);
+        let now = ctx.now();
+        if self.flush_at != now {
+            self.flush_at = now;
+            ctx.send_now(ctx.me(), Msg::RepairFlush);
+        }
+    }
+
+    /// Record a trajectory point, coalescing same-instant entries (the
+    /// last write at an instant wins). All same-instant engine updates
+    /// are applied by the canonical-order flush, so the surviving entry
+    /// — the post-instant state — is identical across thread counts.
+    fn record(&mut self, now: SimTime) {
+        if !self.sampling {
+            return;
+        }
+        let s = self.engine.sample(now);
+        let mut m = self.metrics.borrow_mut();
+        if let Some(last) = m.repair_samples.last_mut() {
+            if last.at == s.at {
+                *last = s;
+                return;
+            }
+        }
+        m.repair_samples.push(s);
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for RepairCoordinator<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::RepairStep(i) => {
+                let (_, ev) = self.timeline[i];
+                let cmds = self.engine.on_event(ev);
+                self.emit(ctx, cmds);
+                self.record(ctx.now());
+            }
+            Msg::RepairDone {
+                id,
+                block,
+                dest,
+                ok,
+            } => {
+                self.defer(
+                    ctx,
+                    RepairOutcome::Done {
+                        id,
+                        block,
+                        dest,
+                        ok,
+                    },
+                );
+            }
+            Msg::RepairBounce { id, block } => {
+                self.defer(ctx, RepairOutcome::Bounce { id, block });
+            }
+            Msg::RepairFlush => {
+                let mut buf = std::mem::take(&mut self.buf);
+                buf.sort_unstable_by_key(RepairOutcome::id);
+                for o in buf {
+                    let cmds = match o {
+                        RepairOutcome::Done {
+                            id,
+                            block,
+                            dest,
+                            ok,
+                        } => self.engine.on_done(id, block, dest, ok),
+                        RepairOutcome::Bounce { id, block } => self.engine.on_bounce(id, block),
+                    };
+                    self.emit(ctx, cmds);
+                }
+                self.record(ctx.now());
+            }
+            Msg::RepairSampleTick => self.record(ctx.now()),
+            _ => unreachable!("non-repair message delivered to the coordinator"),
+        }
+    }
+}
+
+/// One repair agent per ASU: queues the transfers the coordinator
+/// assigns to this ASU as a *source*, paces dispatches to the per-node
+/// repair-bandwidth cap, and charges every transfer through the node's
+/// real disk and NIC — repair contends with foreground work on the same
+/// FCFS resources (and repair writes extend the disk-quiesce horizon,
+/// so the makespan honestly includes trailing re-replication).
+struct RepairAgent<R: Record> {
+    /// This agent's ASU ordinal.
+    ordinal: usize,
+    node: Rc<RefCell<NodeRes>>,
+    coord: ActorId,
+    /// Actor id of ASU ordinal 0's agent (destination `d` is `base + d`).
+    agents_base: usize,
+    queue: VecDeque<RepairJob>,
+    /// A pacing chain ([`Msg::RepairNext`]) is in flight.
+    busy: bool,
+    /// Earliest instant the next transfer may start (the pacing cap:
+    /// one block per `pace` per node).
+    next_slot: SimTime,
+    /// Destination writes that arrived at the current instant, buffered
+    /// until its [`Msg::RepairWriteFlush`].
+    wbuf: Vec<RepairJob>,
+    /// Instant the pending [`Msg::RepairWriteFlush`] was scheduled for.
+    wflush_at: SimTime,
+    pace: SimDuration,
+    link_rate: f64,
+    latency: SimDuration,
+    ctl: SimDuration,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+impl<R: Record> RepairAgent<R> {
+    fn bounce(&mut self, ctx: &mut Ctx<'_, Msg<R>>, job: RepairJob) {
+        ctx.send(
+            self.coord,
+            self.ctl,
+            Msg::RepairBounce {
+                id: job.id,
+                block: job.block,
+            },
+        );
+    }
+
+    /// Dispatch the next queued transfer, respecting the pacing cap. At
+    /// most one chain event is ever outstanding (`busy`), so a queue is
+    /// revisited within one pacing interval — in particular, a crashed
+    /// agent hands its whole queue back to the coordinator by then.
+    fn pump(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        let now = ctx.now();
+        if self.node.borrow().is_down() {
+            while let Some(job) = self.queue.pop_front() {
+                self.bounce(ctx, job);
+            }
+            self.busy = false;
+            return;
+        }
+        if now < self.next_slot {
+            ctx.send_at(ctx.me(), self.next_slot, Msg::RepairNext);
+            return;
+        }
+        let Some(job) = self.queue.pop_front() else {
+            self.busy = false;
+            return;
+        };
+        self.next_slot = now + self.pace;
+        let (ready, grant_end) = {
+            let mut n = self.node.borrow_mut();
+            let ready = n.disk_read(now, job.bytes);
+            let grant = n.charge_nic(ready, job.bytes, self.link_rate);
+            (ready, grant.end)
+        };
+        self.metrics.borrow_mut().repair_src_bytes[self.ordinal] += job.bytes;
+        // Arrival pays the full NIC serialization plus the link latency,
+        // so even an agent-local hop travels at least one control delay
+        // (the frame overhead is inside the grant) — the partitioned
+        // lookahead holds for every repair message.
+        ctx.send_at(
+            ActorId(self.agents_base + job.dest as usize),
+            grant_end + self.latency,
+            Msg::RepairWrite(job),
+        );
+        ctx.send_at(ctx.me(), ready.max(self.next_slot), Msg::RepairNext);
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for RepairAgent<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::RepairFetch(job) => {
+                if self.node.borrow().is_down() {
+                    self.bounce(ctx, job);
+                    return;
+                }
+                if job.critical {
+                    // Blocks more than one copy down jump the queue:
+                    // they sit after earlier critical jobs but ahead of
+                    // every single-copy-down repair. Insertion order is
+                    // deterministic (one coordinator feeds each agent).
+                    let pos = self
+                        .queue
+                        .iter()
+                        .position(|j| !j.critical)
+                        .unwrap_or(self.queue.len());
+                    self.queue.insert(pos, job);
+                } else {
+                    self.queue.push_back(job);
+                }
+                if !self.busy {
+                    self.busy = true;
+                    self.pump(ctx);
+                }
+            }
+            Msg::RepairCancel(id) => {
+                self.queue.retain(|j| j.id != id);
+            }
+            Msg::RepairNext => self.pump(ctx),
+            Msg::RepairWrite(job) => {
+                self.wbuf.push(job);
+                let now = ctx.now();
+                if self.wflush_at != now {
+                    self.wflush_at = now;
+                    ctx.send_now(ctx.me(), Msg::RepairWriteFlush);
+                }
+            }
+            Msg::RepairWriteFlush => {
+                let now = ctx.now();
+                let mut wbuf = std::mem::take(&mut self.wbuf);
+                wbuf.sort_unstable_by_key(|j| j.id);
+                for job in wbuf {
+                    let ok = !self.node.borrow().is_down();
+                    let done_at = if ok {
+                        // The new copy pays the destination's disk; the
+                        // run only quiesces once it is durable.
+                        self.node.borrow_mut().disk_write(now, job.bytes).max(now)
+                    } else {
+                        now
+                    };
+                    ctx.send_at(
+                        self.coord,
+                        done_at + self.ctl,
+                        Msg::RepairDone {
+                            id: job.id,
+                            block: job.block,
+                            dest: job.dest,
+                            ok,
+                        },
+                    );
+                }
+            }
+            _ => unreachable!("non-repair message delivered to a repair agent"),
+        }
+    }
+}
+
 /// Run `job` on the cluster described by `cfg` with no faults.
-pub fn run_job<R: Record>(cfg: &ClusterConfig, job: Job<R>) -> Result<EmulationReport<R>, JobError> {
+pub fn run_job<R: Record>(
+    cfg: &ClusterConfig,
+    job: Job<R>,
+) -> Result<EmulationReport<R>, JobError> {
     run_job_with_faults(cfg, &FaultSpec::none(), job)
 }
 
@@ -1409,7 +1895,10 @@ pub fn run_job_with_faults<R: Record>(
     }
     for &(s, i) in inputs.keys() {
         if !graph.stages()[s].is_source {
-            return Err(JobError::InputForNonSource { stage: s, instance: i });
+            return Err(JobError::InputForNonSource {
+                stage: s,
+                instance: i,
+            });
         }
     }
     let active = spec.is_active();
@@ -1429,6 +1918,16 @@ pub fn run_job_with_faults<R: Record>(
             }
         }
     }
+    // Background re-replication engages only with the fault layer on
+    // (without a plan there is nothing to repair), but a spec that does
+    // not fit the cluster is a typed error either way — on both engines,
+    // before anything runs.
+    if let Some(rs) = &spec.repair {
+        if let Err(why) = rs.validate(cfg.asus) {
+            return Err(JobError::RepairConfig(why));
+        }
+    }
+    let repair_on = active && spec.repair.is_some();
 
     // The control delay: the minimum cross-node delay (link latency
     // plus the NIC's per-frame overhead service), which is exactly the
@@ -1520,9 +2019,21 @@ pub fn run_job_with_faults<R: Record>(
     // controller slot first keeps actor ids identical to the live-mode
     // layout (instances, controller, balancer).
     let snapshot_bal = balance_on && !cfg.balance.live;
-    let watched: Vec<usize> = if balance_on { watched_stages(&graph) } else { Vec::new() };
+    let watched: Vec<usize> = if balance_on {
+        watched_stages(&graph)
+    } else {
+        Vec::new()
+    };
     let ctrl_id = active.then(|| sim.reserve_actor());
     let bal_id = (snapshot_bal && !watched.is_empty()).then(|| sim.reserve_actor());
+    // Repair slots: one agent per ASU, then the coordinator — after the
+    // balancer slot, the same relative layout (and therefore the same
+    // same-instant tiebreak order) the parallel build reserves.
+    let repair_ids = repair_on.then(|| {
+        let agents: Vec<ActorId> = (0..cfg.asus).map(|_| sim.reserve_actor()).collect();
+        let coord = sim.reserve_actor();
+        (agents, coord)
+    });
 
     // Upstream EOS expectations.
     let eos_expected: Vec<usize> = (0..graph.stages().len())
@@ -1543,7 +2054,10 @@ pub fn run_job_with_faults<R: Record>(
         for i in 0..stage.replication {
             let node_id = placement
                 .node_of(StageId(s), i)
-                .ok_or(JobError::UnplacedInstance { stage: s, instance: i })?;
+                .ok_or(JobError::UnplacedInstance {
+                    stage: s,
+                    instance: i,
+                })?;
             let my_node = node_index(cfg, node_id);
             let down = match graph.out_edge(StageId(s)) {
                 Some(e) => {
@@ -1554,7 +2068,10 @@ pub fn run_job_with_faults<R: Record>(
                     for j in 0..to_stage.replication {
                         let nid = placement
                             .node_of(e.to, j)
-                            .ok_or(JobError::UnplacedInstance { stage: to, instance: j })?;
+                            .ok_or(JobError::UnplacedInstance {
+                                stage: to,
+                                instance: j,
+                            })?;
                         node_idx.push(node_index(cfg, nid));
                         node_ids.push(nid);
                     }
@@ -1592,12 +2109,14 @@ pub fn run_job_with_faults<R: Record>(
             instances_on[my_node].push(inst_actor.len());
             inst_actor.push(actor_ids[s][i]);
             inst_downstream.push(down.as_ref().map(|d| {
-                d.actors.iter().copied().zip(d.node_idx.iter().copied()).collect()
+                d.actors
+                    .iter()
+                    .copied()
+                    .zip(d.node_idx.iter().copied())
+                    .collect()
             }));
-            let source_data: VecDeque<Packet<R>> = inputs
-                .remove(&(s, i))
-                .map(Into::into)
-                .unwrap_or_default();
+            let source_data: VecDeque<Packet<R>> =
+                inputs.remove(&(s, i)).map(Into::into).unwrap_or_default();
             let fault = active.then(|| InstanceFault {
                 detected: detected.clone(),
                 loss: loss.clone(),
@@ -1634,8 +2153,7 @@ pub fn run_job_with_faults<R: Record>(
                 }),
                 global_tag: global_idx,
                 epoch: 0,
-                my_gauge: (!stage.is_source)
-                    .then(|| (GaugeHandle::Live(gauges[s].clone()), i)),
+                my_gauge: (!stage.is_source).then(|| (GaugeHandle::Live(gauges[s].clone()), i)),
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
@@ -1766,12 +2284,82 @@ pub fn run_job_with_faults<R: Record>(
         }
     }
 
+    if let Some((agents, coord)) = repair_ids {
+        let rs = spec.repair.expect("repair_on implies a spec");
+        let timeline = Arc::new(repair_timeline(&spec.plan, &detected, cfg.hosts, cfg.asus));
+        let engine = RepairEngine::new(rs, cfg.asus);
+        {
+            let mut m = metrics.borrow_mut();
+            m.repair_src_bytes = vec![0; cfg.asus];
+            // Initial mirror: a run whose plan never touches an ASU
+            // still reports the placement's (all-at-target) histogram.
+            m.replica_hist = engine.hist().to_vec();
+        }
+        for (d, &agent) in agents.iter().enumerate() {
+            sim.install(
+                agent,
+                Box::new(RepairAgent {
+                    ordinal: d,
+                    node: nodes[cfg.hosts + d].clone(),
+                    coord,
+                    agents_base: agents[0].0,
+                    queue: VecDeque::new(),
+                    busy: false,
+                    next_slot: SimTime::ZERO,
+                    wbuf: Vec::new(),
+                    wflush_at: SimTime::NEVER,
+                    pace: rs.pace(),
+                    link_rate: cfg.link_bytes_per_sec,
+                    latency: cfg.link_latency,
+                    ctl,
+                    metrics: metrics.clone(),
+                }),
+            );
+        }
+        // Timeline steps, then the sampling grid — seeded after the
+        // fault controller's events, the exact relative order the
+        // parallel build's partition 0 issues.
+        for (i, &(at, _)) in timeline.iter().enumerate() {
+            sim.seed_message(coord, at, Msg::RepairStep(i));
+        }
+        if rs.sample_every.as_nanos() > 0 {
+            if let Some(&(last, _)) = timeline.last() {
+                let mut k = 0u64;
+                loop {
+                    let at = SimTime(k.saturating_mul(rs.sample_every.as_nanos()));
+                    if at > last {
+                        break;
+                    }
+                    sim.seed_message(coord, at, Msg::RepairSampleTick);
+                    k += 1;
+                }
+            }
+        }
+        sim.install(
+            coord,
+            Box::new(RepairCoordinator {
+                engine,
+                timeline,
+                agents,
+                ctl,
+                sampling: rs.sample_every.as_nanos() > 0,
+                buf: Vec::new(),
+                flush_at: SimTime::NEVER,
+                metrics: metrics.clone(),
+            }),
+        );
+    }
+
     let outcome = sim.run();
     let fatal = metrics.borrow().fatal;
     if let Some(FatalFault { stage, at }) = fatal {
         debug_assert_eq!(outcome, RunOutcome::Stopped);
         let records_processed = metrics.borrow().records_processed;
-        return Err(JobError::AllReplicasDown { stage, at, records_processed });
+        return Err(JobError::AllReplicasDown {
+            stage,
+            at,
+            records_processed,
+        });
     }
     debug_assert_eq!(outcome, RunOutcome::Drained, "job should drain");
     let dispatched = sim.dispatched();
@@ -1872,6 +2460,10 @@ pub fn run_job_with_faults<R: Record>(
         fault: m.fault,
         queue_stats,
         reweights: m.reweights,
+        repair: m.repair,
+        repair_trajectory: m.repair_samples,
+        replica_hist: m.replica_hist,
+        repair_src_bytes: m.repair_src_bytes,
         par: None,
         par_fallback,
     })
@@ -1979,6 +2571,9 @@ struct EmWorker<R: Record> {
     watched: Arc<Vec<usize>>,
     /// Minimum cross-node delay — the lookahead and control delay.
     ctl: SimDuration,
+    /// Precomputed repair-coordinator event feed (empty when repair is
+    /// off; the spec itself rides in `spec.repair`).
+    repair_tl: Arc<Vec<(SimTime, RepairEv)>>,
     graph: Arc<FlowGraph<R>>,
     specs: Arc<Vec<InstSpec>>,
     /// First global instance index of each stage.
@@ -2009,7 +2604,13 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
         let n_inst = self.specs.len();
         let n_ctrl = if self.active { self.nparts } else { 0 };
         let has_bal = !self.watched.is_empty();
-        sim.reserve_to(n_inst + n_ctrl + usize::from(has_bal));
+        let repair_spec = if self.active { self.spec.repair } else { None };
+        let n_repair = if repair_spec.is_some() {
+            cfg.asus + 1
+        } else {
+            0
+        };
+        sim.reserve_to(n_inst + n_ctrl + usize::from(has_bal) + n_repair);
         // One fault-controller slot per partition right after the
         // instances, then the (partition-0-owned) balancer slot — the
         // same relative layout as the sequential build.
@@ -2018,7 +2619,10 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
         // Every node is instantiated by exactly one partition (reports
         // cover idle nodes too); only owned actors ever touch it.
         let mut nodes: Vec<Option<Rc<RefCell<NodeRes>>>> = Vec::new();
-        for id in (0..cfg.hosts).map(NodeId::Host).chain((0..cfg.asus).map(NodeId::Asu)) {
+        for id in (0..cfg.hosts)
+            .map(NodeId::Host)
+            .chain((0..cfg.asus).map(NodeId::Asu))
+        {
             nodes.push(
                 (node_partition(cfg.hosts, self.nparts, id) == self.part)
                     .then(|| Rc::new(RefCell::new(NodeRes::new(id, cfg)))),
@@ -2061,7 +2665,9 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                     lmas_core::RouteScope::PortGroups { group_size } => group_size,
                 };
                 Downstream {
-                    actors: (0..to_stage.replication).map(|j| ActorId(base + j)).collect(),
+                    actors: (0..to_stage.replication)
+                        .map(|j| ActorId(base + j))
+                        .collect(),
                     node_ids,
                     node_idx,
                     capacities,
@@ -2110,8 +2716,12 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                 }),
                 global_tag: idx as u64,
                 epoch: 0,
-                my_gauge: (!stage.is_source)
-                    .then(|| (GaugeHandle::Journal(journals[sp.stage].clone()), sp.instance)),
+                my_gauge: (!stage.is_source).then(|| {
+                    (
+                        GaugeHandle::Journal(journals[sp.stage].clone()),
+                        sp.instance,
+                    )
+                }),
                 metrics: metrics.clone(),
                 link_rate: cfg.link_bytes_per_sec,
                 latency: cfg.link_latency,
@@ -2128,14 +2738,14 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                     // Same global-index-keyed stream as sequential.
                     rng: DetRng::stream(cfg.seed, (1u64 << 62) | idx as u64),
                 }),
-                sample: (has_bal && self.watched.binary_search(&sp.stage).is_ok()).then(
-                    || SampleState {
+                sample: (has_bal && self.watched.binary_search(&sp.stage).is_ok()).then(|| {
+                    SampleState {
                         period: cfg.balance.period,
                         report_delay: cfg.balance.period.max(self.ctl),
                         balancer: bal_actor,
                         armed: true,
-                    },
-                ),
+                    }
+                }),
             };
             let watched_here = actor.sample.is_some();
             sim.install(ActorId(idx), Box::new(actor));
@@ -2186,7 +2796,10 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                     let base = self.stage_base[to];
                     (0..graph.stages()[to].replication)
                         .map(|j| {
-                            (ActorId(base + j), node_index(cfg, self.specs[base + j].node))
+                            (
+                                ActorId(base + j),
+                                node_index(cfg, self.specs[base + j].node),
+                            )
                         })
                         .collect()
                 }));
@@ -2238,15 +2851,83 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                 }),
             );
         }
-        EmBuilt { nodes, journals, metrics }
+
+        if let Some(rs) = repair_spec {
+            // Same relative layout as the sequential build: agents for
+            // ASU ordinals 0..D (each on its node's partition), then the
+            // coordinator on partition 0.
+            let agents_base = n_inst + n_ctrl + usize::from(has_bal);
+            let coord = ActorId(agents_base + cfg.asus);
+            metrics.borrow_mut().repair_src_bytes = vec![0; cfg.asus];
+            for d in 0..cfg.asus {
+                if !self.owns_node(cfg.hosts + d) {
+                    continue;
+                }
+                sim.install(
+                    ActorId(agents_base + d),
+                    Box::new(RepairAgent {
+                        ordinal: d,
+                        node: nodes[cfg.hosts + d]
+                            .as_ref()
+                            .expect("agent placed on an owned ASU")
+                            .clone(),
+                        coord,
+                        agents_base,
+                        queue: VecDeque::new(),
+                        busy: false,
+                        next_slot: SimTime::ZERO,
+                        wbuf: Vec::new(),
+                        wflush_at: SimTime::NEVER,
+                        pace: rs.pace(),
+                        link_rate: cfg.link_bytes_per_sec,
+                        latency: cfg.link_latency,
+                        ctl: self.ctl,
+                        metrics: metrics.clone(),
+                    }),
+                );
+            }
+            if self.part == 0 {
+                let engine = RepairEngine::new(rs, cfg.asus);
+                metrics.borrow_mut().replica_hist = engine.hist().to_vec();
+                for (i, &(at, _)) in self.repair_tl.iter().enumerate() {
+                    sim.seed_message(coord, at, Msg::RepairStep(i));
+                }
+                if rs.sample_every.as_nanos() > 0 {
+                    if let Some(&(last, _)) = self.repair_tl.last() {
+                        let mut k = 0u64;
+                        loop {
+                            let at = SimTime(k.saturating_mul(rs.sample_every.as_nanos()));
+                            if at > last {
+                                break;
+                            }
+                            sim.seed_message(coord, at, Msg::RepairSampleTick);
+                            k += 1;
+                        }
+                    }
+                }
+                sim.install(
+                    coord,
+                    Box::new(RepairCoordinator {
+                        engine,
+                        timeline: self.repair_tl.clone(),
+                        agents: (0..cfg.asus).map(|d| ActorId(agents_base + d)).collect(),
+                        ctl: self.ctl,
+                        sampling: rs.sample_every.as_nanos() > 0,
+                        buf: Vec::new(),
+                        flush_at: SimTime::NEVER,
+                        metrics: metrics.clone(),
+                    }),
+                );
+            }
+        }
+        EmBuilt {
+            nodes,
+            journals,
+            metrics,
+        }
     }
 
-    fn finish(
-        self,
-        built: EmBuilt<R>,
-        sim: Simulation<Msg<R>>,
-        ops: &ParOps<'_>,
-    ) -> EmPartOut<R> {
+    fn finish(self, built: EmBuilt<R>, sim: Simulation<Msg<R>>, ops: &ParOps<'_>) -> EmPartOut<R> {
         // Same horizon algebra as the sequential path, with collective
         // max-reductions standing in for the global scans: last dispatch
         // anywhere, every CPU queue drained, every disk quiesced. Under
@@ -2319,7 +3000,12 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                 Err(rc) => rc.borrow().clone(),
             })
             .collect();
-        EmPartOut { end, nodes, metrics, journals }
+        EmPartOut {
+            end,
+            nodes,
+            metrics,
+            journals,
+        }
     }
 }
 
@@ -2366,9 +3052,17 @@ fn run_job_parallel<R: Record>(
         for i in 0..stage.replication {
             let node = placement
                 .node_of(StageId(s), i)
-                .ok_or(JobError::UnplacedInstance { stage: s, instance: i })?;
+                .ok_or(JobError::UnplacedInstance {
+                    stage: s,
+                    instance: i,
+                })?;
             let part = node_partition(cfg.hosts, nparts, node);
-            specs.push(InstSpec { stage: s, instance: i, node, part });
+            specs.push(InstSpec {
+                stage: s,
+                instance: i,
+                node,
+                part,
+            });
         }
     }
     // Actor-ownership table: the instances, then (under faults) one
@@ -2382,6 +3076,20 @@ fn run_job_parallel<R: Record>(
     if has_bal {
         owner_vec.push(0);
     }
+    // Repair slots: each agent on its ASU's partition, the coordinator
+    // on partition 0 (it owns the engine and the trajectory record).
+    let repair_on = active && spec.repair.is_some();
+    if repair_on {
+        for d in 0..cfg.asus {
+            owner_vec.push(node_partition(cfg.hosts, nparts, NodeId::Asu(d)));
+        }
+        owner_vec.push(0);
+    }
+    let repair_tl: Arc<Vec<(SimTime, RepairEv)>> = Arc::new(if repair_on {
+        repair_timeline(&spec.plan, &detected, cfg.hosts, cfg.asus)
+    } else {
+        Vec::new()
+    });
     let owners: Arc<Vec<u32>> = Arc::new(owner_vec);
     let eos_expected: Vec<usize> = (0..graph.stages().len())
         .map(|s| {
@@ -2398,8 +3106,7 @@ fn run_job_parallel<R: Record>(
 
     // Split the source inputs by owning partition.
     type PartInputs<R> = BTreeMap<(usize, usize), Vec<Packet<R>>>;
-    let mut inputs_by_part: Vec<PartInputs<R>> =
-        (0..nparts).map(|_| BTreeMap::new()).collect();
+    let mut inputs_by_part: Vec<PartInputs<R>> = (0..nparts).map(|_| BTreeMap::new()).collect();
     for sp in &specs {
         if let Some(v) = inputs.remove(&(sp.stage, sp.instance)) {
             inputs_by_part[sp.part as usize].insert((sp.stage, sp.instance), v);
@@ -2424,6 +3131,7 @@ fn run_job_parallel<R: Record>(
             loss: loss.clone(),
             watched: watched.clone(),
             ctl,
+            repair_tl: repair_tl.clone(),
             graph: graph.clone(),
             specs: specs.clone(),
             stage_base: stage_base.clone(),
@@ -2448,7 +3156,11 @@ fn run_job_parallel<R: Record>(
         }
     }
     node_reports.sort_by_key(|&(ni, _)| ni);
-    debug_assert_eq!(node_reports.len(), cfg.total_nodes(), "every node reported once");
+    debug_assert_eq!(
+        node_reports.len(),
+        cfg.total_nodes(),
+        "every node reported once"
+    );
     let m = Metrics::merge(metrics_parts);
     // `fail_fast` specs fall back to the sequential engine, so a
     // partitioned run can never hit the global early stop.
@@ -2490,6 +3202,10 @@ fn run_job_parallel<R: Record>(
         fault: m.fault,
         queue_stats,
         reweights: m.reweights,
+        repair: m.repair,
+        repair_trajectory: m.repair_samples,
+        replica_hist: m.replica_hist,
+        repair_src_bytes: m.repair_src_bytes,
         par: Some(ParRunStats {
             partitions: nparts,
             windows: outcome.windows,

@@ -108,14 +108,8 @@ impl Record for PointRec {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        mbr: Rect,
-        points: Vec<PointRec>,
-    },
-    Inner {
-        mbr: Rect,
-        children: Vec<usize>,
-    },
+    Leaf { mbr: Rect, points: Vec<PointRec> },
+    Inner { mbr: Rect, children: Vec<usize> },
 }
 
 impl Node {
@@ -327,7 +321,11 @@ mod tests {
 
     #[test]
     fn point_record_roundtrip() {
-        let p = PointRec { id: 7, x: 0.25, y: 0.75 };
+        let p = PointRec {
+            id: 7,
+            x: 0.25,
+            y: 0.75,
+        };
         let mut buf = [0u8; 16];
         p.to_bytes(&mut buf);
         assert_eq!(PointRec::from_bytes(&buf), p);

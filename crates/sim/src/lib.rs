@@ -55,9 +55,9 @@ pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
 pub use event::{EventKey, EventQueue, EventToken, KeyedQueue};
-pub use par::{run_partitioned, LogHist, ParOps, ParOutcome, PartitionWorker};
-pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer};
+pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer, TraceError};
 pub use intern::{intern, Name};
+pub use par::{run_partitioned, LogHist, ParOps, ParOutcome, PartitionWorker};
 pub use resource::{Grant, MultiResource, Resource};
 pub use rng::DetRng;
 pub use stats::{Counter, DurationHistogram, TimeWeighted, UtilizationLedger};

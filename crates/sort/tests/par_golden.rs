@@ -59,16 +59,28 @@ fn pinned_golden_holds_at_every_thread_count() {
         );
         assert_eq!(key_fnv, 0x5ff3_a122_8ca4_5147);
         assert_eq!(out.pass1.trace.len(), 66);
-        assert_eq!(fnv1a(out.pass1.trace.render().bytes()), 0x6805_ad8f_ff08_52f2);
+        assert_eq!(
+            fnv1a(out.pass1.trace.render().bytes()),
+            0x6805_ad8f_ff08_52f2
+        );
         assert_eq!(out.pass2.trace.len(), 52);
-        assert_eq!(fnv1a(out.pass2.trace.render().bytes()), 0x5b5f_3e97_4813_e521);
+        assert_eq!(
+            fnv1a(out.pass2.trace.render().bytes()),
+            0x5b5f_3e97_4813_e521
+        );
 
         // One host bounds the partition count at one, but the run still
         // goes through the partitioned engine (windows, outbox, merge).
-        let par = out.pass1.par.expect("eligible run uses the partitioned engine");
+        let par = out
+            .pass1
+            .par
+            .expect("eligible run uses the partitioned engine");
         assert_eq!(par.partitions, 1);
         assert!(par.windows > 0);
-        assert_eq!(par.remote_messages, 0, "single partition sends nothing remotely");
+        assert_eq!(
+            par.remote_messages, 0,
+            "single partition sends nothing remotely"
+        );
     }
 }
 
@@ -78,7 +90,10 @@ fn multi_host_parallel_run_matches_sequential() {
     let data = generate_rec128(4_000, KeyDist::Uniform, 3);
     let base = ClusterConfig::era_2002(2, 4, 8.0).with_trace(2048);
     let seq = run_dsm_sort(&base, data.clone(), &dsm, LoadMode::Static).expect("runs");
-    assert!(seq.pass1.par.is_none(), "threads=1 stays on the sequential path");
+    assert!(
+        seq.pass1.par.is_none(),
+        "threads=1 stays on the sequential path"
+    );
 
     let mut prev: Option<DsmOutcome<_>> = None;
     for threads in [2usize, 4] {
@@ -92,7 +107,10 @@ fn multi_host_parallel_run_matches_sequential() {
         assert_same_sort(&seq, &par, TraceEq::Canonical);
         let stats = par.pass1.par.expect("multi-host eligible run parallelizes");
         assert_eq!(stats.partitions, 2, "two hosts bound the partition count");
-        assert!(stats.remote_messages > 0, "host↔host traffic crosses partitions");
+        assert!(
+            stats.remote_messages > 0,
+            "host↔host traffic crosses partitions"
+        );
         assert!(
             stats.critical_dispatched <= par.pass1.dispatched,
             "critical path is a subset of all dispatches"
@@ -110,7 +128,9 @@ fn multi_host_parallel_run_matches_sequential() {
 fn parallel_run_is_deterministic_run_to_run() {
     let dsm = DsmConfig::new(4, 256, 4, 64);
     let data = generate_rec128(4_000, KeyDist::Uniform, 3);
-    let cfg = ClusterConfig::era_2002(2, 4, 8.0).with_trace(2048).with_threads(4);
+    let cfg = ClusterConfig::era_2002(2, 4, 8.0)
+        .with_trace(2048)
+        .with_threads(4);
     let a = run_dsm_sort(&cfg, data.clone(), &dsm, LoadMode::Static).expect("runs");
     let b = run_dsm_sort(&cfg, data, &dsm, LoadMode::Static).expect("runs");
     assert_same_sort(&a, &b, TraceEq::Exact);
@@ -156,13 +176,20 @@ fn pinned_faulted_multi_host_golden() {
     let seq = run_dsm_sort_faulty(&base, &spec, data.clone(), &dsm, mode).expect("runs");
     assert!(seq.pass1.par.is_none(), "threads=1 stays sequential");
 
-    let par2 = run_dsm_sort_faulty(&base.with_threads(2), &spec, data.clone(), &dsm, mode)
-        .expect("runs");
+    let par2 =
+        run_dsm_sort_faulty(&base.with_threads(2), &spec, data.clone(), &dsm, mode).expect("runs");
     let par4 = run_dsm_sort_faulty(&base.with_threads(4), &spec, data, &dsm, mode).expect("runs");
-    let stats = par4.pass1.par.as_ref().expect("faulted run uses the partitioned engine");
+    let stats = par4
+        .pass1
+        .par
+        .as_ref()
+        .expect("faulted run uses the partitioned engine");
     assert_eq!(stats.partitions, 2, "two hosts bound the partition count");
     assert_eq!(par4.pass1.par_fallback, None);
-    assert!(stats.remote_messages > 0, "fence/NACK traffic crosses partitions");
+    assert!(
+        stats.remote_messages > 0,
+        "fence/NACK traffic crosses partitions"
+    );
     assert_identical_faulty_sort(&par2, &par4);
     assert_same_faulty_sort(&seq, &par4);
 
@@ -218,7 +245,11 @@ fn pinned_balanced_multi_host_golden() {
     let seq = run_dsm_sort(&base, data.clone(), &dsm, mode).expect("runs");
     assert!(seq.pass1.par.is_none(), "threads=1 stays sequential");
     let par = run_dsm_sort(&base.with_threads(4), data, &dsm, mode).expect("runs");
-    let stats = par.pass1.par.as_ref().expect("balanced run uses the partitioned engine");
+    let stats = par
+        .pass1
+        .par
+        .as_ref()
+        .expect("balanced run uses the partitioned engine");
     assert_eq!(stats.partitions, 2);
     assert_eq!(par.pass1.par_fallback, None);
 
@@ -268,5 +299,8 @@ fn backlog_sensitive_routing_falls_back_to_sequential() {
         "backlog-sensitive routing must not use the partitioned engine"
     );
     assert_eq!(par.pass1.par_fallback, Some("backlog routing"));
-    assert_eq!(seq.pass1.par_fallback, None, "threads=1 never records a reason");
+    assert_eq!(
+        seq.pass1.par_fallback, None,
+        "threads=1 never records a reason"
+    );
 }

@@ -114,4 +114,28 @@ if [ "$out1" != "$out2" ] || ! diff -q "$ds1/BENCH_storage.json" "$ds2/BENCH_sto
 fi
 echo "disk_scaling deterministic (stdout + JSON byte-identical across runs)"
 
+echo "== repair smoke (fleet durability sweep at reduced scale, twice, diff) =="
+# Background re-replication: every cell of the fleet × bandwidth sweep
+# asserts its measured replica trajectory against the mean-field ODE
+# (the binary aborts on a miss), and the JSON artifact must be
+# byte-identical across runs. The determinism binary's repair/parrepair
+# sections already pin the same engine across thread counts above.
+cargo build -q --release -p lmas-bench --bin repair_fleet
+rf1="$(mktemp -d)"; rf2="$(mktemp -d)"
+LMAS_SCALE="${LMAS_REPAIR_SCALE:-0.1}" LMAS_RESULTS_DIR="$rf1" ./target/release/repair_fleet > /dev/null
+LMAS_SCALE="${LMAS_REPAIR_SCALE:-0.1}" LMAS_RESULTS_DIR="$rf2" ./target/release/repair_fleet > /dev/null
+if ! diff -q "$rf1/BENCH_repair.json" "$rf2/BENCH_repair.json" > /dev/null; then
+    echo "repair smoke FAILED: two repair_fleet runs differ" >&2
+    diff "$rf1/BENCH_repair.json" "$rf2/BENCH_repair.json" >&2 || true
+    exit 1
+fi
+# Bench-regression guard: the checked-in full-scale artifact must carry
+# the mean-field validation stamp (the binary aborts before writing it
+# when any cell misses its tolerance).
+grep -q '"verified_mean_field"' results/BENCH_repair.json || {
+    echo "bench regression: mean-field stamp missing from results/BENCH_repair.json" >&2
+    exit 1
+}
+echo "repair fleet verified (ODE tolerances hold; artifact deterministic)"
+
 echo "check.sh: all green"
