@@ -1,0 +1,282 @@
+//! **BENCH-coded** (F-CS) — coded-shuffle distribute: storage for
+//! network on the pass-1 shuffle.
+//!
+//! Four cells sweep the NIC-vs-disk cost ratio and the cluster shape
+//! (H, D); each cell runs pass 1 under `LoadMode::Static` at coded
+//! broadcast-group sizes r ∈ {1, 2, 4} and records the measured ASU
+//! shuffle bytes (`nic_bytes_tx`) and makespan, then asks the planner
+//! (`plan_pass1_coded`, scored on the same static layout) which r it
+//! would pick. Gates, frozen as `verified_*` booleans in the artifact:
+//!
+//! 1. **1/r tracking** — measured shuffle bytes at every r stay within
+//!    10% of `tx(1)/r` (the coded frame is the max of its r member
+//!    packets, so the slack is multinomial padding, ~5% at r = 4).
+//! 2. **Planner agreement** — the planner-chosen r equals the
+//!    measured-best r on every cell (disk-bound cells degrade to
+//!    r = 1; the NIC-bound cells pick r = 2 and r = 4).
+//! 3. **Thread determinism** — a coded sort (r = 2) is byte-identical
+//!    under the partitioned kernel at threads ∈ {1, 2, 4}, with no
+//!    fallback reason.
+//! 4. **r = 1 is the uncoded engine** — a sort explicitly configured
+//!    with `with_coded(1)` reproduces the default-config sort exactly.
+//!
+//! Splitters are exact full-data quantiles (not the sampled
+//! `choose_splitters`): equal bucket probabilities isolate the coding
+//! overhead from splitter sampling skew, which would otherwise bias
+//! every frame toward its group's largest bucket.
+
+use lmas_bench::{row, scale, scaled_n, write_results};
+use lmas_core::kernels::select_splitters;
+use lmas_core::{generate_rec128, KeyDist, NodeId, Rec128, Record};
+use lmas_emulator::{ClusterConfig, StorageSpec};
+use lmas_sort::{plan_pass1_coded, run_dsm_sort, run_pass1, split_across_asus, DsmConfig, LoadMode};
+
+const R_SWEEP: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 3;
+
+/// FNV-1a over a byte stream; stable and dependency-free.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The bench's DSM shape: α = 8 subsets (so r ∈ {1, 2, 4} divide
+/// evenly) and large input packets, which shrink the multinomial
+/// frame-padding noise of cell gate 1.
+fn bench_dsm(r: usize) -> DsmConfig {
+    let mut dsm = DsmConfig::new(8, 256, 4, 64).with_coded(r);
+    dsm.input_packet_records = 4096;
+    dsm
+}
+
+/// ASU-side fine-grained stripe set: one-block 8 KiB stripe units so
+/// each 512 KiB packet I/O spans all four spindles (the default 1 MiB
+/// unit would land every per-packet request on spindle 0).
+fn fine_striped(d: usize) -> StorageSpec {
+    StorageSpec {
+        disks: d,
+        blocks_per_stripe: 1,
+        block_bytes: 8 << 10,
+        ..StorageSpec::default()
+    }
+}
+
+struct Cell {
+    name: &'static str,
+    cluster: ClusterConfig,
+}
+
+fn cells() -> Vec<Cell> {
+    let nic = |storage: Option<StorageSpec>| {
+        let mut c = ClusterConfig::era_2002(8, 2, 1.0);
+        if let Some(s) = storage {
+            c = c.with_storage(s);
+        }
+        // A slow SAN (25 MB/s per NIC) makes the shuffle, not the
+        // paper's CPU ratio, the resource the coding trade targets.
+        c.link_bytes_per_sec = 25.0e6;
+        c
+    };
+    vec![
+        Cell { name: "disk_2x4", cluster: ClusterConfig::era_2002(2, 4, 8.0) },
+        Cell { name: "disk_4x2", cluster: ClusterConfig::era_2002(4, 2, 8.0) },
+        Cell { name: "nic_mild_8x2", cluster: nic(None) },
+        Cell { name: "nic_strong_8x2", cluster: nic(Some(fine_striped(4))) },
+    ]
+}
+
+struct RPoint {
+    r: usize,
+    makespan_ns: u64,
+    asu_tx: u64,
+    dev_pct: f64,
+}
+
+fn main() {
+    let n = scaled_n(80_000, 20_000);
+    let strict = scale() >= 1.0;
+    println!("BENCH-coded: coded-shuffle distribute (n={n}, α=8, r ∈ {R_SWEEP:?})");
+
+    let mut json = String::from("{\n  \"cells\": [\n");
+    let mut all_tracking = true;
+    let mut all_planner = true;
+    let ncells = cells().len();
+    for (ci, cell) in cells().into_iter().enumerate() {
+        let data = generate_rec128(n, KeyDist::Uniform, SEED);
+        let splitters = select_splitters(data.clone(), 8);
+        let mut points: Vec<RPoint> = Vec::new();
+        let mut tx1 = 0u64;
+        for r in R_SWEEP {
+            let dsm = bench_dsm(r);
+            let per_asu = split_across_asus(&data, cell.cluster.asus);
+            let p1 = run_pass1(&cell.cluster, per_asu, splitters.clone(), &dsm, LoadMode::Static)
+                .expect("coded pass 1 runs");
+            let tx: u64 = p1
+                .report
+                .nodes
+                .iter()
+                .filter(|nr| matches!(nr.id, NodeId::Asu(_)))
+                .map(|nr| nr.nic_bytes_tx)
+                .sum();
+            if r == 1 {
+                tx1 = tx;
+            }
+            let pred = tx1 as f64 / r as f64;
+            points.push(RPoint {
+                r,
+                makespan_ns: p1.report.makespan.as_nanos(),
+                asu_tx: tx,
+                dev_pct: (tx as f64 - pred) / pred * 100.0,
+            });
+        }
+        // Measured-best r: argmin makespan, ascending, strict < (a tie
+        // keeps the smaller r, mirroring the planner's tie-break).
+        let measured_best = points
+            .iter()
+            .fold((0usize, u64::MAX), |best, p| {
+                if p.makespan_ns < best.1 { (p.r, p.makespan_ns) } else { best }
+            })
+            .0;
+        let (planner_r, outcome) =
+            plan_pass1_coded::<Rec128>(&cell.cluster, &bench_dsm(1), n, &R_SWEEP)
+                .expect("coded plan sweep runs");
+        let tracking = points.iter().all(|p| p.dev_pct.abs() <= 10.0);
+        let agree = planner_r == measured_best;
+        all_tracking &= tracking;
+        all_planner &= agree;
+
+        println!("-- {} (H={}, D={}) --", cell.name, cell.cluster.hosts, cell.cluster.asus);
+        let widths = [3usize, 14, 12, 8];
+        println!(
+            "{}",
+            row(&["r".into(), "makespan_ns".into(), "asu_tx".into(), "dev".into()], &widths)
+        );
+        for p in &points {
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{}", p.r),
+                        format!("{}", p.makespan_ns),
+                        format!("{}", p.asu_tx),
+                        format!("{:+.1}%", p.dev_pct),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!(
+            "  measured-best r={measured_best} planner r={planner_r} tracking={tracking} agree={agree}"
+        );
+
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"hosts\": {}, \"asus\": {}, \"sweep\": [\n",
+            cell.name, cell.cluster.hosts, cell.cluster.asus
+        ));
+        for (i, p) in points.iter().enumerate() {
+            let comma = if i + 1 == points.len() { "" } else { "," };
+            json.push_str(&format!(
+                "      {{\"r\": {}, \"makespan_ns\": {}, \"asu_nic_bytes_tx\": {}, \"dev_from_inverse_r_pct\": {:.2}}}{comma}\n",
+                p.r, p.makespan_ns, p.asu_tx, p.dev_pct
+            ));
+        }
+        json.push_str("    ],\n    \"predicted_curve\": [\n");
+        let curve = &outcome.report.coded_curve;
+        for (i, c) in curve.iter().enumerate() {
+            let comma = if i + 1 == curve.len() { "" } else { "," };
+            json.push_str(&format!(
+                "      {{\"r\": {}, \"predicted_makespan_ns\": {}, \"predicted_nic_bytes\": {}, \"extra_disk_bytes\": {}}}{comma}\n",
+                c.r, c.predicted_makespan_ns, c.predicted_nic_bytes, c.extra_disk_bytes
+            ));
+        }
+        let comma = if ci + 1 == ncells { "" } else { "," };
+        json.push_str(&format!(
+            "    ],\n    \"measured_best_r\": {measured_best}, \"planner_r\": {planner_r}, \
+             \"cell_inverse_r_tracking_ok\": {tracking}, \"cell_planner_agreement_ok\": {agree}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+
+    // Gate 3: a coded sort is byte-identical across thread counts under
+    // the partitioned kernel, with no fallback.
+    let coded_threads = |threads: usize| {
+        let cluster = ClusterConfig::era_2002(2, 4, 8.0).with_threads(threads);
+        let data = generate_rec128(n, KeyDist::Uniform, SEED);
+        let out = run_dsm_sort(&cluster, data, &bench_dsm(2), LoadMode::Static)
+            .expect("coded threaded sort runs");
+        if threads > 1 {
+            assert!(out.pass1.par.is_some(), "threaded coded run parallelizes");
+            assert!(
+                out.pass1.par_fallback.is_none(),
+                "no fallback reason on a coded run: {:?}",
+                out.pass1.par_fallback
+            );
+        }
+        let key_fnv = fnv1a(
+            out.output
+                .iter()
+                .flat_map(|p| p.records())
+                .flat_map(|r| r.key().to_le_bytes()),
+        );
+        (out.pass1.makespan.as_nanos(), out.total.as_nanos(), key_fnv)
+    };
+    let t1 = coded_threads(1);
+    let t2 = coded_threads(2);
+    let t4 = coded_threads(4);
+    let threads_ok = t1 == t2 && t2 == t4;
+    println!("-- coded r=2 across threads --");
+    println!("  t1={t1:?} t2={t2:?} t4={t4:?} identical={threads_ok}");
+    json.push_str(&format!(
+        "  \"coded_threads\": {{\"pass1_makespan_ns\": {}, \"total_ns\": {}, \"output_key_fnv\": \"{:016x}\", \"verified_threads_identical\": {threads_ok}}},\n",
+        t1.0, t1.1, t1.2
+    ));
+
+    // Gate 4: r = 1 reproduces the default (uncoded-config) engine
+    // bit for bit.
+    let sort_with = |dsm: &DsmConfig| {
+        let cluster = ClusterConfig::era_2002(2, 4, 8.0);
+        let data = generate_rec128(n, KeyDist::Uniform, SEED);
+        let out = run_dsm_sort(&cluster, data, dsm, LoadMode::Static).expect("r=1 sort runs");
+        let key_fnv = fnv1a(
+            out.output
+                .iter()
+                .flat_map(|p| p.records())
+                .flat_map(|r| r.key().to_le_bytes()),
+        );
+        (
+            out.pass1.makespan.as_nanos(),
+            out.pass2.makespan.as_nanos(),
+            out.total.as_nanos(),
+            key_fnv,
+        )
+    };
+    let coded1 = sort_with(&bench_dsm(1));
+    let plain = sort_with(&{
+        let mut d = DsmConfig::new(8, 256, 4, 64);
+        d.input_packet_records = 4096;
+        d
+    });
+    let r1_ok = coded1 == plain;
+    println!("-- r=1 vs uncoded engine --");
+    println!("  coded1={coded1:?} plain={plain:?} identical={r1_ok}");
+    json.push_str(&format!(
+        "  \"r1_vs_uncoded\": {{\"pass1_makespan_ns\": {}, \"pass2_makespan_ns\": {}, \"total_ns\": {}, \"output_key_fnv\": \"{:016x}\", \"verified_r1_matches_uncoded\": {r1_ok}}},\n",
+        coded1.0, coded1.1, coded1.2, coded1.3
+    ));
+
+    json.push_str(&format!(
+        "  \"verified_inverse_r_tracking\": {all_tracking},\n  \"verified_planner_agreement\": {all_planner},\n  \"verified_threads_identical\": {threads_ok},\n  \"verified_r1_matches_uncoded\": {r1_ok}\n}}\n"
+    ));
+    write_results("BENCH_coded.json", &json);
+
+    if strict {
+        assert!(all_tracking, "measured shuffle bytes drifted beyond 10% of 1/r");
+        assert!(all_planner, "planner-chosen r disagrees with measured-best r");
+    }
+    assert!(threads_ok, "coded sort not byte-identical across threads");
+    assert!(r1_ok, "r=1 diverged from the uncoded engine");
+}

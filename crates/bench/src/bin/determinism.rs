@@ -333,6 +333,53 @@ fn main() {
         );
     }
 
+    // Coded section: the pinned sort with a coded distribute edge
+    // (r = 2), sequentially and through the partitioned kernel. Coded
+    // frames are cut by deterministic FCFS buffering in the downstream
+    // fan-out, so makespans, dispatch counts, the output stream, and
+    // the measured ASU shuffle bytes must be identical run to run and
+    // across thread counts.
+    for (tag, threads) in [("coded", 1usize), ("parcoded", 4)] {
+        let cluster = ClusterConfig::era_2002(2, 4, 8.0).with_threads(threads);
+        let dsm = DsmConfig::new(8, 256, 4, 64).with_coded(2);
+        let data = generate_rec128(n, KeyDist::Uniform, 1);
+        let c = run_dsm_sort(&cluster, data, &dsm, LoadMode::Static)
+            .expect("pinned coded sort runs");
+        if threads > 1 {
+            assert!(
+                c.pass1.par.is_some(),
+                "multi-host threaded coded run parallelizes"
+            );
+            assert!(
+                c.pass1.par_fallback.is_none(),
+                "no fallback reason on a coded run"
+            );
+        }
+        println!("{tag}.pass1.makespan_ns {}", c.pass1.makespan.as_nanos());
+        println!("{tag}.pass2.makespan_ns {}", c.pass2.makespan.as_nanos());
+        println!("{tag}.total_ns {}", c.total.as_nanos());
+        println!(
+            "{tag}.dispatched {} {}",
+            c.pass1.dispatched, c.pass2.dispatched
+        );
+        let asu_tx: u64 = c
+            .pass1
+            .nodes
+            .iter()
+            .filter(|nr| matches!(nr.id, NodeId::Asu(_)))
+            .map(|nr| nr.nic_bytes_tx)
+            .sum();
+        println!("{tag}.pass1.asu_nic_bytes_tx {asu_tx}");
+        let c_hash = fnv1a(
+            c.output
+                .iter()
+                .flat_map(|p| p.records())
+                .flat_map(|r| r.key().to_le_bytes()),
+        );
+        let c_records: usize = c.output.iter().map(|p| p.len()).sum();
+        println!("{tag}.output.records {c_records} {tag}.output.key_fnv {c_hash:016x}");
+    }
+
     // Repair section: a seeded Poisson fault schedule with the
     // background re-replication engine on, sequentially and through the
     // partitioned kernel. Engine decisions are pure functions of its

@@ -71,6 +71,13 @@ pub struct Edge {
     pub kind: EdgeKind,
     /// Destination scoping (global or per-port groups).
     pub scope: RouteScope,
+    /// Coded-shuffle broadcast-group size `r`. Destination instances are
+    /// partitioned into contiguous groups of `r`; the emulator coalesces
+    /// every `r` remote packets bound for one group into a single coded
+    /// frame (one NIC send, per-member receives), with each sender paying
+    /// an `(r-1)`-way replicated disk write for the side information.
+    /// `1` means uncoded point-to-point delivery.
+    pub coded_group: usize,
 }
 
 /// A stage: `replication` instances of one functor.
@@ -136,6 +143,14 @@ pub enum GraphError {
         /// The offending group size.
         group_size: usize,
     },
+    /// A coded broadcast-group size is zero or exceeds the destination
+    /// replication (a group wider than the stage can never fill).
+    BadCodedGroup {
+        /// The destination stage.
+        to: StageId,
+        /// The offending coded-group size.
+        coded_group: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -156,6 +171,10 @@ impl fmt::Display for GraphError {
             GraphError::BadGroupSize { to, group_size } => write!(
                 f,
                 "group size {group_size} does not divide the replication of stage {to:?}"
+            ),
+            GraphError::BadCodedGroup { to, coded_group } => write!(
+                f,
+                "coded group size {coded_group} invalid for the replication of stage {to:?}"
             ),
         }
     }
@@ -238,6 +257,23 @@ impl<R: Record> FlowGraph<R> {
         kind: EdgeKind,
         scope: RouteScope,
     ) -> Result<(), GraphError> {
+        self.connect_coded(from, to, routing, kind, scope, 1)
+    }
+
+    /// [`FlowGraph::connect_scoped`] with a coded broadcast-group size.
+    /// `coded_group = 1` is plain point-to-point delivery; `r > 1` groups
+    /// the destination instances into contiguous broadcast groups of `r`
+    /// and lets the emulator coalesce their shuffle traffic into coded
+    /// frames (one NIC send per `r` remote packets).
+    pub fn connect_coded(
+        &mut self,
+        from: StageId,
+        to: StageId,
+        routing: RoutingPolicy,
+        kind: EdgeKind,
+        scope: RouteScope,
+        coded_group: usize,
+    ) -> Result<(), GraphError> {
         for s in [from, to] {
             if s.0 >= self.stages.len() {
                 return Err(GraphError::DanglingEdge(s));
@@ -255,12 +291,16 @@ impl<R: Record> FlowGraph<R> {
                 return Err(GraphError::BadGroupSize { to, group_size });
             }
         }
+        if coded_group == 0 || coded_group > self.stages[to.0].replication {
+            return Err(GraphError::BadCodedGroup { to, coded_group });
+        }
         self.edges.push(Edge {
             from,
             to,
             routing,
             kind,
             scope,
+            coded_group,
         });
         Ok(())
     }
@@ -483,6 +523,30 @@ mod tests {
             ),
             Err(GraphError::BadGroupSize { .. })
         ));
+    }
+
+    #[test]
+    fn coded_group_bounds_enforced() {
+        let mut g = FlowGraph::new();
+        let a = ident(1, &mut g, true);
+        let b = ident(4, &mut g, false);
+        assert_eq!(
+            g.connect_coded(a, b, RoutingPolicy::Static, EdgeKind::Set, RouteScope::Global, 0),
+            Err(GraphError::BadCodedGroup { to: b, coded_group: 0 })
+        );
+        assert_eq!(
+            g.connect_coded(a, b, RoutingPolicy::Static, EdgeKind::Set, RouteScope::Global, 5),
+            Err(GraphError::BadCodedGroup { to: b, coded_group: 5 })
+        );
+        g.connect_coded(a, b, RoutingPolicy::Static, EdgeKind::Set, RouteScope::Global, 2)
+            .unwrap();
+        assert_eq!(g.out_edge(a).unwrap().coded_group, 2);
+        // Plain connect defaults to uncoded.
+        let mut g2 = FlowGraph::new();
+        let x = ident(1, &mut g2, true);
+        let y = ident(2, &mut g2, false);
+        g2.connect(x, y, RoutingPolicy::Static, EdgeKind::Set).unwrap();
+        assert_eq!(g2.out_edge(x).unwrap().coded_group, 1);
     }
 
     #[test]

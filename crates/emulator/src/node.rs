@@ -134,6 +134,10 @@ pub struct NodeRes {
     /// Fixed per-frame NIC bytes added to every transfer (zero by
     /// default; gives zero-latency links a positive per-hop charge).
     nic_frame_overhead_bytes: u64,
+    /// Payload bytes serialized onto the wire by this node (frame
+    /// overhead excluded): the measured shuffle-byte counter the coded
+    /// distribute mode is judged against.
+    nic_bytes_tx: u64,
 }
 
 impl NodeRes {
@@ -190,6 +194,7 @@ impl NodeRes {
             base_disk_rate: disk.rate_bytes_per_sec,
             health: NodeHealth::Up,
             nic_frame_overhead_bytes: cfg.nic_frame_overhead_bytes,
+            nic_bytes_tx: 0,
         }
     }
 
@@ -231,6 +236,7 @@ impl NodeRes {
     /// at `now`.
     pub fn charge_nic(&mut self, now: SimTime, bytes: u64, link_rate: f64) -> Grant {
         let service = nic_service(bytes + self.nic_frame_overhead_bytes, link_rate);
+        self.nic_bytes_tx += bytes;
         self.nic.acquire(now, service)
     }
 
@@ -245,6 +251,7 @@ impl NodeRes {
         count: u64,
     ) -> Grant {
         let service = nic_service(bytes + self.nic_frame_overhead_bytes, link_rate);
+        self.nic_bytes_tx += bytes * count;
         self.nic.acquire_batch(now, count, service)
     }
 
@@ -399,6 +406,11 @@ impl NodeRes {
     /// NIC busy time.
     pub fn nic_busy(&self) -> SimDuration {
         self.nic.total_busy()
+    }
+
+    /// Payload bytes this node has serialized onto the wire.
+    pub fn nic_bytes_tx(&self) -> u64 {
+        self.nic_bytes_tx
     }
 }
 

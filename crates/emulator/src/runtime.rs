@@ -196,6 +196,10 @@ pub struct NodeReport {
     pub pool: lmas_storage::PoolStats,
     /// NIC busy time.
     pub nic_busy: SimDuration,
+    /// Payload bytes this node put on the wire (frame overhead and
+    /// zero-byte EOS marks excluded) — the measured shuffle volume a
+    /// coded edge divides by `r`.
+    pub nic_bytes_tx: u64,
     /// Peak functor-state bytes observed.
     pub peak_state_bytes: usize,
     /// Health at the end of the run.
@@ -563,6 +567,16 @@ struct Downstream<R: Record> {
     group_size: usize,
     /// Destination stage id (for `AllReplicasDown` reporting).
     dest_stage: usize,
+    /// Coded broadcast-group size of this edge (1 = plain delivery).
+    /// With `r > 1` the destinations partition into groups of `r`
+    /// consecutive instances; every r-th remote packet ships as one
+    /// multicast frame (one NIC charge at the frame's max payload) and
+    /// the sender pays an `(r-1)`-fold replicated side-information disk
+    /// write per packet.
+    coded_r: usize,
+    /// Per-group staging buffers of `(dest, packet)` awaiting a full
+    /// coded frame (empty and untouched when `coded_r == 1`).
+    coded_buf: Vec<Vec<(usize, Packet<R>)>>,
     _marker: std::marker::PhantomData<fn(R)>,
 }
 
@@ -831,6 +845,40 @@ impl<R: Record> InstanceActor<R> {
         let dest = base + rel;
         // Optimistic backlog charge; a NACK rolls it back.
         d.gauge.add(dest, p.len() as u64, ctx.now(), par_key(ctx));
+        // Coded delivery (fault-free runs only: coded frames have no
+        // per-packet NACK identity). Same-node packets are free as in
+        // the plain path; remote packets pay the (r-1)-way replicated
+        // side-information write immediately, then wait in the group's
+        // staging buffer until r packets form a frame — one NIC charge
+        // at the frame's widest payload, all members delivered at the
+        // grant.
+        if d.coded_r > 1 && self.fault.is_none() {
+            let now = ctx.now();
+            let my_id = self.node.borrow().id;
+            if d.node_ids[dest] == my_id {
+                ctx.send_at(d.actors[dest], now, Msg::Arrive { p, meta: None });
+                return;
+            }
+            let r = d.coded_r;
+            self.node
+                .borrow_mut()
+                .disk_write(now, (r as u64 - 1) * p.bytes() as u64);
+            let group = dest / r;
+            d.coded_buf[group].push((dest, p));
+            if d.coded_buf[group].len() == r {
+                let frame = d.coded_buf[group]
+                    .iter()
+                    .map(|(_, q)| q.bytes() as u64)
+                    .max()
+                    .unwrap_or(0);
+                let grant = self.node.borrow_mut().charge_nic(now, frame, self.link_rate);
+                let at = grant.end + self.latency;
+                for (di, q) in d.coded_buf[group].drain(..) {
+                    ctx.send_at(d.actors[di], at, Msg::Arrive { p: q, meta: None });
+                }
+            }
+            return;
+        }
         let deliver_at = delivery_time(
             ctx.now(),
             &self.node,
@@ -920,11 +968,38 @@ impl<R: Record> InstanceActor<R> {
         }
     }
 
+    /// Ship every partially-filled coded frame (end of stream: no more
+    /// packets will complete them). Charged before the EOS batch so the
+    /// FCFS NIC keeps data ahead of the EOS marks.
+    fn flush_coded(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
+        let Some(d) = self.down.as_mut() else { return };
+        if d.coded_r <= 1 {
+            return;
+        }
+        let now = ctx.now();
+        for group in 0..d.coded_buf.len() {
+            if d.coded_buf[group].is_empty() {
+                continue;
+            }
+            let frame = d.coded_buf[group]
+                .iter()
+                .map(|(_, q)| q.bytes() as u64)
+                .max()
+                .unwrap_or(0);
+            let grant = self.node.borrow_mut().charge_nic(now, frame, self.link_rate);
+            let at = grant.end + self.latency;
+            for (di, q) in d.coded_buf[group].drain(..) {
+                ctx.send_at(d.actors[di], at, Msg::Arrive { p: q, meta: None });
+            }
+        }
+    }
+
     fn broadcast_eos(&mut self, ctx: &mut Ctx<'_, Msg<R>>) {
         if self.is_fenced() {
             // The controller already spoke for this instance.
             return;
         }
+        self.flush_coded(ctx);
         if let Some(d) = &mut self.down {
             // EOS rides the NIC (zero payload) so it stays behind data.
             // Every remote mark serializes zero bytes, so one batched NIC
@@ -2101,6 +2176,15 @@ pub fn run_job_with_faults<R: Record>(
                         },
                         group_size,
                         dest_stage: to,
+                        coded_r: e.coded_group,
+                        coded_buf: if e.coded_group > 1 {
+                            vec![
+                                Vec::new();
+                                actor_ids[to].len().div_ceil(e.coded_group)
+                            ]
+                        } else {
+                            Vec::new()
+                        },
                         _marker: std::marker::PhantomData,
                     })
                 }
@@ -2409,6 +2493,7 @@ pub fn run_job_with_faults<R: Record>(
                 per_disk_busy: n.per_disk_busy(),
                 pool: n.pool_stats(),
                 nic_busy: n.nic_busy(),
+                nic_bytes_tx: n.nic_bytes_tx(),
                 peak_state_bytes: n.peak_state_bytes(),
                 health: n.health(),
             }
@@ -2683,6 +2768,15 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                     weights: Rc::new(RefCell::new(Vec::new())),
                     group_size,
                     dest_stage: to,
+                    coded_r: e.coded_group,
+                    coded_buf: if e.coded_group > 1 {
+                        vec![
+                            Vec::new();
+                            to_stage.replication.div_ceil(e.coded_group)
+                        ]
+                    } else {
+                        Vec::new()
+                    },
                     _marker: std::marker::PhantomData,
                 }
             });
@@ -2979,6 +3073,7 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                         per_disk_busy: n.per_disk_busy(),
                         pool: n.pool_stats(),
                         nic_busy: n.nic_busy(),
+                        nic_bytes_tx: n.nic_bytes_tx(),
                         peak_state_bytes: n.peak_state_bytes(),
                         health: n.health(),
                     },

@@ -128,8 +128,9 @@ pub fn spec_from_graph<R: Record>(
     }
     let specs = stages
         .iter()
+        .enumerate()
         .zip(&hints.stages)
-        .map(|(st, h)| StageSpec {
+        .map(|((i, st), h)| StageSpec {
             name: st.name.clone(),
             replication: st.replication,
             kind: st.kind,
@@ -142,6 +143,14 @@ pub fn spec_from_graph<R: Record>(
             flush_per_instance: h.flush_per_instance,
             blocking: h.blocking,
             pinned: h.pinned.clone(),
+            // The coded broadcast-group size rides the graph's inbound
+            // edge; the plan model keys it on the receiving stage.
+            coded_group: graph
+                .edges()
+                .iter()
+                .find(|e| e.to.0 == i)
+                .map(|e| e.coded_group)
+                .unwrap_or(1),
         })
         .collect();
     let edges = graph

@@ -61,6 +61,32 @@ impl fmt::Display for Bottleneck {
     }
 }
 
+/// Per-stage demand on each resource class: the max over the nodes the
+/// stage's instances occupy of the CPU / disk / outbound-NIC time they
+/// spend there. The largest of the three is what binds the stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageResource {
+    /// CPU occupancy (ns) on the stage's most loaded node.
+    pub cpu_ns: f64,
+    /// Disk occupancy (ns), including any coded replicated writes.
+    pub disk_ns: f64,
+    /// Outbound NIC occupancy (ns) of the stage's out-edge.
+    pub nic_ns: f64,
+}
+
+impl StageResource {
+    /// Which resource class binds this stage.
+    pub fn binds(&self) -> &'static str {
+        if self.cpu_ns >= self.disk_ns && self.cpu_ns >= self.nic_ns {
+            "cpu"
+        } else if self.disk_ns >= self.nic_ns {
+            "disk"
+        } else {
+            "nic"
+        }
+    }
+}
+
 /// The estimator's verdict on one assignment.
 #[derive(Debug, Clone)]
 pub struct Estimate {
@@ -74,6 +100,12 @@ pub struct Estimate {
     pub stage_done_ns: Vec<f64>,
     /// Aggregate CPU time per node (planner node order).
     pub node_cpu_ns: Vec<(NodeId, f64)>,
+    /// Aggregate disk time per node (planner node order).
+    pub node_disk_ns: Vec<(NodeId, f64)>,
+    /// Aggregate outbound NIC time per node (planner node order).
+    pub node_nic_ns: Vec<(NodeId, f64)>,
+    /// Per-stage resource attribution, indexed like the spec.
+    pub stage_resources: Vec<StageResource>,
 }
 
 impl Estimate {
@@ -168,23 +200,46 @@ pub fn estimate(
     // Outbound NIC: each record leaving stage `s` for a remote instance
     // of `t` is charged at the sender. With routing spreading records
     // across destinations, the remote fraction for a sender on node `u`
-    // is the share of destination instances not on `u`.
+    // is the share of destination instances not on `u`. A coded edge
+    // (receiver's `coded_group = r > 1`) coalesces every r remote
+    // records into one frame — 1/r of the NIC bytes — and charges the
+    // sender an (r-1)-way replicated disk write for the side
+    // information.
+    let mut stage_nic_on = vec![vec![0.0f64; nodes.len()]; nstages];
+    let mut stage_coded_disk_on = vec![vec![0.0f64; nodes.len()]; nstages];
     for e in &spec.edges {
         let st = &spec.stages[e.from];
         let recs = recs_per_instance(st.records, st.replication);
         let dests = &asg[e.to];
+        let r = spec.stages[e.to].coded_group.max(1);
         for &u in &asg[e.from] {
+            let ui = node_index(u);
             let remote =
                 dests.iter().filter(|&&d| d != u).count() as f64
                     / dests.len() as f64;
-            node_nic[node_index(u)] +=
-                recs * remote * spec.record_bytes as f64 * link_ns_per_byte;
+            let nic = recs * remote * spec.record_bytes as f64
+                * link_ns_per_byte
+                / r as f64;
+            node_nic[ui] += nic;
+            stage_nic_on[e.from][ui] += nic;
+            if r > 1 {
+                let extra = recs
+                    * remote
+                    * spec.record_bytes as f64
+                    * (r - 1) as f64
+                    * disk_ns_per_byte(u);
+                node_disk[ui] += extra;
+                stage_coded_disk_on[e.from][ui] += extra;
+            }
         }
     }
 
     // Per-stage busy: max over nodes of the time this stage's instances
-    // occupy that node (CPU overlapped with local disk for sources).
+    // occupy that node (CPU overlapped with local disk for sources; a
+    // coded out-edge adds its replicated writes to the disk share).
+    // Attribution (cpu/disk/nic maxes) is recorded alongside.
     let mut stage_busy = vec![0.0f64; nstages];
+    let mut stage_resources = Vec::with_capacity(nstages);
     for s in 0..nstages {
         let st = &spec.stages[s];
         let recs = recs_per_instance(st.records, st.replication);
@@ -197,11 +252,27 @@ pub fn estimate(
                 / st.replication as f64
                 * disk_ns_per_byte(u);
         }
+        for ui in 0..nodes.len() {
+            disk_on[ui] += stage_coded_disk_on[s][ui];
+            // The replicated side-information writes share the device
+            // with everything else the node's disk serves (source
+            // reads, co-resident sink writes): once coding competes
+            // for the disk, the stage cannot finish before the whole
+            // device drains.
+            if stage_coded_disk_on[s][ui] > 0.0 {
+                disk_on[ui] = disk_on[ui].max(node_disk[ui]);
+            }
+        }
         stage_busy[s] = cpu_on
             .iter()
             .zip(&disk_on)
             .map(|(&c, &d)| c.max(d))
             .fold(0.0, f64::max);
+        stage_resources.push(StageResource {
+            cpu_ns: cpu_on.iter().copied().fold(0.0, f64::max),
+            disk_ns: disk_on.iter().copied().fold(0.0, f64::max),
+            nic_ns: stage_nic_on[s].iter().copied().fold(0.0, f64::max),
+        });
     }
 
     // Fill/drain recurrence in topo order.
@@ -233,14 +304,20 @@ pub fn estimate(
                 .filter(|(a, b)| a != b)
                 .count() as f64
                 / pairs;
+            // A coded inbound edge ships full-width frames (the byte
+            // savings are in frame *count*, charged in `node_nic`), and
+            // the first frame only forms once r packets have been
+            // produced upstream.
+            let rcv = st.coded_group.max(1) as f64;
             let link = remote
-                * (packet_bytes * link_ns_per_byte + shape.link_latency_ns);
+                * (packet_bytes * link_ns_per_byte
+                    + shape.link_latency_ns);
             let step =
                 spec.stages[up].packet_records as f64 * slowest_per_rec[up];
             let feed = if spec.stages[up].blocking {
                 done[up] + link
             } else {
-                ready[up] + step + link
+                ready[up] + rcv * step + link
             };
             rdy = rdy.max(feed);
             // Last upstream packet still has to pass through `s`.
@@ -324,6 +401,17 @@ pub fn estimate(
             .copied()
             .zip(node_cpu.iter().copied())
             .collect(),
+        node_disk_ns: nodes
+            .iter()
+            .copied()
+            .zip(node_disk.iter().copied())
+            .collect(),
+        node_nic_ns: nodes
+            .iter()
+            .copied()
+            .zip(node_nic.iter().copied())
+            .collect(),
+        stage_resources,
     }
 }
 

@@ -34,7 +34,7 @@ pub mod report;
 pub mod search;
 
 pub use auto::{spec_from_graph, AutoPlace, GraphHints, StageHint};
-pub use estimate::{Bottleneck, Estimate};
+pub use estimate::{Bottleneck, Estimate, StageResource};
 pub use model::{ClusterShape, PlanEdge, PlanError, PlanSpec, StageSpec};
-pub use report::{PlanReport, StageRate};
+pub use report::{CodedPoint, PlanReport, StageBinding, StageRate};
 pub use search::{plan, plan_best, PlanOutcome};

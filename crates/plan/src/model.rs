@@ -136,6 +136,10 @@ pub struct StageSpec {
     pub blocking: bool,
     /// Per-instance placement pins (data residency); empty = all free.
     pub pinned: Vec<Option<NodeId>>,
+    /// Coded-shuffle broadcast-group size on this stage's *inbound*
+    /// edge (1 = uncoded). Senders pay an `(r-1)`-way replicated disk
+    /// write per remote record and ship 1/r of the shuffle bytes.
+    pub coded_group: usize,
 }
 
 impl StageSpec {
@@ -154,6 +158,7 @@ impl StageSpec {
             flush_per_instance: Work::ZERO,
             blocking: false,
             pinned: Vec::new(),
+            coded_group: 1,
         }
     }
 
@@ -193,6 +198,12 @@ impl StageSpec {
     /// Pin every instance: `pins[i]` fixes instance `i` when `Some`.
     pub fn with_pins(mut self, pins: Vec<Option<NodeId>>) -> StageSpec {
         self.pinned = pins;
+        self
+    }
+
+    /// Set the coded broadcast-group size of the stage's inbound edge.
+    pub fn with_coded(mut self, coded_group: usize) -> StageSpec {
+        self.coded_group = coded_group.max(1);
         self
     }
 

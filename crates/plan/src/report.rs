@@ -24,6 +24,36 @@ pub struct StageRate {
     pub busy_ns: u64,
 }
 
+/// Which resource binds one stage, and by how much: the per-resource
+/// occupancy (ns) on the stage's most loaded node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageBinding {
+    /// Stage name.
+    pub name: String,
+    /// CPU occupancy on the most loaded node.
+    pub cpu_ns: u64,
+    /// Disk occupancy (coded replicated writes included).
+    pub disk_ns: u64,
+    /// Outbound NIC occupancy of the stage's out-edge.
+    pub nic_ns: u64,
+    /// The binding resource class: `cpu`, `disk`, or `nic`.
+    pub binds: String,
+}
+
+/// One point of the coded-shuffle tradeoff curve: what the estimator
+/// predicts for a candidate broadcast-group size `r`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedPoint {
+    /// Candidate broadcast-group size.
+    pub r: usize,
+    /// Best predicted makespan at this `r` (ns).
+    pub predicted_makespan_ns: u64,
+    /// Predicted shuffle payload bytes on the wire (≈ uncoded / r).
+    pub predicted_nic_bytes: u64,
+    /// Extra replicated-write bytes the senders pay for this `r`.
+    pub extra_disk_bytes: u64,
+}
+
 /// The planner's decision record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanReport {
@@ -33,8 +63,17 @@ pub struct PlanReport {
     pub bottleneck: String,
     /// Per-stage predicted rates.
     pub stage_rates: Vec<StageRate>,
+    /// Per-stage resource attribution (which of CPU/disk/NIC binds).
+    pub stage_bindings: Vec<StageBinding>,
     /// Aggregate CPU nanoseconds per node (planner node order).
     pub node_cpu_ns: Vec<(String, u64)>,
+    /// Aggregate disk nanoseconds per node (planner node order).
+    pub node_disk_ns: Vec<(String, u64)>,
+    /// Aggregate outbound NIC nanoseconds per node (planner node order).
+    pub node_nic_ns: Vec<(String, u64)>,
+    /// Predicted coded-shuffle tradeoff curve (empty when no r-sweep
+    /// ran); the winning `r` is the curve's minimum makespan.
+    pub coded_curve: Vec<CodedPoint>,
     /// Final assignment: stage name → node name per instance.
     pub assignments: Vec<(String, Vec<String>)>,
     /// Candidate specs weighed (≥ 1; > 1 when replication was
@@ -74,11 +113,34 @@ impl PlanReport {
             predicted_makespan_ns: est.makespan_ns as u64,
             bottleneck: est.bottleneck.to_string(),
             stage_rates,
+            stage_bindings: spec
+                .stages
+                .iter()
+                .zip(&est.stage_resources)
+                .map(|(st, res)| StageBinding {
+                    name: st.name.clone(),
+                    cpu_ns: res.cpu_ns as u64,
+                    disk_ns: res.disk_ns as u64,
+                    nic_ns: res.nic_ns as u64,
+                    binds: res.binds().to_string(),
+                })
+                .collect(),
             node_cpu_ns: est
                 .node_cpu_ns
                 .iter()
                 .map(|(n, ns)| (n.to_string(), *ns as u64))
                 .collect(),
+            node_disk_ns: est
+                .node_disk_ns
+                .iter()
+                .map(|(n, ns)| (n.to_string(), *ns as u64))
+                .collect(),
+            node_nic_ns: est
+                .node_nic_ns
+                .iter()
+                .map(|(n, ns)| (n.to_string(), *ns as u64))
+                .collect(),
+            coded_curve: Vec::new(),
             assignments: spec
                 .stages
                 .iter()
@@ -121,9 +183,39 @@ impl PlanReport {
                 r.name, r.replication, r.records_per_sec, r.busy_ns
             );
         }
+        out.push_str("  ],\n  \"stage_bindings\": [\n");
+        for (i, b) in self.stage_bindings.iter().enumerate() {
+            let comma = if i + 1 < self.stage_bindings.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"cpu_ns\": {}, \"disk_ns\": {}, \
+                 \"nic_ns\": {}, \"binds\": \"{}\" }}{comma}",
+                b.name, b.cpu_ns, b.disk_ns, b.nic_ns, b.binds
+            );
+        }
+        out.push_str("  ],\n  \"coded_curve\": [\n");
+        for (i, p) in self.coded_curve.iter().enumerate() {
+            let comma = if i + 1 < self.coded_curve.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"r\": {}, \"predicted_makespan_ns\": {}, \
+                 \"predicted_nic_bytes\": {}, \"extra_disk_bytes\": {} }}{comma}",
+                p.r, p.predicted_makespan_ns, p.predicted_nic_bytes, p.extra_disk_bytes
+            );
+        }
         out.push_str("  ],\n  \"node_cpu_ns\": {\n");
         for (i, (n, ns)) in self.node_cpu_ns.iter().enumerate() {
             let comma = if i + 1 < self.node_cpu_ns.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{n}\": {ns}{comma}");
+        }
+        out.push_str("  },\n  \"node_disk_ns\": {\n");
+        for (i, (n, ns)) in self.node_disk_ns.iter().enumerate() {
+            let comma = if i + 1 < self.node_disk_ns.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{n}\": {ns}{comma}");
+        }
+        out.push_str("  },\n  \"node_nic_ns\": {\n");
+        for (i, (n, ns)) in self.node_nic_ns.iter().enumerate() {
+            let comma = if i + 1 < self.node_nic_ns.len() { "," } else { "" };
             let _ = writeln!(out, "    \"{n}\": {ns}{comma}");
         }
         out.push_str("  },\n  \"assignments\": {\n");
@@ -175,10 +267,20 @@ mod tests {
             "\"bottleneck\"",
             "\"candidates\"",
             "\"stages\"",
+            "\"stage_bindings\"",
+            "\"binds\"",
+            "\"coded_curve\"",
+            "\"node_disk_ns\"",
+            "\"node_nic_ns\"",
             "\"assignments\"",
             "\"src\": [\"asu0\", \"asu1\"]",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Every stage carries an attribution verdict.
+        assert_eq!(out.report.stage_bindings.len(), 2);
+        for b in &out.report.stage_bindings {
+            assert!(["cpu", "disk", "nic"].contains(&b.binds.as_str()));
         }
         assert_eq!(json, out.report.render_json());
         // Balanced braces/brackets as a cheap well-formedness check.

@@ -89,7 +89,7 @@ pub fn run_pass1_baseline<R: Record>(
                 .unwrap_or_default()
         })
         .collect();
-    Ok(Pass1Result { report, runs_per_asu, plan: None })
+    Ok(Pass1Result { report, runs_per_asu, coded_r: 1, plan: None })
 }
 
 /// Convenience: pass-1 makespans of the active configuration and the

@@ -26,6 +26,15 @@ pub struct DsmConfig {
     pub input_packet_records: usize,
     /// Records per output stripe written back to the ASUs.
     pub stripe_records: usize,
+    /// Coded-shuffle broadcast-group size `r` for the distribute and
+    /// merge shuffles (1 = uncoded point-to-point). Destination
+    /// instances group into r-sized broadcast groups; each sender
+    /// writes its subset runs r-way replicated (an `(r-1)`-fold extra
+    /// disk write) and ships only 1/r of the shuffle bytes. Must divide
+    /// α. Under [`LoadMode::Auto`] a value > 1 forces that `r`;
+    /// leaving it at 1 lets the planner sweep r jointly with the
+    /// replication degree.
+    pub coded_r: usize,
 }
 
 /// Configuration validation failure.
@@ -40,6 +49,14 @@ pub enum DsmConfigError {
         /// `α·β·γ₁·γ₂`.
         capacity: u64,
     },
+    /// The coded broadcast-group size does not divide α, so the subset
+    /// destinations cannot partition into whole groups.
+    CodedGroupMismatch {
+        /// Distribute order.
+        alpha: usize,
+        /// The offending group size.
+        coded_r: usize,
+    },
 }
 
 impl fmt::Display for DsmConfigError {
@@ -49,6 +66,10 @@ impl fmt::Display for DsmConfigError {
             DsmConfigError::InsufficientCapacity { n, capacity } => write!(
                 f,
                 "α·β·γ = {capacity} < n = {n}: two passes cannot sort this input"
+            ),
+            DsmConfigError::CodedGroupMismatch { alpha, coded_r } => write!(
+                f,
+                "coded group size {coded_r} does not divide α = {alpha}"
             ),
         }
     }
@@ -66,7 +87,14 @@ impl DsmConfig {
             gamma2,
             input_packet_records: 1024,
             stripe_records: 1024,
+            coded_r: 1,
         }
+    }
+
+    /// Set the coded-shuffle broadcast-group size (must divide α).
+    pub fn with_coded(mut self, r: usize) -> DsmConfig {
+        self.coded_r = r;
+        self
     }
 
     /// Total merge fan-in γ = γ₁·γ₂.
@@ -83,10 +111,17 @@ impl DsmConfig {
             ("gamma2", self.gamma2),
             ("input_packet_records", self.input_packet_records),
             ("stripe_records", self.stripe_records),
+            ("coded_r", self.coded_r),
         ] {
             if v == 0 {
                 return Err(DsmConfigError::ZeroParameter(name));
             }
+        }
+        if !self.alpha.is_multiple_of(self.coded_r) {
+            return Err(DsmConfigError::CodedGroupMismatch {
+                alpha: self.alpha,
+                coded_r: self.coded_r,
+            });
         }
         let capacity = (self.alpha as u64)
             .saturating_mul(self.beta as u64)
@@ -167,6 +202,20 @@ mod tests {
         assert_eq!(
             c.validate_for(1),
             Err(DsmConfigError::ZeroParameter("stripe_records"))
+        );
+    }
+
+    #[test]
+    fn coded_group_must_divide_alpha() {
+        let c = DsmConfig::new(4, 16, 2, 2).with_coded(3);
+        assert_eq!(
+            c.validate_for(1),
+            Err(DsmConfigError::CodedGroupMismatch { alpha: 4, coded_r: 3 })
+        );
+        assert!(DsmConfig::new(4, 16, 2, 2).with_coded(2).validate_for(1).is_ok());
+        assert_eq!(
+            DsmConfig::new(4, 16, 2, 2).with_coded(0).validate_for(1),
+            Err(DsmConfigError::ZeroParameter("coded_r"))
         );
     }
 

@@ -25,7 +25,7 @@ use lmas_core::{
     RouteScope, RoutingPolicy, Work,
 };
 use lmas_plan::{
-    plan, plan_best, ClusterShape, PlanEdge, PlanOutcome, PlanSpec, StageSpec,
+    plan, CodedPoint, ClusterShape, PlanEdge, PlanOutcome, PlanSpec, StageSpec,
 };
 use lmas_emulator::{
     run_job, run_job_with_faults, ClusterConfig, EmulationReport, FaultSpec, Job, JobError,
@@ -33,6 +33,29 @@ use lmas_emulator::{
 use lmas_sim::SimDuration;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The planner's wiring contract was violated when compiling a pass
+/// graph: a placement decision requires data the caller did not supply.
+/// Typed (rather than a panic) so orchestration layers can report which
+/// wire broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanWireError {
+    /// An explicit block-sort layout was selected but no sorter nodes
+    /// were provided.
+    MissingSorterNodes,
+}
+
+impl fmt::Display for PlanWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanWireError::MissingSorterNodes => {
+                write!(f, "explicit sorter layout selected but no sorter nodes supplied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanWireError {}
 
 /// DSM-Sort failure.
 #[derive(Debug)]
@@ -45,6 +68,8 @@ pub enum DsmError {
     InputShape(String),
     /// The planner could not place a pass (`LoadMode::Auto`).
     Plan(lmas_plan::PlanError),
+    /// The planner's wiring was internally inconsistent.
+    Wire(PlanWireError),
 }
 
 impl fmt::Display for DsmError {
@@ -54,6 +79,7 @@ impl fmt::Display for DsmError {
             DsmError::Job(e) => write!(f, "job: {e}"),
             DsmError::InputShape(s) => write!(f, "input: {s}"),
             DsmError::Plan(e) => write!(f, "planner: {e}"),
+            DsmError::Wire(e) => write!(f, "plan wiring: {e}"),
         }
     }
 }
@@ -72,6 +98,12 @@ impl From<JobError> for DsmError {
     }
 }
 
+impl From<PlanWireError> for DsmError {
+    fn from(e: PlanWireError) -> Self {
+        DsmError::Wire(e)
+    }
+}
+
 /// Sorted runs resident on each ASU: `runs[asu]` is that ASU's run
 /// packets in storage order.
 pub type RunsPerAsu<R> = Vec<Vec<Packet<R>>>;
@@ -86,6 +118,9 @@ pub struct Pass1Result<R: Record> {
     /// The planner's account when the pass ran under
     /// [`LoadMode::Auto`]; `None` for static/managed placement.
     pub plan: Option<PlanOutcome>,
+    /// Coded broadcast-group size the distribute edge actually ran with
+    /// (planner-chosen in Auto mode, `DsmConfig::coded_r` otherwise).
+    pub coded_r: usize,
 }
 
 /// Result of pass 2: the report and the final sorted stripes.
@@ -125,6 +160,10 @@ pub struct DsmPlanInfo {
     /// Block-sort replicas per subset chosen for pass 1 (the winning
     /// replication degree of the candidate sweep).
     pub sorters_per_subset: usize,
+    /// Coded broadcast-group size chosen for the pass-1 distribute
+    /// shuffle (1 = uncoded; the predicted tradeoff curve behind the
+    /// choice is in `pass1_report_json` under `coded_curve`).
+    pub coded_r: usize,
     /// Predicted pass-1 makespan.
     pub pass1_predicted: SimDuration,
     /// Predicted pass-2 makespan.
@@ -173,12 +212,13 @@ pub fn planner_shape(cluster: &ClusterConfig) -> ClusterShape {
     }
 }
 
-/// Pass-1 planner spec with `k` block-sort replicas per subset. The
+/// Pass-1 planner spec with `k` block-sort replicas per subset and a
+/// coded broadcast-group size `r` on the distribute edge. The
 /// per-record work mirrors the functors' own `cost()` declarations
 /// (distribute: `log α` compares plus 1 move; block sort: `log β`
 /// compares plus 1 move), distribute and collect are pinned to the
 /// data's ASUs, and the block-sort stage is free for the planner to place.
-fn pass1_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64, k: usize) -> PlanSpec {
+fn pass1_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64, k: usize, r: usize) -> PlanSpec {
     let bytes = n * R::SIZE as u64;
     let splitter_bytes = (dsm.alpha - 1) * std::mem::size_of::<R::Key>() + 64;
     PlanSpec {
@@ -199,7 +239,8 @@ fn pass1_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64, k: usize) -> PlanSpe
                 FunctorKind::VerifiedKernel { max_state_bytes: 2 * dsm.beta * R::SIZE },
             )
             .with_work(Work::compares(log2_ceil(dsm.beta as u64)) + Work::moves(1), n)
-            .with_packet_records(dsm.input_packet_records as u64),
+            .with_packet_records(dsm.input_packet_records as u64)
+            .with_coded(r),
             StageSpec::new(
                 "collect-runs",
                 d,
@@ -214,20 +255,151 @@ fn pass1_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64, k: usize) -> PlanSpe
     }
 }
 
-/// Plan pass 1: one candidate spec per replication degree `k ∈ 1..=H`
-/// (k block-sort replicas per subset), scored by the analytic
-/// estimator; the lowest predicted makespan wins. Returns `(k, plan)`.
+/// Candidate coded broadcast-group sizes for the r-sweep: an explicitly
+/// configured `coded_r > 1` is forced; otherwise the powers of two
+/// dividing α (so the α subset destinations partition into whole
+/// groups).
+fn coded_r_candidates(dsm: &DsmConfig) -> Vec<usize> {
+    if dsm.coded_r > 1 {
+        return vec![dsm.coded_r];
+    }
+    let mut out = Vec::new();
+    let mut r = 1usize;
+    while r <= dsm.alpha {
+        if dsm.alpha.is_multiple_of(r) {
+            out.push(r);
+        }
+        r *= 2;
+    }
+    out
+}
+
+/// Uncoded remote payload bytes of the planned pass-1 distribute edge
+/// (each sender's record share times its off-node destination
+/// fraction): the shuffle volume a coded edge divides by `r`.
+fn pass1_uncoded_shuffle_bytes<R: Record>(n: u64, out: &PlanOutcome) -> f64 {
+    let dist = &out.assignment[0];
+    let sorters = &out.assignment[1];
+    if dist.is_empty() || sorters.is_empty() {
+        return 0.0;
+    }
+    let recs = n as f64 / dist.len() as f64;
+    dist.iter()
+        .map(|&u| {
+            let remote = sorters.iter().filter(|&&s| s != u).count() as f64
+                / sorters.len() as f64;
+            recs * remote * R::SIZE as f64
+        })
+        .sum()
+}
+
+/// Joint sweep over block-sort replication `k` and coded group size `r`
+/// (both enumerated ascending, r-major with `r = 1` first, so an
+/// all-tie sweep resolves exactly as the historical k-only sweep did).
+/// Mirrors `plan_best` semantics: lowest predicted makespan wins, ties
+/// go to the earliest candidate (1 ns epsilon). The winner's report
+/// carries the candidate counters and the predicted per-r tradeoff
+/// curve.
+fn sweep_pass1<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+    max_k: usize,
+    rcands: &[usize],
+    pin_static: bool,
+) -> Result<(usize, usize, PlanOutcome), DsmError> {
+    let shape = planner_shape(cluster);
+    let mut winner: Option<(usize, usize, PlanOutcome)> = None;
+    let mut considered = 0usize;
+    let mut rejected = 0usize;
+    let mut last_err = None;
+    let mut curve: Vec<CodedPoint> = Vec::new();
+    for &r in rcands {
+        // Best of this r-column, for the tradeoff curve.
+        let mut col: Option<(f64, f64)> = None;
+        for k in 1..=max_k {
+            considered += 1;
+            let mut spec = pass1_spec::<R>(dsm, cluster.asus, n, k, r);
+            if pin_static && k == 1 {
+                // Score r on the exact static layout the measured runs
+                // use (subset i's sorter on `static_host_of(i)`), so
+                // planner-vs-measured comparisons share a topology.
+                spec.stages[1].pinned = (0..dsm.alpha)
+                    .map(|i| Some(NodeId::Host(static_host_of(i, dsm.alpha, cluster.hosts))))
+                    .collect();
+            }
+            match plan(&spec, &shape) {
+                Ok(outcome) => {
+                    let mk = outcome.estimate.makespan_ns;
+                    if col.map(|(m, _)| mk < m - 1.0).unwrap_or(true) {
+                        col = Some((mk, pass1_uncoded_shuffle_bytes::<R>(n, &outcome)));
+                    }
+                    let better = winner
+                        .as_ref()
+                        .map(|(_, _, w)| mk < w.estimate.makespan_ns - 1.0)
+                        .unwrap_or(true);
+                    if better {
+                        if winner.is_some() {
+                            rejected += 1;
+                        }
+                        winner = Some((k, r, outcome));
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Err(e) => {
+                    rejected += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        if let Some((mk, uncoded)) = col {
+            curve.push(CodedPoint {
+                r,
+                predicted_makespan_ns: mk as u64,
+                predicted_nic_bytes: (uncoded / r as f64) as u64,
+                extra_disk_bytes: (uncoded * (r - 1) as f64) as u64,
+            });
+        }
+    }
+    match winner {
+        Some((k, r, mut outcome)) => {
+            outcome.report.candidates_considered = considered;
+            outcome.report.candidates_rejected = rejected;
+            outcome.report.coded_curve = curve;
+            Ok((k, r, outcome))
+        }
+        None => Err(DsmError::Plan(
+            last_err.unwrap_or(lmas_plan::PlanError::EmptySpec),
+        )),
+    }
+}
+
+/// Plan pass 1: the joint sweep over replication degrees `k ∈ 1..=H`
+/// (block-sort replicas per subset) and coded broadcast-group sizes,
+/// scored by the analytic estimator; the lowest predicted makespan
+/// wins. Returns `(k, r, plan)`.
 fn plan_pass1<R: Record>(
     cluster: &ClusterConfig,
     dsm: &DsmConfig,
     n: u64,
+) -> Result<(usize, usize, PlanOutcome), DsmError> {
+    sweep_pass1::<R>(cluster, dsm, n, cluster.hosts, &coded_r_candidates(dsm), false)
+}
+
+/// Plan pass 1 with the replication fixed at one sorter per subset
+/// **pinned to the static layout**, sweeping only the coded
+/// broadcast-group size over `r_candidates`. Returns the winning `r`
+/// and its outcome (tradeoff curve attached) — the planner half of the
+/// coded bench's "chosen r equals measured-best r" gate, scored on the
+/// same topology `LoadMode::Static` runs measure.
+pub fn plan_pass1_coded<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+    r_candidates: &[usize],
 ) -> Result<(usize, PlanOutcome), DsmError> {
-    let shape = planner_shape(cluster);
-    let specs: Vec<PlanSpec> = (1..=cluster.hosts)
-        .map(|k| pass1_spec::<R>(dsm, cluster.asus, n, k))
-        .collect();
-    let (idx, outcome) = plan_best(&specs, &shape).map_err(DsmError::Plan)?;
-    Ok((idx + 1, outcome))
+    sweep_pass1::<R>(cluster, dsm, n, 1, r_candidates, true).map(|(_, r, out)| (r, out))
 }
 
 /// Pass-2 planner spec: γ₁-way ASU merges (source, pinned), the
@@ -255,6 +427,7 @@ fn pass2_spec<R: Record>(dsm: &DsmConfig, d: usize, n: u64) -> PlanSpec {
             StageSpec::new("host-merge", dsm.alpha, FunctorKind::HostOnly)
                 .with_work(Work::moves(1), n)
                 .with_packet_records(merged_run.max(1))
+                .with_coded(dsm.coded_r)
                 .with_flush(
                     Work::compares(per_subset * log2_ceil(dsm.gamma2 as u64))
                         + Work::moves(per_subset),
@@ -403,12 +576,18 @@ fn run_pass1_inner<R: Record>(
             RouteScope::PortGroups { group_size: h },
             policy,
         ),
-        (LoadMode::Auto, Some((k, _))) if *k > 1 => (
+        (LoadMode::Auto, Some((k, _, _))) if *k > 1 => (
             alpha * k,
             RouteScope::PortGroups { group_size: *k },
             RoutingPolicy::PowerOfTwoChoices,
         ),
         (LoadMode::Auto, _) => (alpha, RouteScope::Global, RoutingPolicy::Static),
+    };
+    // The effective broadcast-group size: the planner's pick under
+    // Auto, the configured value otherwise.
+    let coded_r = match (&mode, &auto_plan) {
+        (_, Some((_, r, _))) => *r,
+        _ => dsm.coded_r,
     };
     let block_sort = g.add_stage(sort_repl, move |_| {
         Box::new(BlockSortFunctor::<R>::new(beta)) as Box<dyn Functor<R>>
@@ -416,7 +595,7 @@ fn run_pass1_inner<R: Record>(
     let collect = g.add_stage(d, |_| {
         Box::new(RelayFunctor::new("collect-runs")) as Box<dyn Functor<R>>
     });
-    g.connect_scoped(distribute, block_sort, routing, EdgeKind::Set, scope)
+    g.connect_coded(distribute, block_sort, routing, EdgeKind::Set, scope, coded_r)
         .map_err(JobError::Graph)?;
     // Striped writeback of runs across the ASUs.
     g.connect(block_sort, collect, RoutingPolicy::RoundRobin, EdgeKind::Set)
@@ -426,7 +605,7 @@ fn run_pass1_inner<R: Record>(
     placement.spread_over_asus(distribute, d, d);
     match (mode, &auto_plan) {
         _ if sorter_nodes.is_some() => {
-            for (i, &node) in sorter_nodes.unwrap().iter().enumerate() {
+            for (i, &node) in explicit_sorters(sorter_nodes)?.iter().enumerate() {
                 placement.assign(block_sort, i, node);
             }
         }
@@ -442,7 +621,7 @@ fn run_pass1_inner<R: Record>(
                 placement.assign(block_sort, i, NodeId::Host(i % h));
             }
         }
-        (LoadMode::Auto, Some((_, out))) => {
+        (LoadMode::Auto, Some((_, _, out))) => {
             // The spec listed stages as [distribute, block-sort,
             // collect]; the block-sort assignment carries over verbatim
             // (instance b·k + j is sorter j of subset b).
@@ -475,8 +654,16 @@ fn run_pass1_inner<R: Record>(
     Ok(Pass1Result {
         report,
         runs_per_asu,
-        plan: auto_plan.map(|(_, out)| out),
+        coded_r,
+        plan: auto_plan.map(|(_, _, out)| out),
     })
+}
+
+/// Resolve an explicit sorter layout, or fail with the typed wire
+/// error (instead of the panic this used to be) when the caller
+/// selected an explicit layout without supplying the nodes.
+fn explicit_sorters(sorter_nodes: Option<&[NodeId]>) -> Result<&[NodeId], PlanWireError> {
+    sorter_nodes.ok_or(PlanWireError::MissingSorterNodes)
 }
 
 /// Run pass 2 (γ₁-way subset merges on ASUs → γ₂-way final merge per
@@ -564,9 +751,16 @@ fn run_pass2_inner<R: Record>(
     let collect = g.add_stage(d, |_| {
         Box::new(RelayFunctor::new("collect-sorted")) as Box<dyn Functor<R>>
     });
-    // Subset port b → host-merge instance b.
-    g.connect(asu_merge, host_merge, RoutingPolicy::Static, EdgeKind::Set)
-        .map_err(JobError::Graph)?;
+    // Subset port b → host-merge instance b; coded when configured.
+    g.connect_coded(
+        asu_merge,
+        host_merge,
+        RoutingPolicy::Static,
+        EdgeKind::Set,
+        RouteScope::Global,
+        dsm.coded_r,
+    )
+    .map_err(JobError::Graph)?;
     g.connect(host_merge, collect, RoutingPolicy::RoundRobin, EdgeKind::Set)
         .map_err(JobError::Graph)?;
 
@@ -784,7 +978,7 @@ pub fn run_dsm_sort<R: Record>(
         _ => run_pass2(cluster, p1.runs_per_asu, splitters.clone(), dsm)?,
     };
     let total = p1.report.makespan + p2.report.makespan;
-    let plan = plan_info(dsm, p1.plan.as_ref(), p2.plan.as_ref());
+    let plan = plan_info(dsm, p1.coded_r, p1.plan.as_ref(), p2.plan.as_ref());
     Ok(DsmOutcome {
         pass1: p1.report,
         pass2: p2.report,
@@ -799,12 +993,14 @@ pub fn run_dsm_sort<R: Record>(
 /// Auto mode).
 fn plan_info(
     dsm: &DsmConfig,
+    coded_r: usize,
     p1: Option<&PlanOutcome>,
     p2: Option<&PlanOutcome>,
 ) -> Option<DsmPlanInfo> {
     let (p1, p2) = (p1?, p2?);
     Some(DsmPlanInfo {
         sorters_per_subset: p1.assignment[1].len() / dsm.alpha.max(1),
+        coded_r,
         pass1_predicted: SimDuration::from_nanos(p1.estimate.makespan_ns as u64),
         pass2_predicted: SimDuration::from_nanos(p2.estimate.makespan_ns as u64),
         pass1_report_json: p1.report.render_json(),
@@ -846,5 +1042,28 @@ mod tests {
         let sp = choose_splitters(&data, 16);
         assert_eq!(sp.len(), 15);
         assert!(sp.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn missing_sorter_layout_is_a_typed_error() {
+        assert_eq!(
+            explicit_sorters(None),
+            Err(PlanWireError::MissingSorterNodes)
+        );
+        let nodes = [NodeId::Host(0), NodeId::Host(1)];
+        assert_eq!(explicit_sorters(Some(&nodes)).unwrap(), &nodes);
+        let err = DsmError::from(PlanWireError::MissingSorterNodes);
+        assert!(err.to_string().contains("sorter"));
+    }
+
+    #[test]
+    fn coded_r_candidates_are_divisor_powers_of_two() {
+        let c = DsmConfig::new(8, 64, 2, 4);
+        assert_eq!(coded_r_candidates(&c), vec![1, 2, 4, 8]);
+        // Forced by an explicit configuration.
+        assert_eq!(coded_r_candidates(&c.with_coded(4)), vec![4]);
+        // α = 12: 8 does not divide it.
+        let c = DsmConfig::new(12, 64, 2, 4);
+        assert_eq!(coded_r_candidates(&c), vec![1, 2, 4]);
     }
 }

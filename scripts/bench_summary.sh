@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Aggregate every results/BENCH_*.json into results/BENCH_summary.json:
+# one row per bench with its headline metric (the first numeric
+# top-level scalar) and every top-level verified_* gate, plus an
+# all_verified conjunction across the fleet. Run from the repo root
+# after regenerating artifacts; check.sh greps individual artifacts,
+# this file is the one-stop dashboard.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+results_dir="${LMAS_RESULTS_DIR:-results}"
+python3 - "$results_dir" <<'EOF'
+import json, os, sys
+
+results = sys.argv[1]
+rows, all_verified = [], True
+for name in sorted(os.listdir(results)):
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        continue
+    if name == "BENCH_summary.json":
+        continue
+    with open(os.path.join(results, name)) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{name}: invalid JSON ({e})")
+    row = {"file": name}
+    if isinstance(doc, dict):
+        headline = next(
+            ((k, v) for k, v in doc.items() if isinstance(v, (int, float)) and not isinstance(v, bool)),
+            None,
+        )
+        if headline:
+            row["headline_metric"], row["headline_value"] = headline
+        gates = {k: v for k, v in doc.items() if k.startswith("verified_")}
+        if gates:
+            row["gates"] = gates
+            all_verified &= all(bool(v) for v in gates.values())
+    rows.append(row)
+
+summary = {
+    "source": "scripts/bench_summary.sh",
+    "benches": rows,
+    "all_verified": all_verified,
+}
+out = os.path.join(results, "BENCH_summary.json")
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"[wrote {out}] ({len(rows)} benches, all_verified={all_verified})")
+EOF

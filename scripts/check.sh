@@ -114,6 +114,33 @@ if [ "$out1" != "$out2" ] || ! diff -q "$ds1/BENCH_storage.json" "$ds2/BENCH_sto
 fi
 echo "disk_scaling deterministic (stdout + JSON byte-identical across runs)"
 
+echo "== coded shuffle smoke (coded_shuffle at reduced scale, twice, diff) =="
+# Coded-shuffle distribute: the r-sweep, planner agreement checks, the
+# threads {1,2,4} byte-identity gate, and the r=1-vs-uncoded gate must
+# all be run-to-run byte-identical (the thread and r=1 gates are hard
+# asserts at any scale; the tracking/agreement gates are asserted at
+# full scale and recorded as verified_* booleans here).
+cargo build -q --release -p lmas-bench --bin coded_shuffle
+cs1="$(mktemp -d)"; cs2="$(mktemp -d)"
+LMAS_SCALE="${LMAS_CODED_SCALE:-0.25}" LMAS_RESULTS_DIR="$cs1" ./target/release/coded_shuffle > /dev/null
+LMAS_SCALE="${LMAS_CODED_SCALE:-0.25}" LMAS_RESULTS_DIR="$cs2" ./target/release/coded_shuffle > /dev/null
+if ! diff -q "$cs1/BENCH_coded.json" "$cs2/BENCH_coded.json" > /dev/null; then
+    echo "coded shuffle smoke FAILED: two coded_shuffle runs differ" >&2
+    diff "$cs1/BENCH_coded.json" "$cs2/BENCH_coded.json" >&2 || true
+    exit 1
+fi
+# Bench-regression guard: the checked-in full-scale artifact must carry
+# all four verified gates (the binary aborts before writing `true` when
+# a gate misses at full scale).
+for gate in verified_inverse_r_tracking verified_planner_agreement \
+            verified_threads_identical verified_r1_matches_uncoded; do
+    grep -q "\"$gate\": true" results/BENCH_coded.json || {
+        echo "bench regression: $gate missing from results/BENCH_coded.json" >&2
+        exit 1
+    }
+done
+echo "coded shuffle verified (1/r tracking + planner agreement hold in checked-in results; artifact deterministic)"
+
 echo "== repair smoke (fleet durability sweep at reduced scale, twice, diff) =="
 # Background re-replication: every cell of the fleet × bandwidth sweep
 # asserts its measured replica trajectory against the mean-field ODE
