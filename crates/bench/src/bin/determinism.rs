@@ -429,6 +429,45 @@ fn main() {
         println!("{tag}.src_bytes {:?}", r.repair_src_bytes);
         println!("{tag}.detections {}", r.fault.detections);
     }
+
+    // Scheduler section: a pinned multi-tenant run (seeded Poisson
+    // arrivals, admission gate, naive vs residual-planned placement).
+    // Gate decisions are pure functions of predicted footprints and
+    // the calendar, so dispatch order, queue waits, every latency,
+    // the event log, and the rendered JSON must be identical run to
+    // run.
+    let cluster = ClusterConfig::era_2002(4, 4, 2.0);
+    let sdsm = DsmConfig::new(2, 256, 4, 64);
+    let arrivals = lmas_sched::ArrivalSpec::poisson(
+        0x5C4ED,
+        2,
+        SimDuration::from_millis(8),
+        SimDuration::from_millis(40),
+        &[1],
+    );
+    for (tag, aware) in [("sched.naive", false), ("sched.aware", true)] {
+        let spec = lmas_sched::SchedSpec::new(arrivals.clone(), vec![2_000])
+            .with_policy(lmas_sched::Policy::WeightedFair)
+            .with_quota(2)
+            .with_queue_cap(16)
+            .with_load_limit(1.5)
+            .with_aware(aware)
+            .with_seed(0x5C4ED);
+        let out =
+            lmas_sched::run_scheduled(&cluster, &sdsm, &spec).expect("pinned scheduled run");
+        println!(
+            "{tag}.jobs {} completed {} rejected {}",
+            out.jobs.len(),
+            out.completed(),
+            out.rejections.len()
+        );
+        println!("{tag}.makespan_ns {}", out.makespan.as_nanos());
+        println!(
+            "{tag}.events {} json_fnv {:016x}",
+            out.events.len(),
+            fnv1a(out.to_json().bytes())
+        );
+    }
 }
 
 /// The repair scenario: source on host 0 → relay on every ASU → sink on

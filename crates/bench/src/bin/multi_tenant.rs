@@ -1,0 +1,236 @@
+//! **F-MT** — multi-tenant scheduling: job latency under open arrivals,
+//! naive static stacking vs interference-aware residual planning.
+//!
+//! The scheduler turns the emulator into a job-serving system (ISSUE
+//! 10): seeded Poisson arrivals from several tenants, per-tenant
+//! quotas, and a pluggable dispatch policy. This sweep measures p50 and
+//! p99 job latency over an offered-utilization × tenant-count × policy
+//! grid, comparing:
+//!
+//! - **naive** — FCFS dispatch, every job on the static block-subset
+//!   layout (concurrent jobs stack their sorters on the same hosts);
+//! - **aware** — the swept policy, each job planned against the
+//!   residual capacity left by jobs predicted to still be running.
+//!
+//! Jobs come in two kinds, interactive (n) and batch (4n) in a 3:1
+//! mix, so the dispatch policies genuinely differ: SPJF slips short
+//! jobs past a queued batch (better p50, worse p99 than FCFS), and
+//! weighted-fair sits between them.
+//!
+//! Checks baked into the artifact:
+//! - at every swept cell at ≥ 70% offered utilization, aware beats
+//!   naive on **both** p50 and p99 latency;
+//! - deep queues admit everything (no rejections cloud percentiles)
+//!   and every admitted job completes;
+//! - the hottest cell is run twice and must be byte-identical.
+//!
+//! Output: `results/BENCH_sched.json`.
+
+use lmas_bench::{row, scaled_n, write_results};
+use lmas_core::Rec8;
+use lmas_emulator::ClusterConfig;
+use lmas_sched::{run_scheduled, ArrivalSpec, Policy, SchedSpec};
+use lmas_sim::SimDuration;
+use lmas_sort::{plan_pass1_coded, DsmConfig};
+use rayon::prelude::*;
+
+const UTILS: [f64; 3] = [0.5, 0.75, 0.9];
+const TENANTS: [usize; 2] = [2, 3];
+const POLICIES: [Policy; 3] = [Policy::Fcfs, Policy::Spjf, Policy::WeightedFair];
+/// Expected jobs per cell (Poisson; the realized count is seeded).
+const TARGET_JOBS: f64 = 12.0;
+const SEED: u64 = 0xF17_2026;
+
+struct Cell {
+    util: f64,
+    tenants: usize,
+    policy: &'static str,
+    jobs: usize,
+    naive_p50: u64,
+    naive_p99: u64,
+    aware_p50: u64,
+    aware_p99: u64,
+}
+
+fn main() {
+    // Geometry matters: α = 2 on four hosts means the static layout
+    // pins every job's sorters onto hosts 0 and 2, leaving 1 and 3
+    // permanently idle — exactly the headroom residual planning can
+    // place concurrent jobs into. A mild ASU slowdown (c = 2) keeps
+    // the movable host-side sort dominant; at c = 8 the pinned ASU
+    // distribute/collect stages are the common-mode bottleneck and no
+    // placement can separate the two paths.
+    let n = scaled_n(2_500, 800);
+    let cluster = ClusterConfig::era_2002(4, 4, 2.0);
+    let dsm = DsmConfig::new(2, 256, 4, 64);
+
+    // Two job kinds — interactive (n) and batch (4n), 3:1 mix — so the
+    // dispatch policies have a real decision to make: with one kind
+    // every job predicts the same cost and SPJF's (cost, id) order
+    // degenerates to FCFS.
+    let kinds = vec![n, 4 * n];
+    let mix: [u64; 2] = [3, 1];
+
+    // The mix-weighted mean solo cost is the utilization currency:
+    // offered utilization ρ with T tenants of mean inter-arrival M is
+    // E[C]·T/M.
+    let cost = |records: u64| {
+        let (_, solo) =
+            plan_pass1_coded::<Rec8>(&cluster, &dsm, records, &[1]).expect("solo plan");
+        solo.estimate.makespan_ns
+    };
+    let cost_ns = (3.0 * cost(n) + cost(4 * n)) / 4.0;
+
+    let spec_for = |util: f64, tenants: usize, policy: Policy, aware: bool| {
+        let mean_ns = (cost_ns * tenants as f64 / util) as u64;
+        let horizon_ns = (TARGET_JOBS / tenants as f64 * mean_ns as f64) as u64;
+        let arrivals = ArrivalSpec::poisson(
+            SEED,
+            tenants,
+            SimDuration::from_nanos(mean_ns.max(1)),
+            SimDuration::from_nanos(horizon_ns.max(1)),
+            &mix,
+        );
+        SchedSpec::new(arrivals, kinds.clone())
+            .with_policy(policy)
+            .with_quota(2)
+            .with_queue_cap(64)
+            .with_load_limit(1.2)
+            .with_aware(aware)
+            .with_seed(SEED)
+    };
+
+    println!(
+        "F-MT: job latency (ms) by offered utilization, naive stack vs aware placement \
+         (n={n}/job, H=4, D=4, c=2, α=2)"
+    );
+    let widths = [6usize, 4, 6, 5, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["util", "T", "policy", "jobs", "nv_p50", "nv_p99", "aw_p50", "aw_p99"]
+                .map(String::from),
+            &widths
+        )
+    );
+
+    let grid: Vec<(f64, usize, Policy)> = UTILS
+        .iter()
+        .flat_map(|&u| {
+            TENANTS
+                .iter()
+                .flat_map(move |&t| POLICIES.iter().map(move |&p| (u, t, p)))
+        })
+        .collect();
+
+    let cells: Vec<Cell> = grid
+        .par_iter()
+        .map(|&(util, tenants, policy)| {
+            let naive = run_scheduled(&cluster, &dsm, &spec_for(util, tenants, Policy::Fcfs, false))
+                .expect("naive run");
+            let aware = run_scheduled(&cluster, &dsm, &spec_for(util, tenants, policy, true))
+                .expect("aware run");
+            for (name, out) in [("naive", &naive), ("aware", &aware)] {
+                assert!(
+                    out.rejections.is_empty(),
+                    "{name} ρ={util} T={tenants}: deep queues must admit everything"
+                );
+                assert_eq!(
+                    out.completed(),
+                    out.jobs.len(),
+                    "{name} ρ={util} T={tenants}: every admitted job completes"
+                );
+                assert!(out.jobs.len() >= 4, "cell too sparse to rank latencies");
+            }
+            let p = |o: &lmas_sched::SchedOutcome, q: f64| {
+                o.latency_percentile(q).expect("completed jobs").as_nanos()
+            };
+            Cell {
+                util,
+                tenants,
+                policy: policy.name(),
+                jobs: naive.jobs.len(),
+                naive_p50: p(&naive, 0.50),
+                naive_p99: p(&naive, 0.99),
+                aware_p50: p(&aware, 0.50),
+                aware_p99: p(&aware, 0.99),
+            }
+        })
+        .collect();
+
+    // Determinism: the hottest cell, run twice, byte-identical.
+    let (u0, t0, p0) = grid[grid.len() - 1];
+    let rerun = |aware| {
+        run_scheduled(&cluster, &dsm, &spec_for(u0, t0, p0, aware))
+            .expect("rerun")
+            .to_json()
+    };
+    assert_eq!(rerun(true), rerun(true), "aware cell replays byte-identically");
+    assert_eq!(rerun(false), rerun(false), "naive cell replays byte-identically");
+
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut json = String::from("{\n");
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{:.2}", c.util),
+                    c.tenants.to_string(),
+                    c.policy.to_string(),
+                    c.jobs.to_string(),
+                    ms(c.naive_p50),
+                    ms(c.naive_p99),
+                    ms(c.aware_p50),
+                    ms(c.aware_p99),
+                ],
+                &widths
+            )
+        );
+        json.push_str(&format!(
+            "  \"u{:.2}_t{}_{}\": {{\"util\": {:.2}, \"tenants\": {}, \"policy\": \"{}\", \
+             \"jobs\": {}, \"naive_p50_ns\": {}, \"naive_p99_ns\": {}, \
+             \"aware_p50_ns\": {}, \"aware_p99_ns\": {}}},\n",
+            c.util,
+            c.tenants,
+            c.policy,
+            c.util,
+            c.tenants,
+            c.policy,
+            c.jobs,
+            c.naive_p50,
+            c.naive_p99,
+            c.aware_p50,
+            c.aware_p99
+        ));
+    }
+
+    // The tentpole gate: at ≥ 70% offered utilization, interference-
+    // aware placement beats the naive stack on both percentiles, in
+    // every swept cell.
+    for c in cells.iter().filter(|c| c.util >= 0.7) {
+        assert!(
+            c.aware_p50 < c.naive_p50,
+            "ρ={} T={} {}: aware p50 {} not better than naive {}",
+            c.util,
+            c.tenants,
+            c.policy,
+            c.aware_p50,
+            c.naive_p50
+        );
+        assert!(
+            c.aware_p99 < c.naive_p99,
+            "ρ={} T={} {}: aware p99 {} not better than naive {}",
+            c.util,
+            c.tenants,
+            c.policy,
+            c.aware_p99,
+            c.naive_p99
+        );
+    }
+    json.push_str("  \"verified_aware_beats_naive_p50_at_70pct\": true,\n");
+    json.push_str("  \"verified_aware_beats_naive_p99_at_70pct\": true,\n");
+    json.push_str("  \"verified_all_admitted_complete\": true,\n");
+    json.push_str("  \"verified_deterministic\": true\n}\n");
+    write_results("BENCH_sched.json", &json);
+}

@@ -16,6 +16,9 @@
 //! - [`balance`]: feedback-driven runtime load balancing — periodic
 //!   virtual-time sampling of queue depths and CPU backlog that
 //!   re-weights replica routing (off by default);
+//! - [`multi`]: multi-tenant scheduling — several jobs merged onto one
+//!   cluster, gated by a pluggable admission/fairness policy
+//!   ([`run_jobs`]);
 //! - [`metrics`], [`report`]: instrumentation and rendering.
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod balance;
 pub mod config;
 pub mod fault;
 pub mod metrics;
+pub mod multi;
 pub mod node;
 pub mod repair;
 pub mod report;
@@ -32,7 +36,11 @@ pub mod runtime;
 pub use balance::BalanceSpec;
 pub use config::ClusterConfig;
 pub use fault::{asu_index, node_index, FatalFault, FaultSpec, FaultStats, NodeHealth};
-pub use metrics::{QueueStat, StageGauge, StageQueueStats};
+pub use metrics::{QueueStat, StageGauge, StageQueueStats, StageUsage};
+pub use multi::{
+    run_jobs, GateDecision, JobStats, MultiJobReport, SchedEvent, SchedEventKind, SchedGate,
+    TenantJob,
+};
 pub use node::NodeRes;
 pub use repair::{
     mean_copies, mean_field_trajectory, MeanFieldParams, RepairSample, RepairSpec, RepairStats,

@@ -231,6 +231,49 @@ impl StageQueueStats {
     }
 }
 
+/// Resource attribution of one stage, summed over its instances.
+///
+/// The FCFS node resources are shared, so attribution records the
+/// *grant windows and byte volumes charged on a stage's behalf*: CPU
+/// busy/wait time from its processing and flush grants, the bytes its
+/// sources pulled off disk (with the read latency they waited), the
+/// bytes its sinks and coded side-information wrote, and the payload
+/// bytes it put on the wire (zero-byte EOS marks excluded). Purely
+/// observational — accumulating it never moves virtual time — and
+/// additive across partitions, so sequential and partitioned runs
+/// report identical totals. The multi-tenant scheduler rolls these up
+/// per job (stages of a merged graph are contiguous per job).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageUsage {
+    /// CPU service time granted (ns).
+    pub cpu_busy_ns: u64,
+    /// CPU queueing time: grant start minus request instant (ns).
+    pub cpu_wait_ns: u64,
+    /// Bytes streamed from disk by this stage's source instances.
+    pub disk_read_bytes: u64,
+    /// Disk read latency waited by this stage's sources (ns).
+    pub disk_wait_ns: u64,
+    /// Bytes written to disk (sink captures plus coded side-information).
+    pub disk_write_bytes: u64,
+    /// Payload bytes put on the wire by this stage's senders.
+    pub nic_bytes: u64,
+    /// NIC serialization time of those payloads (ns).
+    pub nic_busy_ns: u64,
+}
+
+impl StageUsage {
+    /// Element-wise accumulate (partition merge / per-job roll-up).
+    pub fn absorb(&mut self, other: &StageUsage) {
+        self.cpu_busy_ns += other.cpu_busy_ns;
+        self.cpu_wait_ns += other.cpu_wait_ns;
+        self.disk_read_bytes += other.disk_read_bytes;
+        self.disk_wait_ns += other.disk_wait_ns;
+        self.disk_write_bytes += other.disk_write_bytes;
+        self.nic_bytes += other.nic_bytes;
+        self.nic_busy_ns += other.nic_busy_ns;
+    }
+}
+
 /// Maximum memory-violation notes retained (they repeat).
 const MAX_VIOLATION_NOTES: usize = 16;
 
@@ -249,6 +292,8 @@ pub struct Metrics<R: Record> {
     pub stage_work: Vec<Work>,
     /// Records entering each stage.
     pub stage_records_in: Vec<u64>,
+    /// Resource attribution per stage (indexed by stage id).
+    pub stage_usage: Vec<StageUsage>,
     /// Outputs of sink stages (stages with no outgoing edge), keyed by
     /// `(stage, instance)`; each entry is `(port, packet)` in emission
     /// order.
@@ -299,6 +344,7 @@ impl<R: Record> Metrics<R> {
         Metrics {
             stage_work: vec![Work::ZERO; stages],
             stage_records_in: vec![0; stages],
+            stage_usage: vec![StageUsage::default(); stages],
             sink_outputs: BTreeMap::new(),
             records_processed: 0,
             mem_violations: Vec::new(),
@@ -365,6 +411,9 @@ impl<R: Record> Metrics<R> {
             }
             for (a, b) in m.stage_records_in.iter_mut().zip(&p.stage_records_in) {
                 *a += *b;
+            }
+            for (a, b) in m.stage_usage.iter_mut().zip(&p.stage_usage) {
+                a.absorb(b);
             }
             let before = m.sink_outputs.len() + p.sink_outputs.len();
             m.sink_outputs.append(&mut p.sink_outputs);

@@ -44,7 +44,8 @@ use crate::config::ClusterConfig;
 use crate::fault::{
     node_index, DetectedTimeline, FatalFault, FaultSpec, FaultStats, LossTimeline, NodeHealth,
 };
-use crate::metrics::{GaugeJournal, Metrics, SinkOutputs, StageGauge, StageQueueStats};
+use crate::metrics::{GaugeJournal, Metrics, SinkOutputs, StageGauge, StageQueueStats, StageUsage};
+use crate::multi::{GateDecision, SchedEvent, SchedEventKind, SchedGate};
 use crate::node::{nic_service, NodeRes};
 use crate::repair::{
     repair_timeline, RepairCmd, RepairEngine, RepairEv, RepairJob, RepairSample, RepairStats,
@@ -217,6 +218,12 @@ pub struct EmulationReport<R: Record> {
     pub stage_work: Vec<(String, lmas_core::Work)>,
     /// Records entering each stage.
     pub stage_records_in: Vec<u64>,
+    /// Resource attribution per stage (indexed by stage id): CPU grant
+    /// busy/wait, disk bytes and read latency, NIC payload bytes and
+    /// serialization time charged on the stage's behalf. Observational
+    /// only — identical virtual times with or without it — and the
+    /// basis for per-job accounting in multi-tenant runs.
+    pub stage_usage: Vec<StageUsage>,
     /// Sink outputs keyed by `(stage, instance)`, `(port, packet)` pairs.
     pub sink_outputs: SinkOutputs<R>,
     /// Total records processed.
@@ -451,6 +458,12 @@ enum Msg<R: Record> {
     },
     /// Coordinator: record one replica-histogram trajectory sample.
     RepairSampleTick,
+    /// Scheduler: job `j` (of a multi-tenant run) reaches the admission
+    /// gate at its arrival instant.
+    JobArrive(usize),
+    /// Sink instance → scheduler: one sink instance of job `j` flushed.
+    /// The scheduler counts these to detect job completion.
+    SinkFlushed(usize),
     /// Coordinator self-message: apply the completions buffered at this
     /// instant in canonical (assignment-id) order. Engine decisions
     /// depend on mutable load state, so same-instant completions must
@@ -653,6 +666,10 @@ struct InstanceActor<R: Record> {
     fault: Option<InstanceFault<R>>,
     /// Snapshot-balancer sampling (watched instances only).
     sample: Option<SampleState>,
+    /// Multi-tenant runs only: `(scheduler actor, owning job)` of a
+    /// *sink* instance, which notifies the scheduler when it flushes.
+    /// `None` everywhere else — single-job runs carry no scheduler.
+    sched: Option<(ActorId, usize)>,
 }
 
 impl<R: Record> InstanceActor<R> {
@@ -681,12 +698,24 @@ impl<R: Record> InstanceActor<R> {
                 m.stage_records_in[self.stage] += p.len() as u64;
             }
             let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
+            {
+                let mut m = self.metrics.borrow_mut();
+                let u = &mut m.stage_usage[self.stage];
+                u.cpu_busy_ns += grant.end.since(grant.start).as_nanos();
+                u.cpu_wait_ns += grant.queue_delay(ctx.now()).as_nanos();
+            }
             self.pending = Some(Unit::Process(p));
             ctx.send_at(ctx.me(), grant.end, Msg::Work(self.epoch));
         } else if self.eos_seen >= self.eos_expected && !self.flushed && !self.is_fenced() {
             let cost = self.functor.flush_cost();
             self.metrics.borrow_mut().stage_work[self.stage] += cost;
             let grant = self.node.borrow_mut().charge_cpu(ctx.now(), cost);
+            {
+                let mut m = self.metrics.borrow_mut();
+                let u = &mut m.stage_usage[self.stage];
+                u.cpu_busy_ns += grant.end.since(grant.start).as_nanos();
+                u.cpu_wait_ns += grant.queue_delay(ctx.now()).as_nanos();
+            }
             self.pending = Some(Unit::Flush);
             ctx.send_at(ctx.me(), grant.end, Msg::Work(self.epoch));
         }
@@ -758,6 +787,13 @@ impl<R: Record> InstanceActor<R> {
         self.route_outputs(ctx, emit.take());
         if just_flushed {
             self.broadcast_eos(ctx);
+            // A multi-tenant sink reports its flush to the scheduler at
+            // the flush instant (sink writes were charged above, so the
+            // job's disk traffic is already accounted). Scheduler runs
+            // are sequential-only; a zero-delay control send is safe.
+            if let Some((sched, job)) = self.sched {
+                ctx.send_now(sched, Msg::SinkFlushed(job));
+            }
         }
         self.try_start(ctx);
         if self.ra.is_some() {
@@ -778,8 +814,10 @@ impl<R: Record> InstanceActor<R> {
             let mut node = self.node.borrow_mut();
             let mut m = self.metrics.borrow_mut();
             for (port, p) in outputs {
-                node.disk_write_sink(now, self.global_tag, p.bytes() as u64);
+                let bytes = p.bytes() as u64;
+                node.disk_write_sink(now, self.global_tag, bytes);
                 m.note_activity(now);
+                m.stage_usage[self.stage].disk_write_bytes += bytes;
                 m.sink_outputs
                     .entry((self.stage, self.instance))
                     .or_default()
@@ -863,6 +901,8 @@ impl<R: Record> InstanceActor<R> {
             self.node
                 .borrow_mut()
                 .disk_write(now, (r as u64 - 1) * p.bytes() as u64);
+            self.metrics.borrow_mut().stage_usage[self.stage].disk_write_bytes +=
+                (r as u64 - 1) * p.bytes() as u64;
             let group = dest / r;
             d.coded_buf[group].push((dest, p));
             if d.coded_buf[group].len() == r {
@@ -872,6 +912,12 @@ impl<R: Record> InstanceActor<R> {
                     .max()
                     .unwrap_or(0);
                 let grant = self.node.borrow_mut().charge_nic(now, frame, self.link_rate);
+                {
+                    let mut m = self.metrics.borrow_mut();
+                    let u = &mut m.stage_usage[self.stage];
+                    u.nic_bytes += frame;
+                    u.nic_busy_ns += grant.end.since(grant.start).as_nanos();
+                }
                 let at = grant.end + self.latency;
                 for (di, q) in d.coded_buf[group].drain(..) {
                     ctx.send_at(d.actors[di], at, Msg::Arrive { p: q, meta: None });
@@ -879,7 +925,7 @@ impl<R: Record> InstanceActor<R> {
             }
             return;
         }
-        let deliver_at = delivery_time(
+        let (deliver_at, nic_busy) = delivery_time(
             ctx.now(),
             &self.node,
             d.node_ids[dest],
@@ -887,6 +933,12 @@ impl<R: Record> InstanceActor<R> {
             self.link_rate,
             self.latency,
         );
+        if let Some(busy) = nic_busy {
+            let mut m = self.metrics.borrow_mut();
+            let u = &mut m.stage_usage[self.stage];
+            u.nic_bytes += p.bytes() as u64;
+            u.nic_busy_ns += busy.as_nanos();
+        }
         let to_actor = d.actors[dest];
         match &mut self.fault {
             None => {
@@ -987,6 +1039,12 @@ impl<R: Record> InstanceActor<R> {
                 .max()
                 .unwrap_or(0);
             let grant = self.node.borrow_mut().charge_nic(now, frame, self.link_rate);
+            {
+                let mut m = self.metrics.borrow_mut();
+                let u = &mut m.stage_usage[self.stage];
+                u.nic_bytes += frame;
+                u.nic_busy_ns += grant.end.since(grant.start).as_nanos();
+            }
             let at = grant.end + self.latency;
             for (di, q) in d.coded_buf[group].drain(..) {
                 ctx.send_at(d.actors[di], at, Msg::Arrive { p: q, meta: None });
@@ -1056,7 +1114,13 @@ impl<R: Record> InstanceActor<R> {
                     .node
                     .borrow_mut()
                     .disk_read(ctx.now(), p.bytes() as u64);
-                self.metrics.borrow_mut().note_activity(ready);
+                {
+                    let mut m = self.metrics.borrow_mut();
+                    m.note_activity(ready);
+                    let u = &mut m.stage_usage[self.stage];
+                    u.disk_read_bytes += p.bytes() as u64;
+                    u.disk_wait_ns += ready.saturating_since(ctx.now()).as_nanos();
+                }
                 ctx.send_at(ctx.me(), ready, Msg::Arrive { p, meta: None });
             } else if !ra.eos_sent {
                 ra.eos_sent = true;
@@ -1069,7 +1133,13 @@ impl<R: Record> InstanceActor<R> {
                 .node
                 .borrow_mut()
                 .disk_read(ctx.now(), p.bytes() as u64);
-            self.metrics.borrow_mut().note_activity(ready);
+            {
+                let mut m = self.metrics.borrow_mut();
+                m.note_activity(ready);
+                let u = &mut m.stage_usage[self.stage];
+                u.disk_read_bytes += p.bytes() as u64;
+                u.disk_wait_ns += ready.saturating_since(ctx.now()).as_nanos();
+            }
             ctx.send_at(ctx.me(), ready, Msg::Arrive { p, meta: None });
             ctx.send_at(ctx.me(), ready, Msg::SourceNext);
         } else {
@@ -1152,6 +1222,8 @@ impl<R: Record> InstanceActor<R> {
     }
 }
 
+/// Arrival instant of a packet, plus the NIC serialization time charged
+/// for it (`None` for a same-node hand-off, which never touches the NIC).
 fn delivery_time(
     now: SimTime,
     from: &Rc<RefCell<NodeRes>>,
@@ -1159,13 +1231,13 @@ fn delivery_time(
     bytes: u64,
     link_rate: f64,
     latency: SimDuration,
-) -> SimTime {
+) -> (SimTime, Option<SimDuration>) {
     let same_node = from.borrow().id == to;
     if same_node {
-        now
+        (now, None)
     } else {
         let grant = from.borrow_mut().charge_nic(now, bytes, link_rate);
-        grant.end + latency
+        (grant.end + latency, Some(grant.end.since(grant.start)))
     }
 }
 
@@ -1284,6 +1356,8 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for InstanceActor<R> {
             | Msg::Detect(_)
             | Msg::BalanceTick
             | Msg::DepthReport { .. }
+            | Msg::JobArrive(_)
+            | Msg::SinkFlushed(_)
             | Msg::RepairStep(_)
             | Msg::RepairFetch(_)
             | Msg::RepairCancel(_)
@@ -1940,6 +2014,78 @@ impl<R: Record> lmas_sim::Actor<Msg<R>> for RepairAgent<R> {
     }
 }
 
+/// Multi-tenant admission/dispatch controller (see [`crate::multi`]).
+///
+/// One extra actor that replays the arrival schedule through the
+/// embedding's [`SchedGate`] and gates each job's source chains: the
+/// sources of a gated run are *not* seeded at time zero — the scheduler
+/// sends their first [`Msg::SourceNext`] at the dispatch instant, so a
+/// queued job holds no emulated resources until admitted. Sink
+/// instances report back with [`Msg::SinkFlushed`]; a job completes
+/// once every one of its sink instances has flushed.
+struct SchedActor<R: Record> {
+    gate: Box<dyn SchedGate>,
+    /// Source instance actors per job, in dispatch (seeding) order.
+    sources: Vec<Vec<ActorId>>,
+    /// Sink-instance flushes each job must collect to complete.
+    sinks_expected: Vec<usize>,
+    sinks_seen: Vec<usize>,
+    done: Vec<bool>,
+    /// Shared with the [`crate::multi::run_jobs`] caller, which reads
+    /// the decisions back into per-job statistics after the run.
+    log: Rc<RefCell<Vec<SchedEvent>>>,
+    metrics: Rc<RefCell<Metrics<R>>>,
+}
+
+impl<R: Record> SchedActor<R> {
+    fn note(&mut self, ctx: &Ctx<'_, Msg<R>>, job: usize, kind: SchedEventKind) {
+        let now = ctx.now();
+        self.log.borrow_mut().push(SchedEvent { at: now, job, kind });
+        self.metrics
+            .borrow_mut()
+            .trace
+            .record_with(now, || ("sched", format!("job {job} {kind:?}")));
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Msg<R>>, job: usize) {
+        self.note(ctx, job, SchedEventKind::Dispatch);
+        for i in 0..self.sources[job].len() {
+            let actor = self.sources[job][i];
+            ctx.send_now(actor, Msg::SourceNext);
+        }
+    }
+}
+
+impl<R: Record> lmas_sim::Actor<Msg<R>> for SchedActor<R> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<R>>, msg: Msg<R>) {
+        match msg {
+            Msg::JobArrive(j) => {
+                self.note(ctx, j, SchedEventKind::Arrive);
+                match self.gate.on_arrival(j, ctx.now()) {
+                    GateDecision::Dispatch => self.dispatch(ctx, j),
+                    GateDecision::Queue => self.note(ctx, j, SchedEventKind::Queued),
+                    GateDecision::Reject => self.note(ctx, j, SchedEventKind::Rejected),
+                }
+            }
+            Msg::SinkFlushed(j) => {
+                self.sinks_seen[j] += 1;
+                debug_assert!(
+                    self.sinks_seen[j] <= self.sinks_expected[j],
+                    "job {j} over-reported sink flushes"
+                );
+                if self.sinks_seen[j] == self.sinks_expected[j] && !self.done[j] {
+                    self.done[j] = true;
+                    self.note(ctx, j, SchedEventKind::Complete);
+                    for k in self.gate.on_completion(j, ctx.now()) {
+                        self.dispatch(ctx, k);
+                    }
+                }
+            }
+            _ => unreachable!("non-scheduler message delivered to the scheduler"),
+        }
+    }
+}
+
 /// Run `job` on the cluster described by `cfg` with no faults.
 pub fn run_job<R: Record>(
     cfg: &ClusterConfig,
@@ -1955,6 +2101,46 @@ pub fn run_job_with_faults<R: Record>(
     cfg: &ClusterConfig,
     spec: &FaultSpec,
     job: Job<R>,
+) -> Result<EmulationReport<R>, JobError> {
+    run_job_inner(cfg, spec, job, None)
+}
+
+/// Everything the sequential runtime needs to run a merged multi-job
+/// graph under a scheduler (constructed by [`crate::multi::run_jobs`]).
+pub(crate) struct SchedSetup {
+    /// Arrival instant per job id (each seeds one [`Msg::JobArrive`]).
+    pub arrivals: Vec<SimTime>,
+    /// Owning job of each stage in the merged graph.
+    pub stage_job: Vec<usize>,
+    /// Source `(stage, instance)` pairs per job, in the same stage-major
+    /// order the direct path seeds, so a lone job dispatched at its
+    /// arrival replays the direct run's source order exactly.
+    pub sources: Vec<Vec<(usize, usize)>>,
+    /// Sink-instance flush count each job must reach to complete.
+    pub sinks: Vec<usize>,
+    /// The pluggable admission/fairness gate.
+    pub gate: Box<dyn SchedGate>,
+    /// Shared event log the embedding reads back after the run.
+    pub log: Rc<RefCell<Vec<SchedEvent>>>,
+}
+
+/// Run a merged multi-job graph under a scheduler gate. Fault-free by
+/// construction (completion detection counts sink flushes, which the
+/// fault layer's fencing would starve) and sequential-only (`threads >
+/// 1` records the `"scheduler"` fallback reason).
+pub(crate) fn run_job_sched<R: Record>(
+    cfg: &ClusterConfig,
+    job: Job<R>,
+    setup: SchedSetup,
+) -> Result<EmulationReport<R>, JobError> {
+    run_job_inner(cfg, &FaultSpec::none(), job, Some(setup))
+}
+
+fn run_job_inner<R: Record>(
+    cfg: &ClusterConfig,
+    spec: &FaultSpec,
+    job: Job<R>,
+    sched: Option<SchedSetup>,
 ) -> Result<EmulationReport<R>, JobError> {
     let Job {
         graph,
@@ -2022,7 +2208,12 @@ pub fn run_job_with_faults<R: Record>(
     // (no lookahead), `fail_fast` specs (a global early stop), and the
     // live-read balancer compat sampler.
     let par_fallback: Option<&'static str> = if cfg.threads > 1 {
-        if !parallel_eligible(&graph) {
+        if sched.is_some() {
+            // Gated runs hold back source seeds until the scheduler
+            // dispatches them — cross-partition control flow the
+            // conservative engine has no lookahead for.
+            Some("scheduler")
+        } else if !parallel_eligible(&graph) {
             Some("backlog routing")
         } else if ctl.as_nanos() == 0 {
             Some("zero latency")
@@ -2109,6 +2300,9 @@ pub fn run_job_with_faults<R: Record>(
         let coord = sim.reserve_actor();
         (agents, coord)
     });
+    // Scheduler slot last: gated runs are fault-free and sequential,
+    // so the extra actor never perturbs the layouts above.
+    let sched_id = sched.as_ref().map(|_| sim.reserve_actor());
 
     // Upstream EOS expectations.
     let eos_expected: Vec<usize> = (0..graph.stages().len())
@@ -2249,9 +2443,19 @@ pub fn run_job_with_faults<R: Record>(
                     balancer: bal_id.expect("watched implies a balancer"),
                     armed: true,
                 }),
+                // Sink instances of a gated run report their flush to
+                // the scheduler so it can detect job completion.
+                sched: match (&sched, &sched_id) {
+                    (Some(ss), Some(sid)) if graph.out_edge(StageId(s)).is_none() => {
+                        Some((*sid, ss.stage_job[s]))
+                    }
+                    _ => None,
+                },
             };
             sim.install(actor_ids[s][i], Box::new(actor));
-            if stage.is_source {
+            // Gated runs hold source seeds back: the scheduler sends the
+            // first `SourceNext` at each job's dispatch instant.
+            if stage.is_source && sched.is_none() {
                 sim.seed_message(actor_ids[s][i], SimTime::ZERO, Msg::SourceNext);
             }
             if watched_here {
@@ -2434,6 +2638,38 @@ pub fn run_job_with_faults<R: Record>(
         );
     }
 
+    // Multi-tenant gate: seed one `JobArrive` per job at its arrival
+    // instant and install the scheduler actor. A lone job arriving at
+    // time zero replays the direct path exactly — its `JobArrive` is
+    // the only seed at zero, and dispatching enqueues the job's
+    // `SourceNext`s in the same stage-major order the loop above seeds.
+    let gated = sched.is_some();
+    if let Some(ss) = sched {
+        let sid = sched_id.expect("reserved alongside the setup");
+        debug_assert_eq!(ss.stage_job.len(), graph.stages().len());
+        for (j, &at) in ss.arrivals.iter().enumerate() {
+            sim.seed_message(sid, at, Msg::JobArrive(j));
+        }
+        let n_jobs = ss.arrivals.len();
+        let sources: Vec<Vec<ActorId>> = ss
+            .sources
+            .iter()
+            .map(|srcs| srcs.iter().map(|&(s, i)| actor_ids[s][i]).collect())
+            .collect();
+        sim.install(
+            sid,
+            Box::new(SchedActor {
+                gate: ss.gate,
+                sources,
+                sinks_expected: ss.sinks,
+                sinks_seen: vec![0; n_jobs],
+                done: vec![false; n_jobs],
+                log: ss.log,
+                metrics: metrics.clone(),
+            }),
+        );
+    }
+
     let outcome = sim.run();
     let fatal = metrics.borrow().fatal;
     if let Some(FatalFault { stage, at }) = fatal {
@@ -2454,7 +2690,9 @@ pub fn run_job_with_faults<R: Record>(
     // last *application* activity instead of the last dispatch. The
     // same applies to the balancer's trailing sample tick, which lands
     // one period after the job quiesced.
-    let mut end = if active || balance_on {
+    // Gated runs also start from application activity: a trailing
+    // arrival the gate rejected should not stretch the makespan.
+    let mut end = if active || balance_on || gated {
         metrics.borrow().last_activity
     } else {
         sim.now()
@@ -2536,6 +2774,7 @@ pub fn run_job_with_faults<R: Record>(
         nodes: node_reports,
         stage_work,
         stage_records_in: m.stage_records_in,
+        stage_usage: m.stage_usage,
         sink_outputs: m.sink_outputs,
         records_processed: m.records_processed,
         mem_violations: m.mem_violations,
@@ -2840,6 +3079,8 @@ impl<R: Record> PartitionWorker<Msg<R>, EmPartOut<R>> for EmWorker<R> {
                         armed: true,
                     }
                 }),
+                // Gated runs never reach the partitioned engine.
+                sched: None,
             };
             let watched_here = actor.sample.is_some();
             sim.install(ActorId(idx), Box::new(actor));
@@ -3288,6 +3529,7 @@ fn run_job_parallel<R: Record>(
         nodes: node_reports.into_iter().map(|(_, r)| r).collect(),
         stage_work,
         stage_records_in: m.stage_records_in,
+        stage_usage: m.stage_usage,
         sink_outputs: m.sink_outputs,
         records_processed: m.records_processed,
         mem_violations: m.mem_violations,

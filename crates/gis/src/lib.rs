@@ -29,4 +29,6 @@ pub use grid::{cone_terrain, fractal_terrain, twin_valley_terrain, Grid};
 pub use pqueue::ExternalPq;
 pub use rtree::dist::{run_queries, DistRTree, Layout, QRec, QueryRun};
 pub use rtree::{linear_scan, random_points, PointRec, QueryResult, RTree, Rect};
-pub use terraflow::{matches_oracle, run_terraflow, RestructureFunctor, TerraFlowOutcome};
+pub use terraflow::{
+    build_restructure_job, matches_oracle, run_terraflow, RestructureFunctor, TerraFlowOutcome,
+};

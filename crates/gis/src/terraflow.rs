@@ -154,18 +154,19 @@ fn raw_cells_per_asu(g: &QuantGrid, d: usize) -> Vec<Vec<CellRec>> {
     out
 }
 
-/// Run the full TerraFlow watershed pipeline.
-pub fn run_terraflow(
+/// Build the step-1 restructure job without running it — the GIS
+/// job-factory hook for the multi-tenant scheduler (`lmas-sched`): a
+/// self-contained source-equals-sink job (the cell set is produced and
+/// stored at the ASUs) that merges cleanly into a
+/// [`lmas_emulator::run_jobs`] submission. [`run_terraflow`]'s first
+/// step is exactly this job, run alone.
+pub fn build_restructure_job(
     cluster: &ClusterConfig,
     grid: &Grid,
     dsm: &DsmConfig,
-    mode: LoadMode,
-) -> Result<TerraFlowOutcome, DsmError> {
+) -> Job<CellRec> {
     let qg = Arc::new(QuantGrid::from_grid(grid));
     let d = cluster.asus;
-
-    // ---- Step 1: restructure on the ASUs (source == sink: the cell set
-    // is produced and stored at the ASUs).
     let mut g1: FlowGraph<CellRec> = FlowGraph::new();
     let qg1 = qg.clone();
     let s1 = g1.add_source_stage(d, move |_| {
@@ -177,7 +178,19 @@ pub fn run_terraflow(
     for (asu, block) in raw_cells_per_asu(&qg, d).into_iter().enumerate() {
         inputs.insert((s1.0, asu), packetize(block, dsm.input_packet_records));
     }
-    let step1 = run_job(cluster, Job { graph: g1, placement: p1, inputs })?;
+    Job { graph: g1, placement: p1, inputs }
+}
+
+/// Run the full TerraFlow watershed pipeline.
+pub fn run_terraflow(
+    cluster: &ClusterConfig,
+    grid: &Grid,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<TerraFlowOutcome, DsmError> {
+    // ---- Step 1: restructure on the ASUs (source == sink: the cell set
+    // is produced and stored at the ASUs).
+    let step1 = run_job(cluster, build_restructure_job(cluster, grid, dsm))?;
     let cells: Vec<CellRec> = step1.sink_records();
 
     // ---- Step 2: sort by (elevation, position) via DSM-Sort.

@@ -22,6 +22,7 @@
 //! assignment).
 
 use crate::model::{ClusterShape, PlanSpec};
+use crate::residual::ResidualCapacity;
 use lmas_core::placement::NodeId;
 use std::fmt;
 
@@ -134,6 +135,28 @@ pub fn estimate(
     asg: &[Vec<NodeId>],
     topo: &[usize],
 ) -> Estimate {
+    estimate_residual(
+        spec,
+        shape,
+        asg,
+        topo,
+        &ResidualCapacity::full(shape.total_nodes()),
+    )
+}
+
+/// [`estimate`], but against the *residual* capacity of a cluster with
+/// other jobs already running: every node's CPU speed, disk rate, and
+/// outbound link rate is scaled by its headroom fraction in `res`
+/// (planner node order). `ResidualCapacity::full` reproduces
+/// [`estimate`] bit for bit — a rate times 1.0 is the rate.
+pub fn estimate_residual(
+    spec: &PlanSpec,
+    shape: &ClusterShape,
+    asg: &[Vec<NodeId>],
+    topo: &[usize],
+    res: &ResidualCapacity,
+) -> Estimate {
+    debug_assert_eq!(res.len(), shape.total_nodes());
     let nstages = spec.stages.len();
     let nodes = shape.nodes();
     let node_index = |node: NodeId| -> usize {
@@ -146,18 +169,26 @@ pub fn estimate(
     let per_rec_ns = |s: usize, node: NodeId| -> f64 {
         shape
             .cost
-            .charge(spec.stages[s].per_record, shape.node_speed(node))
+            .charge(
+                spec.stages[s].per_record,
+                shape.node_speed(node) * res.cpu[node_index(node)],
+            )
             .as_nanos() as f64
     };
     let flush_ns = |s: usize, node: NodeId| -> f64 {
         shape
             .cost
-            .charge(spec.stages[s].flush_per_instance, shape.node_speed(node))
+            .charge(
+                spec.stages[s].flush_per_instance,
+                shape.node_speed(node) * res.cpu[node_index(node)],
+            )
             .as_nanos() as f64
     };
-    let disk_ns_per_byte =
-        |node: NodeId| -> f64 { 1e9 / shape.disk_rate(node) };
-    let link_ns_per_byte = 1e9 / shape.link_rate;
+    let disk_ns_per_byte = |node: NodeId| -> f64 {
+        1e9 / (shape.disk_rate(node) * res.disk[node_index(node)])
+    };
+    let link_ns_per_byte =
+        |node: NodeId| -> f64 { 1e9 / (shape.link_rate * res.nic[node_index(node)]) };
 
     // Slowest node hosting each stage (the pipeline's pace setter) and
     // the worst-case flush.
@@ -218,7 +249,7 @@ pub fn estimate(
                 dests.iter().filter(|&&d| d != u).count() as f64
                     / dests.len() as f64;
             let nic = recs * remote * spec.record_bytes as f64
-                * link_ns_per_byte
+                * link_ns_per_byte(u)
                 / r as f64;
             node_nic[ui] += nic;
             stage_nic_on[e.from][ui] += nic;
@@ -309,9 +340,13 @@ pub fn estimate(
             // the first frame only forms once r packets have been
             // produced upstream.
             let rcv = st.coded_group.max(1) as f64;
+            // Charged at the slowest sender's residual-scaled link.
+            let up_link_ns = asg[up]
+                .iter()
+                .map(|&u| link_ns_per_byte(u))
+                .fold(0.0, f64::max);
             let link = remote
-                * (packet_bytes * link_ns_per_byte
-                    + shape.link_latency_ns);
+                * (packet_bytes * up_link_ns + shape.link_latency_ns);
             let step =
                 spec.stages[up].packet_records as f64 * slowest_per_rec[up];
             let feed = if spec.stages[up].blocking {
@@ -509,6 +544,43 @@ mod tests {
         assert!(
             barrier.makespan_ns > streamed.makespan_ns,
             "a barrier stage must lengthen the pipeline"
+        );
+    }
+
+    #[test]
+    fn full_residual_estimate_is_bit_identical() {
+        let spec = two_stage_spec(77_000);
+        let shape = ClusterShape::era_2002(2, 3, 8.0);
+        let topo = spec.topo_order().unwrap();
+        let asg = vec![vec![NodeId::Asu(1)], vec![NodeId::Host(0)]];
+        let raw = estimate(&spec, &shape, &asg, &topo);
+        let res = ResidualCapacity::full(shape.total_nodes());
+        let full = estimate_residual(&spec, &shape, &asg, &topo, &res);
+        assert_eq!(raw.makespan_ns.to_bits(), full.makespan_ns.to_bits());
+        assert_eq!(raw.bottleneck, full.bottleneck);
+        for (a, b) in raw.node_cpu_ns.iter().zip(&full.node_cpu_ns) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        for (a, b) in raw.node_nic_ns.iter().zip(&full.node_nic_ns) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn occupied_node_inflates_estimate() {
+        let spec = two_stage_spec(100_000);
+        let shape = ClusterShape::era_2002(1, 1, 8.0);
+        let topo = spec.topo_order().unwrap();
+        let asg = vec![vec![NodeId::Asu(0)], vec![NodeId::Host(0)]];
+        let empty = estimate(&spec, &shape, &asg, &topo);
+        let mut res = ResidualCapacity::full(shape.total_nodes());
+        res.occupy(0, 0.75, 0.0, 0.0); // host 0 CPU three-quarters busy
+        let shared = estimate_residual(&spec, &shape, &asg, &topo, &res);
+        assert!(
+            shared.makespan_ns > empty.makespan_ns,
+            "losing 3/4 of the host CPU must slow the crunch: {} vs {}",
+            shared.makespan_ns,
+            empty.makespan_ns
         );
     }
 

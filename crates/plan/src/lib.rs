@@ -31,10 +31,12 @@ pub mod auto;
 pub mod estimate;
 pub mod model;
 pub mod report;
+pub mod residual;
 pub mod search;
 
 pub use auto::{spec_from_graph, AutoPlace, GraphHints, StageHint};
-pub use estimate::{Bottleneck, Estimate, StageResource};
+pub use estimate::{estimate, estimate_residual, Bottleneck, Estimate, StageResource};
 pub use model::{ClusterShape, PlanEdge, PlanError, PlanSpec, StageSpec};
 pub use report::{CodedPoint, PlanReport, StageBinding, StageRate};
-pub use search::{plan, plan_best, PlanOutcome};
+pub use residual::ResidualCapacity;
+pub use search::{plan, plan_best, plan_best_residual, plan_residual, PlanOutcome};

@@ -273,6 +273,13 @@ pub enum PlanError {
         /// Hints provided.
         got: usize,
     },
+    /// A residual-capacity view does not cover the cluster's nodes.
+    ResidualShape {
+        /// Nodes in the cluster (hosts + ASUs).
+        expected: usize,
+        /// Nodes the residual view covers.
+        got: usize,
+    },
     /// The final placement failed `Placement::validate` — a planner bug
     /// surfaced as a typed error rather than an invalid artifact.
     Invalid(PlacementError),
@@ -298,6 +305,10 @@ impl fmt::Display for PlanError {
             PlanError::HintMismatch { expected, got } => write!(
                 f,
                 "graph has {expected} stages but {got} hints were given"
+            ),
+            PlanError::ResidualShape { expected, got } => write!(
+                f,
+                "cluster has {expected} nodes but the residual view covers {got}"
             ),
             PlanError::Invalid(e) => write!(f, "planned placement invalid: {e}"),
         }

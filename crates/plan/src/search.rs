@@ -10,9 +10,10 @@
 //! planned candidate per replication degree. The search has no RNG:
 //! same spec + shape → byte-identical placement and report.
 
-use crate::estimate::{estimate, Estimate};
+use crate::estimate::{estimate_residual, Estimate};
 use crate::model::{ClusterShape, PlanError, PlanSpec};
 use crate::report::PlanReport;
+use crate::residual::ResidualCapacity;
 use lmas_core::placement::{NodeId, Placement, StageId};
 
 /// A finished plan: the validated placement plus its report.
@@ -65,6 +66,30 @@ pub fn plan(
     spec: &PlanSpec,
     shape: &ClusterShape,
 ) -> Result<PlanOutcome, PlanError> {
+    plan_residual(spec, shape, &ResidualCapacity::full(shape.total_nodes()))
+}
+
+/// [`plan`], but scored against the residual capacity of a cluster
+/// with other jobs running (see
+/// [`estimate_residual`](crate::estimate::estimate_residual)): the
+/// search places this job *around* the occupied nodes. A
+/// [`ResidualCapacity::full`] view reproduces [`plan`] bit for bit.
+pub fn plan_residual(
+    spec: &PlanSpec,
+    shape: &ClusterShape,
+    res: &ResidualCapacity,
+) -> Result<PlanOutcome, PlanError> {
+    if res.len() != shape.total_nodes() {
+        return Err(PlanError::ResidualShape {
+            expected: shape.total_nodes(),
+            got: res.len(),
+        });
+    }
+    let estimate = |spec: &PlanSpec,
+                    shape: &ClusterShape,
+                    asg: &[Vec<NodeId>],
+                    topo: &[usize]|
+     -> Estimate { estimate_residual(spec, shape, asg, topo, res) };
     let topo = spec.topo_order()?;
     let nstages = spec.stages.len();
 
@@ -279,6 +304,17 @@ pub fn plan_best(
     specs: &[PlanSpec],
     shape: &ClusterShape,
 ) -> Result<(usize, PlanOutcome), PlanError> {
+    plan_best_residual(specs, shape, &ResidualCapacity::full(shape.total_nodes()))
+}
+
+/// [`plan_best`], scored against residual capacity (see
+/// [`plan_residual`]); the winning candidate minimizes the predicted
+/// makespan *on the shared cluster*.
+pub fn plan_best_residual(
+    specs: &[PlanSpec],
+    shape: &ClusterShape,
+    res: &ResidualCapacity,
+) -> Result<(usize, PlanOutcome), PlanError> {
     if specs.is_empty() {
         return Err(PlanError::EmptySpec);
     }
@@ -286,7 +322,7 @@ pub fn plan_best(
     let mut rejected = 0usize;
     let mut last_err = None;
     for (k, spec) in specs.iter().enumerate() {
-        match plan(spec, shape) {
+        match plan_residual(spec, shape, res) {
             Ok(outcome) => {
                 let better = winner
                     .as_ref()
@@ -468,6 +504,54 @@ mod tests {
             b.estimate.makespan_ns.to_bits()
         );
         assert_eq!(a.report.render_json(), b.report.render_json());
+    }
+
+    #[test]
+    fn residual_search_places_around_loaded_hosts() {
+        // Two identical hosts; host 0 is 90% busy with someone else's
+        // job. The empty-cluster plan is free to use host 0; the
+        // residual plan must put the heavy stage on host 1.
+        let spec = PlanSpec {
+            record_bytes: 128,
+            stages: vec![
+                StageSpec::new("scan", 1, eligible())
+                    .with_source(128 * 400_000)
+                    .with_work(Work::moves(1), 400_000)
+                    .pinned_per_asu(1),
+                StageSpec::new("crunch", 1, FunctorKind::HostOnly)
+                    .with_work(Work::compares(32) + Work::moves(1), 400_000),
+            ],
+            edges: vec![PlanEdge { from: 0, to: 1 }],
+        };
+        let shape = ClusterShape::era_2002(2, 1, 8.0);
+        let mut res = ResidualCapacity::full(shape.total_nodes());
+        res.occupy(0, 0.9, 0.9, 0.9);
+        let out = plan_residual(&spec, &shape, &res).expect("plans");
+        assert_eq!(
+            out.placement.node_of(StageId(1), 0),
+            Some(NodeId::Host(1)),
+            "crunch must avoid the saturated host"
+        );
+        // Full residual reproduces plan() exactly.
+        let a = plan(&spec, &shape).expect("plans");
+        let b = plan_residual(&spec, &shape, &ResidualCapacity::full(shape.total_nodes()))
+            .expect("plans");
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.estimate.makespan_ns.to_bits(), b.estimate.makespan_ns.to_bits());
+    }
+
+    #[test]
+    fn residual_shape_mismatch_is_typed_error() {
+        let spec = PlanSpec {
+            record_bytes: 128,
+            stages: vec![StageSpec::new("s", 1, eligible())],
+            edges: vec![],
+        };
+        let shape = ClusterShape::era_2002(2, 2, 8.0);
+        assert_eq!(
+            plan_residual(&spec, &shape, &ResidualCapacity::full(3)).unwrap_err(),
+            PlanError::ResidualShape { expected: 4, got: 3 }
+        );
     }
 
     #[test]

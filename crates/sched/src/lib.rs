@@ -1,0 +1,32 @@
+//! # lmas-sched — multi-tenant job scheduling for the LMAS emulator
+//!
+//! Turns the single-job emulator into a job-serving system: open
+//! arrivals ([`ArrivalSpec`], from `lmas-sim`) feed an admission
+//! controller with per-tenant quotas, bounded queues, and a load-based
+//! gate; a pluggable fairness [`Policy`] (FCFS, shortest-predicted-job
+//! -first, weighted-fair DRR) picks dispatch order; and placement can
+//! be *interference-aware* — each job planned against the
+//! [`ResidualCapacity`](lmas_plan::ResidualCapacity) left by the jobs
+//! predicted to still be running — instead of stacking every job onto
+//! the same static layout.
+//!
+//! - [`policy`]: [`PolicyGate`], the gate the emulator's multi-job
+//!   runtime calls back into;
+//! - [`run`]: [`run_scheduled`], the end-to-end pipeline
+//!   (arrivals → per-job planning → gated concurrent emulation);
+//! - [`error`]: the typed [`SchedError`] taxonomy.
+//!
+//! Everything is deterministic: arrivals are seeded, planning uses
+//! predicted occupancy, and the gate is a pure function of the
+//! arrival/completion sequence — the same spec replays byte for byte.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod policy;
+pub mod run;
+
+pub use error::SchedError;
+pub use lmas_sim::{ArrivalEvent, ArrivalSpec};
+pub use policy::{GateConfig, JobShape, Policy, PolicyGate};
+pub use run::{run_scheduled, SchedOutcome, SchedRunError, SchedSpec};

@@ -4,6 +4,8 @@
 //! This crate knows nothing about storage or functors; it provides:
 //!
 //! - [`time`]: virtual nanoseconds ([`SimTime`], [`SimDuration`]);
+//! - [`arrival`]: deterministic job-arrival schedules ([`ArrivalSpec`])
+//!   for multi-tenant scheduling harnesses;
 //! - [`event`]: a cancellable, totally ordered event calendar;
 //! - [`engine`]: an actor loop ([`Simulation`], [`Actor`], [`Ctx`]);
 //! - [`fault`]: deterministic fault schedules ([`FaultPlan`]), retry
@@ -42,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -53,6 +56,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use arrival::{ArrivalEvent, ArrivalSpec};
 pub use engine::{Actor, ActorId, Ctx, RunOutcome, Simulation};
 pub use event::{EventKey, EventQueue, EventToken, KeyedQueue};
 pub use fault::{BackoffPolicy, FaultEvent, FaultPlan, Timer, TraceError};

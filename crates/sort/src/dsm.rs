@@ -22,10 +22,11 @@ use lmas_core::functor::FunctorKind;
 use lmas_core::kernels::select_splitters;
 use lmas_core::{
     log2_ceil, packetize, EdgeKind, FlowGraph, Functor, NodeId, Packet, Placement, Record,
-    RouteScope, RoutingPolicy, Work,
+    RouteScope, RoutingPolicy, StageId, Work,
 };
 use lmas_plan::{
-    plan, CodedPoint, ClusterShape, PlanEdge, PlanOutcome, PlanSpec, StageSpec,
+    plan, plan_best_residual, CodedPoint, ClusterShape, Estimate, PlanEdge, PlanOutcome,
+    PlanSpec, ResidualCapacity, StageSpec,
 };
 use lmas_emulator::{
     run_job, run_job_with_faults, ClusterConfig, EmulationReport, FaultSpec, Job, JobError,
@@ -515,6 +516,103 @@ pub fn run_pass1_placed<R: Record>(
     )
 }
 
+/// A pass-1 job built but not run — the job-factory hook for the
+/// multi-tenant scheduler in `lmas-sched`. [`run_pass1`] is exactly
+/// "build, run, collect"; this exposes the build so several tenants'
+/// jobs can be merged into one [`lmas_emulator::multi::run_jobs`] call.
+pub struct Pass1Job<R: Record> {
+    /// The runnable (graph, placement, inputs) triple.
+    pub job: Job<R>,
+    /// Stage id of the collect sinks (the report's `sink_outputs` keys
+    /// on it; in a merged graph, offset by the job's stage base).
+    pub collect: StageId,
+    /// Broadcast-group size actually wired on the distribute edge.
+    pub coded_r: usize,
+    /// Planner account when [`LoadMode::Auto`] chose the layout.
+    pub plan: Option<PlanOutcome>,
+    /// The (possibly read-ahead-tuned) cluster the job was built for —
+    /// a pure function of the input cluster for a given record type, so
+    /// same-cluster jobs share one merged multi-tenant run.
+    pub cluster: ClusterConfig,
+}
+
+/// Build a pass-1 job without running it (see [`Pass1Job`]). Identical
+/// validation and graph construction to [`run_pass1`].
+pub fn build_pass1_job<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+) -> Result<Pass1Job<R>, DsmError> {
+    build_pass1_inner(cluster, data_per_asu, splitters, dsm, mode, None)
+}
+
+/// Build a pass-1 job with an explicit sorter layout without running it
+/// (the placed counterpart of [`build_pass1_job`]; interface mirrors
+/// [`run_pass1_placed`]).
+pub fn build_pass1_job_placed<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    sorter_nodes: &[NodeId],
+) -> Result<Pass1Job<R>, DsmError> {
+    if sorter_nodes.len() != dsm.alpha {
+        return Err(DsmError::InputShape(format!(
+            "{} sorter nodes for α = {} subsets",
+            sorter_nodes.len(),
+            dsm.alpha
+        )));
+    }
+    build_pass1_inner(
+        cluster,
+        data_per_asu,
+        splitters,
+        dsm,
+        LoadMode::Static,
+        Some(sorter_nodes),
+    )
+}
+
+/// Plan a pass-1 sorter layout against the residual capacity of a
+/// cluster that already has other tenants' jobs running (see
+/// [`lmas_plan::plan_residual`]): one sorter per subset — the static
+/// shape — scored on residual rates, so the sorters land on the nodes
+/// the running jobs leave idle. The returned outcome's
+/// `assignment[1]` is the sorter layout for
+/// [`build_pass1_job_placed`]; its `estimate` carries the predicted
+/// makespan and per-node busy times an admission gate turns into
+/// occupancy shares. A [`ResidualCapacity::full`] view reproduces the
+/// empty-cluster plan bit for bit.
+pub fn plan_pass1_residual<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+    res: &ResidualCapacity,
+) -> Result<PlanOutcome, DsmError> {
+    let spec = pass1_spec::<R>(dsm, cluster.asus, n, 1, dsm.coded_r.max(1));
+    plan_best_residual(&[spec], &planner_shape(cluster), res)
+        .map(|(_, out)| out)
+        .map_err(DsmError::Plan)
+}
+
+/// Score a pass-1 assignment against an *empty* cluster: the job's
+/// standalone cost and per-node busy times at full rates. Residual
+/// estimates inflate with the congestion they were planned under, so
+/// an admission gate that accounted quota and load with them would
+/// under-charge jobs planned on a busy cluster — footprints must come
+/// from this solo view regardless of how the placement was chosen.
+pub fn estimate_pass1_solo<R: Record>(
+    cluster: &ClusterConfig,
+    dsm: &DsmConfig,
+    n: u64,
+    assignment: &[Vec<NodeId>],
+) -> Estimate {
+    let spec = pass1_spec::<R>(dsm, cluster.asus, n, 1, dsm.coded_r.max(1));
+    lmas_plan::estimate(&spec, &planner_shape(cluster), assignment, &[0, 1, 2])
+}
+
 fn run_pass1_inner<R: Record>(
     cluster: &ClusterConfig,
     spec: &FaultSpec,
@@ -524,6 +622,34 @@ fn run_pass1_inner<R: Record>(
     mode: LoadMode,
     sorter_nodes: Option<&[NodeId]>,
 ) -> Result<Pass1Result<R>, DsmError> {
+    let d = cluster.asus;
+    let built = build_pass1_inner(cluster, data_per_asu, splitters, dsm, mode, sorter_nodes)?;
+    let report = run_job_with_faults(&built.cluster, spec, built.job)?;
+    let runs_per_asu = (0..d)
+        .map(|asu| {
+            report
+                .sink_outputs
+                .get(&(built.collect.0, asu))
+                .map(|v| v.iter().map(|(_, p)| p.clone()).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    Ok(Pass1Result {
+        report,
+        runs_per_asu,
+        coded_r: built.coded_r,
+        plan: built.plan,
+    })
+}
+
+fn build_pass1_inner<R: Record>(
+    cluster: &ClusterConfig,
+    data_per_asu: Vec<Vec<R>>,
+    splitters: Vec<R::Key>,
+    dsm: &DsmConfig,
+    mode: LoadMode,
+    sorter_nodes: Option<&[NodeId]>,
+) -> Result<Pass1Job<R>, DsmError> {
     // Pass 1 is γ-independent: validate parameter shape only. The
     // two-pass capacity rule (α·β·γ ≥ n) is enforced by run_dsm_sort.
     dsm.validate_for(1)?;
@@ -641,21 +767,12 @@ fn run_pass1_inner<R: Record>(
         );
     }
 
-    let report = run_job_with_faults(&cluster, spec, Job { graph: g, placement, inputs })?;
-    let runs_per_asu = (0..d)
-        .map(|asu| {
-            report
-                .sink_outputs
-                .get(&(collect.0, asu))
-                .map(|v| v.iter().map(|(_, p)| p.clone()).collect())
-                .unwrap_or_default()
-        })
-        .collect();
-    Ok(Pass1Result {
-        report,
-        runs_per_asu,
+    Ok(Pass1Job {
+        job: Job { graph: g, placement, inputs },
+        collect,
         coded_r,
         plan: auto_plan.map(|(_, _, out)| out),
+        cluster,
     })
 }
 

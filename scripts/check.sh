@@ -165,4 +165,32 @@ grep -q '"verified_mean_field"' results/BENCH_repair.json || {
 }
 echo "repair fleet verified (ODE tolerances hold; artifact deterministic)"
 
+echo "== scheduler smoke (multi_tenant, twice, diff; latency gates) =="
+# Multi-tenant scheduler: every >=70%-utilization cell asserts aware
+# (residual-planned) placement beats the naive static stack on both
+# p50 and p99 latency (the binary aborts on a miss), deep queues admit
+# everything, and one cell re-runs byte-identically. The sched crate's
+# tests (quota-never-exceeded and starvation-freedom proptests, the
+# single-job golden) ride along.
+cargo test -q -p lmas-sched > /dev/null
+cargo build -q --release -p lmas-bench --bin multi_tenant
+mt1="$(mktemp -d)"; mt2="$(mktemp -d)"
+LMAS_RESULTS_DIR="$mt1" ./target/release/multi_tenant > /dev/null
+LMAS_RESULTS_DIR="$mt2" ./target/release/multi_tenant > /dev/null
+if ! diff -q "$mt1/BENCH_sched.json" "$mt2/BENCH_sched.json" > /dev/null; then
+    echo "scheduler smoke FAILED: two multi_tenant runs differ" >&2
+    diff "$mt1/BENCH_sched.json" "$mt2/BENCH_sched.json" >&2 || true
+    exit 1
+fi
+# Bench-regression guard: the checked-in artifact must carry all four
+# verified gates (the binary aborts before writing them on a miss).
+for gate in verified_aware_beats_naive_p50_at_70pct verified_aware_beats_naive_p99_at_70pct \
+            verified_all_admitted_complete verified_deterministic; do
+    grep -q "\"$gate\": true" results/BENCH_sched.json || {
+        echo "bench regression: $gate missing from results/BENCH_sched.json" >&2
+        exit 1
+    }
+done
+echo "multi-tenant scheduler verified (aware beats naive at >=70% util on p50+p99; artifact deterministic)"
+
 echo "check.sh: all green"
